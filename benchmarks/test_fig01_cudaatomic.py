@@ -1,0 +1,59 @@
+"""Figure 1: Atomic vs default CudaAtomic throughput ratios per GPU.
+
+Paper findings: the ratio is above 1.0 in almost all cases; medians are
+around 10x on the RTX 3090 and around 100x on the Titan V for CC/MIS/BFS/
+SSSP; TC's ratios are markedly lower (it only uses an atomic add, while
+the other codes stream loads/stores through cuda::atomic).
+"""
+
+import numpy as np
+
+from repro.bench import ratios_by_algorithm
+from repro.bench.report import render_ratio_figure
+from repro.styles import Algorithm, AtomicFlavor, Model
+
+from conftest import requires_default_scale
+
+#: CudaAtomic magnitudes need launches dominated by kernel work, which
+#: tiny inputs (launch-overhead-bound) cannot provide.
+pytestmark = requires_default_scale
+
+
+def ratios(study, device):
+    return ratios_by_algorithm(
+        study, "atomic_flavor", AtomicFlavor.ATOMIC, AtomicFlavor.CUDA_ATOMIC,
+        models=[Model.CUDA], devices=[device],
+    )
+
+
+def test_fig1_rtx3090(benchmark, study, med):
+    text = benchmark.pedantic(
+        render_ratio_figure, args=(study, "fig1-3090"), rounds=1, iterations=1
+    )
+    print("\n" + text)
+    by = ratios(study, "RTX 3090")
+    # Atomic is essentially always at least as fast.
+    all_ratios = np.concatenate(list(by.values()))
+    assert (all_ratios >= 0.99).mean() > 0.95
+    # One-order-of-magnitude medians for the load/store-heavy codes.
+    for alg in (Algorithm.CC, Algorithm.MIS, Algorithm.SSSP):
+        assert 2.0 <= med(by[alg]) <= 80.0
+    # TC barely moves (one add, plain structure reads).
+    assert med(by[Algorithm.TC]) < 3.0
+    # PR has no CudaAtomic versions at all (no float support).
+    assert Algorithm.PR not in by
+
+
+def test_fig1_titan_v(benchmark, study, med):
+    text = benchmark.pedantic(
+        render_ratio_figure, args=(study, "fig1-titanv"), rounds=1, iterations=1
+    )
+    print("\n" + text)
+    volta = ratios(study, "Titan V")
+    ampere = ratios(study, "RTX 3090")
+    # Roughly two orders of magnitude on the older device...
+    for alg in (Algorithm.CC, Algorithm.MIS, Algorithm.SSSP):
+        assert med(volta[alg]) > 20.0
+        # ... and clearly worse than on the newer one (Fig 1a vs 1b).
+        assert med(volta[alg]) > 4 * med(ampere[alg])
+    assert med(volta[Algorithm.TC]) < 5.0

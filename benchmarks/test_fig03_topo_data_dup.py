@@ -1,0 +1,96 @@
+"""Figure 3: topology-driven vs data-driven (duplicates on the worklist).
+
+Paper findings: GPUs and OpenMP prefer the data-driven style (medians
+below 1); C++ threads do not (its atomics are cheap, so the worklist
+overhead is not worth the work savings).  The effect is largest on the
+high-diameter inputs, where topology-driven repeats full sweeps.
+"""
+
+import numpy as np
+
+from repro.bench.report import render_driver_figure
+from repro.styles import Algorithm, Driver, Dup, Flow, Model
+
+from conftest import requires_default_scale
+
+#: The driver axis feeds on the input diameter; tiny inputs flatten it.
+pytestmark = requires_default_scale
+
+
+def driver_ratios(study, dup, model, algorithms=None, graphs=None):
+    out = {}
+    for run in study.select(models=[model], algorithms=algorithms, graphs=graphs):
+        if run.spec.driver is not Driver.TOPOLOGY or run.spec.flow is Flow.PULL:
+            continue
+        partner = study.get(
+            run.spec.with_axis(driver=Driver.DATA, dup=dup),
+            run.device, run.graph,
+        )
+        if partner is None:
+            continue
+        out.setdefault(run.spec.algorithm, []).append(
+            run.throughput_ges / partner.throughput_ges
+        )
+    return {k: np.asarray(v) for k, v in out.items()}
+
+
+def test_fig3_cuda(benchmark, study, med):
+    text = benchmark.pedantic(
+        render_driver_figure, args=(study, Dup.DUP, Model.CUDA),
+        rounds=1, iterations=1,
+    )
+    print("\n" + text)
+    by = driver_ratios(study, Dup.DUP, Model.CUDA)
+    # BFS prefers data-driven on the GPU; SSSP sits at the break-even
+    # point in this reproduction (the scaled-down inputs have diameters of
+    # 3-6 where the paper's are 19-24, which shrinks topology-driven's
+    # useless-sweep penalty — see EXPERIMENTS.md).
+    assert med(by[Algorithm.BFS]) < 1.0
+    assert med(by[Algorithm.SSSP]) < 1.3
+    # MIS has no duplicates style; TC/PR have no data-driven style.
+    assert Algorithm.MIS not in by
+    assert Algorithm.TC not in by and Algorithm.PR not in by
+
+
+def test_fig3_openmp(benchmark, study, med):
+    text = benchmark.pedantic(
+        render_driver_figure, args=(study, Dup.DUP, Model.OPENMP),
+        rounds=1, iterations=1,
+    )
+    print("\n" + text)
+    by = driver_ratios(study, Dup.DUP, Model.OPENMP)
+    for alg in (Algorithm.CC, Algorithm.BFS, Algorithm.SSSP):
+        assert med(by[alg]) < 1.0, alg  # critical-section min/max kills topo
+
+
+def test_fig3_cpp(benchmark, study, med):
+    text = benchmark.pedantic(
+        render_driver_figure, args=(study, Dup.DUP, Model.CPP_THREADS),
+        rounds=1, iterations=1,
+    )
+    print("\n" + text)
+    by = driver_ratios(study, Dup.DUP, Model.CPP_THREADS)
+    # C++ leans topology-driven far more than OpenMP does (Section 5.3.1's
+    # atomics-vs-critical discrepancy).
+    omp = driver_ratios(study, Dup.DUP, Model.OPENMP)
+    for alg in (Algorithm.CC, Algorithm.BFS, Algorithm.SSSP):
+        assert med(by[alg]) > 2 * med(omp[alg]), alg
+
+
+def test_fig3_high_diameter_inputs_favor_data_driven(benchmark, study, med):
+    by = benchmark.pedantic(
+        driver_ratios,
+        args=(study, Dup.DUP, Model.CUDA),
+        kwargs=dict(
+            algorithms=[Algorithm.BFS, Algorithm.SSSP],
+            graphs=["2d-2e20.sym", "USA-road-d.NY"],
+        ),
+        rounds=1, iterations=1,
+    )
+    # BFS: data-driven clearly wins even with duplicate worklists.
+    assert med(by[Algorithm.BFS]) < 0.7
+    # SSSP's distances improve many times per vertex on weighted inputs,
+    # so worklists re-push aggressively and the median only breaks even;
+    # the strong data-driven wins still exist in the distribution.
+    assert med(by[Algorithm.SSSP]) < 1.2
+    assert by[Algorithm.SSSP].min() < 0.3

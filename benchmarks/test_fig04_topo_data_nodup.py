@@ -1,0 +1,68 @@
+"""Figure 4: topology-driven vs data-driven (no duplicates on the worklist).
+
+Paper findings: GPU medians below 1 for all measured codes; OpenMP below 1
+for CC/BFS/SSSP but MIS prefers topology-driven (its worklist stamp is an
+atomicMax — a critical section in OpenMP); C++ medians above 1; the ratio
+range is enormous (topology-driven can lose by orders of magnitude on
+high-diameter inputs).
+"""
+
+from repro.bench.report import render_driver_figure
+from repro.styles import Algorithm, Dup, Model
+
+from test_fig03_topo_data_dup import driver_ratios
+
+from conftest import requires_default_scale
+
+#: The driver axis feeds on the input diameter; tiny inputs flatten it.
+pytestmark = requires_default_scale
+
+
+def test_fig4_cuda(benchmark, study, med):
+    text = benchmark.pedantic(
+        render_driver_figure, args=(study, Dup.NODUP, Model.CUDA),
+        rounds=1, iterations=1,
+    )
+    print("\n" + text)
+    by = driver_ratios(study, Dup.NODUP, Model.CUDA)
+    assert med(by[Algorithm.BFS]) < 1.0
+    assert med(by[Algorithm.SSSP]) < 1.0
+
+
+def test_fig4_openmp_mis_prefers_topology(benchmark, study, med):
+    text = benchmark.pedantic(
+        render_driver_figure, args=(study, Dup.NODUP, Model.OPENMP),
+        rounds=1, iterations=1,
+    )
+    print("\n" + text)
+    by = driver_ratios(study, Dup.NODUP, Model.OPENMP)
+    for alg in (Algorithm.BFS, Algorithm.SSSP):
+        assert med(by[alg]) < 1.0, alg
+    # "Interestingly, the MIS OpenMP code prefers the topology-driven
+    # style" — strongly, in fact.
+    assert med(by[Algorithm.MIS]) > 2.0
+
+
+def test_fig4_cpp(benchmark, study, med):
+    text = benchmark.pedantic(
+        render_driver_figure, args=(study, Dup.NODUP, Model.CPP_THREADS),
+        rounds=1, iterations=1,
+    )
+    print("\n" + text)
+    by = driver_ratios(study, Dup.NODUP, Model.CPP_THREADS)
+    omp = driver_ratios(study, Dup.NODUP, Model.OPENMP)
+    for alg in (Algorithm.CC, Algorithm.BFS, Algorithm.SSSP):
+        assert med(by[alg]) > 2 * med(omp[alg]), alg
+
+
+def test_fig4_range_spans_orders_of_magnitude(benchmark, study):
+    by = benchmark.pedantic(
+        driver_ratios, args=(study, Dup.NODUP, Model.OPENMP),
+        rounds=1, iterations=1,
+    )
+    lo = min(v.min() for v in by.values())
+    hi = max(v.max() for v in by.values())
+    # "In some cases, topology-driven is over 100 times faster. In other
+    # cases, data-driven is [far] faster" — the spread must be huge.
+    assert hi / lo > 1e3
+    assert lo < 0.05

@@ -1,0 +1,61 @@
+"""Figure 5: push vs pull throughput ratios.
+
+Paper findings: medians consistently above 1 for CC, MIS, BFS and SSSP on
+all devices (push wins — fewer data-array reads per relaxation and better
+worklist synergy); PR's medians sit a little below 1 (its push codes are
+deterministic-only and carry the scatter/reset overhead).
+"""
+
+from repro.bench import ratios_by_algorithm
+from repro.bench.report import render_ratio_figure
+from repro.styles import Algorithm, Flow, Model
+
+
+def push_pull(study, model):
+    return ratios_by_algorithm(
+        study, "flow", Flow.PUSH, Flow.PULL, models=[model],
+    )
+
+
+def test_fig5a_cuda(benchmark, study, med):
+    text = benchmark.pedantic(
+        render_ratio_figure, args=(study, "fig5-cuda"), rounds=1, iterations=1
+    )
+    print("\n" + text)
+    by = push_pull(study, Model.CUDA)
+    for alg in (Algorithm.CC, Algorithm.MIS, Algorithm.BFS, Algorithm.SSSP):
+        assert med(by[alg]) >= 0.95, alg
+    assert med(by[Algorithm.MIS]) > 1.3
+    assert med(by[Algorithm.PR]) < 1.0
+
+
+def test_fig5b_openmp(benchmark, study, med):
+    text = benchmark.pedantic(
+        render_ratio_figure, args=(study, "fig5-omp"), rounds=1, iterations=1
+    )
+    print("\n" + text)
+    by = push_pull(study, Model.OPENMP)
+    for alg in (Algorithm.CC, Algorithm.MIS, Algorithm.BFS, Algorithm.SSSP):
+        assert med(by[alg]) >= 0.9, alg
+    assert med(by[Algorithm.PR]) < 1.0
+
+
+def test_fig5c_cpp(benchmark, study, med):
+    text = benchmark.pedantic(
+        render_ratio_figure, args=(study, "fig5-cpp"), rounds=1, iterations=1
+    )
+    print("\n" + text)
+    by = push_pull(study, Model.CPP_THREADS)
+    for alg in (Algorithm.CC, Algorithm.MIS, Algorithm.BFS, Algorithm.SSSP):
+        assert med(by[alg]) >= 0.9, alg
+    assert med(by[Algorithm.PR]) < 1.0
+
+
+def test_fig5_extreme_push_wins_exist(benchmark, study):
+    """Push can win by large factors in the data-driven pairings (the
+    pull worklists carry many useless recompute entries)."""
+    by = benchmark.pedantic(
+        push_pull, args=(study, Model.CUDA), rounds=1, iterations=1
+    )
+    hi = max(v.max() for a, v in by.items() if a is not Algorithm.PR)
+    assert hi > 5.0

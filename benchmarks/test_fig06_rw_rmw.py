@@ -1,0 +1,69 @@
+"""Figure 6: read-write vs read-modify-write throughput ratios.
+
+Paper findings: read-write is slightly faster in most cases on both GPUs
+and CPUs; the speedup reaches ~3x on GPUs and over 1000x on CPUs (OpenMP's
+min/max RMW must use critical sections).
+"""
+
+from repro.bench import ratios_by_algorithm
+from repro.bench.report import render_ratio_figure
+from repro.styles import Algorithm, Model, Update
+
+ALGS = (Algorithm.CC, Algorithm.BFS, Algorithm.SSSP)
+
+
+def rw_rmw(study, model):
+    return ratios_by_algorithm(
+        study, "update", Update.READ_WRITE, Update.READ_MODIFY_WRITE,
+        models=[model],
+    )
+
+
+def test_fig6a_cuda(benchmark, study, med):
+    text = benchmark.pedantic(
+        render_ratio_figure, args=(study, "fig6-cuda"), rounds=1, iterations=1
+    )
+    print("\n" + text)
+    by = rw_rmw(study, Model.CUDA)
+    for alg in ALGS:
+        assert med(by[alg]) >= 1.0, alg
+        assert med(by[alg]) < 10.0, alg  # modest on GPUs
+
+
+def test_fig6b_openmp(benchmark, study, med):
+    text = benchmark.pedantic(
+        render_ratio_figure, args=(study, "fig6-omp"), rounds=1, iterations=1
+    )
+    print("\n" + text)
+    by = rw_rmw(study, Model.OPENMP)
+    for alg in ALGS:
+        # The critical-section cost makes read-write dominate in OpenMP...
+        assert med(by[alg]) > 3.0, alg
+        # ... with three-orders-of-magnitude extremes (paper: >1000x).
+        assert by[alg].max() > 100.0, alg
+
+
+def test_fig6c_cpp(benchmark, study, med):
+    text = benchmark.pedantic(
+        render_ratio_figure, args=(study, "fig6-cpp"), rounds=1, iterations=1
+    )
+    print("\n" + text)
+    by = rw_rmw(study, Model.CPP_THREADS)
+    for alg in ALGS:
+        # C++ has native CAS-based min: read-write wins only mildly.
+        assert 0.9 <= med(by[alg]) < 3.0, alg
+
+
+def test_fig6_rmw_is_never_catastrophic_on_gpu(benchmark, study):
+    by = benchmark.pedantic(
+        rw_rmw, args=(study, Model.CUDA), rounds=1, iterations=1
+    )
+    # "the read-modify-write style ... typically performs nearly as well"
+    for alg in ALGS:
+        assert med_val(by[alg]) < 5.0
+
+
+def med_val(vals):
+    import numpy as np
+
+    return float(np.median(vals))

@@ -1,0 +1,57 @@
+"""Figure 7: deterministic vs internally non-deterministic ratios.
+
+Paper findings: the non-deterministic style wins for CC, MIS, BFS and SSSP
+(deterministic double-buffering costs extra memory traffic and more
+iterations); PR behaves differently (its push codes are deterministic-only
+and the remaining pull pairs do not favor in-place execution).
+"""
+
+from repro.bench import ratios_by_algorithm
+from repro.bench.report import render_ratio_figure
+from repro.styles import Algorithm, Determinism, Model
+
+
+def det_nondet(study, model):
+    return ratios_by_algorithm(
+        study, "determinism",
+        Determinism.DETERMINISTIC, Determinism.NON_DETERMINISTIC,
+        models=[model],
+    )
+
+
+def test_fig7a_cuda(benchmark, study, med):
+    text = benchmark.pedantic(
+        render_ratio_figure, args=(study, "fig7-cuda"), rounds=1, iterations=1
+    )
+    print("\n" + text)
+    by = det_nondet(study, Model.CUDA)
+    for alg in (Algorithm.CC, Algorithm.MIS, Algorithm.BFS, Algorithm.SSSP):
+        assert med(by[alg]) < 1.0, alg
+    assert med(by[Algorithm.PR]) >= 1.0  # the PR exception
+
+
+def test_fig7b_openmp(benchmark, study, med):
+    text = benchmark.pedantic(
+        render_ratio_figure, args=(study, "fig7-omp"), rounds=1, iterations=1
+    )
+    print("\n" + text)
+    by = det_nondet(study, Model.OPENMP)
+    for alg in (Algorithm.CC, Algorithm.MIS, Algorithm.BFS, Algorithm.SSSP):
+        assert med(by[alg]) <= 1.0, alg
+
+
+def test_fig7c_cpp(benchmark, study, med):
+    text = benchmark.pedantic(
+        render_ratio_figure, args=(study, "fig7-cpp"), rounds=1, iterations=1
+    )
+    print("\n" + text)
+    by = det_nondet(study, Model.CPP_THREADS)
+    for alg in (Algorithm.CC, Algorithm.MIS, Algorithm.BFS, Algorithm.SSSP):
+        assert med(by[alg]) < 1.0, alg
+
+
+def test_fig7_tc_has_no_pairs(benchmark, study):
+    by = benchmark.pedantic(
+        det_nondet, args=(study, Model.CUDA), rounds=1, iterations=1
+    )
+    assert Algorithm.TC not in by  # TC is deterministic-only (Table 2)

@@ -1,0 +1,31 @@
+"""Figure 8: persistent vs non-persistent thread ratios (CUDA only).
+
+Paper finding: "Most of the ratios and the medians are very close to 1" —
+the persistent style's potential (precomputing, preloading) is not
+exploitable in these codes.
+"""
+
+import numpy as np
+
+from repro.bench import ratios_by_algorithm
+from repro.bench.report import render_ratio_figure
+from repro.styles import Model, Persistence
+
+
+def test_fig8(benchmark, study, med):
+    text = benchmark.pedantic(
+        render_ratio_figure, args=(study, "fig8"), rounds=1, iterations=1
+    )
+    print("\n" + text)
+    by = ratios_by_algorithm(
+        study, "persistence",
+        Persistence.PERSISTENT, Persistence.NON_PERSISTENT,
+        models=[Model.CUDA],
+    )
+    assert len(by) == 6  # every problem has both styles
+    for alg, vals in by.items():
+        assert 0.8 <= med(vals) <= 1.25, alg
+    # And not just the medians: the bulk of all ratios is near 1.
+    all_ratios = np.concatenate(list(by.values()))
+    assert float(np.quantile(all_ratios, 0.1)) > 0.5
+    assert float(np.quantile(all_ratios, 0.9)) < 2.0

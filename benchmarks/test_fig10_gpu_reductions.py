@@ -1,0 +1,66 @@
+"""Figure 10: global-add / block-add / reduction-add throughputs (GPU).
+
+Paper findings: TC achieves higher throughput than PR (PR performs many
+more sum reductions); block-add tends to be the slowest (its block-scope
+atomics cannot offset the remaining global add + barrier); reduction-add
+(warp primitives) is the fastest for PR and the recommended style.
+"""
+
+from repro.bench import throughputs_by_option
+from repro.bench.report import render_throughput_figure
+from repro.styles import Algorithm, GpuReduction, Model
+
+
+def grouped(study, alg):
+    return throughputs_by_option(
+        study, "gpu_reduction", models=[Model.CUDA], algorithms=[alg],
+    )
+
+
+def test_fig10_pr(benchmark, study, med):
+    text = benchmark.pedantic(
+        render_throughput_figure,
+        args=(study, "gpu_reduction"),
+        kwargs=dict(
+            title="Figure 10: GPU reduction styles (PR)",
+            models=[Model.CUDA], algorithms=[Algorithm.PR],
+        ),
+        rounds=1, iterations=1,
+    )
+    print("\n" + text)
+    by = grouped(study, Algorithm.PR)
+    assert med(by[GpuReduction.REDUCTION_ADD]) > med(by[GpuReduction.GLOBAL_ADD])
+    assert med(by[GpuReduction.BLOCK_ADD]) < med(by[GpuReduction.GLOBAL_ADD])
+
+
+def test_fig10_tc(benchmark, study, med):
+    text = benchmark.pedantic(
+        render_throughput_figure,
+        args=(study, "gpu_reduction"),
+        kwargs=dict(
+            title="Figure 10: GPU reduction styles (TC)",
+            models=[Model.CUDA], algorithms=[Algorithm.TC],
+        ),
+        rounds=1, iterations=1,
+    )
+    print("\n" + text)
+    by = grouped(study, Algorithm.TC)
+    assert med(by[GpuReduction.REDUCTION_ADD]) >= med(by[GpuReduction.BLOCK_ADD])
+
+
+def test_fig10_tc_outruns_pr(benchmark, study, med):
+    pr = benchmark.pedantic(
+        grouped, args=(study, Algorithm.PR), rounds=1, iterations=1
+    )
+    tc = grouped(study, Algorithm.TC)
+    for red in GpuReduction:
+        assert med(tc[red]) > med(pr[red]), red
+
+
+def test_fig10_only_pr_and_tc_have_the_axis(benchmark, study):
+    def check():
+        for alg in (Algorithm.BFS, Algorithm.SSSP, Algorithm.CC, Algorithm.MIS):
+            assert grouped(study, alg) == {}
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)

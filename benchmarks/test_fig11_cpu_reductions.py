@@ -1,0 +1,60 @@
+"""Figure 11: atomic- / critical- / clause-reduction throughputs (CPU).
+
+Paper findings: TC again beats PR; the critical section yields the lowest
+performance on both codes; the reduction clause achieves the highest
+throughput of the three.
+"""
+
+from repro.bench import throughputs_by_option
+from repro.bench.report import render_throughput_figure
+from repro.styles import Algorithm, CpuReduction, Model
+
+
+def grouped(study, alg):
+    return throughputs_by_option(
+        study, "cpu_reduction",
+        models=[Model.OPENMP, Model.CPP_THREADS], algorithms=[alg],
+    )
+
+
+def test_fig11_pr(benchmark, study, med):
+    text = benchmark.pedantic(
+        render_throughput_figure,
+        args=(study, "cpu_reduction"),
+        kwargs=dict(
+            title="Figure 11: CPU reduction styles (PR)",
+            models=[Model.OPENMP, Model.CPP_THREADS],
+            algorithms=[Algorithm.PR],
+        ),
+        rounds=1, iterations=1,
+    )
+    print("\n" + text)
+    by = grouped(study, Algorithm.PR)
+    assert med(by[CpuReduction.CLAUSE]) > med(by[CpuReduction.ATOMIC])
+    assert med(by[CpuReduction.ATOMIC]) > med(by[CpuReduction.CRITICAL])
+
+
+def test_fig11_tc(benchmark, study, med):
+    text = benchmark.pedantic(
+        render_throughput_figure,
+        args=(study, "cpu_reduction"),
+        kwargs=dict(
+            title="Figure 11: CPU reduction styles (TC)",
+            models=[Model.OPENMP, Model.CPP_THREADS],
+            algorithms=[Algorithm.TC],
+        ),
+        rounds=1, iterations=1,
+    )
+    print("\n" + text)
+    by = grouped(study, Algorithm.TC)
+    assert med(by[CpuReduction.CLAUSE]) >= med(by[CpuReduction.ATOMIC])
+    assert med(by[CpuReduction.CRITICAL]) <= med(by[CpuReduction.ATOMIC])
+
+
+def test_fig11_tc_outruns_pr(benchmark, study, med):
+    pr = benchmark.pedantic(
+        grouped, args=(study, Algorithm.PR), rounds=1, iterations=1
+    )
+    tc = grouped(study, Algorithm.TC)
+    for red in CpuReduction:
+        assert med(tc[red]) > med(pr[red]), red

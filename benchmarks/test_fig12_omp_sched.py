@@ -1,0 +1,37 @@
+"""Figure 12: OpenMP default vs dynamic scheduling ratios.
+
+Paper findings: almost no difference for PR, BFS and SSSP; MIS is always
+faster with the default schedule; CC and TC prefer the default schedule
+with some dynamic-friendly cases.  (There is little load imbalance on most
+inputs, so dynamic's dispatch overhead is pure cost.)
+"""
+
+from repro.bench import ratios_by_algorithm
+from repro.bench.report import render_ratio_figure
+from repro.styles import Algorithm, Model, OmpSchedule
+
+from conftest import requires_default_scale
+
+
+@requires_default_scale
+def test_fig12(benchmark, study, med):
+    text = benchmark.pedantic(
+        render_ratio_figure, args=(study, "fig12"), rounds=1, iterations=1
+    )
+    print("\n" + text)
+    by = ratios_by_algorithm(
+        study, "omp_schedule", OmpSchedule.DEFAULT, OmpSchedule.DYNAMIC,
+        models=[Model.OPENMP],
+    )
+    assert len(by) == 6
+    # Default at least matches dynamic everywhere (median-wise)...
+    for alg, vals in by.items():
+        assert med(vals) >= 0.95, alg
+    # ...MIS is *always* faster with the default schedule.
+    assert by[Algorithm.MIS].min() > 1.0
+    assert med(by[Algorithm.MIS]) > 1.5
+    # PR/BFS/SSSP: modest differences (paper: "almost no difference").
+    for alg in (Algorithm.PR, Algorithm.BFS, Algorithm.SSSP):
+        assert med(by[alg]) < 3.0, alg
+    # TC has dynamic-friendly cases (its load imbalance is real).
+    assert by[Algorithm.TC].min() < 1.0

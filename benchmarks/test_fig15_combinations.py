@@ -1,0 +1,41 @@
+"""Figure 15: the style-combination matrix for the CUDA codes.
+
+Paper findings: the push, non-deterministic and non-persistent columns are
+mostly "warm" (combining them with any style tends to help); the warp
+column is warm too; dup/nodup and rw/rmw show no general preference.
+"""
+
+import numpy as np
+
+from repro.bench import COMBINATION_STYLES, style_combination_matrix
+from repro.bench.report import render_figure15
+
+from conftest import requires_default_scale
+
+
+def column(labels, matrix, name):
+    j = labels.index(name)
+    col = matrix[:, j]
+    return col[np.isfinite(col)]
+
+
+@requires_default_scale
+def test_fig15(benchmark, study):
+    labels, matrix = benchmark.pedantic(
+        style_combination_matrix, args=(study,), rounds=1, iterations=1
+    )
+    print("\n" + render_figure15(study))
+    assert len(labels) == len(COMBINATION_STYLES)
+    # Warm columns: combining with push / nondet helps most styles.
+    push = column(labels, matrix, "push")
+    nondet = column(labels, matrix, "nondet")
+    assert float(np.median(push)) > 1.0
+    assert float(np.median(nondet)) > 1.0
+    assert (push > 1.0).mean() > 0.5
+    assert (nondet > 1.0).mean() > 0.5
+    # Non-persistent is neutral-to-warm (ratios ~1).
+    nonpersist = column(labels, matrix, "nonpersistent")
+    assert 0.9 <= float(np.median(nonpersist)) <= 1.3
+    # The matrix is meaningfully asymmetric (different baselines per row).
+    finite = np.isfinite(matrix) & np.isfinite(matrix.T)
+    assert not np.allclose(matrix[finite], matrix.T[finite])

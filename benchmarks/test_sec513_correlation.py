@@ -1,0 +1,32 @@
+"""Section 5.13: correlation of throughputs with graph properties.
+
+Paper findings: no correlation exceeds |0.5| — the graph properties alone
+do not determine performance; the strongest signal (0.44) links warp-based
+parallelization to the average degree.
+"""
+
+from repro.bench import property_correlations
+from repro.bench.report import render_correlations
+
+from conftest import requires_default_scale
+
+
+@requires_default_scale
+def test_correlations(benchmark, study, graph_properties):
+    corr = benchmark.pedantic(
+        property_correlations, args=(study, graph_properties),
+        rounds=1, iterations=1,
+    )
+    print("\n" + render_correlations(study))
+    assert corr
+    # All correlations are bounded; the bulk is weak (the paper's point:
+    # properties alone don't pick the style).
+    values = list(corr.values())
+    assert all(-1.0 <= r <= 1.0 for r in values)
+    weak = sum(1 for r in values if abs(r) < 0.5)
+    assert weak / len(values) > 0.5
+    # The warp-granularity / degree link exists and is positive (the
+    # paper's strongest correlation).
+    warp_degree = corr.get(("granularity=warp", "avg_degree"))
+    assert warp_degree is not None
+    assert warp_degree > 0.0

@@ -1,0 +1,20 @@
+"""Section 5.16: the paper's programming guidelines, re-derived from data.
+
+Each guideline is computed from the sweep (repro.bench.guidelines), and the
+benchmark asserts that every one of the paper's recommendations holds in
+the reproduction.
+"""
+
+from repro.bench.guidelines import derive_guidelines
+
+
+def test_guidelines_hold(benchmark, study):
+    guidelines = benchmark.pedantic(
+        derive_guidelines, args=(study,), rounds=1, iterations=1
+    )
+    print()
+    for g in guidelines:
+        print(g.render())
+    assert len(guidelines) == 8
+    failed = [g.statement for g in guidelines if not g.holds]
+    assert not failed, f"guidelines not supported by the sweep: {failed}"

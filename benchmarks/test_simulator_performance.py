@@ -1,0 +1,85 @@
+"""Performance benchmarks of the simulator itself.
+
+These are classic pytest-benchmark measurements (multiple rounds) of the
+hot paths: semantic kernel execution, device timing of a cached trace, and
+the ratio statistics — the costs that bound a full-study sweep.
+"""
+
+import pytest
+
+from repro.graph import load_dataset
+from repro.machine import CPUModel, GPUModel, RTX_3090, THREADRIPPER_2950X
+from repro.runtime import Launcher
+from repro.styles import Algorithm, Granularity, Model, enumerate_specs
+
+
+@pytest.fixture(scope="module")
+def road():
+    return load_dataset("USA-road-d.NY", "tiny")
+
+
+@pytest.fixture(scope="module")
+def social():
+    return load_dataset("soc-LiveJournal1", "tiny")
+
+
+def cuda_spec(alg, index=0):
+    return enumerate_specs(alg, Model.CUDA)[index]
+
+
+def test_bfs_semantic_execution(benchmark, road):
+    spec = cuda_spec(Algorithm.BFS)
+    sem = spec.semantic_key()
+
+    def run():
+        from repro.kernels import BFSKernel
+
+        return BFSKernel(road, 0).run(sem)
+
+    result = benchmark(run)
+    assert result.trace.converged
+
+
+def test_tc_semantic_execution(benchmark, social):
+    spec = cuda_spec(Algorithm.TC)
+    sem = spec.semantic_key()
+
+    def run():
+        from repro.kernels import TriangleCountKernel
+
+        return TriangleCountKernel(social).run(sem)
+
+    result = benchmark(run)
+    assert int(result.values[0]) > 0
+
+
+def test_gpu_trace_timing(benchmark, social):
+    launcher = Launcher()
+    spec = cuda_spec(Algorithm.SSSP)
+    trace = launcher.execute_semantic(spec, social).trace
+    model = GPUModel(RTX_3090)
+    warp = spec.with_axis(granularity=Granularity.WARP)
+
+    seconds = benchmark(model.time_trace, trace, warp)
+    assert seconds > 0
+
+
+def test_cpu_trace_timing(benchmark, social):
+    launcher = Launcher()
+    omp = enumerate_specs(Algorithm.SSSP, Model.OPENMP)[0]
+    trace = launcher.execute_semantic(omp, social).trace
+    model = CPUModel(THREADRIPPER_2950X)
+
+    seconds = benchmark(model.time_trace, trace, omp)
+    assert seconds > 0
+
+
+def test_launcher_cached_run(benchmark, road):
+    """A fully cached run (trace + decompositions) is the sweep's unit of
+    work for mapping variants — it must stay well under a millisecond."""
+    launcher = Launcher()
+    spec = cuda_spec(Algorithm.BFS)
+    launcher.run(spec, road, RTX_3090)  # warm the caches
+
+    result = benchmark(launcher.run, spec, road, RTX_3090)
+    assert result.verified

@@ -1,0 +1,20 @@
+"""Table 1: the six graph problems and their categories."""
+
+from repro.bench.report import render_table1
+from repro.kernels import PROBLEM_CATEGORIES
+from repro.styles import Algorithm
+
+
+def test_table1(benchmark):
+    text = benchmark.pedantic(render_table1, rounds=1, iterations=1)
+    print("\n" + text)
+    # All six problems, categorized as in the paper.
+    assert set(PROBLEM_CATEGORIES) == set(Algorithm)
+    assert PROBLEM_CATEGORIES[Algorithm.CC] == "Connectivity"
+    assert PROBLEM_CATEGORIES[Algorithm.MIS] == "Covering"
+    assert PROBLEM_CATEGORIES[Algorithm.PR] == "Eigenvector"
+    assert PROBLEM_CATEGORIES[Algorithm.TC] == "Substructure"
+    assert PROBLEM_CATEGORIES[Algorithm.BFS] == "Shortest path"
+    assert PROBLEM_CATEGORIES[Algorithm.SSSP] == "Shortest path"
+    for alg in Algorithm:
+        assert alg.name in text

@@ -1,0 +1,21 @@
+"""Table 2: the style applicability matrix."""
+
+from repro.bench.report import render_table2
+from repro.styles import applicability_table
+
+
+def test_table2(benchmark):
+    text = benchmark.pedantic(render_table2, rounds=1, iterations=1)
+    print("\n" + text)
+    table = applicability_table()
+    assert len(table) == 13  # the paper's 13 style rows
+    # Spot-check the distinctive cells of the paper's matrix.
+    assert table["Vertex-based, edge-based"]["PR"] == "+, -"
+    assert table["Topology-driven, data-driven"]["TC"] == "+, -"
+    assert table["Duplicates in WL, no duplicates in WL"]["MIS"] == "-, +"
+    assert table["Read-write, read-modify-write"]["SSSP"] == "+, +"
+    assert table["Read-write, read-modify-write"]["PR"] == "-, +"
+    assert table["Deterministic, non-deterministic"]["TC"] == "+, -"
+    assert table["Atomic, CudaAtomic"]["PR"] == "+, -"
+    assert table["Global-add, block-add, reduction-add"]["PR"] == "+, +, +"
+    assert table["Global-add, block-add, reduction-add"]["SSSP"] == "-, -, -"

@@ -1,0 +1,25 @@
+"""Table 3: number of code versions per language and problem."""
+
+from repro.bench.report import render_table3
+from repro.styles import PAPER_TABLE3, Algorithm, Model, count_specs
+
+
+def test_table3(benchmark):
+    text = benchmark.pedantic(render_table3, rounds=1, iterations=1)
+    print("\n" + text)
+    counts = count_specs()
+    # PR and TC reproduce the paper's counts exactly (see DESIGN.md §5).
+    assert counts[Model.CUDA][Algorithm.PR] == 54
+    assert counts[Model.CUDA][Algorithm.TC] == 72
+    assert counts[Model.OPENMP][Algorithm.PR] == 18
+    assert counts[Model.OPENMP][Algorithm.TC] == 12
+    # The reconstruction stays in the paper's regime: CUDA dominates, the
+    # two CPU models mirror each other, totals within 2x of 1106.
+    cuda_total = sum(counts[Model.CUDA].values())
+    omp_total = sum(counts[Model.OPENMP].values())
+    assert counts[Model.OPENMP] == counts[Model.CPP_THREADS]
+    assert cuda_total > 3 * omp_total
+    grand = cuda_total + 2 * omp_total
+    paper_grand = sum(sum(d.values()) for d in PAPER_TABLE3.values())
+    assert paper_grand == 1106
+    assert 0.5 * paper_grand <= grand <= 2.0 * paper_grand

@@ -1,0 +1,29 @@
+"""Table 4: the five input graphs."""
+
+from repro.bench.report import render_table4
+from repro.graph import dataset_names
+
+
+def test_table4(benchmark, graph_properties):
+    text = benchmark.pedantic(
+        render_table4, args=(graph_properties,), rounds=1, iterations=1
+    )
+    print("\n" + text)
+    assert set(graph_properties) == set(dataset_names())
+    for p in graph_properties.values():
+        assert p.n_vertices > 0
+        assert p.n_edges > 0
+        # Directed edge counts are even (two per undirected edge).
+        assert p.n_edges % 2 == 0
+    # Relative size ordering mirrors the paper: the road map is the
+    # smallest input by edges; the publication graph carries the most
+    # edges per vertex.
+    road = graph_properties["USA-road-d.NY"]
+    grid = graph_properties["2d-2e20.sym"]
+    dblp = graph_properties["coPapersDBLP"]
+    assert road.n_edges <= min(
+        p.n_edges for name, p in graph_properties.items() if name != "2d-2e20.sym"
+    ) or grid.n_edges <= road.n_edges
+    assert dblp.n_edges / dblp.n_vertices == max(
+        p.n_edges / p.n_vertices for p in graph_properties.values()
+    )

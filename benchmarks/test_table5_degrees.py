@@ -1,0 +1,37 @@
+"""Table 5: degree and diameter shape of the five inputs."""
+
+from repro.bench.report import render_table5
+
+from conftest import requires_default_scale
+
+
+@requires_default_scale
+def test_table5(benchmark, graph_properties):
+    text = benchmark.pedantic(
+        render_table5, args=(graph_properties,), rounds=1, iterations=1
+    )
+    print("\n" + text)
+    grid = graph_properties["2d-2e20.sym"]
+    dblp = graph_properties["coPapersDBLP"]
+    rmat = graph_properties["rmat22.sym"]
+    soc = graph_properties["soc-LiveJournal1"]
+    road = graph_properties["USA-road-d.NY"]
+
+    # Grid: uniform degree 4, no vertex at warp width.
+    assert grid.max_degree == 4
+    assert grid.pct_deg_ge_32 == 0.0
+    # Road: tiny degrees (paper: d_avg 2.8, d_max 8).
+    assert road.avg_degree < 6
+    assert road.max_degree <= 10
+    assert road.pct_deg_ge_32 == 0.0
+    # Publication graph: the dense one (paper: 52.5% of vertices >= 32).
+    assert dblp.avg_degree > 3 * max(rmat.avg_degree, soc.avg_degree) / 2
+    assert dblp.pct_deg_ge_32 > 0.3
+    # Power-law inputs: heavy tails (paper: d_max 20-230x d_avg).
+    assert rmat.max_degree > 10 * rmat.avg_degree
+    assert soc.max_degree > 10 * soc.avg_degree
+    # Diameter classes: grid and road are the high-diameter inputs
+    # (paper: 2047/721 vs 19-24).
+    low_diam = max(dblp.diameter, rmat.diameter, soc.diameter)
+    assert grid.diameter > 3 * low_diam
+    assert road.diameter > 3 * low_diam

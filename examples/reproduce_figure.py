@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Regenerate one of the paper's figures from a fresh sweep.
+
+Runs the full style sweep on all five inputs (at a reduced scale by
+default, so it finishes in well under a minute) and prints the selected
+figure's letter-value summary — the same rows the benchmark suite asserts
+against at full scale.
+
+Run:  python examples/reproduce_figure.py [figure] [scale]
+      python examples/reproduce_figure.py fig6-omp tiny
+      python examples/reproduce_figure.py fig1-titanv default   # slower
+
+Figures: fig1-3090, fig1-titanv, fig2-cuda, fig2-cpu, fig5-{cuda,omp,cpp},
+fig6-{cuda,omp,cpp}, fig7-{cuda,omp,cpp}, fig8, fig12, fig13.
+"""
+
+import sys
+
+from repro.bench import SweepConfig, run_sweep
+from repro.bench.report import FIGURE_AXES, render_ratio_figure
+
+
+def main() -> None:
+    figure = sys.argv[1] if len(sys.argv) > 1 else "fig6-omp"
+    scale = sys.argv[2] if len(sys.argv) > 2 else "tiny"
+    if figure not in FIGURE_AXES:
+        print(f"unknown figure {figure!r}; available: {sorted(FIGURE_AXES)}")
+        raise SystemExit(2)
+    print(f"sweeping every program variant at scale={scale!r} "
+          f"(every run is verified)...")
+    results = run_sweep(SweepConfig(scale=scale))
+    print(f"{len(results)} runs of {results.n_programs} program variants\n")
+    print(render_ratio_figure(results, figure))
+
+
+if __name__ == "__main__":
+    main()

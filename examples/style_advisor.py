@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Style advisor: which styles win for *your* graph?
+
+The paper's headline lesson is that the best parallelization/implementation
+style depends on the input's degree distribution and diameter.  This
+example runs every CUDA variant of a chosen algorithm on two structurally
+opposite inputs (a road map and a social network) and prints, per input,
+the winning style combination and how much the worst choice would cost —
+the per-input version of the paper's Section 5.16 guidelines.
+
+Run:  python examples/style_advisor.py [bfs|sssp|cc|mis|pr|tc]
+"""
+
+import sys
+
+from repro.graph import analyze, load_dataset
+from repro.machine import RTX_3090
+from repro.runtime import Launcher
+from repro.styles import Algorithm, Model, enumerate_specs
+
+
+def advise(algorithm: Algorithm, graph_name: str, launcher: Launcher) -> None:
+    graph = load_dataset(graph_name, scale="tiny")
+    props = analyze(graph)
+    print(f"--- {graph_name}: d_avg={props.avg_degree:.1f} "
+          f"d_max={props.max_degree} diameter={props.diameter} ---")
+    runs = [
+        launcher.run(spec, graph, RTX_3090)
+        for spec in enumerate_specs(algorithm, Model.CUDA)
+    ]
+    runs.sort(key=lambda r: -r.throughput_ges)
+    best, worst = runs[0], runs[-1]
+    print(f"best : {best.throughput_ges:9.4f} GES  {best.spec.label()}")
+    print(f"worst: {worst.throughput_ges:9.4f} GES  {worst.spec.label()}")
+    print(f"wrong-style penalty: "
+          f"{best.throughput_ges / worst.throughput_ges:,.0f}x\n")
+    return best
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "bfs"
+    algorithm = Algorithm(name)
+    launcher = Launcher()
+    print(f"algorithm: {algorithm.value}\n")
+    winners = {}
+    for graph_name in ("USA-road-d.NY", "soc-LiveJournal1"):
+        winners[graph_name] = advise(algorithm, graph_name, launcher)
+    a, b = winners.values()
+    same = a.spec.describe() == b.spec.describe()
+    print(
+        "the same style wins on both inputs"
+        if same
+        else "different inputs pick different winning styles — "
+        "check your graph's shape before choosing (Section 5.16)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""repro: a reproduction of "Choosing the Best Parallelization and
+Implementation Styles for Graph Analytics Codes" (SC '23).
+
+The package executes the Indigo2-style program variants — six graph
+algorithms combined with the paper's 13 parallelization/implementation
+style axes — on deterministic analytic machine models of the paper's
+testbed (two GPUs, two CPUs), and regenerates every table and figure of
+the evaluation.
+
+Quick start::
+
+    from repro import graph, styles, machine
+    from repro.runtime import Launcher
+
+    g = graph.load_dataset("USA-road-d.NY", scale="tiny")
+    spec = styles.enumerate_specs(styles.Algorithm.BFS, styles.Model.CUDA)[0]
+    result = Launcher().run(spec, g, machine.RTX_3090)
+    print(result.throughput_ges)
+"""
+
+from . import codegen, graph, kernels, machine, runtime, styles
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "codegen",
+    "graph",
+    "kernels",
+    "machine",
+    "runtime",
+    "styles",
+    "__version__",
+]

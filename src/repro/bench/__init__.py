@@ -1,0 +1,58 @@
+"""Study harness: sweeps, ratio statistics, analyses, baselines, reports."""
+
+from .advisor import AdvisorReport, Recommendation, advise
+from .analysis import (
+    BEST_STYLE_AXES,
+    COMBINATION_STYLES,
+    best_style_percentages,
+    property_correlations,
+    style_combination_matrix,
+)
+from .baselines import BASELINES, BaselineRun, baseline_style, baseline_trace
+from .boxen import LetterValues, letter_values
+from .comparison import SpeedupCell, baseline_speedups, best_style_spec, table6
+from .convergence import ConvergenceRecord, collect_convergence, render_convergence
+from .export import combination_matrix_to_csv, figure_ratios_to_csv, sweep_to_csv
+from .storage import load_results, save_results
+from .guidelines import Guideline, derive_guidelines
+from .harness import StudyResults, SweepConfig, run_sweep
+from .ratios import axis_ratios, ratios_by_algorithm, throughputs_by_option
+from . import report
+
+__all__ = [
+    "SweepConfig",
+    "StudyResults",
+    "run_sweep",
+    "axis_ratios",
+    "ratios_by_algorithm",
+    "throughputs_by_option",
+    "LetterValues",
+    "letter_values",
+    "BEST_STYLE_AXES",
+    "COMBINATION_STYLES",
+    "best_style_percentages",
+    "style_combination_matrix",
+    "property_correlations",
+    "BaselineRun",
+    "BASELINES",
+    "baseline_trace",
+    "baseline_style",
+    "SpeedupCell",
+    "best_style_spec",
+    "baseline_speedups",
+    "table6",
+    "advise",
+    "AdvisorReport",
+    "Recommendation",
+    "save_results",
+    "load_results",
+    "sweep_to_csv",
+    "figure_ratios_to_csv",
+    "combination_matrix_to_csv",
+    "ConvergenceRecord",
+    "collect_convergence",
+    "render_convergence",
+    "Guideline",
+    "derive_guidelines",
+    "report",
+]

@@ -1,0 +1,96 @@
+"""Convergence analysis: iteration counts per semantic style.
+
+Section 2.6 notes that the deterministic style "will always require the
+same number of iterations for a given input" while the internally
+non-deterministic style benefits from same-iteration results.  This module
+quantifies those effects in the reproduction: per (algorithm, input), how
+many outer iterations each semantic style combination needs, and how the
+determinism/driver axes move that count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..runtime.launcher import Launcher
+from ..styles.axes import Algorithm, Determinism, Driver, Model
+from ..styles.combos import semantic_combinations
+from ..styles.spec import SemanticKey, StyleSpec
+
+__all__ = ["ConvergenceRecord", "collect_convergence", "render_convergence"]
+
+
+@dataclass(frozen=True)
+class ConvergenceRecord:
+    """Iterations and total work of one semantic style on one input."""
+
+    algorithm: Algorithm
+    graph: str
+    semantic: SemanticKey
+    iterations: int
+    total_inner: int
+    launches: int
+
+
+def collect_convergence(
+    graphs: Dict[str, CSRGraph],
+    *,
+    algorithms: Iterable[Algorithm] = tuple(Algorithm),
+    launcher: Optional[Launcher] = None,
+) -> List[ConvergenceRecord]:
+    """Execute every semantic combination and record its convergence."""
+    launcher = launcher or Launcher()
+    records: List[ConvergenceRecord] = []
+    for algorithm in algorithms:
+        semantics = list(semantic_combinations(algorithm, Model.CUDA))
+        for name, graph in graphs.items():
+            for spec in semantics:
+                result = launcher.execute_semantic(spec, graph)
+                records.append(
+                    ConvergenceRecord(
+                        algorithm=algorithm,
+                        graph=name,
+                        semantic=spec.semantic_key(),
+                        iterations=result.trace.iterations,
+                        total_inner=result.trace.total_inner,
+                        launches=result.trace.n_launches,
+                    )
+                )
+            launcher.release(graph, algorithm)
+    return records
+
+
+def _median_iters(records: List[ConvergenceRecord], **conds) -> float:
+    vals = [
+        r.iterations
+        for r in records
+        if all(getattr(r.semantic, k) is v for k, v in conds.items())
+    ]
+    return float(np.median(vals)) if vals else float("nan")
+
+
+def render_convergence(records: List[ConvergenceRecord]) -> str:
+    """Per-algorithm iteration-count summary across the semantic axes."""
+    lines = [
+        "Convergence behavior by semantic style (median outer iterations)",
+        "",
+        f"{'Problem':<8} {'det':>6} {'nondet':>7} {'topo':>6} {'data':>6} "
+        f"{'max':>6}",
+    ]
+    algorithms = sorted({r.algorithm for r in records}, key=lambda a: a.value)
+    for alg in algorithms:
+        sub = [r for r in records if r.algorithm is alg]
+        det = _median_iters(sub, determinism=Determinism.DETERMINISTIC)
+        nondet = _median_iters(sub, determinism=Determinism.NON_DETERMINISTIC)
+        topo = _median_iters(sub, driver=Driver.TOPOLOGY)
+        data = _median_iters(sub, driver=Driver.DATA)
+        worst = max(r.iterations for r in sub)
+        lines.append(
+            f"{alg.value:<8} {det:>6.0f} {nondet:>7.0f} {topo:>6.0f} "
+            f"{data:>6.0f} {worst:>6}"
+        )
+    return "\n".join(lines)

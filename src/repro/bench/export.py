@@ -1,0 +1,71 @@
+"""CSV export of the study's results and figure data.
+
+Text reports (`repro.bench.report`) are for reading; these exporters feed
+plotting tools and spreadsheets: the raw sweep, any pairwise-ratio
+figure's underlying observations, and the Fig. 15 matrix.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..styles.axes import Algorithm, Model
+from .analysis import style_combination_matrix
+from .harness import StudyResults
+from .ratios import ratios_by_algorithm
+from .report import FIGURE_AXES
+
+__all__ = ["sweep_to_csv", "figure_ratios_to_csv", "combination_matrix_to_csv"]
+
+
+def sweep_to_csv(results: StudyResults) -> str:
+    """Every run as one CSV row (the full study dataset)."""
+    buf = io.StringIO()
+    buf.write(
+        "model,algorithm,graph,device,seconds,throughput_ges,iterations,"
+        "launches,style\n"
+    )
+    for run in results.runs:
+        buf.write(
+            f"{run.spec.model.value},{run.spec.algorithm.value},"
+            f"{run.graph},{run.device},{run.seconds:.6e},"
+            f"{run.throughput_ges:.6f},{run.iterations},{run.launches},"
+            f"{run.spec.label()}\n"
+        )
+    return buf.getvalue()
+
+
+def figure_ratios_to_csv(results: StudyResults, figure: str) -> str:
+    """The per-observation ratios behind one pairwise figure."""
+    if figure not in FIGURE_AXES:
+        raise KeyError(f"unknown figure {figure!r}; known: {sorted(FIGURE_AXES)}")
+    _title, axis, a, b, models, devices, algorithms = FIGURE_AXES[figure]
+    grouped = ratios_by_algorithm(
+        results, axis, a, b,
+        models=models, devices=devices, algorithms=algorithms,
+    )
+    buf = io.StringIO()
+    buf.write(f"figure,algorithm,ratio_{a.value}_over_{b.value}\n")
+    for alg, ratios in grouped.items():
+        for value in ratios:
+            buf.write(f"{figure},{alg.value},{value:.6f}\n")
+    return buf.getvalue()
+
+
+def combination_matrix_to_csv(
+    results: StudyResults, *, model: Model = Model.CUDA
+) -> str:
+    """Figure 15's matrix as CSV (NaN for undefined cells)."""
+    labels, matrix = style_combination_matrix(results, model=model)
+    buf = io.StringIO()
+    buf.write("style_x," + ",".join(labels) + "\n")
+    for i, label in enumerate(labels):
+        cells = ",".join(
+            f"{matrix[i, j]:.4f}" if np.isfinite(matrix[i, j]) else ""
+            for j in range(len(labels))
+        )
+        buf.write(f"{label},{cells}\n")
+    return buf.getvalue()

@@ -1,0 +1,136 @@
+"""Full-study sweep harness.
+
+Runs every enumerated program variant on every input graph and every
+applicable device — the paper's 1106-programs x 5-inputs x 4-devices grid
+(Section 4.5) — and stores the per-run throughputs for the analysis
+modules.
+
+The harness executes each *semantic* combination once per graph (via the
+launcher's trace cache) and times it under every mapping combination, so a
+full sweep is minutes, not hours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..graph.csr import CSRGraph
+from ..graph.datasets import load_all
+from ..machine.devices import CPUS, GPUS
+from ..machine.specs import CPUSpec, GPUSpec
+from ..runtime.launcher import Launcher, RunResult
+from ..styles.axes import Algorithm, Model
+from ..styles.combos import enumerate_specs
+from ..styles.spec import StyleSpec
+
+__all__ = ["SweepConfig", "StudyResults", "run_sweep"]
+
+DeviceSpec = Union[GPUSpec, CPUSpec]
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """What to sweep.  Defaults reproduce the paper's full grid at the
+    reproduction's default input scale."""
+
+    scale: str = "default"
+    models: Tuple[Model, ...] = tuple(Model)
+    algorithms: Tuple[Algorithm, ...] = tuple(Algorithm)
+    gpu_names: Tuple[str, ...] = tuple(GPUS)
+    cpu_names: Tuple[str, ...] = tuple(CPUS)
+    graphs: Optional[Tuple[str, ...]] = None  #: None = all five inputs
+    verify: bool = True
+
+    def devices_for(self, model: Model) -> List[DeviceSpec]:
+        if model.is_gpu:
+            return [GPUS[name] for name in self.gpu_names]
+        return [CPUS[name] for name in self.cpu_names]
+
+
+@dataclass
+class StudyResults:
+    """All runs of a sweep, with lookup indices for the analysis layer."""
+
+    runs: List[RunResult] = field(default_factory=list)
+    graphs: Dict[str, CSRGraph] = field(default_factory=dict)
+    _index: Dict[Tuple[StyleSpec, str, str], RunResult] = field(
+        default_factory=dict, repr=False
+    )
+
+    def add(self, run: RunResult) -> None:
+        self.runs.append(run)
+        self._index[(run.spec, run.device, run.graph)] = run
+
+    def get(
+        self, spec: StyleSpec, device: str, graph: str
+    ) -> Optional[RunResult]:
+        """The run of one (program, device, input) cell, if present."""
+        return self._index.get((spec, device, graph))
+
+    def select(
+        self,
+        *,
+        algorithms: Optional[Iterable[Algorithm]] = None,
+        models: Optional[Iterable[Model]] = None,
+        devices: Optional[Iterable[str]] = None,
+        graphs: Optional[Iterable[str]] = None,
+    ) -> Iterator[RunResult]:
+        """Iterate runs matching all provided filters."""
+        algorithms = None if algorithms is None else set(algorithms)
+        models = None if models is None else set(models)
+        devices = None if devices is None else set(devices)
+        graphs = None if graphs is None else set(graphs)
+        for run in self.runs:
+            if algorithms is not None and run.spec.algorithm not in algorithms:
+                continue
+            if models is not None and run.spec.model not in models:
+                continue
+            if devices is not None and run.device not in devices:
+                continue
+            if graphs is not None and run.graph not in graphs:
+                continue
+            yield run
+
+    @property
+    def n_programs(self) -> int:
+        """Distinct program variants that were run."""
+        return len({run.spec for run in self.runs})
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+
+def run_sweep(
+    config: SweepConfig = SweepConfig(),
+    *,
+    launcher: Optional[Launcher] = None,
+    graphs: Optional[Dict[str, CSRGraph]] = None,
+) -> StudyResults:
+    """Run the configured sweep and return all results.
+
+    ``graphs`` may be supplied directly (e.g. custom inputs); otherwise the
+    five dataset stand-ins are built at ``config.scale``.
+    """
+    if graphs is None:
+        graphs = load_all(config.scale)
+        if config.graphs is not None:
+            graphs = {name: graphs[name] for name in config.graphs}
+    launcher = launcher or Launcher(verify=config.verify)
+    results = StudyResults(graphs=dict(graphs))
+    # Iterate (algorithm, graph) in the outer loops so the semantic traces
+    # of one block are shared across all three programming models and all
+    # devices, then released — large worklist traces would otherwise
+    # accumulate over the whole sweep.
+    for algorithm in config.algorithms:
+        per_model_specs = {
+            model: enumerate_specs(algorithm, model) for model in config.models
+        }
+        for graph in graphs.values():
+            for model, specs in per_model_specs.items():
+                devices = config.devices_for(model)
+                for spec in specs:
+                    for device in devices:
+                        results.add(launcher.run(spec, graph, device))
+            launcher.release(graph, algorithm)
+    return results

@@ -1,0 +1,98 @@
+"""Pairwise style-ratio computation (the Section 5 methodology).
+
+"Each of the following subsections compares the performance of two or three
+alternative styles while keeping the other styles fixed" — for every run
+using option A of an axis, the partner run is the one whose spec differs
+*only* in that axis (same algorithm, model, device, input, and every other
+style); the ratio is ``throughput_A / throughput_B``.  A ratio above 1.0
+means the first-named style is faster.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..styles.axes import Algorithm, Model
+from .harness import StudyResults
+
+__all__ = ["axis_ratios", "ratios_by_algorithm", "throughputs_by_option"]
+
+
+def axis_ratios(
+    results: StudyResults,
+    axis: str,
+    option_a,
+    option_b,
+    *,
+    algorithms: Optional[Iterable[Algorithm]] = None,
+    models: Optional[Iterable[Model]] = None,
+    devices: Optional[Iterable[str]] = None,
+    graphs: Optional[Iterable[str]] = None,
+) -> np.ndarray:
+    """All pairwise throughput ratios option_a / option_b for one axis."""
+    grouped = ratios_by_algorithm(
+        results, axis, option_a, option_b,
+        algorithms=algorithms, models=models, devices=devices, graphs=graphs,
+    )
+    if not grouped:
+        return np.empty(0)
+    return np.concatenate(list(grouped.values()))
+
+
+def ratios_by_algorithm(
+    results: StudyResults,
+    axis: str,
+    option_a,
+    option_b,
+    *,
+    algorithms: Optional[Iterable[Algorithm]] = None,
+    models: Optional[Iterable[Model]] = None,
+    devices: Optional[Iterable[str]] = None,
+    graphs: Optional[Iterable[str]] = None,
+) -> Dict[Algorithm, np.ndarray]:
+    """Pairwise ratios grouped per algorithm (the paper's figure layout)."""
+    from dataclasses import fields
+
+    from ..styles.spec import StyleSpec
+
+    valid_axes = {f.name for f in fields(StyleSpec)} - {"algorithm", "model"}
+    if axis not in valid_axes:
+        raise KeyError(f"unknown style axis {axis!r}; known: {sorted(valid_axes)}")
+    out: Dict[Algorithm, List[float]] = {}
+    for run in results.select(
+        algorithms=algorithms, models=models, devices=devices, graphs=graphs
+    ):
+        if run.spec.axis_value(axis) is not option_a:
+            continue
+        partner_spec = run.spec.with_axis(**{axis: option_b})
+        partner = results.get(partner_spec, run.device, run.graph)
+        if partner is None:
+            continue  # the B option does not exist for this combination
+        out.setdefault(run.spec.algorithm, []).append(
+            run.throughput_ges / partner.throughput_ges
+        )
+    return {alg: np.asarray(vals) for alg, vals in out.items()}
+
+
+def throughputs_by_option(
+    results: StudyResults,
+    axis: str,
+    *,
+    algorithms: Optional[Iterable[Algorithm]] = None,
+    models: Optional[Iterable[Model]] = None,
+    devices: Optional[Iterable[str]] = None,
+    graphs: Optional[Iterable[str]] = None,
+) -> Dict[object, np.ndarray]:
+    """Raw throughputs grouped by an axis's option (for the three-way
+    comparisons of Figures 9-11, where ratios would be unwieldy)."""
+    out: Dict[object, List[float]] = {}
+    for run in results.select(
+        algorithms=algorithms, models=models, devices=devices, graphs=graphs
+    ):
+        option = run.spec.axis_value(axis)
+        if option is None:
+            continue
+        out.setdefault(option, []).append(run.throughput_ges)
+    return {opt: np.asarray(vals) for opt, vals in out.items()}

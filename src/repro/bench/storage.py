@@ -1,0 +1,73 @@
+"""Persist sweep results across sessions.
+
+A full-study sweep takes minutes; analyses are instant.  These helpers
+save a :class:`StudyResults` to disk and load it back, so figure
+regeneration, ad-hoc queries and notebook work don't re-run the sweep.
+
+Graphs are not serialized (they can be megabytes and are deterministic to
+rebuild); the save records each input's name and the requested scale, and
+the loader rebuilds them through the dataset registry on demand.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from pathlib import Path
+from typing import Optional, Union
+
+from ..graph.datasets import DATASETS, EXTRA_DATASETS
+from .harness import StudyResults
+
+__all__ = ["save_results", "load_results"]
+
+PathLike = Union[str, Path]
+
+_MAGIC = "repro-study-results-v1"
+
+
+def save_results(
+    results: StudyResults, path: PathLike, *, scale: str = "default"
+) -> Path:
+    """Write the sweep's runs (not the graphs) to ``path``.
+
+    ``scale`` is recorded so :func:`load_results` can rebuild the inputs.
+    """
+    path = Path(path)
+    payload = {
+        "magic": _MAGIC,
+        "scale": scale,
+        "graph_names": list(results.graphs),
+        "runs": results.runs,
+    }
+    with open(path, "wb") as fh:
+        pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    return path
+
+
+def load_results(
+    path: PathLike, *, rebuild_graphs: bool = True
+) -> StudyResults:
+    """Load a saved sweep; optionally rebuild its input graphs.
+
+    Rebuilding uses the dataset registry (standard and extra inputs); runs
+    over custom graphs load fine with ``rebuild_graphs=False`` but the
+    analyses that need graph properties (correlations, baselines) will
+    need the graphs supplied manually.
+    """
+    path = Path(path)
+    with open(path, "rb") as fh:
+        payload = pickle.load(fh)
+    if not isinstance(payload, dict) or payload.get("magic") != _MAGIC:
+        raise ValueError(f"{path} is not a saved repro study result")
+    results = StudyResults()
+    for run in payload["runs"]:
+        results.add(run)
+    if rebuild_graphs:
+        scale = payload["scale"]
+        registry = {**DATASETS, **EXTRA_DATASETS}
+        for name in payload["graph_names"]:
+            spec = registry.get(name)
+            if spec is not None and scale in spec.builders:
+                results.graphs[name] = spec.build(scale)
+    return results

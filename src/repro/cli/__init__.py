@@ -1,0 +1,5 @@
+"""Command-line interface (``indigo2py`` / ``python -m repro``)."""
+
+from .main import build_parser, main
+
+__all__ = ["main", "build_parser"]

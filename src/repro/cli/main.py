@@ -1,0 +1,400 @@
+"""Command-line interface: ``indigo2py`` / ``python -m repro``.
+
+Subcommands:
+
+* ``datasets``  — print the five inputs' Table 4/5 properties.
+* ``specs``     — print the version counts (Table 3) or list variants.
+* ``run``       — run one program variant on one input and device.
+* ``sweep``     — run the full study sweep and dump throughputs as CSV.
+* ``table``     — regenerate one of the paper's tables (1-6).
+* ``figure``    — regenerate one of the paper's figures (1-16).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, Optional
+
+from ..graph.datasets import dataset_names, load_all, load_dataset
+from ..graph.properties import analyze
+from ..machine.devices import DEVICES, get_device
+from ..styles.axes import Algorithm, Dup, Granularity, Model
+from ..styles.combos import enumerate_specs
+from ..runtime.launcher import Launcher
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="indigo2py",
+        description=(
+            "Reproduction of 'Choosing the Best Parallelization and "
+            "Implementation Styles for Graph Analytics Codes' (SC '23)"
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        default="default",
+        choices=("tiny", "default", "full"),
+        help="input-graph scale (default: default)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="show the five inputs (Tables 4 and 5)")
+
+    specs = sub.add_parser("specs", help="show the suite's program variants")
+    specs.add_argument("--algorithm", choices=[a.value for a in Algorithm])
+    specs.add_argument("--model", choices=[m.value for m in Model])
+    specs.add_argument("--list", action="store_true", help="list variant labels")
+
+    run = sub.add_parser("run", help="run one program variant")
+    run.add_argument("--algorithm", required=True, choices=[a.value for a in Algorithm])
+    run.add_argument("--model", required=True, choices=[m.value for m in Model])
+    run.add_argument("--graph", required=True, choices=dataset_names())
+    run.add_argument("--device", required=True, choices=sorted(DEVICES))
+    run.add_argument(
+        "--index", type=int, default=0,
+        help="variant index within the enumeration (see `specs --list`)",
+    )
+
+    sweep = sub.add_parser("sweep", help="run the full sweep, print CSV")
+    sweep.add_argument("--algorithm", choices=[a.value for a in Algorithm])
+    sweep.add_argument("--model", choices=[m.value for m in Model])
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("id", type=int, choices=range(1, 7))
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument(
+        "id",
+        help="figure id: 1-16 (e.g. 1, 9; sub-panels print together)",
+    )
+
+    sub.add_parser(
+        "guidelines",
+        help="re-derive the paper's Section 5.16 programming guidelines",
+    )
+
+    adv = sub.add_parser(
+        "advise",
+        help="recommend styles for one input graph (Section 5.16 applied)",
+    )
+    adv.add_argument("--graph", choices=dataset_names())
+    adv.add_argument("--file", help="path to a graph file instead of --graph")
+
+    conv = sub.add_parser(
+        "convergence",
+        help="show iteration counts per semantic style (Section 2.6 effects)",
+    )
+    conv.add_argument("--algorithm", choices=[a.value for a in Algorithm])
+
+    trace = sub.add_parser(
+        "trace",
+        help="show the execution-trace breakdown of one program variant",
+    )
+    trace.add_argument("--algorithm", required=True, choices=[a.value for a in Algorithm])
+    trace.add_argument("--model", required=True, choices=[m.value for m in Model])
+    trace.add_argument("--graph", required=True, choices=dataset_names())
+    trace.add_argument("--index", type=int, default=0)
+    trace.add_argument("--csv", action="store_true", help="dump per-launch CSV")
+
+    gen = sub.add_parser(
+        "generate",
+        help="write the Indigo2-style generated source suite to a directory",
+    )
+    gen.add_argument("out_dir", help="output directory for the source files")
+    gen.add_argument("--algorithm", choices=[a.value for a in Algorithm])
+    gen.add_argument("--model", choices=[m.value for m in Model])
+    gen.add_argument(
+        "--limit", type=int, default=None,
+        help="write at most N variants per (algorithm, model) pair",
+    )
+    gen.add_argument(
+        "--bits", choices=("32", "64", "both"), default="32",
+        help="data-type width(s): 32 (paper's evaluated set), 64, or both "
+             "(the full Indigo2-style artifact)",
+    )
+    return parser
+
+
+def _cmd_datasets(args) -> int:
+    from ..bench.report import render_table4, render_table5
+
+    graphs = load_all(args.scale)
+    props = {name: analyze(g) for name, g in graphs.items()}
+    print(render_table4(props))
+    print()
+    print(render_table5(props))
+    return 0
+
+
+def _cmd_specs(args) -> int:
+    algorithms = (
+        [Algorithm(args.algorithm)] if args.algorithm else list(Algorithm)
+    )
+    models = [Model(args.model)] if args.model else list(Model)
+    total = 0
+    for model in models:
+        for alg in algorithms:
+            specs = enumerate_specs(alg, model)
+            total += len(specs)
+            print(f"{model.value:<8} {alg.value:<6} {len(specs):>5} variants")
+            if args.list:
+                for i, spec in enumerate(specs):
+                    print(f"  [{i:>4}] {spec.label()}")
+    print(f"total: {total}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    alg = Algorithm(args.algorithm)
+    model = Model(args.model)
+    specs = enumerate_specs(alg, model)
+    if not 0 <= args.index < len(specs):
+        print(
+            f"error: index {args.index} out of range (0..{len(specs) - 1})",
+            file=sys.stderr,
+        )
+        return 2
+    spec = specs[args.index]
+    graph = load_dataset(args.graph, args.scale)
+    device = get_device(args.device)
+    if spec.model.is_gpu != (device.name in ("RTX 3090", "Titan V")):
+        print("error: model/device mismatch (CUDA needs a GPU)", file=sys.stderr)
+        return 2
+    result = Launcher().run(spec, graph, device)
+    print(f"program:    {spec.label()}")
+    print(f"input:      {graph.name} ({graph.n_vertices:,} vertices, {graph.n_edges:,} edges)")
+    print(f"device:     {result.device}")
+    print(f"verified:   {result.verified}")
+    print(f"iterations: {result.iterations}")
+    print(f"time:       {result.seconds * 1e3:.3f} ms (simulated)")
+    print(f"throughput: {result.throughput_ges:.4f} GES")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from ..bench.harness import SweepConfig, run_sweep
+
+    config = SweepConfig(
+        scale=args.scale,
+        models=(Model(args.model),) if args.model else tuple(Model),
+        algorithms=(Algorithm(args.algorithm),) if args.algorithm else tuple(Algorithm),
+    )
+    results = run_sweep(config)
+    print("model,algorithm,variant,graph,device,seconds,throughput_ges,iterations")
+    for run in results.runs:
+        print(
+            f"{run.spec.model.value},{run.spec.algorithm.value},"
+            f"{run.spec.label()},{run.graph},{run.device},"
+            f"{run.seconds:.6e},{run.throughput_ges:.6f},{run.iterations}"
+        )
+    return 0
+
+
+def _sweep_for_reports(scale: str):
+    from ..bench.harness import SweepConfig, run_sweep
+
+    return run_sweep(SweepConfig(scale=scale))
+
+
+def _cmd_table(args) -> int:
+    from ..bench import report
+
+    if args.id == 1:
+        print(report.render_table1())
+    elif args.id == 2:
+        print(report.render_table2())
+    elif args.id == 3:
+        print(report.render_table3())
+    elif args.id in (4, 5):
+        graphs = load_all(args.scale)
+        props = {name: analyze(g) for name, g in graphs.items()}
+        render = report.render_table4 if args.id == 4 else report.render_table5
+        print(render(props))
+    else:  # table 6
+        results = _sweep_for_reports(args.scale)
+        print(report.render_table6(results))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from ..bench import report
+
+    fid = str(args.id)
+    results = _sweep_for_reports(args.scale)
+    if fid == "1":
+        print(report.render_ratio_figure(results, "fig1-3090"))
+        print()
+        print(report.render_ratio_figure(results, "fig1-titanv"))
+    elif fid == "2":
+        print(report.render_ratio_figure(results, "fig2-cuda"))
+        print()
+        print(report.render_ratio_figure(results, "fig2-cpu"))
+    elif fid in ("3", "4"):
+        dup = Dup.DUP if fid == "3" else Dup.NODUP
+        for model in Model:
+            print(report.render_driver_figure(results, dup, model))
+            print()
+    elif fid in ("5", "6", "7"):
+        for suffix in ("cuda", "omp", "cpp"):
+            print(report.render_ratio_figure(results, f"fig{fid}-{suffix}"))
+            print()
+    elif fid == "8":
+        print(report.render_ratio_figure(results, "fig8"))
+    elif fid == "9":
+        for gname in ("USA-road-d.NY", "soc-LiveJournal1"):
+            print(
+                report.render_throughput_figure(
+                    results, "granularity",
+                    title=f"Figure 9: granularity throughputs on {gname} (RTX 3090)",
+                    models=[Model.CUDA], graphs=[gname], devices=["RTX 3090"],
+                )
+            )
+            print()
+    elif fid == "10":
+        for alg in (Algorithm.PR, Algorithm.TC):
+            print(
+                report.render_throughput_figure(
+                    results, "gpu_reduction",
+                    title=f"Figure 10: GPU reduction styles ({alg.value})",
+                    models=[Model.CUDA], algorithms=[alg],
+                )
+            )
+            print()
+    elif fid == "11":
+        for alg in (Algorithm.PR, Algorithm.TC):
+            print(
+                report.render_throughput_figure(
+                    results, "cpu_reduction",
+                    title=f"Figure 11: CPU reduction styles ({alg.value})",
+                    models=[Model.OPENMP, Model.CPP_THREADS], algorithms=[alg],
+                )
+            )
+            print()
+    elif fid == "12":
+        print(report.render_ratio_figure(results, "fig12"))
+    elif fid == "13":
+        print(report.render_ratio_figure(results, "fig13"))
+    elif fid == "14":
+        print(report.render_figure14(results))
+    elif fid == "15":
+        print(report.render_figure15(results))
+    elif fid == "16":
+        print(report.render_figure16(results))
+    else:
+        print(f"error: unknown figure {fid!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_advise(args) -> int:
+    from ..bench.advisor import advise
+    from ..graph.io import load_graph
+
+    if args.file:
+        graph = load_graph(args.file)
+    elif args.graph:
+        graph = load_dataset(args.graph, args.scale)
+    else:
+        print("error: pass --graph or --file", file=sys.stderr)
+        return 2
+    print(advise(graph).render())
+    return 0
+
+
+def _cmd_convergence(args) -> int:
+    from ..bench.convergence import collect_convergence, render_convergence
+
+    graphs = load_all(args.scale)
+    algorithms = (
+        (Algorithm(args.algorithm),) if args.algorithm else tuple(Algorithm)
+    )
+    records = collect_convergence(graphs, algorithms=algorithms)
+    print(render_convergence(records))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from ..graph.datasets import load_dataset as _load
+    from ..machine.inspect import render_trace, trace_to_csv
+
+    alg = Algorithm(args.algorithm)
+    model = Model(args.model)
+    specs = enumerate_specs(alg, model)
+    if not 0 <= args.index < len(specs):
+        print(f"error: index out of range (0..{len(specs) - 1})", file=sys.stderr)
+        return 2
+    spec = specs[args.index]
+    graph = load_dataset(args.graph, args.scale)
+    launcher = Launcher()
+    result = launcher.execute_semantic(spec, graph)
+    print(f"program: {spec.label()}")
+    if args.csv:
+        print(trace_to_csv(result.trace), end="")
+    else:
+        print(render_trace(result.trace))
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from ..codegen.suite import generate_suite
+
+    bits = {"32": (32,), "64": (64,), "both": (32, 64)}[args.bits]
+    manifest = generate_suite(
+        args.out_dir,
+        models=(Model(args.model),) if args.model else tuple(Model),
+        algorithms=(Algorithm(args.algorithm),) if args.algorithm else tuple(Algorithm),
+        data_bits=bits,
+        limit_per_pair=args.limit,
+    )
+    print(f"wrote {manifest.count} source files under {manifest.root}")
+    print(f"manifest: {manifest.root / 'MANIFEST.tsv'}")
+    print("build the CPU variants with: make -C", manifest.root)
+    return 0
+
+
+def _cmd_guidelines(args) -> int:
+    from ..bench.guidelines import derive_guidelines
+
+    results = _sweep_for_reports(args.scale)
+    for guideline in derive_guidelines(results):
+        print(guideline.render())
+    return 0
+
+
+_COMMANDS = {
+    "datasets": _cmd_datasets,
+    "specs": _cmd_specs,
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
+    "table": _cmd_table,
+    "figure": _cmd_figure,
+    "guidelines": _cmd_guidelines,
+    "generate": _cmd_generate,
+    "trace": _cmd_trace,
+    "convergence": _cmd_convergence,
+    "advise": _cmd_advise,
+}
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `| head`) closed early: exit quietly.
+        import os
+
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        os.dup2(os.open(os.devnull, os.O_WRONLY), 2)
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Source-code generation: the Indigo2-artifact half of the reproduction.
+
+Every :class:`~repro.styles.spec.StyleSpec` maps to a complete CUDA,
+OpenMP, or C++-threads source file whose constructs mirror the paper's
+Listings 1-13.  The generated CPU variants compile with stock g++ and
+self-verify against their built-in serial reference; the CUDA variants
+target nvcc on machines that have one.
+"""
+
+from .common import CodeWriter, file_name, guard_name
+from .cpp import generate_cpp
+from .cuda import generate_cuda
+from .openmp import generate_openmp
+from .suite import SuiteManifest, generate_source, generate_suite
+
+__all__ = [
+    "CodeWriter",
+    "file_name",
+    "guard_name",
+    "generate_cuda",
+    "generate_openmp",
+    "generate_cpp",
+    "generate_source",
+    "generate_suite",
+    "SuiteManifest",
+]

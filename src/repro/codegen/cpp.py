@@ -1,0 +1,567 @@
+"""C++-threads source generation: one complete ``.cpp`` file per StyleSpec.
+
+Constructs tracked per axis: explicit ``std::thread`` teams with blocked or
+cyclic iteration assignment (Listing 13), ``std::atomic`` CAS-loop min for
+RMW updates (the C++ advantage of Section 5.3.1 — no critical sections
+needed), ``std::mutex`` critical-reduction vs. atomic-reduction vs.
+per-thread partials (the C++ equivalent of Listing 11), worklists with
+``fetch_add`` pushes and ``exchange`` stamps, push/pull relaxation, and
+double buffering.
+"""
+
+from __future__ import annotations
+
+from ..styles.axes import (
+    Algorithm,
+    CppSchedule,
+    CpuReduction,
+    Determinism,
+    Driver,
+    Dup,
+    Flow,
+    Iteration,
+    Update,
+)
+from ..styles.spec import StyleSpec
+from .common import ALGORITHM_TITLES, CodeWriter
+from .cpu_shared import (
+    CPU_GRAPH,
+    CPU_PREAMBLE,
+    cost_expr,
+    emit_serial_reference,
+    emit_verification_main,
+    hash_pri,
+)
+
+__all__ = ["generate_cpp"]
+
+_THREAD_HARNESS = r"""
+// ---------------------------------------------------------------------
+// Thread team: launch `run(tid)` on NTHREADS std::threads and join.
+// ---------------------------------------------------------------------
+#ifndef NTHREADS
+#define NTHREADS 16
+#endif
+
+template <typename F>
+static void parallel_step(F&& run) {
+  std::vector<std::thread> team;
+  team.reserve(NTHREADS);
+  for (int tid = 0; tid < NTHREADS; tid++) team.emplace_back(run, tid);
+  for (auto& t : team) t.join();
+}
+
+// Atomic min via compare-exchange (C++ has no fetch_min).
+static inline bool atomic_min(std::atomic<val_t>& cell, val_t value) {
+  val_t old_val = cell.load(std::memory_order_relaxed);
+  while (value < old_val) {
+    if (cell.compare_exchange_weak(old_val, value)) return true;
+  }
+  return false;
+}
+"""
+
+
+def _emit_schedule_loop(w: CodeWriter, spec: StyleSpec, count: str,
+                        var: str = "item") -> None:
+    """Listing 13: blocked (contiguous chunk) vs cyclic (round-robin)."""
+    if spec.cpp_schedule is CppSchedule.BLOCKED:
+        w.lines(
+            f"const int beg_it = (int)((long long)tid * {count} / NTHREADS);",
+            f"const int end_it = (int)((long long)(tid + 1) * {count} / NTHREADS);",
+        )
+        w.open(f"for (int {var} = beg_it; {var} < end_it; {var}++)")
+    else:
+        w.open(f"for (int {var} = tid; {var} < {count}; {var} += NTHREADS)")
+
+
+def _emit_update(w: CodeWriter, spec: StyleSpec, target: str) -> None:
+    det = spec.determinism is Determinism.DETERMINISTIC
+    cell = f"{'val_out' if det else 'val'}[{target}]"
+    if spec.update is Update.READ_MODIFY_WRITE:
+        w.open(f"if (atomic_min({cell}, new_val))")
+        w.line("changed.store(1, std::memory_order_relaxed);")
+    else:
+        w.line(f"const val_t old_val = {cell}.load(std::memory_order_relaxed);")
+        w.open("if (new_val < old_val)")
+        w.line(f"{cell}.store(new_val, std::memory_order_relaxed);")
+        w.line("changed.store(1, std::memory_order_relaxed);")
+    if spec.driver is Driver.DATA:
+        _emit_push(w, spec, target)
+    w.close()
+
+
+def _emit_push(w: CodeWriter, spec: StyleSpec, target: str) -> None:
+    vertex = spec.iteration is Iteration.VERTEX
+    pull = spec.flow is Flow.PULL
+
+    def enqueue(expr: str) -> None:
+        if spec.dup is Dup.NODUP:
+            w.open(f"if (stat[{expr}].exchange(itr) != itr)")
+            w.line(f"wl_next[wl_next_size.fetch_add(1)] = {expr};")
+            w.close()
+        else:
+            w.line(f"wl_next[wl_next_size.fetch_add(1)] = {expr};")
+
+    if vertex and not pull:
+        enqueue(target)
+    elif vertex and pull:
+        w.open(f"for (int k = g.nbr_idx[{target}]; k < g.nbr_idx[{target} + 1]; k++)")
+        enqueue("g.nbr_list[k]")
+        w.close()
+    else:
+        w.open(f"for (int k = g.nbr_idx[{target}]; k < g.nbr_idx[{target} + 1]; k++)")
+        enqueue("k")
+        w.close()
+
+
+def _emit_relax(w: CodeWriter, spec: StyleSpec) -> None:
+    alg = spec.algorithm
+    data = spec.driver is Driver.DATA
+    det = spec.determinism is Determinism.DETERMINISTIC
+    pull = spec.flow is Flow.PULL
+    read = "val_in" if det else "val"
+
+    w.open(
+        "static void compute(const Graph& g, std::vector<val_t>& result, int source)"
+    )
+    w.raw(
+        """
+std::vector<std::atomic<val_t>> val(g.nodes);
+for (int v = 0; v < g.nodes; v++)
+  val[v].store(SOURCE_BASED ? VAL_MAX : (val_t)v, std::memory_order_relaxed);
+if (SOURCE_BASED) val[source].store(0, std::memory_order_relaxed);
+"""
+    )
+    if det:
+        w.raw(
+            """
+std::vector<std::atomic<val_t>> val2(g.nodes);
+auto* val_in = val.data();
+auto* val_out = val2.data();
+"""
+        )
+    if data:
+        w.raw(
+            """
+std::vector<int> wl = initial_worklist(g, source);
+std::vector<int> wl_next_buf(g.edges + g.nodes);
+std::vector<std::atomic<int>> stat_buf(g.nodes);
+for (int v = 0; v < g.nodes; v++) stat_buf[v].store(-1);
+int* wl_next = wl_next_buf.data();
+auto* stat = stat_buf.data();
+std::atomic<int> wl_next_size{0};
+"""
+        )
+    w.open("for (int itr = 1; ; itr++)")
+    w.line("std::atomic<int> changed{0};")
+    if det:
+        w.raw(
+            """
+for (int v = 0; v < g.nodes; v++)
+  val_out[v].store(val_in[v].load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+"""
+        )
+    if data:
+        w.lines("const int wl_size = (int)wl.size();",
+                "if (wl_size == 0) break;",
+                "wl_next_size.store(0);")
+    count = "wl_size" if data else (
+        "g.nodes" if spec.iteration is Iteration.VERTEX else "g.edges"
+    )
+    w.open("parallel_step([&](int tid)")
+    _emit_schedule_loop(w, spec, count)
+    if spec.iteration is Iteration.VERTEX:
+        w.line("const int v = " + ("wl[item];" if data else "item;"))
+        w.open("for (int i = g.nbr_idx[v]; i < g.nbr_idx[v + 1]; i++)")
+        w.line("const int u = g.nbr_list[i];")
+        if pull:
+            w.line(f"const val_t other = {read}[u].load(std::memory_order_relaxed);")
+            w.line("if (other == VAL_MAX) continue;")
+            w.line(f"const val_t new_val = other + {cost_expr(alg, 'i')};")
+            _emit_update(w, spec, "v")
+        else:
+            w.line(f"const val_t mine = {read}[v].load(std::memory_order_relaxed);")
+            w.line("if (mine == VAL_MAX) break;")
+            w.line(f"const val_t new_val = mine + {cost_expr(alg, 'i')};")
+            _emit_update(w, spec, "u")
+        w.close()
+    else:
+        w.line("const int e = " + ("wl[item];" if data else "item;"))
+        if pull:
+            w.lines("const int v = g.src_list[e];", "const int u = g.dst_list[e];")
+        else:
+            w.lines("const int v = g.dst_list[e];", "const int u = g.src_list[e];")
+        w.line(f"const val_t other = {read}[u].load(std::memory_order_relaxed);")
+        w.open("if (other != VAL_MAX)")
+        w.line(f"const val_t new_val = other + {cost_expr(alg, 'e')};")
+        _emit_update(w, spec, "v")
+        w.close()
+    w.close()  # schedule loop
+    w.close(");")  # parallel_step lambda
+    if data:
+        w.line("wl.assign(wl_next, wl_next + wl_next_size.load());")
+    else:
+        w.line("if (!changed.load()) break;")
+    if det:
+        w.line("std::swap(val_in, val_out);")
+    w.close()  # iteration loop
+    final = "val_in" if det else "val.data()"
+    w.raw(
+        f"""
+auto* final_vals = {final};
+for (int v = 0; v < g.nodes; v++)
+  result[v] = final_vals[v].load(std::memory_order_relaxed);
+"""
+    )
+    w.close()
+
+
+def _emit_reduction_loop(w: CodeWriter, spec: StyleSpec, body: str,
+                         acc_type: str, acc: str, count: str) -> None:
+    """The C++ equivalents of Listing 11's reduction styles."""
+    red = spec.cpu_reduction
+    w.open("parallel_step([&](int tid)")
+    if red is CpuReduction.CLAUSE:
+        w.line(f"{acc_type} local_acc = 0;  // per-thread partial (clause equivalent)")
+    _emit_schedule_loop(w, spec, count, var="v")
+    w.raw(body)
+    if red is CpuReduction.CLAUSE:
+        w.line("local_acc += contribution;")
+    elif red is CpuReduction.ATOMIC:
+        w.line(f"atomic_fetch_add(&{acc}, contribution);")
+    else:
+        w.open("")
+        w.line(f"std::lock_guard<std::mutex> lock({acc}_mutex);")
+        w.line(f"{acc}_plain += contribution;")
+        w.close()
+    w.close()  # schedule loop
+    if red is CpuReduction.CLAUSE:
+        w.line(f"atomic_fetch_add(&{acc}, local_acc);")
+    w.close(");")  # lambda
+
+
+def _emit_pr(w: CodeWriter, spec: StyleSpec) -> None:
+    det = spec.determinism is Determinism.DETERMINISTIC
+    pull = spec.flow is Flow.PULL
+    red_decl = {
+        CpuReduction.ATOMIC: "std::atomic<rank_t> err{0};",
+        CpuReduction.CLAUSE: "std::atomic<rank_t> err{0};",
+        CpuReduction.CRITICAL: "rank_t err_plain = 0; std::mutex err_mutex;",
+    }[spec.cpu_reduction]
+    w.open("static void pagerank(const Graph& g, std::vector<rank_t>& rank)")
+    if det:
+        w.raw(
+            """
+std::vector<rank_t> rank2(g.nodes);
+rank_t* rank_in = rank.data();
+rank_t* rank_out = rank2.data();
+"""
+        )
+        read, write = "rank_in", "rank_out"
+    else:
+        w.line("rank_t* rank_in = rank.data();  // in-place")
+        read, write = "rank_in", "rank_in"
+    w.open("for (int iter = 0; iter < 10000; iter++)")
+    w.line(red_decl)
+    if pull:
+        body = f"""
+rank_t sum = 0;
+for (int i = g.nbr_idx[v]; i < g.nbr_idx[v + 1]; i++) {{
+  const int u = g.nbr_list[i];
+  sum += {read}[u] / g.degree(u);
+}}
+const rank_t new_rank = (1 - DAMPING) / g.nodes + DAMPING * sum;
+const rank_t contribution = fabs(new_rank - {read}[v]);
+{write}[v] = new_rank;
+"""
+        _emit_reduction_loop(w, spec, body, "rank_t", "err", "g.nodes")
+    else:
+        w.raw(
+            f"""
+std::vector<std::atomic<rank_t>> next(g.nodes);
+for (int v = 0; v < g.nodes; v++) next[v].store((rank_t)(1 - DAMPING) / g.nodes);
+parallel_step([&](int tid) {{
+  for (int v = tid; v < g.nodes; v += NTHREADS) {{
+    if (!g.degree(v)) continue;
+    const rank_t c = DAMPING * {read}[v] / g.degree(v);
+    for (int i = g.nbr_idx[v]; i < g.nbr_idx[v + 1]; i++)
+      atomic_fetch_add(&next[g.nbr_list[i]], c);
+  }}
+}});
+"""
+        )
+        body = f"""
+const rank_t contribution = fabs(next[v].load() - {read}[v]);
+{write}[v] = next[v].load();
+"""
+        _emit_reduction_loop(w, spec, body, "rank_t", "err", "g.nodes")
+    if det:
+        w.line("std::swap(rank_in, rank_out);")
+    err_read = {
+        CpuReduction.ATOMIC: "err.load()",
+        CpuReduction.CLAUSE: "err.load()",
+        CpuReduction.CRITICAL: "err_plain",
+    }[spec.cpu_reduction]
+    w.line(f"if ({err_read} < TOLERANCE) break;")
+    w.close()
+    if det:
+        w.raw(
+            """
+if (rank_in != rank.data())
+  std::copy(rank_in, rank_in + g.nodes, rank.data());
+"""
+        )
+    w.close()
+
+
+def _emit_tc(w: CodeWriter, spec: StyleSpec) -> None:
+    vertex = spec.iteration is Iteration.VERTEX
+    count = "g.nodes" if vertex else "g.edges"
+    red_decl = {
+        CpuReduction.ATOMIC: "std::atomic<long long> total{0};",
+        CpuReduction.CLAUSE: "std::atomic<long long> total{0};",
+        CpuReduction.CRITICAL:
+            "long long total_plain = 0; std::mutex total_mutex;",
+    }[spec.cpu_reduction]
+    w.raw(
+        """
+static long long merge_count(const Graph& g, int v, int u) {
+  long long c = 0;
+  int a = g.nbr_idx[v], b = g.nbr_idx[u];
+  while (a < g.nbr_idx[v + 1] && b < g.nbr_idx[u + 1]) {
+    const int x = g.nbr_list[a], y = g.nbr_list[b];
+    if (x <= v) { a++; continue; }
+    if (y <= u) { b++; continue; }
+    if (x == y) { c++; a++; b++; }
+    else if (x < y) a++; else b++;
+  }
+  return c;
+}
+"""
+    )
+    w.blank()
+    w.open("static long long triangle_count(const Graph& g)")
+    w.line(red_decl)
+    if vertex:
+        body = """
+long long contribution = 0;
+for (int j = g.nbr_idx[v]; j < g.nbr_idx[v + 1]; j++) {
+  const int u = g.nbr_list[j];
+  if (u <= v) continue;
+  contribution += merge_count(g, v, u);
+}
+"""
+    else:
+        body = """
+long long contribution = 0;
+{
+  const int s = g.src_list[v], d = g.dst_list[v];
+  if (d > s) contribution = merge_count(g, s, d);
+}
+"""
+    _emit_reduction_loop(w, spec, body, "long long", "total", count)
+    if spec.cpu_reduction is CpuReduction.CRITICAL:
+        w.line("return total_plain;")
+    else:
+        w.line("return total.load();")
+    w.close()
+
+
+def _emit_mis(w: CodeWriter, spec: StyleSpec) -> None:
+    det = spec.determinism is Determinism.DETERMINISTIC
+    data = spec.driver is Driver.DATA
+    push = spec.flow is Flow.PUSH
+    read = "status_in" if det else "status_ptr"
+    write = "status_out" if det else "status_ptr"
+    w.open("static void mis(const Graph& g, std::vector<signed char>& status)")
+    w.raw(
+        f"""
+std::vector<signed char> status2(g.nodes, 0);
+signed char* {read} = status.data();
+signed char* {write if det else '_unused'} = {'status2.data()' if det else 'nullptr'};
+"""
+    )
+    if data:
+        w.raw(
+            """
+std::vector<int> wl(g.nodes);
+for (int v = 0; v < g.nodes; v++) wl[v] = v;
+"""
+        )
+    w.open("for (;;)")
+    if det:
+        w.line(f"std::copy({read}, {read} + g.nodes, {write});")
+    w.line("std::atomic<int> changed{0};")
+    count = "(int)wl.size()" if data else "g.nodes"
+    w.open("parallel_step([&](int tid)")
+    _emit_schedule_loop(w, spec, count)
+    w.line("const int v = " + ("wl[item];" if data else "item;"))
+    w.open(f"if ({read}[v] == 0)")
+    w.raw(
+        f"""
+bool in_set = true;
+for (int i = g.nbr_idx[v]; i < g.nbr_idx[v + 1]; i++) {{
+  const int u = g.nbr_list[i];
+  if ({read}[u] == 1) {{ {write}[v] = 2; changed.store(1); in_set = false; break; }}
+  if ({read}[u] == 0 && hash_pri(u) > hash_pri(v)) {{ in_set = false; break; }}
+}}
+"""
+    )
+    w.open("if (in_set)")
+    w.lines(f"{write}[v] = 1;", "changed.store(1);")
+    if push:
+        w.open("for (int i = g.nbr_idx[v]; i < g.nbr_idx[v + 1]; i++)")
+        w.line(f"if ({read}[g.nbr_list[i]] == 0) {write}[g.nbr_list[i]] = 2;")
+        w.close()
+    w.close()
+    w.close()  # undecided guard
+    w.close()  # schedule loop
+    w.close(");")  # lambda
+    if det:
+        w.line(f"std::swap({read}, {write});")
+    if data:
+        w.raw(
+            f"""
+std::vector<int> next;
+for (int v : wl) if ({read}[v] == 0) next.push_back(v);
+wl.swap(next);
+if (wl.empty()) break;
+"""
+        )
+    else:
+        w.line("if (!changed.load()) break;")
+    w.close()  # round loop
+    if det:
+        w.raw(
+            f"""
+if ({read} != status.data())
+  std::copy({read}, {read} + g.nodes, status.data());
+"""
+        )
+    w.close()
+
+
+def _emit_initial_worklist(w: CodeWriter, spec: StyleSpec) -> None:
+    if spec.iteration is Iteration.VERTEX:
+        if spec.flow is Flow.PULL:
+            w.raw(
+                """
+static std::vector<int> initial_worklist(const Graph& g, int source) {
+  if (!SOURCE_BASED) {
+    std::vector<int> all(g.nodes);
+    for (int v = 0; v < g.nodes; v++) all[v] = v;
+    return all;
+  }
+  return std::vector<int>(g.nbr_list.begin() + g.nbr_idx[source],
+                          g.nbr_list.begin() + g.nbr_idx[source + 1]);
+}
+"""
+            )
+        else:
+            w.raw(
+                """
+static std::vector<int> initial_worklist(const Graph& g, int source) {
+  if (!SOURCE_BASED) {
+    std::vector<int> all(g.nodes);
+    for (int v = 0; v < g.nodes; v++) all[v] = v;
+    return all;
+  }
+  return std::vector<int>{source};
+}
+"""
+            )
+    else:
+        w.raw(
+            """
+static std::vector<int> initial_worklist(const Graph& g, int source) {
+  std::vector<int> wl;
+  if (!SOURCE_BASED) {
+    wl.resize(g.edges);
+    for (int e = 0; e < g.edges; e++) wl[e] = e;
+  } else {
+    for (int i = g.nbr_idx[source]; i < g.nbr_idx[source + 1]; i++)
+      wl.push_back(i);
+  }
+  return wl;
+}
+"""
+        )
+
+
+_ATOMIC_DOUBLE_ADD = r"""
+// fetch_add for std::atomic<double> / long long partials.
+template <typename T>
+static inline void atomic_fetch_add(std::atomic<T>* cell, T inc) {
+  T old_val = cell->load(std::memory_order_relaxed);
+  while (!cell->compare_exchange_weak(old_val, old_val + inc)) {}
+}
+template <typename T>
+static inline void atomic_fetch_add(std::atomic<T>& cell, T inc) {
+  atomic_fetch_add(&cell, inc);
+}
+"""
+
+
+def generate_cpp(spec: StyleSpec, *, data_bits: int = 32) -> str:
+    """Generate the complete C++-threads source of one program variant.
+
+    ``data_bits`` selects the value width (32: int/float as evaluated in
+    the paper; 64: long long / double as also shipped by Indigo2).
+    """
+    if data_bits not in (32, 64):
+        raise ValueError("data_bits must be 32 or 64")
+    spec.validate()
+    alg = spec.algorithm
+    w = CodeWriter()
+    styles = ", ".join(f"{k}={v}" for k, v in spec.describe().items()
+                       if k not in ("algorithm", "model"))
+    w.lines(
+        "// " + "-" * 70,
+        f"// {ALGORITHM_TITLES[alg]} — C++ threads",
+        f"// style: {styles}",
+        "// generated by repro.codegen (Indigo2-style program variant)",
+        "// compile: g++ -O3 -pthread",
+        "// " + "-" * 70,
+    )
+    w.raw(CPU_PREAMBLE)
+    w.lines("#include <thread>", "#include <atomic>", "#include <mutex>")
+    if data_bits == 32:
+        w.lines("typedef int val_t;", "#define VAL_MAX INT_MAX")
+    else:
+        w.lines("typedef long long val_t;", "#define VAL_MAX LLONG_MAX")
+    if alg is Algorithm.PR:
+        if data_bits == 32:
+            w.lines("typedef float rank_t;",
+                    "#define DAMPING 0.85f", "#define TOLERANCE 1e-4f")
+        else:
+            w.lines("typedef double rank_t;",
+                    "#define DAMPING 0.85", "#define TOLERANCE 1e-8")
+    w.blank()
+    w.raw(CPU_GRAPH)
+    w.blank()
+    w.raw(_THREAD_HARNESS)
+    w.blank()
+    if alg in (Algorithm.PR, Algorithm.TC):
+        w.raw(_ATOMIC_DOUBLE_ADD)
+        w.blank()
+    if alg is Algorithm.MIS:
+        w.raw(hash_pri())
+        w.blank()
+    emit_serial_reference(w, alg)
+    w.blank()
+    if alg in (Algorithm.BFS, Algorithm.SSSP, Algorithm.CC):
+        if spec.driver is Driver.DATA:
+            _emit_initial_worklist(w, spec)
+            w.blank()
+        _emit_relax(w, spec)
+    elif alg is Algorithm.MIS:
+        _emit_mis(w, spec)
+    elif alg is Algorithm.PR:
+        _emit_pr(w, spec)
+    else:
+        _emit_tc(w, spec)
+    w.blank()
+    emit_verification_main(w, alg)
+    return w.render()

@@ -1,0 +1,297 @@
+"""Shared snippets of the two CPU generators (OpenMP and C++ threads)."""
+
+from __future__ import annotations
+
+from ..styles.axes import Algorithm
+from .common import CodeWriter
+
+__all__ = [
+    "CPU_PREAMBLE",
+    "CPU_GRAPH",
+    "cost_expr",
+    "hash_pri",
+    "emit_serial_reference",
+    "emit_verification_main",
+]
+
+CPU_PREAMBLE = r"""
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <climits>
+#include <cmath>
+#include <vector>
+#include <algorithm>
+"""
+
+CPU_GRAPH = r"""
+// ---------------------------------------------------------------------
+// Graph loading: whitespace edge list "u v [w]", 0-indexed; undirected
+// edges stored as two directed edges (CSR and COO).
+// ---------------------------------------------------------------------
+struct Graph {
+  int nodes = 0;
+  int edges = 0;
+  std::vector<int> nbr_idx;
+  std::vector<int> nbr_list;
+  std::vector<int> e_weight;
+  std::vector<int> src_list;
+  std::vector<int> dst_list;
+  int degree(int v) const { return nbr_idx[v + 1] - nbr_idx[v]; }
+};
+
+static Graph read_graph(const char* path) {
+  FILE* fh = fopen(path, "r");
+  if (!fh) { fprintf(stderr, "cannot open %s\n", path); exit(1); }
+  std::vector<int> us, vs, ws;
+  char line[256];
+  int maxv = -1;
+  while (fgets(line, sizeof line, fh)) {
+    if (line[0] == '#' || line[0] == '%' || line[0] == '\n') continue;
+    int u, v, w = 1;
+    int got = sscanf(line, "%d %d %d", &u, &v, &w);
+    if (got < 2 || u == v) continue;
+    us.push_back(u); vs.push_back(v); ws.push_back(w);
+    us.push_back(v); vs.push_back(u); ws.push_back(w);
+    maxv = std::max(maxv, std::max(u, v));
+  }
+  fclose(fh);
+  Graph g;
+  g.nodes = maxv + 1;
+  g.edges = (int)us.size();
+  g.nbr_idx.assign(g.nodes + 1, 0);
+  for (int e = 0; e < g.edges; e++) g.nbr_idx[us[e] + 1]++;
+  for (int v = 0; v < g.nodes; v++) g.nbr_idx[v + 1] += g.nbr_idx[v];
+  g.nbr_list.resize(g.edges);
+  g.e_weight.resize(g.edges);
+  g.src_list.resize(g.edges);
+  g.dst_list.resize(g.edges);
+  std::vector<int> cursor(g.nbr_idx.begin(), g.nbr_idx.end() - 1);
+  for (int e = 0; e < g.edges; e++) {
+    int slot = cursor[us[e]]++;
+    g.nbr_list[slot] = vs[e];
+    g.e_weight[slot] = ws[e];
+  }
+  for (int v = 0; v < g.nodes; v++)
+    for (int i = g.nbr_idx[v]; i < g.nbr_idx[v + 1]; i++) {
+      g.src_list[i] = v;
+      g.dst_list[i] = g.nbr_list[i];
+    }
+  return g;
+}
+"""
+
+
+def cost_expr(alg: Algorithm, idx: str) -> str:
+    """The per-edge relaxation cost (Bellman-Ford family)."""
+    if alg is Algorithm.SSSP:
+        return f"g.e_weight[{idx}]"
+    if alg is Algorithm.BFS:
+        return "1"
+    return "0"  # CC: labels propagate unchanged
+
+
+def hash_pri() -> str:
+    return r"""
+static inline unsigned long long hash_pri(int v) {
+  unsigned long long x = (unsigned long long)v;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+"""
+
+
+def emit_serial_reference(w: CodeWriter, alg: Algorithm) -> None:
+    """Section 4.1's serial verifier, emitted into each file."""
+    if alg in (Algorithm.BFS, Algorithm.SSSP, Algorithm.CC):
+        source_based = "1" if alg is not Algorithm.CC else "0"
+        cost = cost_expr(alg, "i")
+        w.line(f"#define SOURCE_BASED {source_based}")
+        w.raw(
+            f"""
+static std::vector<val_t> serial_reference(const Graph& g, int source) {{
+  std::vector<val_t> val(g.nodes, VAL_MAX);
+  if (SOURCE_BASED) val[source] = 0;
+  else for (int v = 0; v < g.nodes; v++) val[v] = v;
+  bool changed = true;
+  while (changed) {{
+    changed = false;
+    for (int v = 0; v < g.nodes; v++) {{
+      if (val[v] == VAL_MAX) continue;
+      for (int i = g.nbr_idx[v]; i < g.nbr_idx[v + 1]; i++) {{
+        long long cand = (long long)val[v] + {cost};
+        if (cand < (long long)val[g.nbr_list[i]]) {{
+          val[g.nbr_list[i]] = (val_t)cand;
+          changed = true;
+        }}
+      }}
+    }}
+  }}
+  return val;
+}}
+"""
+        )
+    elif alg is Algorithm.MIS:
+        w.raw(
+            """
+static std::vector<signed char> serial_reference(const Graph& g) {
+  std::vector<int> order(g.nodes);
+  for (int v = 0; v < g.nodes; v++) order[v] = v;
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return hash_pri(a) > hash_pri(b); });
+  std::vector<signed char> status(g.nodes, 0);
+  for (int v : order) {
+    if (status[v] != 0) continue;
+    status[v] = 1;
+    for (int i = g.nbr_idx[v]; i < g.nbr_idx[v + 1]; i++)
+      if (status[g.nbr_list[i]] == 0) status[g.nbr_list[i]] = 2;
+  }
+  return status;
+}
+"""
+        )
+    elif alg is Algorithm.PR:
+        w.raw(
+            """
+static std::vector<rank_t> serial_reference(const Graph& g) {
+  std::vector<rank_t> rank(g.nodes, (rank_t)1 / g.nodes), next(g.nodes);
+  for (int iter = 0; iter < 10000; iter++) {
+    rank_t base = (1 - DAMPING) / g.nodes, err = 0;
+    for (int v = 0; v < g.nodes; v++) next[v] = base;
+    for (int v = 0; v < g.nodes; v++) {
+      int deg = g.degree(v);
+      if (!deg) continue;
+      rank_t c = DAMPING * rank[v] / deg;
+      for (int i = g.nbr_idx[v]; i < g.nbr_idx[v + 1]; i++)
+        next[g.nbr_list[i]] += c;
+    }
+    for (int v = 0; v < g.nodes; v++) err += fabs(next[v] - rank[v]);
+    rank.swap(next);
+    if (err < TOLERANCE) break;
+  }
+  return rank;
+}
+"""
+        )
+    else:  # TC
+        w.raw(
+            """
+static long long serial_reference(const Graph& g) {
+  long long total = 0;
+  for (int v = 0; v < g.nodes; v++)
+    for (int i = g.nbr_idx[v]; i < g.nbr_idx[v + 1]; i++) {
+      const int u = g.nbr_list[i];
+      if (u <= v) continue;
+      int a = g.nbr_idx[v], b = g.nbr_idx[u];
+      while (a < g.nbr_idx[v + 1] && b < g.nbr_idx[u + 1]) {
+        const int x = g.nbr_list[a], y = g.nbr_list[b];
+        if (x <= v) { a++; continue; }
+        if (y <= u) { b++; continue; }
+        if (x == y) { total++; a++; b++; }
+        else if (x < y) a++;
+        else b++;
+      }
+    }
+  return total;
+}
+"""
+        )
+
+
+def emit_verification_main(w: CodeWriter, alg: Algorithm) -> None:
+    """The main() with timing + verification against the serial code."""
+    if alg in (Algorithm.BFS, Algorithm.SSSP, Algorithm.CC):
+        normalize = (
+            """
+static val_t normalize(const std::vector<val_t>& labels, int v) {
+  val_t x = labels[v];
+  while (labels[(int)x] != x) x = labels[(int)x];
+  return x;
+}
+"""
+            if alg is Algorithm.CC
+            else """
+static val_t normalize(const std::vector<val_t>& vals, int v) { return vals[v]; }
+"""
+        )
+        w.raw(normalize)
+        w.raw(
+            r"""
+int main(int argc, char** argv) {
+  if (argc < 2) { fprintf(stderr, "usage: %s graph.el [source]\n", argv[0]); return 1; }
+  Graph g = read_graph(argv[1]);
+  const int source = argc > 2 ? atoi(argv[2]) : 0;
+  printf("input: %d nodes, %d directed edges\n", g.nodes, g.edges);
+  std::vector<val_t> val(g.nodes);
+  compute(g, val, source);
+  std::vector<val_t> expected = serial_reference(g, source);
+  for (int v = 0; v < g.nodes; v++)
+    if (normalize(val, v) != normalize(expected, v)) {
+      fprintf(stderr, "MISMATCH at vertex %d\n", v);
+      return 1;
+    }
+  printf("verified OK\n");
+  return 0;
+}
+"""
+        )
+    elif alg is Algorithm.MIS:
+        w.raw(
+            r"""
+int main(int argc, char** argv) {
+  if (argc < 2) { fprintf(stderr, "usage: %s graph.el\n", argv[0]); return 1; }
+  Graph g = read_graph(argv[1]);
+  printf("input: %d nodes, %d directed edges\n", g.nodes, g.edges);
+  std::vector<signed char> status(g.nodes, 0);
+  mis(g, status);
+  std::vector<signed char> expected = serial_reference(g);
+  for (int v = 0; v < g.nodes; v++)
+    if ((status[v] == 1) != (expected[v] == 1)) {
+      fprintf(stderr, "MISMATCH at vertex %d\n", v);
+      return 1;
+    }
+  printf("verified OK\n");
+  return 0;
+}
+"""
+        )
+    elif alg is Algorithm.PR:
+        w.raw(
+            r"""
+int main(int argc, char** argv) {
+  if (argc < 2) { fprintf(stderr, "usage: %s graph.el\n", argv[0]); return 1; }
+  Graph g = read_graph(argv[1]);
+  printf("input: %d nodes, %d directed edges\n", g.nodes, g.edges);
+  std::vector<rank_t> rank(g.nodes, (rank_t)1 / g.nodes);
+  pagerank(g, rank);
+  std::vector<rank_t> expected = serial_reference(g);
+  for (int v = 0; v < g.nodes; v++)
+    if (fabs(rank[v] - expected[v]) > (rank_t)1e-4) {
+      fprintf(stderr, "MISMATCH at vertex %d\n", v);
+      return 1;
+    }
+  printf("verified OK\n");
+  return 0;
+}
+"""
+        )
+    else:
+        w.raw(
+            r"""
+int main(int argc, char** argv) {
+  if (argc < 2) { fprintf(stderr, "usage: %s graph.el\n", argv[0]); return 1; }
+  Graph g = read_graph(argv[1]);
+  printf("input: %d nodes, %d directed edges\n", g.nodes, g.edges);
+  const long long total = triangle_count(g);
+  const long long expected = serial_reference(g);
+  printf("triangles: %lld\n", total);
+  if (total != expected) {
+    fprintf(stderr, "MISMATCH: expected %lld\n", expected);
+    return 1;
+  }
+  printf("verified OK\n");
+  return 0;
+}
+"""
+        )

@@ -1,0 +1,1025 @@
+"""CUDA source generation: one complete ``.cu`` file per StyleSpec.
+
+The emitted constructs track the paper's listings:
+
+* Listing 1  — vertex vs. edge indexing (``gidx``),
+* Listing 2/3 — worklists with and without the ``atomicMax`` stamp,
+* Listing 4  — push vs. pull relaxation,
+* Listing 5  — ``atomicMin`` vs. read + conditional write,
+* Listing 6  — double-buffered (deterministic) arrays,
+* Listing 7  — persistent grid-stride loops,
+* Listing 8  — thread / warp / block neighbor loops,
+* Listing 9  — classic atomics vs. default ``cuda::atomic``,
+* Listing 10 — global-add / block-add / reduction-add.
+
+Every file is self-contained: it loads an edge-list graph, builds CSR/COO
+on the host, runs the styled kernel to a fixed point, and verifies against
+a simple serial implementation (Section 4.1's discipline).
+"""
+
+from __future__ import annotations
+
+from ..styles.axes import (
+    Algorithm,
+    AtomicFlavor,
+    Determinism,
+    Driver,
+    Dup,
+    Flow,
+    GpuReduction,
+    Granularity,
+    Iteration,
+    Persistence,
+    Update,
+)
+from ..styles.spec import StyleSpec
+from .common import ALGORITHM_TITLES, CodeWriter
+
+__all__ = ["generate_cuda"]
+
+_PREAMBLE = r"""
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <climits>
+#include <vector>
+#include <algorithm>
+#include <cuda_runtime.h>
+"""
+
+_HOST_GRAPH = r"""
+// ---------------------------------------------------------------------
+// Host-side graph loading: whitespace edge list "u v [w]", 0-indexed.
+// Undirected edges are stored as two directed edges (CSR and COO).
+// ---------------------------------------------------------------------
+struct Graph {
+  int nodes = 0;
+  int edges = 0;
+  std::vector<int> nbr_idx;   // CSR row offsets  (nodes + 1)
+  std::vector<int> nbr_list;  // CSR neighbors    (edges)
+  std::vector<int> e_weight;  // per-edge weights (edges)
+  std::vector<int> src_list;  // COO sources      (edges)
+  std::vector<int> dst_list;  // COO destinations (edges)
+};
+
+static Graph read_graph(const char* path) {
+  FILE* fh = fopen(path, "r");
+  if (!fh) { fprintf(stderr, "cannot open %s\n", path); exit(1); }
+  std::vector<int> us, vs, ws;
+  char line[256];
+  int maxv = -1;
+  while (fgets(line, sizeof line, fh)) {
+    if (line[0] == '#' || line[0] == '%' || line[0] == '\n') continue;
+    int u, v, w = 1;
+    int got = sscanf(line, "%d %d %d", &u, &v, &w);
+    if (got < 2 || u == v) continue;
+    us.push_back(u); vs.push_back(v); ws.push_back(w);
+    us.push_back(v); vs.push_back(u); ws.push_back(w);
+    maxv = std::max(maxv, std::max(u, v));
+  }
+  fclose(fh);
+  Graph g;
+  g.nodes = maxv + 1;
+  g.edges = (int)us.size();
+  g.nbr_idx.assign(g.nodes + 1, 0);
+  for (int e = 0; e < g.edges; e++) g.nbr_idx[us[e] + 1]++;
+  for (int v = 0; v < g.nodes; v++) g.nbr_idx[v + 1] += g.nbr_idx[v];
+  g.nbr_list.resize(g.edges);
+  g.e_weight.resize(g.edges);
+  g.src_list.resize(g.edges);
+  g.dst_list.resize(g.edges);
+  std::vector<int> cursor(g.nbr_idx.begin(), g.nbr_idx.end() - 1);
+  for (int e = 0; e < g.edges; e++) {
+    int slot = cursor[us[e]]++;
+    g.nbr_list[slot] = vs[e];
+    g.e_weight[slot] = ws[e];
+  }
+  for (int v = 0; v < g.nodes; v++)
+    for (int i = g.nbr_idx[v]; i < g.nbr_idx[v + 1]; i++) {
+      g.src_list[i] = v;
+      g.dst_list[i] = g.nbr_list[i];
+    }
+  return g;
+}
+"""
+
+
+def _relax_cost_expr(alg: Algorithm) -> str:
+    if alg is Algorithm.SSSP:
+        return "e_weight[i]"
+    if alg is Algorithm.BFS:
+        return "1"
+    return "0"  # CC propagates labels
+
+
+def _relax_cost_expr_edge(alg: Algorithm) -> str:
+    if alg is Algorithm.SSSP:
+        return "e_weight[e]"
+    if alg is Algorithm.BFS:
+        return "1"
+    return "0"
+
+
+def _serial_reference(alg: Algorithm) -> str:
+    if alg in (Algorithm.BFS, Algorithm.SSSP, Algorithm.CC):
+        return r"""
+static std::vector<val_t> serial_reference(const Graph& g, int source) {
+  std::vector<val_t> val(g.nodes, VAL_MAX);
+  if (SOURCE_BASED) val[source] = 0;
+  else for (int v = 0; v < g.nodes; v++) val[v] = v;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int v = 0; v < g.nodes; v++) {
+      if (val[v] == VAL_MAX) continue;
+      for (int i = g.nbr_idx[v]; i < g.nbr_idx[v + 1]; i++) {
+        long long cand = (long long)val[v] + EDGE_COST_SERIAL;
+        if (cand < (long long)val[g.nbr_list[i]]) {
+          val[g.nbr_list[i]] = (val_t)cand;
+          changed = true;
+        }
+      }
+    }
+  }
+  return val;
+}
+"""
+    if alg is Algorithm.MIS:
+        return r"""
+static std::vector<signed char> serial_reference(const Graph& g, int) {
+  std::vector<int> order(g.nodes);
+  for (int v = 0; v < g.nodes; v++) order[v] = v;
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return hash_pri(a) > hash_pri(b); });
+  std::vector<signed char> status(g.nodes, 0);
+  for (int v : order) {
+    if (status[v] != 0) continue;
+    status[v] = 1;
+    for (int i = g.nbr_idx[v]; i < g.nbr_idx[v + 1]; i++)
+      if (status[g.nbr_list[i]] == 0) status[g.nbr_list[i]] = 2;
+  }
+  return status;
+}
+"""
+    if alg is Algorithm.PR:
+        return r"""
+static std::vector<rank_t> serial_reference(const Graph& g, int) {
+  std::vector<rank_t> rank(g.nodes, (rank_t)1 / g.nodes), next(g.nodes);
+  for (int iter = 0; iter < 10000; iter++) {
+    rank_t base = (1 - DAMPING) / g.nodes, err = 0;
+    for (int v = 0; v < g.nodes; v++) next[v] = base;
+    for (int v = 0; v < g.nodes; v++) {
+      int deg = g.nbr_idx[v + 1] - g.nbr_idx[v];
+      if (!deg) continue;
+      rank_t c = DAMPING * rank[v] / deg;
+      for (int i = g.nbr_idx[v]; i < g.nbr_idx[v + 1]; i++)
+        next[g.nbr_list[i]] += c;
+    }
+    for (int v = 0; v < g.nodes; v++) err += fabs(next[v] - rank[v]);
+    rank.swap(next);
+    if (err < TOLERANCE) break;
+  }
+  return rank;
+}
+"""
+    return r"""
+static long long serial_reference(const Graph& g, int) {
+  long long total = 0;
+  for (int v = 0; v < g.nodes; v++)
+    for (int i = g.nbr_idx[v]; i < g.nbr_idx[v + 1]; i++) {
+      int u = g.nbr_list[i];
+      if (u <= v) continue;
+      int a = g.nbr_idx[v], b = g.nbr_idx[u];
+      while (a < g.nbr_idx[v + 1] && b < g.nbr_idx[u + 1]) {
+        int x = g.nbr_list[a], y = g.nbr_list[b];
+        if (x <= v) { a++; continue; }
+        if (y <= u) { b++; continue; }
+        if (x == y) { total++; a++; b++; }
+        else if (x < y) a++;
+        else b++;
+      }
+    }
+  return total;
+}
+"""
+
+
+def _emit_item_header(w: CodeWriter, spec: StyleSpec, count_expr: str) -> None:
+    """Listing 1/2/7/8: derive the work-item id from gidx (or the grid
+    stride loop), honoring granularity and persistence."""
+    gran = spec.granularity
+    w.line(f"const long long gidx = (long long)threadIdx.x + "
+           f"(long long)blockIdx.x * blockDim.x;")
+    if gran is Granularity.THREAD:
+        w.line("long long item = gidx;")
+    elif gran is Granularity.WARP:
+        w.lines("const int lane = threadIdx.x % WS;",
+                "long long item = gidx / WS;")
+    else:
+        w.line("long long item = blockIdx.x;")
+    if spec.persistence is Persistence.PERSISTENT:
+        stride = {
+            Granularity.THREAD: "(long long)gridDim.x * blockDim.x",
+            Granularity.WARP: "((long long)gridDim.x * blockDim.x) / WS",
+            Granularity.BLOCK: "(long long)gridDim.x",
+        }[gran]
+        w.open(f"for (; item < {count_expr}; item += {stride})")
+    else:
+        w.open(f"if (item < {count_expr})")
+
+
+def _emit_inner_loop(w: CodeWriter, spec: StyleSpec, beg: str, end: str) -> None:
+    """Listing 8: the neighbor loop at the chosen granularity."""
+    gran = spec.granularity
+    if gran is Granularity.THREAD:
+        w.open(f"for (int i = {beg}; i < {end}; i++)")
+    elif gran is Granularity.WARP:
+        w.open(f"for (int i = {beg} + lane; i < {end}; i += WS)")
+    else:
+        w.open(f"for (int i = {beg} + (int)threadIdx.x; i < {end}; "
+               f"i += blockDim.x)")
+
+
+def _atomic_min(spec: StyleSpec, cell: str, value: str) -> str:
+    if spec.atomic_flavor is AtomicFlavor.CUDA_ATOMIC:
+        return f"{cell}.fetch_min({value});"
+    return f"atomicMin(&{cell}, {value});"
+
+
+def _load(spec: StyleSpec, cell: str) -> str:
+    if spec.atomic_flavor is AtomicFlavor.CUDA_ATOMIC:
+        return f"{cell}.load()"
+    return cell
+
+
+def _store(spec: StyleSpec, cell: str, value: str) -> str:
+    if spec.atomic_flavor is AtomicFlavor.CUDA_ATOMIC:
+        return f"{cell}.store({value});"
+    return f"{cell} = {value};"
+
+
+def _val_type(spec: StyleSpec) -> str:
+    if spec.atomic_flavor is AtomicFlavor.CUDA_ATOMIC:
+        return "cuda::atomic<val_t>"
+    return "val_t"
+
+
+def _emit_relax_kernel(w: CodeWriter, spec: StyleSpec) -> None:
+    """The relaxation kernel for BFS / SSSP / CC in the selected style."""
+    alg = spec.algorithm
+    data = spec.driver is Driver.DATA
+    pull = spec.flow is Flow.PULL
+    det = spec.determinism is Determinism.DETERMINISTIC
+    vt = _val_type(spec)
+    read = "val_in" if det else "val"
+    write = "val_out" if det else "val"
+
+    params = [
+        "const int nodes", "const int edges",
+        "const int* __restrict__ nbr_idx",
+        "const int* __restrict__ nbr_list",
+        "const int* __restrict__ e_weight",
+        "const int* __restrict__ src_list",
+        "const int* __restrict__ dst_list",
+    ]
+    if det:
+        params += [f"{vt}* val_in", f"{vt}* val_out"]
+    else:
+        params += [f"{vt}* val"]
+    if data:
+        params += ["const int* __restrict__ wl", "const int wl_size",
+                   "int* wl_next", "int* wl_next_size", "int* stat",
+                   "const int itr"]
+    params += ["int* changed"]
+    w.open(f"__global__ void relax_kernel({', '.join(params)})")
+
+    if spec.iteration is Iteration.VERTEX:
+        count = "wl_size" if data else "nodes"
+        _emit_item_header(w, spec, count)
+        w.line("const int v = " + ("wl[item];" if data else "(int)item;"))
+        w.lines("const int beg = nbr_idx[v];",
+                "const int end = nbr_idx[v + 1];")
+        _emit_inner_loop(w, spec, "beg", "end")
+        w.line("const int u = nbr_list[i];")
+        if pull:
+            w.line(f"const val_t other = {_load(spec, read + '[u]')};")
+            w.line("if (other == VAL_MAX) continue;")
+            w.line(f"const val_t new_val = other + {_relax_cost_expr(alg)};")
+            _emit_update(w, spec, write, "v", push_target=False)
+        else:
+            w.line(f"const val_t mine = {_load(spec, read + '[v]')};")
+            w.line("if (mine == VAL_MAX) break;")
+            w.line(f"const val_t new_val = mine + {_relax_cost_expr(alg)};")
+            _emit_update(w, spec, write, "u", push_target=True)
+        w.close()  # inner loop
+        w.close()  # item guard / persistent loop
+    else:  # EDGE
+        count = "wl_size" if data else "edges"
+        _emit_item_header(w, spec, count)
+        w.line("const int e = " + ("wl[item];" if data else "(int)item;"))
+        if pull:
+            w.lines("const int v = src_list[e];", "const int u = dst_list[e];")
+        else:
+            w.lines("const int v = dst_list[e];", "const int u = src_list[e];")
+        w.line(f"const val_t other = {_load(spec, read + '[u]')};")
+        w.open("if (other != VAL_MAX)")
+        w.line(f"const val_t new_val = other + {_relax_cost_expr_edge(alg)};")
+        _emit_update(w, spec, write, "v", push_target=not pull)
+        w.close()
+        w.close()  # item guard / persistent loop
+    w.close()  # kernel
+
+
+def _emit_update(
+    w: CodeWriter, spec: StyleSpec, write: str, target: str, push_target: bool
+) -> None:
+    """Listing 5 + Listing 3: the conditional update and the worklist push."""
+    data = spec.driver is Driver.DATA
+    cell = f"{write}[{target}]"
+    if spec.update is Update.READ_MODIFY_WRITE:
+        w.line(f"const val_t old_val = {_load(spec, cell)};")
+        w.open("if (new_val < old_val)")
+        w.line(_atomic_min(spec, cell, "new_val"))
+    else:
+        w.line(f"const val_t old_val = {_load(spec, cell)};")
+        w.open("if (new_val < old_val)")
+        w.line(_store(spec, cell, "new_val"))
+    w.line("*changed = 1;")
+    if data:
+        _emit_push(w, spec, target)
+    w.close()
+
+
+def _emit_push(w: CodeWriter, spec: StyleSpec, target: str) -> None:
+    """Listing 3: populate the next worklist after an improvement.
+
+    Push flow enqueues the improved vertex (vertex items) or its out-edges
+    (edge items); pull flow enqueues every neighbor of the improved vertex
+    — the "useless items" trade-off of Section 2.4.
+    """
+    vertex = spec.iteration is Iteration.VERTEX
+    pull = spec.flow is Flow.PULL
+
+    def enqueue(expr: str) -> None:
+        if spec.dup is Dup.NODUP:
+            w.open(f"if (atomicMax(&stat[{expr}], itr) != itr)")
+            w.lines("const int slot = atomicAdd(wl_next_size, 1);",
+                    f"wl_next[slot] = {expr};")
+            w.close()
+        else:
+            w.lines("const int slot = atomicAdd(wl_next_size, 1);",
+                    f"wl_next[slot] = {expr};")
+
+    if vertex and not pull:
+        enqueue(target)
+    elif vertex and pull:
+        w.open(f"for (int k = nbr_idx[{target}]; k < nbr_idx[{target} + 1]; k++)")
+        enqueue("nbr_list[k]")
+        w.close()
+    else:  # edge items (push flow only): enqueue the out-edges
+        w.open(f"for (int k = nbr_idx[{target}]; k < nbr_idx[{target} + 1]; k++)")
+        enqueue("k")
+        w.close()
+
+
+def _emit_reduction(w: CodeWriter, spec: StyleSpec, value: str, ctr: str) -> None:
+    """Listing 10: the three GPU sum-reduction styles."""
+    red = spec.gpu_reduction
+    if red is GpuReduction.GLOBAL_ADD:
+        w.line(f"atomicAdd({ctr}, {value});")
+    elif red is GpuReduction.BLOCK_ADD:
+        w.lines(
+            f"atomicAdd_block(&block_ctr, {value});",
+            "__syncthreads();  // block barrier",
+            "if (threadIdx.x == 0) atomicAdd(" + ctr + ", block_ctr);",
+        )
+    else:
+        w.lines(
+            f"auto warp_val = warp_reduce({value});",
+            "__syncthreads();  // block barrier",
+            "auto block_val = block_reduce(warp_val);",
+            "__syncthreads();  // block barrier",
+            "if (threadIdx.x == 0) atomicAdd(" + ctr + ", block_val);",
+        )
+
+
+_WARP_REDUCE = r"""
+__device__ inline double warp_reduce(double val) {
+  for (int offset = WS / 2; offset > 0; offset /= 2)
+    val += __shfl_down_sync(0xffffffff, val, offset);
+  return val;
+}
+__shared__ double shared_partials[32];
+__device__ inline double block_reduce(double val) {
+  const int lane = threadIdx.x % WS, wid = threadIdx.x / WS;
+  if (lane == 0) shared_partials[wid] = val;
+  __syncthreads();
+  double out = (threadIdx.x < blockDim.x / WS) ? shared_partials[lane] : 0.0;
+  if (wid == 0) out = warp_reduce(out);
+  return out;
+}
+"""
+
+
+def _emit_pr_kernels(w: CodeWriter, spec: StyleSpec) -> None:
+    pull = spec.flow is Flow.PULL
+    det = spec.determinism is Determinism.DETERMINISTIC
+    read = "rank_in" if det else "rank"
+    write = "rank_out" if det else "rank"
+    if spec.gpu_reduction is GpuReduction.REDUCTION_ADD:
+        w.raw(_WARP_REDUCE.replace("double", "rank_t"))
+        w.blank()
+    if spec.gpu_reduction is GpuReduction.BLOCK_ADD:
+        w.line("__device__ rank_t block_ctr;")
+        w.blank()
+    params = (
+        "const int nodes, const int* __restrict__ nbr_idx, "
+        "const int* __restrict__ nbr_list, const int* __restrict__ deg, "
+        f""
+    )
+    w.open(f"__global__ void pr_kernel({params})")
+    _emit_item_header(w, spec, "nodes")
+    w.line("const int v = (int)item;")
+    w.lines("const int beg = nbr_idx[v];", "const int end = nbr_idx[v + 1];")
+    if pull:
+        w.line("rank_t sum = 0;")
+        _emit_inner_loop(w, spec, "beg", "end")
+        w.line(f"const int u = nbr_list[i];")
+        w.line(f"sum += {read}[u] / deg[u];")
+        w.close()
+        w.line(f"const rank_t new_rank = (1 - DAMPING) / nodes + DAMPING * sum;")
+        w.line(f"const rank_t delta = fabs(new_rank - {read}[v]);")
+        w.line(f"{write}[v] = new_rank;")
+    else:
+        w.line(f"const rank_t contrib = DAMPING * {read}[v] / max(deg[v], 1);")
+        _emit_inner_loop(w, spec, "beg", "end")
+        w.line("atomicAdd(&" + write + "[nbr_list[i]], contrib);")
+        w.close()
+        w.line(f"const rank_t delta = fabs({write}[v] - {read}[v]);")
+    _emit_reduction(w, spec, "delta", "err")
+    w.close()  # item guard
+    w.close()  # kernel
+
+
+def _emit_tc_kernel(w: CodeWriter, spec: StyleSpec) -> None:
+    if spec.gpu_reduction is GpuReduction.REDUCTION_ADD:
+        w.raw(_WARP_REDUCE.replace("double", "long long").replace(" 0.0;", " 0;"))
+        w.blank()
+    if spec.gpu_reduction is GpuReduction.BLOCK_ADD:
+        w.line("__device__ long long block_ctr;")
+        w.blank()
+    w.open(
+        "__global__ void tc_kernel(const int nodes, const int edges, "
+        "const int* __restrict__ nbr_idx, const int* __restrict__ nbr_list, "
+        "const int* __restrict__ src_list, const int* __restrict__ dst_list, "
+        "unsigned long long* ctr)"
+    )
+    vertex = spec.iteration is Iteration.VERTEX
+    _emit_item_header(w, spec, "nodes" if vertex else "edges")
+    w.line("long long count = 0;")
+    if vertex:
+        w.line("const int v = (int)item;")
+        w.open("for (int j = nbr_idx[v]; j < nbr_idx[v + 1]; j++)")
+        w.lines("const int u = nbr_list[j];", "if (u <= v) continue;")
+    else:
+        w.lines("const int v = src_list[item];", "const int u = dst_list[item];")
+        w.open("if (u > v)")
+    # Strip-mined sorted merge over the two forward lists.
+    w.raw(
+        """
+int a = nbr_idx[v], b = nbr_idx[u];
+while (a < nbr_idx[v + 1] && b < nbr_idx[u + 1]) {
+  const int x = nbr_list[a], y = nbr_list[b];
+  if (x <= v) { a++; continue; }
+  if (y <= u) { b++; continue; }
+  if (x == y) { count++; a++; b++; }
+  else if (x < y) a++; else b++;
+}
+"""
+    )
+    w.close()  # pair loop / forward guard
+    w.open("if (count)")
+    _emit_reduction(w, spec, "(unsigned long long)count", "ctr")
+    w.close()
+    w.close()  # item guard
+    w.close()  # kernel
+
+
+def _emit_mis_kernel(w: CodeWriter, spec: StyleSpec) -> None:
+    data = spec.driver is Driver.DATA
+    det = spec.determinism is Determinism.DETERMINISTIC
+    read = "status_in" if det else "status"
+    write = "status_out" if det else "status"
+    params = [
+        "const int nodes", "const int edges",
+        "const int* __restrict__ nbr_idx", "const int* __restrict__ nbr_list",
+        "const int* __restrict__ src_list", "const int* __restrict__ dst_list",
+        f"signed char* {read}" if not det else
+        f"const signed char* {read}, signed char* {write}",
+    ]
+    if data:
+        params += ["const int* __restrict__ wl", "const int wl_size",
+                   "int* stat", "const int itr"]
+    params += ["int* changed"]
+    w.open(f"__global__ void mis_kernel({', '.join(params)})")
+    if spec.iteration is Iteration.VERTEX:
+        count = "wl_size" if data else "nodes"
+        _emit_item_header(w, spec, count)
+        w.line("const int v = " + ("wl[item];" if data else "(int)item;"))
+        w.open(f"if ({read}[v] == 0)")
+        w.raw(
+            f"""
+bool in_set = true;
+for (int i = nbr_idx[v]; i < nbr_idx[v + 1]; i++) {{
+  const int u = nbr_list[i];
+  if ({read}[u] == 1) {{ {write}[v] = 2; *changed = 1; in_set = false; break; }}
+  if ({read}[u] == 0 && hash_pri(u) > hash_pri(v)) {{ in_set = false; break; }}
+}}
+"""
+        )
+        w.open("if (in_set)")
+        w.lines(f"{write}[v] = 1;", "*changed = 1;")
+        if spec.flow is Flow.PUSH:
+            w.open("for (int i = nbr_idx[v]; i < nbr_idx[v + 1]; i++)")
+            w.line(f"if ({read}[nbr_list[i]] == 0) {write}[nbr_list[i]] = 2;")
+            w.close()
+        w.close()
+        w.close()  # undecided guard
+        w.close()  # item guard
+    else:  # EDGE: phase-1 blocking kernel (a joiner pass follows on host)
+        count = "wl_size" if data else "edges"
+        _emit_item_header(w, spec, count)
+        w.line("const int e = " + ("wl[item];" if data else "(int)item;"))
+        if spec.flow is Flow.PULL:
+            w.lines("const int mine = src_list[e];", "const int other = dst_list[e];")
+        else:
+            w.lines("const int mine = dst_list[e];", "const int other = src_list[e];")
+        w.open(f"if ({read}[mine] == 0)")
+        w.line(f"if ({read}[other] == 1) {{ {write}[mine] = 2; *changed = 1; }}")
+        w.line(f"else if ({read}[other] == 0 && hash_pri(other) > hash_pri(mine)) "
+               f"blocked[mine] = 1;")
+        w.close()
+        w.close()  # item guard
+    w.close()  # kernel
+
+
+_RELAX_MAIN = r"""
+int main(int argc, char** argv) {
+  if (argc < 2) { fprintf(stderr, "usage: %s graph.el [source]\n", argv[0]); return 1; }
+  Graph g = read_graph(argv[1]);
+  const int source = argc > 2 ? atoi(argv[2]) : 0;
+  printf("input: %d nodes, %d directed edges\n", g.nodes, g.edges);
+
+  // Device buffers.
+  int *d_nbr_idx, *d_nbr_list, *d_e_weight, *d_src, *d_dst, *d_changed;
+  cudaMalloc(&d_nbr_idx, (g.nodes + 1) * sizeof(int));
+  cudaMalloc(&d_nbr_list, g.edges * sizeof(int));
+  cudaMalloc(&d_e_weight, g.edges * sizeof(int));
+  cudaMalloc(&d_src, g.edges * sizeof(int));
+  cudaMalloc(&d_dst, g.edges * sizeof(int));
+  cudaMalloc(&d_changed, sizeof(int));
+  cudaMemcpy(d_nbr_idx, g.nbr_idx.data(), (g.nodes + 1) * sizeof(int), cudaMemcpyHostToDevice);
+  cudaMemcpy(d_nbr_list, g.nbr_list.data(), g.edges * sizeof(int), cudaMemcpyHostToDevice);
+  cudaMemcpy(d_e_weight, g.e_weight.data(), g.edges * sizeof(int), cudaMemcpyHostToDevice);
+  cudaMemcpy(d_src, g.src_list.data(), g.edges * sizeof(int), cudaMemcpyHostToDevice);
+  cudaMemcpy(d_dst, g.dst_list.data(), g.edges * sizeof(int), cudaMemcpyHostToDevice);
+
+  std::vector<val_t> init(g.nodes, VAL_MAX);
+  if (SOURCE_BASED) init[source] = 0;
+  else for (int v = 0; v < g.nodes; v++) init[v] = v;
+  VAL_T* d_val;  VAL_T* d_val2 = nullptr;
+  cudaMalloc(&d_val, g.nodes * sizeof(VAL_T));
+  cudaMemcpy(d_val, init.data(), g.nodes * sizeof(val_t), cudaMemcpyHostToDevice);
+#if DETERMINISTIC
+  cudaMalloc(&d_val2, g.nodes * sizeof(VAL_T));
+#endif
+#if DATA_DRIVEN
+  int *d_wl, *d_wl_next, *d_wl_size, *d_stat;
+  cudaMalloc(&d_wl, (size_t)(g.edges + g.nodes) * sizeof(int));
+  cudaMalloc(&d_wl_next, (size_t)(g.edges + g.nodes) * sizeof(int));
+  cudaMalloc(&d_wl_size, sizeof(int));
+  cudaMalloc(&d_stat, g.nodes * sizeof(int));
+  cudaMemset(d_stat, 0xff, g.nodes * sizeof(int));
+  std::vector<int> wl0 = initial_worklist(g, source);
+  int wl_size = (int)wl0.size();
+  cudaMemcpy(d_wl, wl0.data(), wl_size * sizeof(int), cudaMemcpyHostToDevice);
+#endif
+
+  cudaEvent_t t0, t1; cudaEventCreate(&t0); cudaEventCreate(&t1);
+  cudaEventRecord(t0);
+  int itr = 0;
+  for (;;) {
+    itr++;
+    int changed = 0;
+    cudaMemcpy(d_changed, &changed, sizeof(int), cudaMemcpyHostToDevice);
+#if DETERMINISTIC
+    cudaMemcpy(d_val2, d_val, g.nodes * sizeof(VAL_T), cudaMemcpyDeviceToDevice);
+#endif
+#if DATA_DRIVEN
+    if (wl_size == 0) break;
+    int zero = 0;
+    cudaMemcpy(d_wl_size, &zero, sizeof(int), cudaMemcpyHostToDevice);
+    const long long items = (long long)wl_size * ITEM_THREADS;
+#else
+    const long long items = (long long)WORK_ITEMS(g) * ITEM_THREADS;
+#endif
+    const int block = 256;
+    const long long grid = PERSISTENT_GRID(items, block);
+    relax_kernel<<<grid, block>>>(RELAX_ARGS);
+    cudaDeviceSynchronize();
+#if DATA_DRIVEN
+    cudaMemcpy(&wl_size, d_wl_size, sizeof(int), cudaMemcpyDeviceToHost);
+    std::swap(d_wl, d_wl_next);
+#else
+    cudaMemcpy(&changed, d_changed, sizeof(int), cudaMemcpyDeviceToHost);
+    if (!changed) break;
+#endif
+#if DETERMINISTIC
+    std::swap(d_val, d_val2);
+#endif
+  }
+  cudaEventRecord(t1); cudaEventSynchronize(t1);
+  float ms = 0.f; cudaEventElapsedTime(&ms, t0, t1);
+  printf("converged after %d iterations in %.3f ms (%.4f GES)\n",
+         itr, ms, g.edges / (ms * 1e6));
+
+  // Verification against the serial reference (Section 4.1).
+  std::vector<val_t> result(g.nodes);
+  cudaMemcpy(result.data(), d_val, g.nodes * sizeof(val_t), cudaMemcpyDeviceToHost);
+  std::vector<val_t> expected = serial_reference(g, source);
+  for (int v = 0; v < g.nodes; v++)
+    if (normalize(result, v) != normalize(expected, v)) {
+      fprintf(stderr, "MISMATCH at vertex %d\n", v);
+      return 1;
+    }
+  printf("verified OK\n");
+  return 0;
+}
+"""
+
+
+def _emit_relax_main(w: CodeWriter, spec: StyleSpec) -> None:
+    alg = spec.algorithm
+    data = spec.driver is Driver.DATA
+    det = spec.determinism is Determinism.DETERMINISTIC
+    vertex = spec.iteration is Iteration.VERTEX
+    gran_threads = {
+        Granularity.THREAD: "1",
+        Granularity.WARP: "WS",
+        Granularity.BLOCK: "256",
+    }[spec.granularity]
+    persistent = spec.persistence is Persistence.PERSISTENT
+
+    w.line(f"#define SOURCE_BASED {int(alg is not Algorithm.CC)}")
+    w.line(f"#define DETERMINISTIC {int(det)}")
+    w.line(f"#define DATA_DRIVEN {int(data)}")
+    w.line(f"#define ITEM_THREADS {gran_threads}")
+    cost_serial = {
+        Algorithm.SSSP: "g.e_weight[i]", Algorithm.BFS: "1", Algorithm.CC: "0"
+    }[alg]
+    w.line(f"#define EDGE_COST_SERIAL {cost_serial}")
+    w.line(f"#define WORK_ITEMS(g) "
+           + ("(g).nodes" if vertex else "(g).edges"))
+    if persistent:
+        w.line("#define PERSISTENT_GRID(items, block) "
+               "std::min<long long>((items + block - 1) / block, 2048LL)")
+    else:
+        w.line("#define PERSISTENT_GRID(items, block) ((items + block - 1) / block)")
+    w.line(f"typedef {_val_type(spec)} VAL_T;")
+    w.blank()
+    # Argument pack for the kernel call.
+    args = ["g.nodes", "g.edges", "d_nbr_idx", "d_nbr_list", "d_e_weight",
+            "d_src", "d_dst"]
+    args += ["d_val, d_val2"] if det else ["d_val"]
+    if data:
+        args += ["d_wl", "wl_size", "d_wl_next", "d_wl_size", "d_stat", "itr"]
+    args += ["d_changed"]
+    w.line(f"#define RELAX_ARGS {', '.join(args)}")
+    w.blank()
+    if data:
+        if vertex:
+            w.raw(
+                """
+static std::vector<int> initial_worklist(const Graph& g, int source) {
+  if (!SOURCE_BASED) {
+    std::vector<int> all(g.nodes);
+    for (int v = 0; v < g.nodes; v++) all[v] = v;
+    return all;
+  }
+#if PULL_FLOW
+  std::vector<int> wl(g.nbr_list.begin() + g.nbr_idx[source],
+                      g.nbr_list.begin() + g.nbr_idx[source + 1]);
+  return wl;
+#else
+  return std::vector<int>{source};
+#endif
+}
+"""
+            )
+        else:
+            w.raw(
+                """
+static std::vector<int> initial_worklist(const Graph& g, int source) {
+  std::vector<int> wl;
+  if (!SOURCE_BASED) {
+    wl.resize(g.edges);
+    for (int e = 0; e < g.edges; e++) wl[e] = e;
+  } else {
+    for (int i = g.nbr_idx[source]; i < g.nbr_idx[source + 1]; i++)
+      wl.push_back(i);
+  }
+  return wl;
+}
+"""
+            )
+        w.blank()
+    if alg is Algorithm.CC:
+        w.raw(
+            """
+static val_t normalize(const std::vector<val_t>& labels, int v) {
+  // Component labels are compared through their minimum representative.
+  val_t x = labels[v];
+  while (labels[(int)x] != x) x = labels[(int)x];
+  return x;
+}
+"""
+        )
+    else:
+        w.line("static val_t normalize(const std::vector<val_t>& vals, int v) "
+               "{ return vals[v]; }")
+    w.blank()
+    w.raw(_RELAX_MAIN)
+
+
+def generate_cuda(spec: StyleSpec, *, data_bits: int = 32) -> str:
+    """Generate the complete CUDA source of one program variant.
+
+    ``data_bits`` selects the value width: the paper evaluates the 32-bit
+    versions (int/float) but Indigo2 ships 64-bit (long long / double)
+    variants too, doubling the suite.
+    """
+    if data_bits not in (32, 64):
+        raise ValueError("data_bits must be 32 or 64")
+    spec.validate()
+    alg = spec.algorithm
+    w = CodeWriter()
+    styles = ", ".join(f"{k}={v}" for k, v in spec.describe().items()
+                       if k not in ("algorithm", "model"))
+    w.lines(
+        "// " + "-" * 70,
+        f"// {ALGORITHM_TITLES[alg]} — CUDA",
+        f"// style: {styles}",
+        "// generated by repro.codegen (Indigo2-style program variant)",
+        "// " + "-" * 70,
+    )
+    w.raw(_PREAMBLE)
+    if spec.atomic_flavor is AtomicFlavor.CUDA_ATOMIC:
+        w.line("#include <cuda/atomic>")
+    w.blank()
+    w.line("#define WS 32  // warp size")
+    if data_bits == 32:
+        w.lines("typedef int val_t;", "#define VAL_MAX INT_MAX")
+    else:
+        w.lines("typedef long long val_t;", "#define VAL_MAX LLONG_MAX")
+    if alg is Algorithm.PR:
+        if data_bits == 32:
+            w.lines("typedef float rank_t;",
+                    "#define DAMPING 0.85f", "#define TOLERANCE 1e-4f")
+        else:
+            w.lines("typedef double rank_t;",
+                    "#define DAMPING 0.85", "#define TOLERANCE 1e-8")
+    w.blank()
+    w.raw(_HOST_GRAPH)
+    w.blank()
+    if alg in (Algorithm.MIS,):
+        w.raw(
+            """
+__host__ __device__ inline unsigned long long hash_pri(int v) {
+  unsigned long long x = (unsigned long long)v;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+"""
+        )
+        w.blank()
+    if spec.flow is Flow.PULL:
+        w.line("#define PULL_FLOW 1")
+    else:
+        w.line("#define PULL_FLOW 0")
+    w.blank()
+
+    if alg in (Algorithm.BFS, Algorithm.SSSP, Algorithm.CC):
+        w.raw(_serial_reference(alg)
+              .replace("EDGE_COST_SERIAL", {
+                  Algorithm.SSSP: "g.e_weight[i]",
+                  Algorithm.BFS: "1",
+                  Algorithm.CC: "0"}[alg])
+              .replace("SOURCE_BASED", "1" if alg is not Algorithm.CC else "0"))
+        w.blank()
+        _emit_relax_kernel(w, spec)
+        w.blank()
+        _emit_relax_main(w, spec)
+    elif alg is Algorithm.MIS:
+        w.raw(_serial_reference(alg))
+        w.blank()
+        if spec.iteration is Iteration.EDGE:
+            w.line("__device__ signed char blocked_storage[1 << 26];")
+            w.line("#define blocked blocked_storage")
+            w.blank()
+        _emit_mis_kernel(w, spec)
+        w.blank()
+        _emit_driverless_main(w, spec, "mis")
+    elif alg is Algorithm.PR:
+        w.raw(_serial_reference(alg))
+        w.blank()
+        _emit_pr_kernels(w, spec)
+        w.blank()
+        _emit_driverless_main(w, spec, "pr")
+    else:  # TC
+        w.raw(_serial_reference(alg))
+        w.blank()
+        _emit_tc_kernel(w, spec)
+        w.blank()
+        _emit_driverless_main(w, spec, "tc")
+    return w.render()
+
+
+_COMMON_DEVICE_SETUP = r"""
+  int *d_nbr_idx, *d_nbr_list, *d_src, *d_dst;
+  cudaMalloc(&d_nbr_idx, (g.nodes + 1) * sizeof(int));
+  cudaMalloc(&d_nbr_list, g.edges * sizeof(int));
+  cudaMalloc(&d_src, g.edges * sizeof(int));
+  cudaMalloc(&d_dst, g.edges * sizeof(int));
+  cudaMemcpy(d_nbr_idx, g.nbr_idx.data(), (g.nodes + 1) * sizeof(int), cudaMemcpyHostToDevice);
+  cudaMemcpy(d_nbr_list, g.nbr_list.data(), g.edges * sizeof(int), cudaMemcpyHostToDevice);
+  cudaMemcpy(d_src, g.src_list.data(), g.edges * sizeof(int), cudaMemcpyHostToDevice);
+  cudaMemcpy(d_dst, g.dst_list.data(), g.edges * sizeof(int), cudaMemcpyHostToDevice);
+"""
+
+
+def _emit_driverless_main(w: CodeWriter, spec: StyleSpec, kind: str) -> None:
+    """Host driver for MIS / PR / TC: setup, loop, verification."""
+    gran_threads = {
+        Granularity.THREAD: "1",
+        Granularity.WARP: "WS",
+        Granularity.BLOCK: "256",
+    }[spec.granularity]
+    vertex = spec.iteration is Iteration.VERTEX
+    det = spec.determinism is Determinism.DETERMINISTIC
+    items_expr = "g.nodes" if vertex else "g.edges"
+    w.open("int main(int argc, char** argv)")
+    w.raw(
+        r"""
+if (argc < 2) { fprintf(stderr, "usage: %s graph.el\n", argv[0]); return 1; }
+Graph g = read_graph(argv[1]);
+printf("input: %d nodes, %d directed edges\n", g.nodes, g.edges);
+"""
+    )
+    w.raw(_COMMON_DEVICE_SETUP)
+    w.line(f"const long long items = (long long){items_expr} * {gran_threads}LL;")
+    w.lines("const int block = 256;",
+            "const long long grid = (items + block - 1) / block;")
+    if kind == "tc":
+        w.raw(
+            """
+unsigned long long *d_ctr, total = 0;
+cudaMalloc(&d_ctr, sizeof(unsigned long long));
+cudaMemset(d_ctr, 0, sizeof(unsigned long long));
+tc_kernel<<<grid, block>>>(g.nodes, g.edges, d_nbr_idx, d_nbr_list, d_src, d_dst, d_ctr);
+cudaDeviceSynchronize();
+cudaMemcpy(&total, d_ctr, sizeof(unsigned long long), cudaMemcpyDeviceToHost);
+const long long expected = serial_reference(g, 0);
+printf("triangles: %llu\n", total);
+if ((long long)total != expected) { fprintf(stderr, "MISMATCH: expected %lld\n", expected); return 1; }
+printf("verified OK\n");
+return 0;
+"""
+        )
+        w.close()
+        return
+    if kind == "pr":
+        buffers = (
+            "rank_t *d_rank, *d_rank2 = nullptr, *d_err;"
+            if det else "rank_t *d_rank, *d_err;"
+        )
+        w.raw(
+            f"""
+{buffers}
+int* d_deg;
+cudaMalloc(&d_rank, g.nodes * sizeof(rank_t));
+cudaMalloc(&d_err, sizeof(rank_t));
+cudaMalloc(&d_deg, g.nodes * sizeof(int));
+std::vector<rank_t> rank0(g.nodes, (rank_t)1 / g.nodes);
+std::vector<int> deg(g.nodes);
+for (int v = 0; v < g.nodes; v++) deg[v] = g.nbr_idx[v + 1] - g.nbr_idx[v];
+cudaMemcpy(d_rank, rank0.data(), g.nodes * sizeof(rank_t), cudaMemcpyHostToDevice);
+cudaMemcpy(d_deg, deg.data(), g.nodes * sizeof(int), cudaMemcpyHostToDevice);
+"""
+        )
+        if det:
+            w.line("cudaMalloc(&d_rank2, g.nodes * sizeof(rank_t));")
+        read, write = ("d_rank", "d_rank2") if det else ("d_rank", "d_rank")
+        w.open("for (int iter = 0; iter < 10000; iter++)")
+        w.raw(
+            f"""
+rank_t err = 0;
+cudaMemcpy(d_err, &err, sizeof(rank_t), cudaMemcpyHostToDevice);
+pr_kernel<<<grid, block>>>(g.nodes, d_nbr_idx, d_nbr_list, d_deg, {read}, {write}, d_err);
+cudaDeviceSynchronize();
+cudaMemcpy(&err, d_err, sizeof(rank_t), cudaMemcpyDeviceToHost);
+"""
+        )
+        if det:
+            w.line("std::swap(d_rank, d_rank2);")
+        w.line("if (err < TOLERANCE) break;")
+        w.close()
+        w.raw(
+            """
+std::vector<rank_t> result(g.nodes);
+cudaMemcpy(result.data(), d_rank, g.nodes * sizeof(rank_t), cudaMemcpyDeviceToHost);
+std::vector<rank_t> expected = serial_reference(g, 0);
+for (int v = 0; v < g.nodes; v++)
+  if (fabs(result[v] - expected[v]) > (rank_t)1e-4) {
+    fprintf(stderr, "MISMATCH at vertex %d\n", v);
+    return 1;
+  }
+printf("verified OK\n");
+return 0;
+"""
+        )
+        w.close()
+        return
+    # kind == "mis"
+    data = spec.driver is Driver.DATA
+    status_buffers = (
+        "signed char *d_status, *d_status2;" if det else "signed char *d_status;"
+    )
+    w.raw(
+        f"""
+{status_buffers}
+int* d_changed;
+cudaMalloc(&d_status, g.nodes);
+cudaMemset(d_status, 0, g.nodes);
+cudaMalloc(&d_changed, sizeof(int));
+"""
+    )
+    if det:
+        w.line("cudaMalloc(&d_status2, g.nodes);")
+    if data:
+        w.raw(
+            """
+int *d_wl, *d_stat;
+cudaMalloc(&d_wl, (size_t)(g.edges + g.nodes) * sizeof(int));
+cudaMalloc(&d_stat, g.nodes * sizeof(int));
+cudaMemset(d_stat, 0xff, g.nodes * sizeof(int));
+"""
+        )
+    status_args = "d_status, d_status2" if det else "d_status"
+    wl_args = ", d_wl, wl_size, d_stat, iter" if data else ""
+    w.open("for (int iter = 1; ; iter++)")
+    if data:
+        w.raw(
+            """
+// Rebuild the undecided worklist on the host (simple reference scheme).
+std::vector<signed char> snapshot(g.nodes);
+cudaMemcpy(snapshot.data(), d_status, g.nodes, cudaMemcpyDeviceToHost);
+std::vector<int> undecided;
+for (int v = 0; v < g.nodes; v++) if (snapshot[v] == 0) undecided.push_back(v);
+const int wl_size = (int)undecided.size();
+if (wl_size == 0) break;
+cudaMemcpy(d_wl, undecided.data(), wl_size * sizeof(int), cudaMemcpyHostToDevice);
+"""
+        )
+    if det:
+        w.line("cudaMemcpy(d_status2, d_status, g.nodes, "
+               "cudaMemcpyDeviceToDevice);")
+    w.raw(
+        f"""
+int changed = 0;
+cudaMemcpy(d_changed, &changed, sizeof(int), cudaMemcpyHostToDevice);
+mis_kernel<<<grid, block>>>(g.nodes, g.edges, d_nbr_idx, d_nbr_list, d_src, d_dst, {status_args}{wl_args}, d_changed);
+cudaDeviceSynchronize();
+cudaMemcpy(&changed, d_changed, sizeof(int), cudaMemcpyDeviceToHost);
+"""
+    )
+    if det:
+        w.line("std::swap(d_status, d_status2);")
+    if not data:
+        w.line("if (!changed) break;")
+    w.close()
+    w.raw(
+        """
+std::vector<signed char> result(g.nodes);
+cudaMemcpy(result.data(), d_status, g.nodes, cudaMemcpyDeviceToHost);
+std::vector<signed char> expected = serial_reference(g, 0);
+for (int v = 0; v < g.nodes; v++)
+  if ((result[v] == 1) != (expected[v] == 1)) {
+    fprintf(stderr, "MISMATCH at vertex %d\n", v);
+    return 1;
+  }
+printf("verified OK\n");
+return 0;
+"""
+    )
+    w.close()

@@ -1,0 +1,115 @@
+"""Coordinate-format (COO) graph container.
+
+The paper stores the inputs for all *edge-based* codes in COO form
+(Section 4.2): two edge-parallel arrays ``src_list`` and ``dst_list`` plus an
+optional weight array.  Edge-based kernels assign one edge per work item
+(Listing 1b), so the COO arrays are their primary data structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["COOGraph"]
+
+
+@dataclass(frozen=True)
+class COOGraph:
+    """An immutable directed graph as an edge list.
+
+    Attributes
+    ----------
+    src:
+        ``int32[n_edges]`` source vertex of each directed edge.
+    dst:
+        ``int32[n_edges]`` destination vertex of each directed edge.
+    n_vertices:
+        Number of vertices (may exceed ``max(src, dst) + 1`` for graphs with
+        isolated vertices).
+    weights:
+        Optional ``int32[n_edges]`` edge weights.
+    """
+
+    src: np.ndarray
+    dst: np.ndarray
+    n_vertices: int
+    weights: Optional[np.ndarray] = None
+    name: str = "graph"
+
+    def __post_init__(self) -> None:
+        src = np.ascontiguousarray(self.src, dtype=np.int32)
+        dst = np.ascontiguousarray(self.dst, dtype=np.int32)
+        object.__setattr__(self, "src", src)
+        object.__setattr__(self, "dst", dst)
+        if self.weights is not None:
+            w = np.ascontiguousarray(self.weights, dtype=np.int32)
+            object.__setattr__(self, "weights", w)
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.src.shape != self.dst.shape:
+            raise ValueError("src and dst must have the same shape")
+        if self.src.ndim != 1:
+            raise ValueError("src/dst must be one-dimensional")
+        if self.n_vertices < 0:
+            raise ValueError("n_vertices must be non-negative")
+        if self.src.size:
+            hi = max(int(self.src.max()), int(self.dst.max()))
+            lo = min(int(self.src.min()), int(self.dst.min()))
+            if lo < 0 or hi >= self.n_vertices:
+                raise ValueError("edge endpoints out of range")
+        if self.weights is not None and self.weights.shape != self.src.shape:
+            raise ValueError("weights must be edge-parallel")
+
+    @property
+    def n_edges(self) -> int:
+        """Number of directed edges."""
+        return self.src.size
+
+    @property
+    def is_weighted(self) -> bool:
+        return self.weights is not None
+
+    def degrees(self) -> np.ndarray:
+        """Out-degree of each vertex."""
+        return np.bincount(self.src, minlength=self.n_vertices).astype(np.int64)
+
+    def to_csr(self) -> "CSRGraph":
+        """Convert to CSR.  Edge order within a vertex follows input order."""
+        from .builder import from_edge_arrays
+
+        return from_edge_arrays(
+            self.src.astype(np.int64),
+            self.dst.astype(np.int64),
+            self.n_vertices,
+            weights=self.weights,
+            name=self.name,
+            symmetrize=False,
+            dedup=False,
+        )
+
+    def is_symmetric(self) -> bool:
+        """True if every directed edge has its reverse present."""
+        n = np.int64(self.n_vertices)
+        fwd = np.sort(self.src.astype(np.int64) * n + self.dst)
+        bwd = np.sort(self.dst.astype(np.int64) * n + self.src)
+        return bool(np.array_equal(fwd, bwd))
+
+    def memory_bytes(self) -> int:
+        """Size of the COO arrays in bytes."""
+        total = self.src.nbytes + self.dst.nbytes
+        if self.weights is not None:
+            total += self.weights.nbytes
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"COOGraph(name={self.name!r}, n_vertices={self.n_vertices}, "
+            f"n_edges={self.n_edges}, weighted={self.is_weighted})"
+        )
+
+
+from .csr import CSRGraph  # noqa: E402  (cycle-free: only used in to_csr)

@@ -1,0 +1,204 @@
+"""Compressed-sparse-row (CSR) graph container.
+
+The CSR layout is the representation the paper uses for all vertex-based
+codes (Section 4.2): ``row_ptr`` (called ``nbr_idx`` in the paper's listings)
+holds, for each vertex ``v``, the half-open range ``[row_ptr[v],
+row_ptr[v+1])`` of positions in ``col_idx`` (``nbr_list``) that store the
+neighbors of ``v``.  Edge weights, when present, are stored edge-parallel in
+``weights``.
+
+Every undirected edge is represented by two directed edges, matching the
+paper's convention ("Every undirected edge is represented by two directed
+edges in both formats").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["CSRGraph"]
+
+
+@dataclass(frozen=True)
+class CSRGraph:
+    """An immutable directed graph in CSR form.
+
+    Attributes
+    ----------
+    row_ptr:
+        ``int64[n_vertices + 1]`` neighbor-range index (``nbr_idx``).
+    col_idx:
+        ``int32[n_edges]`` neighbor list (``nbr_list``).
+    weights:
+        Optional ``int32[n_edges]`` edge weights (SSSP uses them; other
+        algorithms ignore them).
+    name:
+        Human-readable identifier used in reports.
+    """
+
+    row_ptr: np.ndarray
+    col_idx: np.ndarray
+    weights: Optional[np.ndarray] = None
+    name: str = "graph"
+    _degrees: np.ndarray = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        row_ptr = np.ascontiguousarray(self.row_ptr, dtype=np.int64)
+        col_idx = np.ascontiguousarray(self.col_idx, dtype=np.int32)
+        object.__setattr__(self, "row_ptr", row_ptr)
+        object.__setattr__(self, "col_idx", col_idx)
+        if self.weights is not None:
+            weights = np.ascontiguousarray(self.weights, dtype=np.int32)
+            object.__setattr__(self, "weights", weights)
+        self._validate()
+        object.__setattr__(self, "_degrees", np.diff(row_ptr))
+
+    def _validate(self) -> None:
+        if self.row_ptr.ndim != 1 or self.col_idx.ndim != 1:
+            raise ValueError("row_ptr and col_idx must be one-dimensional")
+        if self.row_ptr.size == 0:
+            raise ValueError("row_ptr must have at least one entry")
+        if self.row_ptr[0] != 0:
+            raise ValueError("row_ptr must start at 0")
+        if self.row_ptr[-1] != self.col_idx.size:
+            raise ValueError(
+                f"row_ptr[-1] ({self.row_ptr[-1]}) must equal the number of "
+                f"edges ({self.col_idx.size})"
+            )
+        if np.any(np.diff(self.row_ptr) < 0):
+            raise ValueError("row_ptr must be non-decreasing")
+        n = self.row_ptr.size - 1
+        if self.col_idx.size and (
+            self.col_idx.min() < 0 or self.col_idx.max() >= n
+        ):
+            raise ValueError("col_idx contains out-of-range vertex ids")
+        if self.weights is not None and self.weights.shape != self.col_idx.shape:
+            raise ValueError("weights must be edge-parallel with col_idx")
+
+    # ------------------------------------------------------------------
+    # Basic shape accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_vertices(self) -> int:
+        """Number of vertices."""
+        return self.row_ptr.size - 1
+
+    @property
+    def n_edges(self) -> int:
+        """Number of *directed* edges (2x the undirected edge count)."""
+        return self.col_idx.size
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Out-degree of every vertex (``int64[n_vertices]``)."""
+        return self._degrees
+
+    @property
+    def is_weighted(self) -> bool:
+        return self.weights is not None
+
+    # ------------------------------------------------------------------
+    # Neighbor access
+    # ------------------------------------------------------------------
+    def neighbor_range(self, v: int) -> Tuple[int, int]:
+        """The ``[beg, end)`` range of edge slots belonging to vertex ``v``."""
+        return int(self.row_ptr[v]), int(self.row_ptr[v + 1])
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """A view of the neighbor ids of vertex ``v``."""
+        beg, end = self.neighbor_range(v)
+        return self.col_idx[beg:end]
+
+    def edge_weights_of(self, v: int) -> np.ndarray:
+        """A view of the weights of the edges leaving ``v``."""
+        if self.weights is None:
+            raise ValueError("graph is unweighted")
+        beg, end = self.neighbor_range(v)
+        return self.weights[beg:end]
+
+    def iter_edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over directed edges as ``(src, dst)`` pairs (slow path)."""
+        src = self.edge_sources()
+        for s, d in zip(src.tolist(), self.col_idx.tolist()):
+            yield s, d
+
+    def edge_sources(self) -> np.ndarray:
+        """Edge-parallel array of source vertices (``int32[n_edges]``)."""
+        return np.repeat(
+            np.arange(self.n_vertices, dtype=np.int32), self.degrees
+        )
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def with_sorted_neighbors(self) -> "CSRGraph":
+        """Return an equivalent graph whose adjacency lists are sorted.
+
+        Sorted adjacency is required by the merge-based triangle-counting
+        kernels.  Weights (if any) are permuted consistently.
+        """
+        col = self.col_idx.copy()
+        w = self.weights.copy() if self.weights is not None else None
+        for v in range(self.n_vertices):
+            beg, end = self.neighbor_range(v)
+            order = np.argsort(col[beg:end], kind="stable")
+            col[beg:end] = col[beg:end][order]
+            if w is not None:
+                w[beg:end] = w[beg:end][order]
+        return CSRGraph(self.row_ptr, col, w, name=self.name)
+
+    def has_sorted_neighbors(self) -> bool:
+        """True if every adjacency list is non-decreasing."""
+        if self.n_edges == 0:
+            return True
+        rising = np.diff(self.col_idx) >= 0
+        # Positions where a new vertex's list begins do not constrain order.
+        breaks = self.row_ptr[1:-1] - 1
+        breaks = breaks[(breaks >= 0) & (breaks < rising.size)]
+        rising[breaks] = True
+        return bool(rising.all())
+
+    def reverse(self) -> "CSRGraph":
+        """Return the transpose graph (in-edges become out-edges).
+
+        For the symmetric graphs used in the study the transpose equals the
+        graph itself, but the pull-style kernels are written against the
+        reverse graph so they stay correct on asymmetric inputs too.
+        """
+        from .builder import from_edge_arrays
+
+        src = self.edge_sources()
+        return from_edge_arrays(
+            self.col_idx.astype(np.int64),
+            src.astype(np.int64),
+            self.n_vertices,
+            weights=self.weights,
+            name=self.name,
+            symmetrize=False,
+            dedup=False,
+        )
+
+    def is_symmetric(self) -> bool:
+        """True if for every directed edge (u, v) the edge (v, u) exists."""
+        src = self.edge_sources().astype(np.int64)
+        dst = self.col_idx.astype(np.int64)
+        n = np.int64(self.n_vertices)
+        fwd = np.sort(src * n + dst)
+        bwd = np.sort(dst * n + src)
+        return bool(np.array_equal(fwd, bwd))
+
+    def memory_bytes(self) -> int:
+        """Size of the CSR arrays in bytes (Table 4's "Size" column)."""
+        total = self.row_ptr.nbytes + self.col_idx.nbytes
+        if self.weights is not None:
+            total += self.weights.nbytes
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSRGraph(name={self.name!r}, n_vertices={self.n_vertices}, "
+            f"n_edges={self.n_edges}, weighted={self.is_weighted})"
+        )

@@ -1,0 +1,305 @@
+"""Synthetic graph generators.
+
+The study's five inputs were chosen to span graph *shapes*: a 2-D grid and a
+road network (tiny degrees, huge diameter), an RMAT graph and a social
+network (power-law degrees, small diameter), and a publication graph (dense,
+clustered).  Real traces are not redistributable here, so each generator
+reproduces the shape parameters that drive the paper's findings — degree
+distribution and diameter (Section 5.13 correlates against exactly these).
+
+All generators are deterministic given their ``seed`` and are fully
+vectorized (no per-edge Python loops).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .builder import from_edge_arrays
+from .csr import CSRGraph
+
+__all__ = [
+    "grid2d",
+    "road_network",
+    "rmat",
+    "power_law",
+    "clustered",
+    "hub_and_spokes",
+    "random_uniform",
+]
+
+
+def grid2d(rows: int, cols: int, *, weighted: bool = True, name: str = "grid2d") -> CSRGraph:
+    """A ``rows x cols`` 4-neighbor mesh (the ``2d-2e20.sym`` stand-in).
+
+    Every interior vertex has degree 4; the diameter is ``rows + cols - 2``.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("grid must have positive dimensions")
+    idx = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    right_src = idx[:, :-1].ravel()
+    right_dst = idx[:, 1:].ravel()
+    down_src = idx[:-1, :].ravel()
+    down_dst = idx[1:, :].ravel()
+    src = np.concatenate([right_src, down_src])
+    dst = np.concatenate([right_dst, down_dst])
+    return from_edge_arrays(
+        src, dst, rows * cols, add_weights=weighted, name=name
+    )
+
+
+def road_network(
+    n_vertices: int,
+    *,
+    extra_edge_fraction: float = 0.15,
+    removal_fraction: float = 0.12,
+    seed: int = 0,
+    weighted: bool = True,
+    name: str = "road",
+) -> CSRGraph:
+    """A road-map-like graph (the ``USA-road-d.NY`` stand-in).
+
+    Road networks are near-planar with average degree ~2.8, maximum degree
+    below 10, and very large diameter.  We start from a thin rectangular
+    grid (aspect ratio 4:1 stretches the diameter), randomly delete a
+    fraction of the grid edges (dead ends, rivers), and add a few short
+    "diagonal" connections so degrees vary between 1 and ~8.
+    """
+    if n_vertices < 4:
+        raise ValueError("road networks need at least 4 vertices")
+    rng = np.random.default_rng(seed)
+    cols = max(2, int(np.sqrt(n_vertices / 4.0)))
+    rows = max(2, n_vertices // cols)
+    n = rows * cols
+    idx = np.arange(n, dtype=np.int64).reshape(rows, cols)
+    right = np.stack([idx[:, :-1].ravel(), idx[:, 1:].ravel()], axis=1)
+    down = np.stack([idx[:-1, :].ravel(), idx[1:, :].ravel()], axis=1)
+    grid_edges = np.concatenate([right, down])
+    keep = rng.random(grid_edges.shape[0]) >= removal_fraction
+    # Keep a spanning backbone: never delete the first column's vertical
+    # edges nor the first row's horizontal edges, so the graph stays
+    # connected (road inputs are connected).
+    backbone_h = right[:: cols - 1] if cols > 1 else right[:0]
+    backbone_v = down[: cols]
+    kept = np.concatenate([grid_edges[keep], backbone_h, backbone_v])
+
+    n_extra = int(extra_edge_fraction * kept.shape[0])
+    if n_extra:
+        base = rng.integers(0, n, size=n_extra, dtype=np.int64)
+        # Short-range connections only: roads link nearby intersections.
+        offset = rng.integers(1, cols + 2, size=n_extra, dtype=np.int64)
+        extra = np.stack([base, np.minimum(base + offset, n - 1)], axis=1)
+        kept = np.concatenate([kept, extra])
+
+    return from_edge_arrays(
+        kept[:, 0], kept[:, 1], n, add_weights=weighted, name=name
+    )
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 8,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+    weighted: bool = True,
+    name: str = "rmat",
+) -> CSRGraph:
+    """An RMAT (recursive-matrix) graph (the ``rmat22.sym`` stand-in).
+
+    ``2**scale`` vertices and ``edge_factor * 2**scale`` undirected edge
+    samples, generated with the classic (a, b, c, d) quadrant recursion.
+    The default parameters are Graph500's, which also match the Galois
+    generator used by the paper.
+    """
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    d = 1.0 - a - b - c
+    if d < 0:
+        raise ValueError("quadrant probabilities must sum to <= 1")
+    rng = np.random.default_rng(seed)
+    n = 1 << scale
+    m = edge_factor * n
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    # Each recursion level picks a quadrant: vectorized over all m edges.
+    for level in range(scale):
+        r = rng.random(m)
+        bit_src = (r >= a + b).astype(np.int64)  # quadrants c, d set src bit
+        r2 = rng.random(m)
+        # Within the chosen src half, pick the dst bit with the conditional
+        # probabilities b/(a+b) (top) and d/(c+d) (bottom).
+        p_top = b / (a + b)
+        p_bot = d / (c + d) if (c + d) > 0 else 0.0
+        thresh = np.where(bit_src == 0, p_top, p_bot)
+        bit_dst = (r2 < thresh).astype(np.int64)
+        src = (src << 1) | bit_src
+        dst = (dst << 1) | bit_dst
+    # Permute vertex ids so locality does not leak the recursion structure.
+    perm = rng.permutation(n).astype(np.int64)
+    return from_edge_arrays(
+        perm[src], perm[dst], n, add_weights=weighted, name=name
+    )
+
+
+def power_law(
+    n_vertices: int,
+    attach: int = 9,
+    *,
+    seed: int = 0,
+    weighted: bool = True,
+    name: str = "powerlaw",
+) -> CSRGraph:
+    """A preferential-attachment graph (the ``soc-LiveJournal1`` stand-in).
+
+    Barabási–Albert-style: each new vertex attaches ``attach`` edges to
+    existing vertices chosen proportionally to their current degree, giving
+    the scale-free degree distribution of social networks (a few hubs with
+    degree orders of magnitude above the average).
+    """
+    if n_vertices < attach + 1:
+        raise ValueError("n_vertices must exceed the attachment count")
+    rng = np.random.default_rng(seed)
+    m0 = attach + 1
+    # Seed clique.
+    seed_pairs = np.array(
+        [(i, j) for i in range(m0) for j in range(i + 1, m0)], dtype=np.int64
+    )
+    # Repeated-endpoint trick: sampling uniformly from the endpoint list of
+    # existing edges is sampling proportionally to degree.
+    total_new = (n_vertices - m0) * attach
+    endpoint_pool = np.empty(2 * seed_pairs.size // 2 * 2 + 2 * total_new, dtype=np.int64)
+    pool_len = 0
+    for u, v in seed_pairs:
+        endpoint_pool[pool_len] = u
+        endpoint_pool[pool_len + 1] = v
+        pool_len += 2
+    src_new = np.repeat(np.arange(m0, n_vertices, dtype=np.int64), attach)
+    dst_new = np.empty(total_new, dtype=np.int64)
+    # Vectorize in waves: all `attach` edges of one new vertex are sampled
+    # together from the pool as it existed before that vertex arrived.
+    randoms = rng.random(total_new)
+    pos = 0
+    for v in range(m0, n_vertices):
+        picks = (randoms[pos : pos + attach] * pool_len).astype(np.int64)
+        targets = endpoint_pool[picks]
+        dst_new[pos : pos + attach] = targets
+        endpoint_pool[pool_len : pool_len + attach] = targets
+        endpoint_pool[pool_len + attach : pool_len + 2 * attach] = v
+        pool_len += 2 * attach
+        pos += attach
+    src = np.concatenate([seed_pairs[:, 0], src_new])
+    dst = np.concatenate([seed_pairs[:, 1], dst_new])
+    return from_edge_arrays(
+        src, dst, n_vertices, add_weights=weighted, name=name
+    )
+
+
+def clustered(
+    n_communities: int,
+    community_size_mean: float = 12.0,
+    *,
+    membership_per_vertex: float = 1.6,
+    heavy_tail: float = 0.0,
+    max_community: int = 2000,
+    seed: int = 0,
+    weighted: bool = True,
+    name: str = "clustered",
+) -> CSRGraph:
+    """An overlapping-clique graph (the ``coPapersDBLP`` stand-in).
+
+    Co-authorship graphs are unions of cliques (one per paper), which is why
+    coPapersDBLP has a huge average degree (56.4) and strong clustering.  We
+    sample community sizes (Poisson by default; Pareto-tailed when
+    ``heavy_tail`` > 0, mimicking the rare huge collaborations that give
+    coPapersDBLP its 3,299-degree hubs), assign member vertices (with
+    overlap), and emit the full clique of every community.
+    """
+    if n_communities < 1:
+        raise ValueError("need at least one community")
+    rng = np.random.default_rng(seed)
+    if heavy_tail > 0:
+        raw = rng.pareto(heavy_tail, n_communities) * community_size_mean
+        sizes = 3 + np.minimum(raw, max_community - 3).astype(np.int64)
+    else:
+        sizes = 3 + rng.poisson(max(community_size_mean - 3.0, 0.1), n_communities)
+    total_slots = int(sizes.sum())
+    n_vertices = max(int(total_slots / membership_per_vertex), int(sizes.max()) + 1)
+    members = rng.integers(0, n_vertices, size=total_slots, dtype=np.int64)
+
+    # Emit cliques: for each community, all ordered pairs of its members.
+    srcs = []
+    dsts = []
+    offsets = np.concatenate([[0], np.cumsum(sizes)])
+    for ci in range(n_communities):
+        group = members[offsets[ci] : offsets[ci + 1]]
+        g = np.unique(group)
+        if g.size < 2:
+            continue
+        a, b = np.meshgrid(g, g, indexing="ij")
+        mask = a < b
+        srcs.append(a[mask])
+        dsts.append(b[mask])
+    if not srcs:
+        raise ValueError("degenerate community structure")
+    src = np.concatenate(srcs)
+    dst = np.concatenate(dsts)
+    return from_edge_arrays(
+        src, dst, n_vertices, add_weights=weighted, name=name
+    )
+
+
+def hub_and_spokes(
+    n_vertices: int,
+    n_hubs: int = 4,
+    *,
+    spoke_degree: float = 2.0,
+    hub_fraction: float = 0.6,
+    seed: int = 0,
+    weighted: bool = True,
+    name: str = "hubs",
+) -> CSRGraph:
+    """A few massive hubs plus a sparse periphery (wiki-Talk-like shape).
+
+    Communication graphs concentrate a large fraction of all edges on a
+    handful of vertices (administrators, bots).  ``hub_fraction`` of the
+    edges connect random vertices to one of the ``n_hubs`` hubs; the rest
+    form a sparse random periphery.  The result has extreme d_max/d_avg
+    skew — the worst case for thread-granularity load balance.
+    """
+    if n_vertices < n_hubs + 2:
+        raise ValueError("need more vertices than hubs")
+    rng = np.random.default_rng(seed)
+    total_edges = int(n_vertices * spoke_degree)
+    n_hub_edges = int(total_edges * hub_fraction)
+    hubs = rng.integers(0, n_hubs, size=n_hub_edges, dtype=np.int64)
+    others = rng.integers(n_hubs, n_vertices, size=n_hub_edges, dtype=np.int64)
+    n_rest = total_edges - n_hub_edges
+    rest_src = rng.integers(0, n_vertices, size=n_rest, dtype=np.int64)
+    rest_dst = rng.integers(0, n_vertices, size=n_rest, dtype=np.int64)
+    src = np.concatenate([hubs, rest_src])
+    dst = np.concatenate([others, rest_dst])
+    return from_edge_arrays(
+        src, dst, n_vertices, add_weights=weighted, name=name
+    )
+
+
+def random_uniform(
+    n_vertices: int,
+    n_edges: int,
+    *,
+    seed: int = 0,
+    weighted: bool = True,
+    name: str = "uniform",
+) -> CSRGraph:
+    """An Erdős–Rényi-style graph (test workloads, not a paper input)."""
+    if n_vertices < 2:
+        raise ValueError("need at least two vertices")
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n_vertices, size=n_edges, dtype=np.int64)
+    dst = rng.integers(0, n_vertices, size=n_edges, dtype=np.int64)
+    return from_edge_arrays(
+        src, dst, n_vertices, add_weights=weighted, name=name
+    )

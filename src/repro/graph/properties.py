@@ -1,0 +1,154 @@
+"""Graph property analysis (Tables 4 and 5 of the paper).
+
+The study characterizes each input by vertex/edge counts, storage size,
+average and maximum degree, the percentage of vertices with degree >= 32
+and >= 512 (the warp and half-block widths), and the diameter.  Section 5.13
+then correlates throughputs against exactly these properties, so we compute
+all of them here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = [
+    "GraphProperties",
+    "analyze",
+    "bfs_levels",
+    "estimate_diameter",
+    "connected_components_count",
+]
+
+
+@dataclass(frozen=True)
+class GraphProperties:
+    """The per-graph rows of Tables 4 and 5."""
+
+    name: str
+    n_vertices: int
+    n_edges: int
+    size_mb: float
+    avg_degree: float
+    max_degree: int
+    pct_deg_ge_32: float
+    pct_deg_ge_512: float
+    diameter: int
+
+    def table4_row(self) -> str:
+        return (
+            f"{self.name:<18} {self.n_vertices:>10,} {self.n_edges:>12,} "
+            f"{self.size_mb:>8.1f}"
+        )
+
+    def table5_row(self) -> str:
+        return (
+            f"{self.name:<18} {self.avg_degree:>6.1f} {self.max_degree:>7,} "
+            f"{self.pct_deg_ge_32:>6.1%} {self.pct_deg_ge_512:>8.3%} "
+            f"{self.diameter:>8,}"
+        )
+
+
+def bfs_levels(graph: CSRGraph, source: int) -> np.ndarray:
+    """Levels (hop distances) from ``source``; unreachable = -1.
+
+    Vectorized frontier expansion; used for diameter estimation and as the
+    serial BFS reference.
+    """
+    n = graph.n_vertices
+    if not 0 <= source < n:
+        raise ValueError("source out of range")
+    level = np.full(n, -1, dtype=np.int64)
+    level[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    depth = 0
+    row_ptr, col = graph.row_ptr, graph.col_idx
+    while frontier.size:
+        depth += 1
+        # Gather all neighbors of the frontier.
+        begs = row_ptr[frontier]
+        ends = row_ptr[frontier + 1]
+        counts = ends - begs
+        total = int(counts.sum())
+        if total == 0:
+            break
+        starts = np.repeat(begs, counts)
+        # Offset of each gathered slot within its vertex's adjacency list.
+        seg_starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+        inner = np.arange(total, dtype=np.int64) - np.repeat(seg_starts, counts)
+        nbrs = col[starts + inner]
+        fresh = nbrs[level[nbrs] == -1]
+        if fresh.size == 0:
+            break
+        fresh = np.unique(fresh)
+        level[fresh] = depth
+        frontier = fresh
+    return level
+
+
+def estimate_diameter(graph: CSRGraph, *, sweeps: int = 4, seed: int = 0) -> int:
+    """Lower-bound the diameter with the iterated double-sweep heuristic.
+
+    Exact diameters are infeasible for the larger inputs; double sweep is
+    exact on trees and extremely tight on road/grid graphs, which are the
+    inputs where the diameter matters to the study.
+    """
+    n = graph.n_vertices
+    if n == 0:
+        return 0
+    rng = np.random.default_rng(seed)
+    start = int(rng.integers(0, n))
+    best = 0
+    for _ in range(max(1, sweeps)):
+        levels = bfs_levels(graph, start)
+        reached = levels >= 0
+        if not reached.any():
+            break
+        ecc = int(levels[reached].max())
+        best = max(best, ecc)
+        # Restart from the farthest vertex.
+        far = np.flatnonzero(levels == ecc)
+        nxt = int(far[0])
+        if nxt == start:
+            break
+        start = nxt
+    return best
+
+
+def connected_components_count(graph: CSRGraph) -> int:
+    """Number of connected components (union of BFS sweeps)."""
+    n = graph.n_vertices
+    seen = np.zeros(n, dtype=bool)
+    count = 0
+    for v in range(n):
+        if not seen[v]:
+            count += 1
+            levels = bfs_levels(graph, v)
+            seen |= levels >= 0
+    return count
+
+
+def analyze(graph: CSRGraph, *, diameter: Optional[int] = None) -> GraphProperties:
+    """Compute the Table 4 + Table 5 properties of ``graph``."""
+    deg = graph.degrees
+    n = graph.n_vertices
+    avg = float(deg.mean()) if n else 0.0
+    mx = int(deg.max()) if n else 0
+    ge32 = float((deg >= 32).mean()) if n else 0.0
+    ge512 = float((deg >= 512).mean()) if n else 0.0
+    diam = estimate_diameter(graph) if diameter is None else diameter
+    return GraphProperties(
+        name=graph.name,
+        n_vertices=n,
+        n_edges=graph.n_edges,
+        size_mb=graph.memory_bytes() / (1024.0 * 1024.0),
+        avg_degree=avg,
+        max_degree=mx,
+        pct_deg_ge_32=ge32,
+        pct_deg_ge_512=ge512,
+        diameter=diam,
+    )

@@ -1,0 +1,64 @@
+"""Style-parameterized kernels for the six graph problems (Table 1)."""
+
+from .base import (
+    INF,
+    WAVE,
+    ConvergenceError,
+    KernelResult,
+    flat_neighbors,
+    sequential_improving,
+    vertex_hash_priority,
+    wave_slices,
+)
+from .bfs import BFSKernel
+from .cc import CCKernel
+from .mis import IN_SET, OUT, UNDECIDED, MISKernel
+from .pr import DAMPING, TOLERANCE, PageRankKernel
+from .registry import PROBLEM_CATEGORIES, StyledKernel, build_kernel
+from .relaxation import RelaxationKernel
+from .serial import (
+    canonical_components,
+    is_maximal_independent_set,
+    serial_bfs,
+    serial_cc,
+    serial_mis,
+    serial_pagerank,
+    serial_sssp,
+    serial_triangle_count,
+)
+from .sssp import SSSPKernel
+from .tc import TriangleCountKernel
+
+__all__ = [
+    "INF",
+    "WAVE",
+    "ConvergenceError",
+    "KernelResult",
+    "flat_neighbors",
+    "sequential_improving",
+    "wave_slices",
+    "vertex_hash_priority",
+    "RelaxationKernel",
+    "BFSKernel",
+    "SSSPKernel",
+    "CCKernel",
+    "MISKernel",
+    "UNDECIDED",
+    "IN_SET",
+    "OUT",
+    "PageRankKernel",
+    "DAMPING",
+    "TOLERANCE",
+    "TriangleCountKernel",
+    "build_kernel",
+    "StyledKernel",
+    "PROBLEM_CATEGORIES",
+    "serial_bfs",
+    "serial_sssp",
+    "serial_cc",
+    "serial_mis",
+    "serial_pagerank",
+    "serial_triangle_count",
+    "is_maximal_independent_set",
+    "canonical_components",
+]

@@ -1,0 +1,155 @@
+"""Shared kernel machinery.
+
+The kernels in this package *execute* their algorithm with the exact
+semantics of the selected style combination (vectorized over numpy arrays)
+while recording an :class:`~repro.machine.trace.ExecutionTrace`.
+
+Two execution details are fixed here:
+
+* ``INF`` — the "unreached" distance sentinel (large but overflow-safe
+  under one edge-weight addition).
+* ``WAVE`` — the number of work items the simulator retires between
+  visibility points for the *non-deterministic* (in-place) styles.  Real
+  hardware executes a launch in waves of resident threads; updates written
+  by earlier waves are visible to later ones, which is precisely the
+  within-iteration propagation that makes the internally non-deterministic
+  style converge in fewer iterations (Section 2.6).  The simulator uses a
+  fixed wave size so traces are identical across devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..machine.trace import ExecutionTrace
+
+__all__ = [
+    "INF",
+    "WAVE",
+    "MAX_ROUNDS_FACTOR",
+    "KernelResult",
+    "wave_slices",
+    "flat_neighbors",
+    "vertex_hash_priority",
+    "ConvergenceError",
+]
+
+#: Unreached-distance sentinel; INF + max weight stays well inside int64.
+INF = np.int64(1) << np.int64(60)
+
+#: Items retired between visibility points of in-place (non-deterministic)
+#: execution.  See module docstring.
+WAVE = 4096
+
+#: Safety bound on outer-loop rounds, as a multiple of the vertex count.
+MAX_ROUNDS_FACTOR = 10
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when a kernel exceeds its round budget (indicates a bug)."""
+
+
+@dataclass
+class KernelResult:
+    """A kernel's output values plus the recorded execution trace."""
+
+    values: np.ndarray
+    trace: ExecutionTrace
+
+
+def wave_slices(n_items: int, wave: int = WAVE) -> Iterator[slice]:
+    """Yield item slices of at most ``wave`` elements covering ``n_items``."""
+    for beg in range(0, n_items, wave):
+        yield slice(beg, min(beg + wave, n_items))
+
+
+def flat_neighbors(
+    graph: CSRGraph, items: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Gather the adjacency of ``items`` as flat arrays.
+
+    Returns ``(edge_pos, owner)`` where ``edge_pos`` indexes into
+    ``graph.col_idx``/``graph.weights`` for every neighbor slot of every
+    item (in item order, list order within an item), and ``owner`` maps
+    each slot back to its position in ``items``.
+    """
+    begs = graph.row_ptr[items]
+    counts = graph.degrees[items]
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    owner = np.repeat(np.arange(items.size, dtype=np.int64), counts)
+    seg_starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    within = np.arange(total, dtype=np.int64) - seg_starts[owner]
+    edge_pos = begs[owner] + within
+    return edge_pos, owner
+
+
+#: Value clip for the segmented running-min trick in
+#: :func:`sequential_improving`: all real labels/distances are far below
+#: 2**31; the INF sentinels clip to the same value, which preserves every
+#: "is this candidate an improvement" comparison.
+_SEQ_CLIP = np.int64(2**31 - 1)
+
+
+def sequential_improving(
+    tgt: np.ndarray, cand: np.ndarray, before: np.ndarray
+) -> np.ndarray:
+    """Which candidate writes improve the running value, in order.
+
+    Models the return-value semantics of a sequence of ``atomicMin`` calls
+    applied in item order: a write "improves" iff its candidate is below
+    the minimum of the pre-wave value and every earlier candidate for the
+    same address.  This is what decides worklist pushes and conditional
+    stores in the real codes — counting every candidate below the *pre-
+    wave* value instead would over-push dramatically on high-degree
+    targets.
+
+    Parameters are wave-sized arrays: targets, candidate values, and the
+    pre-wave value of each target (``write[tgt]``).  Returns a boolean
+    mask aligned with the inputs.
+    """
+    n = tgt.size
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    order = np.argsort(tgt, kind="stable")
+    t_s = tgt[order]
+    c_s = np.minimum(cand[order], _SEQ_CLIP)
+    b_s = np.minimum(before[order], _SEQ_CLIP)
+    is_start = np.empty(n, dtype=bool)
+    is_start[0] = True
+    np.not_equal(t_s[1:], t_s[:-1], out=is_start[1:])
+    seg = np.cumsum(is_start) - 1
+    n_segs = int(seg[-1]) + 1
+    # Segmented exclusive running min via the decreasing-offset trick:
+    # earlier segments carry a strictly larger offset, so accumulate-min
+    # never leaks across segment boundaries.
+    offset = (np.int64(n_segs) - seg) * (_SEQ_CLIP + np.int64(1))
+    feed = np.where(is_start, b_s, np.concatenate(([0], c_s[:-1])))
+    running_excl = np.minimum.accumulate(feed + offset)
+    improving_s = (c_s + offset) < running_excl
+    improving = np.empty(n, dtype=bool)
+    improving[order] = improving_s
+    return improving
+
+
+def vertex_hash_priority(n_vertices: int) -> np.ndarray:
+    """Deterministic pseudo-random per-vertex priorities (for MIS).
+
+    A fixed avalanche hash of the vertex id (matching how the real codes
+    derive Luby priorities without an RNG), rank-transformed into a
+    permutation of ``0..n-1`` so priorities are strictly unique and
+    comparisons never tie.
+    """
+    v = np.arange(n_vertices, dtype=np.uint64)
+    v = (v ^ (v >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    v = (v ^ (v >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    v = v ^ (v >> np.uint64(31))
+    rank = np.empty(n_vertices, dtype=np.int64)
+    rank[np.argsort(v, kind="stable")] = np.arange(n_vertices, dtype=np.int64)
+    return rank

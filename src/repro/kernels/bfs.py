@@ -1,0 +1,30 @@
+"""Breadth-First Search kernel (level computation from a source).
+
+BFS is the unit-weight instance of the relaxation engine: the fixed point
+of ``level[dst] = min(level[dst], level[src] + 1)`` is the hop distance.
+Every style of Table 2's BFS column is supported via
+:class:`~repro.kernels.relaxation.RelaxationKernel`.
+"""
+
+from __future__ import annotations
+
+from ..graph.csr import CSRGraph
+from ..styles.spec import SemanticKey
+from .base import KernelResult
+from .relaxation import RelaxationKernel
+
+__all__ = ["BFSKernel"]
+
+
+class BFSKernel:
+    """Style-parameterized BFS from a source vertex."""
+
+    def __init__(self, graph: CSRGraph, source: int = 0):
+        self._engine = RelaxationKernel(
+            graph, edge_cost="unit", source=source, label="bfs"
+        )
+        self.graph = graph
+        self.source = source
+
+    def run(self, sem: SemanticKey) -> KernelResult:
+        return self._engine.run(sem)

@@ -1,0 +1,28 @@
+"""Connected Components kernel (min-label propagation).
+
+CC is the zero-cost instance of the relaxation engine: every vertex starts
+with its own id as its label and the fixed point of
+``label[dst] = min(label[dst], label[src])`` assigns every vertex the
+minimum id of its component.  Data-driven runs start with all vertices
+(every label is initially "dirty").
+"""
+
+from __future__ import annotations
+
+from ..graph.csr import CSRGraph
+from ..styles.spec import SemanticKey
+from .base import KernelResult
+from .relaxation import RelaxationKernel
+
+__all__ = ["CCKernel"]
+
+
+class CCKernel:
+    """Style-parameterized connected-components labeling."""
+
+    def __init__(self, graph: CSRGraph):
+        self._engine = RelaxationKernel(graph, edge_cost="zero", label="cc")
+        self.graph = graph
+
+    def run(self, sem: SemanticKey) -> KernelResult:
+        return self._engine.run(sem)

@@ -1,0 +1,173 @@
+"""Style-parameterized PageRank kernel.
+
+PR is the study's eigenvector problem (Table 1): vertex-based and
+topology-driven only, read-modify-write updates, push or pull flow, with
+the sum-reduction style axis (Sections 2.10.1/2.10.2) applied to the
+per-iteration error reduction.
+
+* **pull** (Listing 4b direction): each vertex gathers neighbor
+  contributions — single writer, no atomics.  Deterministic pull is the
+  classic Jacobi power iteration; non-deterministic pull updates ranks in
+  place (Gauss-Seidel-style, wave-granular visibility), which converges in
+  fewer iterations.
+* **push** (deterministic only — Section 5.6): each vertex scatters
+  ``rank/deg`` into its neighbors' accumulators with atomic adds; an extra
+  reset kernel and a finalize kernel bracket the scatter, which is the
+  push style's inherent overhead for PR.
+
+Dangling vertices (out-degree 0) distribute their rank uniformly, matching
+the serial reference exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..machine.trace import ExecutionTrace, IterationProfile, conflict_stats
+from ..styles.axes import Determinism, Flow
+from ..styles.spec import SemanticKey
+from .base import WAVE, ConvergenceError, KernelResult
+
+__all__ = ["PageRankKernel", "DAMPING", "TOLERANCE"]
+
+DAMPING = 0.85
+TOLERANCE = 1e-8
+MAX_ITERS = 2000
+
+
+class PageRankKernel:
+    """Runs PageRank on one graph in any semantic style."""
+
+    def __init__(self, graph: CSRGraph, label: str = "pr"):
+        if graph.n_vertices == 0:
+            raise ValueError("empty graph")
+        self.graph = graph
+        self.label = label
+        self._src = graph.edge_sources().astype(np.int64)
+        self._dst = graph.col_idx.astype(np.int64)
+        deg = graph.degrees.astype(np.float64)
+        self._dangling = deg == 0
+        self._safe_deg = np.where(self._dangling, 1.0, deg)
+        self._degrees = graph.degrees
+        # Conflict statistics of the push scatter are a property of the
+        # graph (every iteration scatters along every edge).
+        self._push_conflicts = conflict_stats(graph.col_idx, graph.n_vertices)
+
+    # ------------------------------------------------------------------
+    def run(self, sem: SemanticKey) -> KernelResult:
+        trace = ExecutionTrace(
+            n_edges=self.graph.n_edges,
+            n_vertices=self.graph.n_vertices,
+            label=f"{self.label}:{sem.flow.value}:{sem.determinism.value}",
+        )
+        n = self.graph.n_vertices
+        rank = np.full(n, 1.0 / n)
+        trace.add(
+            IterationProfile(
+                n_items=n, base_cycles=1.0, shared_stores_base=1.0, label="init"
+            )
+        )
+        if sem.flow is Flow.PUSH:
+            self._run_push(rank, trace)
+        else:
+            self._run_pull(sem, rank, trace)
+        return KernelResult(values=rank, trace=trace)
+
+    # ------------------------------------------------------------------
+    def _base_term(self, rank: np.ndarray) -> float:
+        dangling_mass = float(rank[self._dangling].sum()) / self.graph.n_vertices
+        return (1.0 - DAMPING) / self.graph.n_vertices + DAMPING * dangling_mass
+
+    def _run_pull(
+        self, sem: SemanticKey, rank: np.ndarray, trace: ExecutionTrace
+    ) -> None:
+        n = self.graph.n_vertices
+        row_ptr = self.graph.row_ptr
+        deterministic = sem.determinism is Determinism.DETERMINISTIC
+        for _it in range(MAX_ITERS):
+            prev = rank.copy()
+            base = self._base_term(rank)
+            read = prev if deterministic else rank
+            for vbeg in range(0, n, WAVE):
+                vend = min(vbeg + WAVE, n)
+                lo, hi = int(row_ptr[vbeg]), int(row_ptr[vend])
+                new = np.full(vend - vbeg, base)
+                if hi > lo:
+                    # In the symmetric storage the in-edges of [vbeg, vend)
+                    # are exactly their CSR slots with src/dst swapped.
+                    contrib = read[self._dst[lo:hi]] / self._safe_deg[self._dst[lo:hi]]
+                    np.add.at(new, self._src[lo:hi] - vbeg, DAMPING * contrib)
+                rank[vbeg:vend] = new
+            err = float(np.abs(rank - prev).sum())
+            trace.add(self._pull_profile(n))
+            trace.iterations += 1
+            if err < TOLERANCE:
+                trace.converged = True
+                return
+        raise ConvergenceError(f"{self.label} pull did not converge")
+
+    def _run_push(self, rank: np.ndarray, trace: ExecutionTrace) -> None:
+        n = self.graph.n_vertices
+        for _it in range(MAX_ITERS):
+            base = self._base_term(rank)
+            new = np.full(n, base)
+            contrib = DAMPING * rank / self._safe_deg
+            np.add.at(new, self._dst, contrib[self._src])
+            err = float(np.abs(new - rank).sum())
+            rank[:] = new
+            for profile in self._push_profiles(n):
+                trace.add(profile)
+            trace.iterations += 1
+            if err < TOLERANCE:
+                trace.converged = True
+                return
+        raise ConvergenceError(f"{self.label} push did not converge")
+
+    # ------------------------------------------------------------------
+    def _pull_profile(self, n: int) -> IterationProfile:
+        return IterationProfile(
+            n_items=n,
+            inner=self._degrees,
+            base_cycles=4.0,  # base term + error update
+            inner_cycles=2.0,
+            struct_loads_base=2.0,
+            struct_loads_inner=1.0,
+            shared_loads_base=1.0,  # previous rank for the error term
+            shared_loads_inner=2.0,  # neighbor rank + neighbor out-degree
+            shared_stores_base=1.0,
+            reduction_items=float(n),  # error-sum contributions
+            label="pr-pull",
+        )
+
+    def _push_profiles(self, n: int):
+        """Reset + scatter + finalize kernels of one push iteration."""
+        conflict_extra, max_conflict = self._push_conflicts
+        yield IterationProfile(
+            n_items=n,
+            base_cycles=1.0,
+            shared_stores_base=1.0,
+            label="pr-push-reset",
+        )
+        yield IterationProfile(
+            n_items=n,
+            inner=self._degrees,
+            base_cycles=3.0,
+            inner_cycles=1.0,
+            struct_loads_base=2.0,
+            struct_loads_inner=1.0,
+            shared_loads_base=2.0,  # own rank + own degree
+            atomics_inner=1.0,  # atomicAdd per neighbor
+            atomic_minmax=False,  # adds: OpenMP atomic handles them
+            conflict_extra=conflict_extra,
+            max_conflict=max_conflict,
+            label="pr-push-scatter",
+        )
+        yield IterationProfile(
+            n_items=n,
+            base_cycles=3.0,
+            shared_loads_base=2.0,  # new + old rank
+            shared_stores_base=1.0,
+            reduction_items=float(n),
+            label="pr-push-finalize",
+        )

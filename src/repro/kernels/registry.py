@@ -1,0 +1,58 @@
+"""Kernel registry: algorithm -> style-parameterized kernel factory.
+
+The runtime builds one kernel per (algorithm, graph) and reuses it across
+all semantic style combinations (kernels precompute flat edge views and
+other graph-derived state).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Protocol
+
+from ..graph.csr import CSRGraph
+from ..styles.axes import Algorithm
+from ..styles.spec import SemanticKey
+from .base import KernelResult
+from .bfs import BFSKernel
+from .cc import CCKernel
+from .mis import MISKernel
+from .pr import PageRankKernel
+from .sssp import SSSPKernel
+from .tc import TriangleCountKernel
+
+__all__ = ["StyledKernel", "build_kernel", "PROBLEM_CATEGORIES"]
+
+#: Table 1 of the paper: problem categories.
+PROBLEM_CATEGORIES: Dict[Algorithm, str] = {
+    Algorithm.CC: "Connectivity",
+    Algorithm.MIS: "Covering",
+    Algorithm.PR: "Eigenvector",
+    Algorithm.TC: "Substructure",
+    Algorithm.BFS: "Shortest path",
+    Algorithm.SSSP: "Shortest path",
+}
+
+
+class StyledKernel(Protocol):
+    """A kernel that can execute any applicable semantic style."""
+
+    def run(self, sem: SemanticKey) -> KernelResult: ...
+
+
+def build_kernel(
+    algorithm: Algorithm, graph: CSRGraph, source: int = 0
+) -> StyledKernel:
+    """Construct the style-parameterized kernel for one algorithm."""
+    if algorithm is Algorithm.BFS:
+        return BFSKernel(graph, source)
+    if algorithm is Algorithm.SSSP:
+        return SSSPKernel(graph, source)
+    if algorithm is Algorithm.CC:
+        return CCKernel(graph)
+    if algorithm is Algorithm.MIS:
+        return MISKernel(graph)
+    if algorithm is Algorithm.PR:
+        return PageRankKernel(graph)
+    if algorithm is Algorithm.TC:
+        return TriangleCountKernel(graph)
+    raise ValueError(f"unknown algorithm {algorithm!r}")

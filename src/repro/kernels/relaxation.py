@@ -1,0 +1,520 @@
+"""Style-parameterized relaxation engine for BFS, SSSP and CC.
+
+All three "label-correcting" problems of the study share one structure —
+iterate edge relaxations ``value[dst] = min(value[dst], value[src] + cost)``
+until a fixed point — and differ only in the edge cost and initial values:
+
+* SSSP: cost = edge weight, source initialized to 0 (Bellman-Ford),
+* BFS:  cost = 1, source initialized to 0 (level computation),
+* CC:   cost = 0, every vertex initialized to its own id (min-label
+  propagation).
+
+The engine executes every semantic style combination of Section 2 with its
+real semantics:
+
+* vertex- vs edge-based work items (Section 2.1),
+* topology-driven full sweeps vs a real worklist, with or without
+  duplicates (Sections 2.2, 2.3),
+* push vs pull data flow (Section 2.4),
+* read-write races — resolved *last-improving-writer-wins* within a wave,
+  which reproduces the priority inversions of Section 2.5 — vs atomic
+  min (read-modify-write),
+* deterministic double buffering (Jacobi) vs in-place execution with
+  wave-granular visibility (Gauss-Seidel-style propagation, Section 2.6).
+
+Each pass records an :class:`IterationProfile` with exact operation counts
+and the real contention histogram of its atomic destinations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..machine.trace import ExecutionTrace, IterationProfile, conflict_stats
+from ..styles.axes import Determinism, Driver, Dup, Flow, Iteration, Update
+from ..styles.spec import SemanticKey
+from .base import (
+    INF,
+    MAX_ROUNDS_FACTOR,
+    WAVE,
+    ConvergenceError,
+    KernelResult,
+    flat_neighbors,
+    sequential_improving,
+)
+
+__all__ = ["RelaxationKernel", "EDGE_COST_MODES"]
+
+EDGE_COST_MODES = ("weight", "unit", "zero")
+
+
+@dataclass
+class _PassStats:
+    """What one full pass over the items did (accumulated across waves)."""
+
+    trips: int = 0  # edge slots processed
+    improving: int = 0  # updates that improved a value
+    improved_items: int = 0  # distinct target vertices improved (approx.)
+    conflict_extra: float = 0.0
+    max_conflict: int = 0
+    n_items: int = 0  # work items of the pass (worklist passes fill this)
+    inner: Optional[np.ndarray] = None  # per-item trip counts (idem)
+
+
+class RelaxationKernel:
+    """Runs one relaxation problem on one graph in any semantic style."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        *,
+        edge_cost: str,
+        source: int = 0,
+        label: str = "relax",
+    ):
+        if edge_cost not in EDGE_COST_MODES:
+            raise ValueError(f"edge_cost must be one of {EDGE_COST_MODES}")
+        if edge_cost == "weight" and graph.weights is None:
+            raise ValueError("weighted relaxation requires edge weights")
+        if graph.n_vertices == 0:
+            raise ValueError("empty graph")
+        if edge_cost != "zero" and not 0 <= source < graph.n_vertices:
+            raise ValueError("source out of range")
+        self.graph = graph
+        self.edge_cost = edge_cost
+        self.source = source
+        self.label = label
+        # Cached flat views (shared across all semantic runs).
+        self._src = graph.edge_sources().astype(np.int64)
+        self._dst = graph.col_idx.astype(np.int64)
+        self._costs = self._make_costs()
+        self._degrees = graph.degrees
+
+    # ------------------------------------------------------------------
+    def _make_costs(self) -> np.ndarray:
+        m = self.graph.n_edges
+        if self.edge_cost == "weight":
+            return self.graph.weights.astype(np.int64)
+        if self.edge_cost == "unit":
+            return np.ones(m, dtype=np.int64)
+        return np.zeros(m, dtype=np.int64)
+
+    def _initial_values(self) -> np.ndarray:
+        n = self.graph.n_vertices
+        if self.edge_cost == "zero":  # CC: own label
+            return np.arange(n, dtype=np.int64)
+        values = np.full(n, INF, dtype=np.int64)
+        values[self.source] = 0
+        return values
+
+    def _initial_worklist(self, iteration: Iteration, flow: Flow) -> np.ndarray:
+        if self.edge_cost == "zero":  # CC: everything starts dirty
+            if iteration is Iteration.VERTEX:
+                return np.arange(self.graph.n_vertices, dtype=np.int64)
+            return np.arange(self.graph.n_edges, dtype=np.int64)
+        if iteration is Iteration.VERTEX:
+            if flow is Flow.PULL:
+                # Pull worklists hold vertices to *recompute*: the
+                # source's neighbors may now improve.
+                return np.unique(self.graph.neighbors(self.source)).astype(np.int64)
+            return np.array([self.source], dtype=np.int64)
+        beg, end = self.graph.neighbor_range(self.source)
+        return np.arange(beg, end, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+    def run(self, sem: SemanticKey) -> KernelResult:
+        """Execute the problem under one semantic style combination."""
+        trace = ExecutionTrace(
+            n_edges=self.graph.n_edges,
+            n_vertices=self.graph.n_vertices,
+            label=f"{self.label}:{sem.iteration.value}:{sem.driver.value}",
+        )
+        values = self._initial_values()
+        trace.add(self._init_profile())
+
+        if sem.driver is Driver.TOPOLOGY:
+            self._run_topology(sem, values, trace)
+        else:
+            self._run_data_driven(sem, values, trace)
+        return KernelResult(values=values, trace=trace)
+
+    # ------------------------------------------------------------------
+    # Topology-driven
+    # ------------------------------------------------------------------
+    def _run_topology(
+        self, sem: SemanticKey, values: np.ndarray, trace: ExecutionTrace
+    ) -> None:
+        n, m = self.graph.n_vertices, self.graph.n_edges
+        max_rounds = MAX_ROUNDS_FACTOR * n + 10
+        deterministic = sem.determinism is Determinism.DETERMINISTIC
+        for _round in range(max_rounds):
+            if deterministic:
+                read = values.copy()
+                write = values
+                # Double-buffer refresh kernel (Section 2.6's extra memory
+                # traffic; the arrays swap, but the write buffer must start
+                # from the read values).
+                trace.add(self._copy_profile(n))
+            else:
+                read = write = values
+            stats = _PassStats()
+            if sem.iteration is Iteration.VERTEX:
+                self._pass_vertex_all(sem, read, write, stats)
+                trace.add(self._vertex_profile(sem, n, self._degrees, stats, data=False))
+            else:
+                self._pass_edges(sem, read, write, np.arange(m, dtype=np.int64), stats)
+                trace.add(self._edge_profile(sem, m, stats, data=False))
+            trace.iterations += 1
+            if stats.improving == 0:
+                trace.converged = True
+                return
+        raise ConvergenceError(
+            f"{self.label} topology-driven did not converge in {max_rounds} rounds"
+        )
+
+    def _pass_vertex_all(
+        self,
+        sem: SemanticKey,
+        read: np.ndarray,
+        write: np.ndarray,
+        stats: _PassStats,
+    ) -> None:
+        """One sweep over all vertices, wave by wave (CSR slot ranges)."""
+        row_ptr = self.graph.row_ptr
+        n = self.graph.n_vertices
+        for vbeg in range(0, n, WAVE):
+            vend = min(vbeg + WAVE, n)
+            lo, hi = int(row_ptr[vbeg]), int(row_ptr[vend])
+            if lo == hi:
+                continue
+            if sem.flow is Flow.PUSH:
+                src = self._src[lo:hi]
+                tgt = self._dst[lo:hi]
+            else:  # PULL (symmetric storage: in-edges are the same slots)
+                src = self._dst[lo:hi]
+                tgt = self._src[lo:hi]
+            cand = read[src] + self._costs[lo:hi]
+            self._apply(sem, write, tgt, cand, stats)
+
+    def _pass_edges(
+        self,
+        sem: SemanticKey,
+        read: np.ndarray,
+        write: np.ndarray,
+        edge_ids: np.ndarray,
+        stats: _PassStats,
+    ) -> None:
+        """One sweep over an explicit edge-id list, wave by wave."""
+        for beg in range(0, edge_ids.size, WAVE):
+            ids = edge_ids[beg : beg + WAVE]
+            if sem.flow is Flow.PUSH:
+                src, tgt = self._src[ids], self._dst[ids]
+            else:
+                src, tgt = self._dst[ids], self._src[ids]
+            cand = read[src] + self._costs[ids]
+            self._apply(sem, write, tgt, cand, stats)
+
+    # ------------------------------------------------------------------
+    # Data-driven
+    # ------------------------------------------------------------------
+    def _run_data_driven(
+        self, sem: SemanticKey, values: np.ndarray, trace: ExecutionTrace
+    ) -> None:
+        n = self.graph.n_vertices
+        max_rounds = MAX_ROUNDS_FACTOR * n + 10
+        deterministic = sem.determinism is Determinism.DETERMINISTIC
+        worklist = self._initial_worklist(sem.iteration, sem.flow)
+        for _round in range(max_rounds):
+            if worklist.size == 0:
+                trace.converged = True
+                return
+            if deterministic:
+                read = values.copy()
+                write = values
+                trace.add(self._copy_profile(n))
+            else:
+                read = write = values
+            stats = _PassStats()
+            if sem.iteration is Iteration.VERTEX:
+                worklist, pushes = self._pass_vertex_worklist(
+                    sem, read, write, worklist, stats
+                )
+                profile = self._vertex_profile(
+                    sem,
+                    int(stats.n_items),  # set by the pass below
+                    stats.inner,  # idem
+                    stats,
+                    data=True,
+                    pushes=pushes,
+                )
+            else:
+                worklist, pushes = self._pass_edge_worklist(
+                    sem, read, write, worklist, stats
+                )
+                profile = self._edge_profile(
+                    sem, int(stats.n_items), stats, data=True, pushes=pushes
+                )
+            trace.add(profile)
+            trace.iterations += 1
+        raise ConvergenceError(
+            f"{self.label} data-driven did not converge in {max_rounds} rounds"
+        )
+
+    def _pass_vertex_worklist(
+        self,
+        sem: SemanticKey,
+        read: np.ndarray,
+        write: np.ndarray,
+        worklist: np.ndarray,
+        stats: _PassStats,
+    ) -> Tuple[np.ndarray, int]:
+        """Process a vertex worklist; return (next_wl, pushes).
+
+        Push flow: items relax their out-edges; improved *targets* go on
+        the next worklist.  Pull flow: items recompute themselves from
+        their in-edges; all neighbors of improved items go on the next
+        worklist (which is why pull worklists carry more useless entries —
+        Section 2.4).
+        """
+        stats.n_items = worklist.size
+        stats.inner = self._degrees[worklist]
+        pull = sem.flow is Flow.PULL
+        next_parts = []
+        for beg in range(0, worklist.size, WAVE):
+            items = worklist[beg : beg + WAVE]
+            edge_pos, owner = flat_neighbors(self.graph, items)
+            if edge_pos.size == 0:
+                continue
+            if pull:
+                src = self._dst[edge_pos]
+                tgt = items[owner]
+            else:
+                src = items[owner]
+                tgt = self._dst[edge_pos]
+            cand = read[src] + self._costs[edge_pos]
+            improving_tgt = self._apply(sem, write, tgt, cand, stats)
+            if improving_tgt.size == 0:
+                continue
+            if pull:
+                improved = np.unique(improving_tgt)
+                nbr_pos, _owner = flat_neighbors(self.graph, improved)
+                if nbr_pos.size:
+                    next_parts.append(self._dst[nbr_pos].astype(np.int64))
+            else:
+                next_parts.append(improving_tgt)
+        if next_parts:
+            nxt = np.concatenate(next_parts)
+        else:
+            nxt = np.empty(0, dtype=np.int64)
+        if sem.dup is Dup.NODUP:
+            nxt = np.unique(nxt)
+        return nxt, int(nxt.size)
+
+    def _pass_edge_worklist(
+        self,
+        sem: SemanticKey,
+        read: np.ndarray,
+        write: np.ndarray,
+        worklist: np.ndarray,
+        stats: _PassStats,
+    ) -> Tuple[np.ndarray, int]:
+        """Process an edge-id worklist; push the out-edges of improved
+        vertices for the next round."""
+        stats.n_items = worklist.size
+        stats.inner = None
+        improved_parts = []
+        for beg in range(0, worklist.size, WAVE):
+            ids = worklist[beg : beg + WAVE]
+            src, tgt = self._src[ids], self._dst[ids]
+            cand = read[src] + self._costs[ids]
+            improving_tgt = self._apply(sem, write, tgt, cand, stats)
+            if improving_tgt.size:
+                improved_parts.append(improving_tgt)
+        if improved_parts:
+            improved = np.concatenate(improved_parts)
+        else:
+            improved = np.empty(0, dtype=np.int64)
+        if sem.dup is Dup.NODUP:
+            improved = np.unique(improved)
+        if improved.size == 0:
+            return np.empty(0, dtype=np.int64), 0
+        edge_pos, _owner = flat_neighbors(self.graph, improved)
+        return edge_pos, int(edge_pos.size)
+
+    # ------------------------------------------------------------------
+    # The update itself
+    # ------------------------------------------------------------------
+    def _apply(
+        self,
+        sem: SemanticKey,
+        write: np.ndarray,
+        tgt: np.ndarray,
+        cand: np.ndarray,
+        stats: _PassStats,
+    ) -> np.ndarray:
+        """Apply one wave of candidate values; returns the targets that
+        improved (with duplicates — the dup-style worklist wants them)."""
+        before = write[tgt]
+        # "Improving" follows atomicMin return-value semantics under
+        # in-order interleaving (see sequential_improving): this is what
+        # gates worklist pushes and conditional stores in the real codes.
+        improving = sequential_improving(tgt, cand, before)
+        n_improving = int(np.count_nonzero(improving))
+        stats.trips += tgt.size
+        stats.improving += n_improving
+        # Value application.  RMW is an atomic min; pull is a single-writer
+        # local min; READ-WRITE push resolves its read-check-write races in
+        # the common (race-free) case — on real hardware the window between
+        # the check and the store is nanoseconds, so the Section 2.5
+        # priority inversions are rare one-off events the algorithm repairs,
+        # not a systematic effect.  (A simulator that widened the race
+        # window to a full wave would systematically punish read-write push
+        # with extra convergence passes that real executions do not pay,
+        # and for data-driven codes a lost improving write would make the
+        # final result wrong outright — the suite only contains codes whose
+        # final result is deterministic and verified, Sections 2.6/4.1.)
+        if n_improving:
+            np.minimum.at(write, tgt[improving], cand[improving])
+        if sem.update is Update.READ_MODIFY_WRITE and sem.flow is Flow.PUSH:
+            extra, mx = conflict_stats(tgt, write.size)
+            stats.conflict_extra += extra
+            stats.max_conflict = max(stats.max_conflict, mx)
+        if n_improving:
+            stats.improved_items += int(np.unique(tgt[improving]).size)
+            return tgt[improving]
+        return np.empty(0, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Profiles
+    # ------------------------------------------------------------------
+    def _init_profile(self) -> IterationProfile:
+        return IterationProfile(
+            n_items=self.graph.n_vertices,
+            base_cycles=1.0,
+            shared_stores_base=1.0,
+            label="init",
+        )
+
+    def _copy_profile(self, n: int) -> IterationProfile:
+        return IterationProfile(
+            n_items=n,
+            base_cycles=1.0,
+            shared_loads_base=1.0,
+            shared_stores_base=1.0,
+            label="double-buffer refresh",
+        )
+
+    def _vertex_profile(
+        self,
+        sem: SemanticKey,
+        n_items: int,
+        inner: Optional[np.ndarray],
+        stats: _PassStats,
+        *,
+        data: bool,
+        pushes: int = 0,
+    ) -> IterationProfile:
+        weighted = 1.0 if self.edge_cost == "weight" else 0.0
+        trips = max(stats.trips, 1)
+        improve_per_trip = stats.improving / trips
+        rw = sem.update is Update.READ_WRITE
+        pull = sem.flow is Flow.PULL
+
+        struct_loads_base = 2.0 + (1.0 if data else 0.0)  # row_ptr + worklist
+        shared_loads_base = 0.0 if pull else 1.0  # push reads own value once
+        shared_stores_base = 0.0
+        shared_loads_inner = 0.0
+        shared_stores_inner = 0.0
+        atomics_base = 0.0
+        atomics_inner = 0.0
+        if pull:
+            # Listing 4b does NOT factor the update out of the loop
+            # (Section 2.4 notes the possibility but the suite's pull
+            # codes update per neighbor): every trip reads the neighbor
+            # value and updates the own cell.
+            shared_loads_inner += 1.0  # neighbor value per trip
+            if rw:
+                shared_loads_inner += 1.0  # re-read own value per trip
+                shared_stores_inner += improve_per_trip
+            else:
+                atomics_inner += 1.0  # atomicMin on own cell per trip
+        else:  # push
+            if rw:
+                shared_loads_inner += 1.0  # read target value
+                shared_stores_inner += improve_per_trip
+            else:
+                atomics_inner += 1.0  # atomicMin on target per trip
+        if data and sem.dup is Dup.NODUP:
+            # Stamp check per improving update: atomicMax on stat[] plus a
+            # read of the stamp (Listing 3b).
+            shared_loads_inner += improve_per_trip
+            atomics_inner += improve_per_trip
+
+        return IterationProfile(
+            n_items=n_items,
+            inner=inner,
+            base_cycles=2.0,
+            inner_cycles=2.0,
+            struct_loads_base=struct_loads_base,
+            struct_loads_inner=1.0 + weighted,
+            shared_loads_base=shared_loads_base,
+            shared_loads_inner=shared_loads_inner,
+            shared_stores_base=shared_stores_base,
+            shared_stores_inner=shared_stores_inner,
+            atomics_base=atomics_base,
+            atomics_inner=atomics_inner,
+            atomic_minmax=True,
+            atomics_same_address_per_item=pull and not rw,
+            conflict_extra=stats.conflict_extra,
+            max_conflict=stats.max_conflict,
+            hot_atomics=float(pushes) + 1.0,  # worklist appends + done-flag
+            label="relax-vertex" + ("-wl" if data else ""),
+        )
+
+    def _edge_profile(
+        self,
+        sem: SemanticKey,
+        n_items: int,
+        stats: _PassStats,
+        *,
+        data: bool,
+        pushes: int = 0,
+    ) -> IterationProfile:
+        weighted = 1.0 if self.edge_cost == "weight" else 0.0
+        items = max(n_items, 1)
+        improve_per_item = stats.improving / items
+        rw = sem.update is Update.READ_WRITE
+
+        struct_loads_base = 2.0 + weighted + (1.0 if data else 0.0)
+        shared_loads_base = 1.0  # source value
+        shared_stores_base = 0.0
+        atomics_base = 0.0
+        if rw:
+            shared_loads_base += 1.0
+            shared_stores_base += improve_per_item
+        else:
+            atomics_base += 1.0
+        if data and sem.dup is Dup.NODUP:
+            shared_loads_base += improve_per_item
+            atomics_base += improve_per_item
+
+        return IterationProfile(
+            n_items=n_items,
+            inner=None,
+            base_cycles=3.0,
+            struct_loads_base=struct_loads_base,
+            shared_loads_base=shared_loads_base,
+            shared_stores_base=shared_stores_base,
+            atomics_base=atomics_base,
+            atomic_minmax=True,
+            conflict_extra=stats.conflict_extra,
+            max_conflict=stats.max_conflict,
+            hot_atomics=float(pushes) + 1.0,
+            label="relax-edge" + ("-wl" if data else ""),
+        )

@@ -1,0 +1,31 @@
+"""Single-Source Shortest Path kernel (Bellman-Ford style).
+
+SSSP is the weighted instance of the relaxation engine — the paper's
+running example (Section 2).  Every style of Table 2's SSSP column is
+supported via :class:`~repro.kernels.relaxation.RelaxationKernel`.
+"""
+
+from __future__ import annotations
+
+from ..graph.csr import CSRGraph
+from ..styles.spec import SemanticKey
+from .base import KernelResult
+from .relaxation import RelaxationKernel
+
+__all__ = ["SSSPKernel"]
+
+
+class SSSPKernel:
+    """Style-parameterized Bellman-Ford SSSP from a source vertex."""
+
+    def __init__(self, graph: CSRGraph, source: int = 0):
+        if graph.weights is None:
+            raise ValueError("SSSP requires a weighted graph")
+        self._engine = RelaxationKernel(
+            graph, edge_cost="weight", source=source, label="sssp"
+        )
+        self.graph = graph
+        self.source = source
+
+    def run(self, sem: SemanticKey) -> KernelResult:
+        return self._engine.run(sem)

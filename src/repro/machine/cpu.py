@@ -1,0 +1,232 @@
+"""Analytic CPU timing model (OpenMP and C++ threads).
+
+Structure mirrors :mod:`repro.machine.gpu` with the CPU-specific effects of
+Sections 2.10.2, 2.11, 2.12 and 5.3/5.5:
+
+* **OpenMP min/max updates are critical sections** — OpenMP's ``atomic``
+  pragma supports only simple operators, so the RMW-style min/max relaxation
+  must use ``omp critical`` (Section 5.3.1: "max and min operations ... must
+  be implemented with slow critical sections in OpenMP but can be done with
+  fast atomics in C++").  Critical sections serialize chip-wide, which is
+  where the enormous OpenMP ratio ranges of Figures 3-6 come from.
+* **Scheduling** — OpenMP default = static contiguous chunks; dynamic =
+  work-stealing chunks with per-chunk dispatch overhead (Section 2.11).
+  C++ blocked/cyclic are explicit contiguous/strided assignments
+  (Section 2.12); cyclic loses spatial locality on streaming accesses.
+* **Parallel-region overhead** — every launch pays a fork/join; the
+  straightforward C++-threads style creates and joins ``std::thread``
+  objects per step, which is an order of magnitude pricier than OpenMP's
+  pooled workers.  This is why small-frontier data-driven codes pay more in
+  C++ (Section 5.16: "C++ prefers the topology-driven style because the
+  worklist overhead often cannot offset the work-efficiency benefit").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..styles.axes import (
+    CppSchedule,
+    CpuReduction,
+    Model,
+    OmpSchedule,
+)
+from ..styles.spec import StyleSpec
+from .scheduling import (
+    UnitDecomposition,
+    cpu_blocked_units,
+    cpu_cyclic_units,
+    makespan,
+)
+from .specs import CPUSpec
+from .trace import ExecutionTrace, IterationProfile
+
+__all__ = ["CPUModel"]
+
+_DECOMP_CACHE_ATTR = "_cpu_decomp_cache"
+
+
+class CPUModel:
+    """Times execution traces on one CPU spec, for OpenMP or C++ codes."""
+
+    def __init__(self, spec: CPUSpec):
+        self.spec = spec
+
+    # ------------------------------------------------------------------
+    def time_trace(self, trace: ExecutionTrace, style: StyleSpec) -> float:
+        """Simulated wall time in seconds for the whole program."""
+        if style.model is Model.CUDA:
+            raise ValueError("CPUModel times OpenMP / C++-threads specs only")
+        mem_bw = self._bandwidth_for(trace)
+        cycles = 0.0
+        for profile in trace.profiles:
+            cycles += self.profile_cycles(profile, style, mem_bw=mem_bw)
+        return self.spec.seconds(cycles)
+
+    def _bandwidth_for(self, trace: ExecutionTrace) -> float:
+        """L3-resident working sets stream at L3, not DRAM, speed."""
+        footprint = trace.n_vertices * 16.0 + trace.n_edges * 8.0
+        if footprint <= self.spec.l3_size_bytes:
+            return self.spec.l3_bytes_per_cycle
+        return self.spec.mem_bytes_per_cycle
+
+    def throughput(self, trace: ExecutionTrace, style: StyleSpec) -> float:
+        """Giga-edges per second (Section 4.5 metric)."""
+        return trace.n_edges / self.time_trace(trace, style) / 1e9
+
+    # ------------------------------------------------------------------
+    def profile_cycles(
+        self,
+        p: IterationProfile,
+        style: StyleSpec,
+        *,
+        mem_bw: Optional[float] = None,
+    ) -> float:
+        """Simulated cycles of one parallel step."""
+        s = self.spec
+        if mem_bw is None:
+            mem_bw = s.mem_bytes_per_cycle
+        region = (
+            s.cycles_region_omp
+            if style.model is Model.OPENMP
+            else s.cycles_region_cpp
+        )
+        if p.n_items == 0:
+            return region
+
+        cyclic = style.cpp_schedule is CppSchedule.CYCLIC
+        load_factor = s.cyclic_locality_factor if cyclic else 1.0
+
+        # OpenMP realizes min/max RMW as critical sections, which serialize
+        # chip-wide; everything else stays in the per-item coefficients.
+        minmax_critical = style.model is Model.OPENMP and p.atomic_minmax
+        atomic_cost = 0.0 if minmax_critical else s.cycles_atomic
+
+        alpha = (
+            p.base_cycles * s.cycles_compute
+            + p.struct_loads_base * s.cycles_load * load_factor
+            + p.shared_loads_base * s.cycles_load
+            + p.shared_stores_base * s.cycles_store
+            + p.atomics_base * atomic_cost
+        )
+        beta = (
+            p.inner_cycles * s.cycles_compute
+            + p.struct_loads_inner * s.cycles_load * load_factor
+            + p.shared_loads_inner * s.cycles_load
+            + p.shared_stores_inner * s.cycles_store
+            + p.atomics_inner * atomic_cost
+        )
+
+        work_cycles = self._schedule_cycles(p, style, alpha, beta)
+
+        serial_cycles = 0.0
+        if minmax_critical:
+            serial_cycles += p.total_atomics * s.cycles_critical
+
+        mem_cycles = self._memory_cycles(p, load_factor, mem_bw)
+
+        overlap = min(1.0, s.threads / p.n_items)
+        conflict_cycles = p.conflict_extra * s.cycles_atomic_conflict * overlap
+        hot_cycles = p.hot_atomics * s.cycles_hot_atomic
+        red_cycles = self._reduction_cycles(p, style)
+
+        return (
+            max(work_cycles, mem_cycles)
+            + serial_cycles
+            + conflict_cycles
+            + hot_cycles
+            + red_cycles
+            + region
+        )
+
+    # ------------------------------------------------------------------
+    def _schedule_cycles(
+        self, p: IterationProfile, style: StyleSpec, alpha: float, beta: float
+    ) -> float:
+        """Makespan under the spec's scheduling policy."""
+        s = self.spec
+        if style.model is Model.OPENMP and style.omp_schedule is OmpSchedule.DYNAMIC:
+            # Greedy dynamic scheduling: classic bound (balanced up to the
+            # longest single chunk) plus dispatch overhead.  Every chunk
+            # grab is a fetch-add on the shared loop counter — a hot
+            # atomic that serializes across the chip — plus some per-chunk
+            # bookkeeping that runs inside the grabbing thread.
+            total = alpha * p.n_items + beta * p.total_inner
+            if p.inner is not None and p.inner.size:
+                longest_item = alpha + beta * float(p.inner.max())
+            else:
+                longest_item = alpha
+            chunk = max(1, s.dynamic_chunk)
+            n_chunks = -(-p.n_items // chunk)
+            # The loop counter only becomes a serialization point when
+            # threads finish chunks faster than the counter can hand new
+            # ones out; pressure is the ratio of grab rate to service rate.
+            body = max(total / n_chunks, 1.0)
+            pressure = min(1.0, s.threads * s.cycles_hot_atomic / body)
+            dispatch_serial = n_chunks * s.cycles_hot_atomic * pressure
+            dispatch_local = n_chunks * s.cycles_dynamic_dispatch / s.threads
+            return (
+                total / s.threads
+                + longest_item * chunk
+                + dispatch_serial
+                + dispatch_local
+            )
+
+        units = self._units(p, style)
+        total, longest = units.times(alpha, beta, 0.0)
+        return makespan(total, longest, units.n_units or 1)
+
+    def _units(self, p: IterationProfile, style: StyleSpec) -> UnitDecomposition:
+        cyclic = style.cpp_schedule is CppSchedule.CYCLIC
+        cache = getattr(p, _DECOMP_CACHE_ATTR, None)
+        if cache is None:
+            cache = {}
+            setattr(p, _DECOMP_CACHE_ATTR, cache)
+        key = (cyclic, self.spec.threads)
+        units = cache.get(key)
+        if units is None:
+            builder = cpu_cyclic_units if cyclic else cpu_blocked_units
+            units = builder(p.inner, p.n_items, self.spec.threads)
+            cache[key] = units
+        return units
+
+    def _memory_cycles(
+        self, p: IterationProfile, load_factor: float, mem_bw: float
+    ) -> float:
+        """Bandwidth bound: streaming structure + scattered data traffic."""
+        s = self.spec
+        n = float(p.n_items)
+        inner_total = float(p.total_inner)
+        struct_bytes = 4.0 * load_factor * (
+            p.struct_loads_base * n + p.struct_loads_inner * inner_total
+        )
+        data_accesses = (
+            (p.shared_loads_base + p.shared_stores_base) * n
+            + (p.shared_loads_inner + p.shared_stores_inner) * inner_total
+            + 2.0 * (p.atomics_base * n + p.atomics_inner * inner_total)
+        )
+        # Scattered 4-byte accesses pull whole 64-byte lines; charge a
+        # conservative 16-byte effective cost (partial line reuse).
+        return (struct_bytes + 16.0 * data_accesses) / mem_bw
+
+    def _reduction_cycles(self, p: IterationProfile, style: StyleSpec) -> float:
+        """Section 2.10.2 reduction styles.
+
+        * atomic: every contribution is a lock-prefixed RMW on one hot
+          line — serialized through the LLC.
+        * critical: every contribution enters a mutex — serialized and an
+          order of magnitude pricier per op (Figure 11's worst case).
+        * clause (OpenMP) / private partials (C++): thread-local adds,
+          one combining atomic per thread.
+        """
+        if p.reduction_items <= 0 or style.cpu_reduction is None:
+            return 0.0
+        s = self.spec
+        items = p.reduction_items
+        red = style.cpu_reduction
+        if red is CpuReduction.ATOMIC:
+            return items * s.cycles_hot_atomic
+        if red is CpuReduction.CRITICAL:
+            return items * s.cycles_critical
+        # CLAUSE: private accumulation in registers/L1, combine at the end.
+        return items * s.cycles_compute / s.threads + s.threads * s.cycles_atomic

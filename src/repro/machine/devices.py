@@ -1,0 +1,144 @@
+"""The four devices of the paper's testbed (Section 4.3).
+
+System 1: Ryzen Threadripper 2950X (16 cores) + Titan V.
+System 2: dual Xeon Gold 6226R (32 cores)    + RTX 3090.
+
+The constants encode the architectural differences the paper's results
+hinge on:
+
+* The Titan V (Volta, sm_70) executes default-``cuda::atomic`` operations
+  dramatically slower than the Ampere RTX 3090 — Figure 1 shows median
+  Atomic/CudaAtomic ratios of ~100 on the Titan V vs ~10 on the 3090.  The
+  ``cudaatomic_*`` multipliers reflect that (seq_cst system-scope fences are
+  far more expensive pre-Ampere).
+* CPU atomics go through the shared L3 and are relatively more expensive
+  than GPU atomics (Section 5.5), and OpenMP ``min``/``max`` updates must be
+  critical sections (Section 5.3.1) — that cost lives in the CPU model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+from .specs import CPUSpec, GPUSpec
+
+__all__ = [
+    "TITAN_V",
+    "RTX_3090",
+    "THREADRIPPER_2950X",
+    "XEON_GOLD_6226R",
+    "GPUS",
+    "CPUS",
+    "DEVICES",
+    "get_device",
+]
+
+TITAN_V = GPUSpec(
+    name="Titan V",
+    sm_count=80,
+    issue_warps_per_sm=4,
+    clock_ghz=1.2,
+    mem_bytes_per_cycle=544.0,  # 653 GB/s / 1.2 GHz
+    l2_size_bytes=4.5e6,
+    l2_bytes_per_cycle=1600.0,
+    block_size=256,
+    resident_threads=80 * 2048,
+    cycles_compute=1.0,
+    cycles_load=6.0,
+    cycles_store=4.0,
+    cycles_atomic=18.0,
+    cycles_atomic_conflict=3.0,
+    cycles_hot_atomic=4.0,
+    cycles_shared_atomic=8.0,
+    cycles_shuffle_red=1.5,
+    cycles_barrier=30.0,
+    cycles_launch=6000.0,  # ~5 us at 1.2 GHz
+    uncoalesced_factor=3.0,
+    scatter_factor=8.0,
+    cudaatomic_rmw_mult=300.0,
+    cudaatomic_ls_mult=420.0,
+)
+
+RTX_3090 = GPUSpec(
+    name="RTX 3090",
+    sm_count=82,
+    issue_warps_per_sm=4,
+    clock_ghz=1.74,
+    mem_bytes_per_cycle=538.0,  # 936 GB/s / 1.74 GHz
+    l2_size_bytes=6.0e6,
+    l2_bytes_per_cycle=1600.0,
+    block_size=256,
+    resident_threads=82 * 1536,
+    cycles_compute=1.0,
+    cycles_load=5.0,
+    cycles_store=4.0,
+    cycles_atomic=14.0,
+    cycles_atomic_conflict=2.0,
+    cycles_hot_atomic=3.0,
+    cycles_shared_atomic=7.0,
+    cycles_shuffle_red=1.5,
+    cycles_barrier=25.0,
+    cycles_launch=8700.0,  # ~5 us at 1.74 GHz
+    uncoalesced_factor=3.0,
+    scatter_factor=8.0,
+    cudaatomic_rmw_mult=30.0,
+    cudaatomic_ls_mult=45.0,
+)
+
+THREADRIPPER_2950X = CPUSpec(
+    name="Threadripper 2950X",
+    threads=16,
+    clock_ghz=3.5,
+    mem_bytes_per_cycle=14.0,  # ~50 GB/s / 3.5 GHz
+    l3_size_bytes=32e6,
+    l3_bytes_per_cycle=60.0,
+    cycles_compute=1.0,
+    cycles_load=2.5,
+    cycles_store=2.0,
+    cycles_atomic=35.0,  # lock-prefixed RMW through L3 (two CCX dies)
+    cycles_atomic_conflict=60.0,
+    cycles_hot_atomic=55.0,
+    cycles_critical=420.0,
+    cycles_dynamic_dispatch=150.0,
+    cycles_region_omp=14000.0,  # ~4 us fork/join
+    cycles_region_cpp=90000.0,  # ~26 us: thread create + join per step
+    cyclic_locality_factor=1.8,
+    dynamic_chunk=1,
+)
+
+XEON_GOLD_6226R = CPUSpec(
+    name="Xeon Gold 6226R x2",
+    threads=32,
+    clock_ghz=2.9,
+    mem_bytes_per_cycle=38.0,  # ~110 GB/s aggregate / 2.9 GHz
+    l3_size_bytes=44e6,
+    l3_bytes_per_cycle=120.0,
+    cycles_compute=1.0,
+    cycles_load=2.5,
+    cycles_store=2.0,
+    cycles_atomic=40.0,  # cross-socket coherence makes atomics pricier
+    cycles_atomic_conflict=80.0,
+    cycles_hot_atomic=70.0,
+    cycles_critical=500.0,
+    cycles_dynamic_dispatch=160.0,
+    cycles_region_omp=18000.0,
+    cycles_region_cpp=120000.0,
+    cyclic_locality_factor=1.8,
+    dynamic_chunk=1,
+)
+
+GPUS: Dict[str, GPUSpec] = {spec.name: spec for spec in (TITAN_V, RTX_3090)}
+CPUS: Dict[str, CPUSpec] = {
+    spec.name: spec for spec in (THREADRIPPER_2950X, XEON_GOLD_6226R)
+}
+DEVICES: Dict[str, Union[GPUSpec, CPUSpec]] = {**GPUS, **CPUS}
+
+
+def get_device(name: str) -> Union[GPUSpec, CPUSpec]:
+    """Look up one of the four testbed devices by name."""
+    try:
+        return DEVICES[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown device {name!r}; available: {sorted(DEVICES)}"
+        ) from exc

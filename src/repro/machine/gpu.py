@@ -1,0 +1,288 @@
+"""Analytic GPU timing model.
+
+Converts an :class:`~repro.machine.trace.ExecutionTrace` plus the mapping
+axes of a :class:`~repro.styles.spec.StyleSpec` into simulated time on a
+:class:`~repro.machine.specs.GPUSpec`.
+
+Model structure per launch (one :class:`IterationProfile`):
+
+1. **Issue makespan** — per-item costs are decomposed into execution units
+   (warps or blocks) according to the granularity and persistence axes
+   (:mod:`repro.machine.scheduling`); the launch's issue time is the list-
+   scheduling bound ``max(total_width_weighted / issue_slots, longest_unit)``.
+2. **Memory time** — total bytes moved divided by bandwidth, with
+   uncoalesced (scattered) accesses expanded to full sectors.  The launch
+   takes ``max(issue, memory)`` — whichever resource saturates first.
+3. **Serial add-ons** — same-address atomic conflicts, hot-counter
+   operations (worklist size), the reduction of the chosen reduction style,
+   and the kernel-launch overhead.
+
+The default-``cuda::atomic`` flavor multiplies the RMW and data-array
+load/store costs (seq_cst + system scope), which is the entire Figure 1
+effect: kernels that stream loads/stores through ``cuda::atomic`` (CC, MIS,
+BFS, SSSP) slow down by the ls-multiplier while TC (one add, plain
+structure reads) barely moves.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..styles.axes import (
+    AtomicFlavor,
+    Granularity,
+    GpuReduction,
+    Iteration,
+    Model,
+    Persistence,
+)
+from ..styles.spec import StyleSpec
+from .scheduling import WARP_WIDTH, UnitDecomposition, gpu_units, makespan
+from .specs import GPUSpec
+from .trace import ExecutionTrace, IterationProfile
+
+__all__ = ["GPUModel"]
+
+_DECOMP_CACHE_ATTR = "_gpu_decomp_cache"
+
+#: Independent L2 atomic units: collisions on different addresses are
+#: processed concurrently across this many banks.
+L2_BANKS = 32.0
+
+
+class GPUModel:
+    """Times execution traces on one GPU spec."""
+
+    def __init__(self, spec: GPUSpec):
+        self.spec = spec
+
+    # ------------------------------------------------------------------
+    def time_trace(self, trace: ExecutionTrace, style: StyleSpec) -> float:
+        """Simulated wall time in seconds for the whole program."""
+        if style.model is not Model.CUDA:
+            raise ValueError("GPUModel times CUDA specs only")
+        mem_bw = self._bandwidth_for(trace)
+        cycles = 0.0
+        for profile in trace.profiles:
+            cycles += self.profile_cycles(profile, style, mem_bw=mem_bw)
+        return self.spec.seconds(cycles)
+
+    def _bandwidth_for(self, trace: ExecutionTrace) -> float:
+        """Effective streaming bandwidth for this program's working set.
+
+        When the CSR arrays plus the data arrays fit in the L2, repeated
+        sweeps stream from L2, not DRAM (the paper's inputs exceed all
+        caches; scaled inputs often do not).
+        """
+        footprint = trace.n_vertices * 16.0 + trace.n_edges * 8.0
+        if footprint <= self.spec.l2_size_bytes:
+            return self.spec.l2_bytes_per_cycle
+        return self.spec.mem_bytes_per_cycle
+
+    def throughput(self, trace: ExecutionTrace, style: StyleSpec) -> float:
+        """Giga-edges per second (the paper's Section 4.5 metric)."""
+        seconds = self.time_trace(trace, style)
+        return trace.n_edges / seconds / 1e9
+
+    # ------------------------------------------------------------------
+    def profile_cycles(
+        self,
+        p: IterationProfile,
+        style: StyleSpec,
+        *,
+        mem_bw: Optional[float] = None,
+    ) -> float:
+        """Simulated cycles of one kernel launch."""
+        s = self.spec
+        if mem_bw is None:
+            mem_bw = s.mem_bytes_per_cycle
+        if p.n_items == 0:
+            return s.cycles_launch
+
+        flavor_rmw = (
+            s.cudaatomic_rmw_mult
+            if style.atomic_flavor is AtomicFlavor.CUDA_ATOMIC
+            else 1.0
+        )
+        flavor_ls = (
+            s.cudaatomic_ls_mult
+            if style.atomic_flavor is AtomicFlavor.CUDA_ATOMIC
+            else 1.0
+        )
+        gran = style.granularity or Granularity.THREAD
+        persistent = style.persistence is Persistence.PERSISTENT
+
+        # --- per-item coefficient assembly -----------------------------
+        alpha = (
+            p.base_cycles * s.cycles_compute
+            + p.struct_loads_base * s.cycles_load
+            + p.shared_loads_base * s.cycles_load * flavor_ls
+            + p.shared_stores_base * s.cycles_store * flavor_ls
+            + p.atomics_base * s.cycles_atomic * flavor_rmw
+        )
+        beta_atomic = p.atomics_inner * s.cycles_atomic * flavor_rmw
+        beta_other = (
+            p.inner_cycles * s.cycles_compute
+            + p.struct_loads_inner * s.cycles_load
+            + p.shared_loads_inner * s.cycles_load * flavor_ls
+            + p.shared_stores_inner * s.cycles_store * flavor_ls
+        )
+        # Same-address inner atomics cannot be strip-mined across lanes.
+        if p.atomics_same_address_per_item and gran is not Granularity.THREAD:
+            beta_par, beta_ser = beta_other, beta_atomic
+        else:
+            beta_par, beta_ser = beta_other + beta_atomic, 0.0
+        # Granularity synchronization: block-wide processing of one item
+        # requires a barrier per item; warps sync implicitly (lockstep).
+        if gran is Granularity.BLOCK:
+            alpha += (p.barriers_per_item + 1.0) * s.cycles_barrier
+        elif p.barriers_per_item:
+            alpha += p.barriers_per_item * s.cycles_barrier
+
+        # --- issue makespan --------------------------------------------
+        units = self._units(p, gran, persistent)
+        total, longest = units.times(alpha, beta_par, beta_ser)
+        issue_cycles = makespan(total * units.width, longest, s.issue_slots)
+
+        # --- memory time -------------------------------------------------
+        mem_cycles = self._memory_cycles(
+            p, style, gran, mem_bw, flavor_ls=flavor_ls, flavor_rmw=flavor_rmw
+        )
+
+        # --- serial add-ons ----------------------------------------------
+        # Same-address atomics serialize per address; different addresses
+        # proceed in parallel across the L2 banks.  The launch pays the
+        # longest single-address chain plus the bank-throughput cost of the
+        # remaining collisions (scaled by how much of the launch is
+        # actually concurrent).
+        active_threads = s.issue_slots * WARP_WIDTH
+        overlap = min(1.0, active_threads / p.n_items)
+        conflict_cycles = flavor_rmw * s.cycles_atomic_conflict * (
+            p.max_conflict
+            + p.conflict_extra * overlap / L2_BANKS
+        )
+        hot_cycles = p.hot_atomics * s.cycles_hot_atomic * flavor_rmw
+        red_cycles = self._reduction_cycles(p, style, gran, flavor_rmw)
+
+        return (
+            max(issue_cycles, mem_cycles)
+            + conflict_cycles
+            + hot_cycles
+            + red_cycles
+            + s.cycles_launch
+        )
+
+    # ------------------------------------------------------------------
+    def _units(
+        self, p: IterationProfile, gran: Granularity, persistent: bool
+    ) -> UnitDecomposition:
+        """Decompose with a per-profile memo (mapping variants re-time the
+        same profiles; the decomposition depends only on gran/persistence
+        and this device's geometry)."""
+        cache = getattr(p, _DECOMP_CACHE_ATTR, None)
+        if cache is None:
+            cache = {}
+            setattr(p, _DECOMP_CACHE_ATTR, cache)
+        key = (gran, persistent, self.spec.block_size, self.spec.resident_threads)
+        units = cache.get(key)
+        if units is None:
+            units = gpu_units(
+                p.inner,
+                p.n_items,
+                gran,
+                persistent,
+                block_size=self.spec.block_size,
+                resident_threads=self.spec.resident_threads,
+            )
+            cache[key] = units
+        return units
+
+    def _memory_cycles(
+        self,
+        p: IterationProfile,
+        style: StyleSpec,
+        gran: Granularity,
+        mem_bw: float,
+        *,
+        flavor_ls: float = 1.0,
+        flavor_rmw: float = 1.0,
+    ) -> float:
+        """DRAM time: bytes moved / bandwidth, sector-expanded when
+        scattered.
+
+        Structure streams (CSR/COO/worklist) coalesce when consecutive
+        lanes touch consecutive addresses: always true for the per-item
+        (base) accesses and for strip-mined inner loops (warp/block
+        granularity), but false for thread-granularity neighbor walks,
+        where each lane streams through its own adjacency list.
+        Data-array accesses (dist/comp/rank...) are scattered by nature.
+        """
+        s = self.spec
+        inner_total = float(p.total_inner)
+        n = float(p.n_items)
+        struct_inner_factor = (
+            s.uncoalesced_factor if gran is Granularity.THREAD else 1.0
+        )
+        if style.iteration is Iteration.EDGE and p.inner is None:
+            struct_inner_factor = 1.0
+        struct_bytes = 4.0 * (
+            p.struct_loads_base * n + p.struct_loads_inner * inner_total * struct_inner_factor
+        )
+        shared_accesses = (
+            (p.shared_loads_base + p.shared_stores_base) * n
+            + (p.shared_loads_inner + p.shared_stores_inner) * inner_total
+        )
+        if p.atomics_same_address_per_item:
+            # An item's inner atomics all hit one cell: the line stays in
+            # the L2 and reaches memory once, not once per trip.
+            atomic_accesses = (p.atomics_base + min(p.atomics_inner, 1.0)) * n
+        else:
+            atomic_accesses = p.atomics_base * n + p.atomics_inner * inner_total
+        # Default cuda::atomic (seq_cst, system scope) defeats caching and
+        # pipelining of the data-array traffic; the stall time is modeled
+        # as serialization-equivalent extra traffic.
+        scattered_bytes = 4.0 * s.scatter_factor * (
+            shared_accesses * flavor_ls + 2.0 * atomic_accesses * flavor_rmw
+        )
+        return (struct_bytes + scattered_bytes) / mem_bw
+
+    def _reduction_cycles(
+        self,
+        p: IterationProfile,
+        style: StyleSpec,
+        gran: Granularity,
+        flavor_rmw: float,
+    ) -> float:
+        """Section 2.10.1 reduction styles.
+
+        * global-add: every contribution is an atomic on one L2 address —
+          fully serialized at the hot-atomic rate.
+        * block-add: block-scope atomics on a global block counter do not
+          beat the L2 (same path, narrower scope), and the style adds a
+          barrier plus one global add per block — the slowest, matching
+          Figure 10 and the paper's explanation.
+        * reduction-add: warp-shuffle trees are issue-parallel; only one
+          global add per block remains.
+        """
+        if p.reduction_items <= 0 or style.gpu_reduction is None:
+            return 0.0
+        s = self.spec
+        items = p.reduction_items
+        lanes_per_item = {
+            Granularity.THREAD: 1,
+            Granularity.WARP: WARP_WIDTH,
+            Granularity.BLOCK: s.block_size,
+        }[gran]
+        launch_threads = max(p.n_items * lanes_per_item, 1)
+        n_blocks = max(1, -(-launch_threads // s.block_size))
+        red = style.gpu_reduction
+        if red is GpuReduction.GLOBAL_ADD:
+            return items * s.cycles_hot_atomic * flavor_rmw
+        if red is GpuReduction.BLOCK_ADD:
+            return (
+                items * s.cycles_hot_atomic * flavor_rmw
+                + n_blocks * (s.cycles_hot_atomic + 2.0 * s.cycles_barrier)
+            )
+        # REDUCTION_ADD: parallel shuffle tree + one global add per block.
+        parallel = items * s.cycles_shuffle_red / (s.issue_slots * WARP_WIDTH)
+        return parallel + n_blocks * s.cycles_hot_atomic

@@ -1,0 +1,103 @@
+"""Trace inspection utilities.
+
+The execution traces are the study's intermediate representation; these
+helpers summarize them for humans (per-phase work breakdowns, operation
+mixes, convergence behavior) and export them as CSV for external analysis.
+Used by the CLI and handy when investigating why one style loses.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .trace import ExecutionTrace, IterationProfile
+
+__all__ = ["ProfileSummary", "summarize_trace", "trace_to_csv", "render_trace"]
+
+
+@dataclass(frozen=True)
+class ProfileSummary:
+    """Aggregated operation counts of one launch."""
+
+    label: str
+    n_items: int
+    inner_total: int
+    loads: float
+    stores: float
+    atomics: float
+    conflict_extra: float
+    hot_atomics: float
+    reduction_items: float
+
+    @classmethod
+    def of(cls, p: IterationProfile) -> "ProfileSummary":
+        return cls(
+            label=p.label,
+            n_items=p.n_items,
+            inner_total=p.total_inner,
+            loads=p.total_loads,
+            stores=p.total_stores,
+            atomics=p.total_atomics,
+            conflict_extra=p.conflict_extra,
+            hot_atomics=p.hot_atomics,
+            reduction_items=p.reduction_items,
+        )
+
+
+def summarize_trace(trace: ExecutionTrace) -> Dict[str, ProfileSummary]:
+    """Aggregate the trace's launches by phase label."""
+    acc: Dict[str, List[IterationProfile]] = {}
+    for p in trace.profiles:
+        acc.setdefault(p.label, []).append(p)
+    out: Dict[str, ProfileSummary] = {}
+    for label, profiles in acc.items():
+        out[label] = ProfileSummary(
+            label=label,
+            n_items=sum(p.n_items for p in profiles),
+            inner_total=sum(p.total_inner for p in profiles),
+            loads=sum(p.total_loads for p in profiles),
+            stores=sum(p.total_stores for p in profiles),
+            atomics=sum(p.total_atomics for p in profiles),
+            conflict_extra=sum(p.conflict_extra for p in profiles),
+            hot_atomics=sum(p.hot_atomics for p in profiles),
+            reduction_items=sum(p.reduction_items for p in profiles),
+        )
+    return out
+
+
+def trace_to_csv(trace: ExecutionTrace) -> str:
+    """One CSV row per launch (for spreadsheets / pandas)."""
+    buf = io.StringIO()
+    buf.write(
+        "launch,label,n_items,inner_total,loads,stores,atomics,"
+        "conflict_extra,max_conflict,hot_atomics,reduction_items\n"
+    )
+    for idx, p in enumerate(trace.profiles):
+        buf.write(
+            f"{idx},{p.label},{p.n_items},{p.total_inner},"
+            f"{p.total_loads:.1f},{p.total_stores:.1f},{p.total_atomics:.1f},"
+            f"{p.conflict_extra:.1f},{p.max_conflict},{p.hot_atomics:.1f},"
+            f"{p.reduction_items:.1f}\n"
+        )
+    return buf.getvalue()
+
+
+def render_trace(trace: ExecutionTrace) -> str:
+    """A human-readable per-phase summary of a trace."""
+    lines = [trace.summary(), ""]
+    lines.append(
+        f"{'phase':<24} {'launches':>8} {'items':>12} {'inner':>12} "
+        f"{'atomics':>12} {'hot':>10}"
+    )
+    counts: Dict[str, int] = {}
+    for p in trace.profiles:
+        counts[p.label] = counts.get(p.label, 0) + 1
+    for label, summary in summarize_trace(trace).items():
+        lines.append(
+            f"{label:<24} {counts[label]:>8} {summary.n_items:>12,} "
+            f"{summary.inner_total:>12,} {summary.atomics:>12,.0f} "
+            f"{summary.hot_atomics:>10,.0f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,289 @@
+"""Work-to-execution-unit decomposition.
+
+Turning a launch's per-item inner-trip counts into per-unit serial work is
+where most of the style effects physically live:
+
+* thread/warp/block granularity (Section 2.8) changes which unit owns an
+  item's inner loop and whether that loop is strip-mined across lanes;
+* persistent vs non-persistent (Section 2.7) changes the item-to-thread
+  assignment (cyclic over a resident grid vs one thread per item);
+* blocked vs cyclic C++ scheduling (Section 2.12) and OpenMP default
+  (static) scheduling (Section 2.11) change the item-to-thread assignment
+  on CPUs.
+
+Everything here is exact list accounting over the launch's real trip
+counts — no statistical assumptions about the degree distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..styles.axes import Granularity
+
+__all__ = [
+    "UnitDecomposition",
+    "gpu_units",
+    "cpu_blocked_units",
+    "cpu_cyclic_units",
+    "makespan",
+]
+
+WARP_WIDTH = 32
+
+
+@dataclass(frozen=True)
+class UnitDecomposition:
+    """Per-execution-unit serial work of one launch.
+
+    A "unit" is whatever executes serially with respect to itself: a warp
+    (thread/warp granularity), a block (block granularity), or a CPU
+    thread.  To keep memory bounded for launches with hundreds of
+    thousands of units, the representation is sparse: a ``None`` array
+    with the matching ``uniform_*`` scalar set means "this component is
+    identical for every unit" (e.g. each warp/block owns exactly one item,
+    or there is no inner loop).  ``trips_ser`` may alias the launch's raw
+    trip array — it is never mutated.
+
+    Attributes
+    ----------
+    base:
+        Per-unit count of serialized item-base executions
+        (or ``uniform_base`` for all units).
+    trips_par:
+        Per-unit inner trips after strip-mining (lanes share the loop).
+    trips_ser:
+        Per-unit raw inner trips (for operations that cannot be
+        strip-mined, e.g. same-address atomics).
+    width:
+        Warp-issue slots one unit occupies (1 for warps, block_size/32 for
+        blocks, 1 for CPU threads).
+    n_units:
+        Number of units.
+    """
+
+    base: Optional[np.ndarray]
+    trips_par: Optional[np.ndarray]
+    trips_ser: Optional[np.ndarray]
+    width: float
+    n_units: int
+    uniform_base: float = 0.0
+    uniform_trips: float = 0.0
+
+    def times(self, alpha: float, beta_par: float, beta_ser: float) -> Tuple[float, float]:
+        """(sum of unit times, max unit time) for the given coefficients."""
+        if self.n_units == 0:
+            return 0.0, 0.0
+        if self.base is None and self.trips_par is None:
+            t = (
+                alpha * self.uniform_base
+                + (beta_par + beta_ser) * self.uniform_trips
+            )
+            return t * self.n_units, t
+        const = alpha * self.uniform_base if self.base is None else 0.0
+        t = None if self.base is None else alpha * self.base
+        if self.trips_par is not None and (beta_par != 0.0 or beta_ser != 0.0):
+            trips = beta_par * self.trips_par
+            if beta_ser != 0.0:
+                trips = trips + beta_ser * self.trips_ser
+            t = trips if t is None else t + trips
+        if t is None:
+            return const * self.n_units, const
+        return float(t.sum()) + const * self.n_units, float(t.max()) + const
+
+
+def makespan(total: float, longest: float, slots: float) -> float:
+    """Greedy list-scheduling makespan bound: max(total/slots, longest)."""
+    if slots <= 0:
+        raise ValueError("slots must be positive")
+    return max(total / slots, longest)
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+def _pad_reshape(values: np.ndarray, width: int) -> np.ndarray:
+    """Pad with zeros to a multiple of ``width`` and reshape to rows."""
+    n = values.size
+    rows = -(-n // width)
+    if rows * width != n:
+        padded = np.zeros(rows * width, dtype=values.dtype)
+        padded[:n] = values
+        values = padded
+    return values.reshape(rows, width)
+
+
+def _strided_sums(values: np.ndarray, n_slots: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-slot (count, sum) under cyclic assignment item ``i -> i % n_slots``."""
+    n = values.size
+    counts = np.full(n_slots, n // n_slots, dtype=np.int64)
+    counts[: n % n_slots] += 1
+    waves = _pad_reshape(values, n_slots)
+    return counts, waves.sum(axis=0)
+
+
+def _contiguous_sums(values: np.ndarray, n_slots: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-slot (count, sum) under blocked assignment (contiguous chunks).
+
+    Chunk boundaries follow the OpenMP static convention:
+    slot ``t`` gets ``[t*n//T, (t+1)*n//T)``.
+    """
+    n = values.size
+    bounds = (np.arange(n_slots + 1, dtype=np.int64) * n) // n_slots
+    csum = np.concatenate([[0], np.cumsum(values, dtype=np.int64)])
+    sums = csum[bounds[1:]] - csum[bounds[:-1]]
+    counts = np.diff(bounds)
+    return counts, sums
+
+
+def _lockstep_warps(
+    base: np.ndarray, trips: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Collapse per-thread work into per-warp work (lockstep: lane max)."""
+    return (
+        _pad_reshape(base, WARP_WIDTH).max(axis=1).astype(np.float64),
+        _pad_reshape(trips, WARP_WIDTH).max(axis=1),
+    )
+
+
+# ----------------------------------------------------------------------
+# GPU decompositions
+# ----------------------------------------------------------------------
+def gpu_units(
+    inner: Optional[np.ndarray],
+    n_items: int,
+    granularity: Granularity,
+    persistent: bool,
+    *,
+    block_size: int,
+    resident_threads: int,
+) -> UnitDecomposition:
+    """Decompose a GPU launch into warp- or block-level units.
+
+    ``inner is None`` means every item is identical (no inner loop): the
+    decomposition collapses to the uniform fast path.
+    """
+    if n_items == 0:
+        return UnitDecomposition(None, None, None, 1.0, 0)
+
+    if inner is None:
+        return _gpu_units_uniform(
+            n_items, granularity, persistent,
+            block_size=block_size, resident_threads=resident_threads,
+        )
+
+    trips = inner
+    if granularity is Granularity.THREAD:
+        if persistent:
+            slots = min(resident_threads, n_items)
+            counts, sums = _strided_sums(trips, slots)
+            wbase, wtrips = _lockstep_warps(counts, sums)
+            return UnitDecomposition(wbase, wtrips, wtrips, 1.0, wbase.size)
+        # Lockstep warps of one item per lane: every warp runs the item
+        # base once; its trip time is the slowest lane's trip count.
+        wtrips = _pad_reshape(trips, WARP_WIDTH).max(axis=1)
+        return UnitDecomposition(
+            None, wtrips, wtrips, 1.0, wtrips.size, uniform_base=1.0
+        )
+
+    lane_width = WARP_WIDTH if granularity is Granularity.WARP else block_size
+    unit_width = 1.0 if granularity is Granularity.WARP else block_size / WARP_WIDTH
+    strip = -(-trips // lane_width)  # ceil(t / lanes): strip-mined trips
+    if persistent:
+        n_resident_units = max(1, resident_threads // lane_width)
+        slots = min(n_resident_units, n_items)
+        counts, strip_sums = _strided_sums(strip, slots)
+        _, raw_sums = _strided_sums(trips, slots)
+        return UnitDecomposition(
+            counts.astype(np.float64),
+            strip_sums,
+            raw_sums,
+            unit_width,
+            slots,
+        )
+    # One unit per item; the raw trip array is aliased, never copied.
+    return UnitDecomposition(
+        None, strip, trips, unit_width, n_items, uniform_base=1.0
+    )
+
+
+def _gpu_units_uniform(
+    n_items: int,
+    granularity: Granularity,
+    persistent: bool,
+    *,
+    block_size: int,
+    resident_threads: int,
+) -> UnitDecomposition:
+    """Uniform-item fast path (no per-unit arrays needed)."""
+    if granularity is Granularity.THREAD:
+        if persistent:
+            slots = min(resident_threads, n_items)
+            per_thread = -(-n_items // slots)
+            n_units = -(-slots // WARP_WIDTH)
+            return UnitDecomposition(
+                None, None, None, 1.0, n_units,
+                uniform_base=float(per_thread), uniform_trips=0.0,
+            )
+        n_units = -(-n_items // WARP_WIDTH)
+        return UnitDecomposition(None, None, None, 1.0, n_units, uniform_base=1.0)
+
+    lane_width = WARP_WIDTH if granularity is Granularity.WARP else block_size
+    unit_width = 1.0 if granularity is Granularity.WARP else block_size / WARP_WIDTH
+    if persistent:
+        n_units = max(1, min(resident_threads // lane_width, n_items))
+        per_unit = -(-n_items // n_units)
+        return UnitDecomposition(
+            None, None, None, unit_width, n_units, uniform_base=float(per_unit)
+        )
+    return UnitDecomposition(None, None, None, unit_width, n_items, uniform_base=1.0)
+
+
+# ----------------------------------------------------------------------
+# CPU decompositions
+# ----------------------------------------------------------------------
+def cpu_blocked_units(
+    inner: Optional[np.ndarray], n_items: int, threads: int
+) -> UnitDecomposition:
+    """Static contiguous chunks (OpenMP default / C++ blocked)."""
+    if n_items == 0:
+        return UnitDecomposition(None, None, None, 1.0, 0)
+    n_units = min(threads, n_items)
+    if inner is None:
+        per = -(-n_items // n_units)
+        return UnitDecomposition(
+            None, None, None, 1.0, n_units, uniform_base=float(per)
+        )
+    counts, sums = _contiguous_sums(inner, n_units)
+    return UnitDecomposition(
+        counts.astype(np.float64),
+        sums.astype(np.float64),
+        sums.astype(np.float64),
+        1.0,
+        n_units,
+    )
+
+
+def cpu_cyclic_units(
+    inner: Optional[np.ndarray], n_items: int, threads: int
+) -> UnitDecomposition:
+    """Round-robin assignment (C++ cyclic schedule)."""
+    if n_items == 0:
+        return UnitDecomposition(None, None, None, 1.0, 0)
+    n_units = min(threads, n_items)
+    if inner is None:
+        per = -(-n_items // n_units)
+        return UnitDecomposition(
+            None, None, None, 1.0, n_units, uniform_base=float(per)
+        )
+    counts, sums = _strided_sums(inner, n_units)
+    return UnitDecomposition(
+        counts.astype(np.float64),
+        sums.astype(np.float64),
+        sums.astype(np.float64),
+        1.0,
+        n_units,
+    )

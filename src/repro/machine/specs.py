@@ -1,0 +1,122 @@
+"""Device specifications for the simulated machines.
+
+Two GPU specs and two CPU specs mirror the paper's Section 4.3 testbed.
+Every cost parameter is documented with its physical meaning; the *shape*
+results of Section 5 depend on orderings and orders of magnitude, never on
+the third significant digit of these constants (the benchmark suite asserts
+shapes, not absolute values).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GPUSpec", "CPUSpec"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """An analytic CUDA device model.
+
+    Cycle costs are *amortized issue costs*: the expected pipeline occupancy
+    an instruction adds to its warp, assuming the usual latency hiding from
+    multithreading.  Raw DRAM latency therefore does not appear; bandwidth
+    and serialization do.
+    """
+
+    name: str
+    sm_count: int
+    #: Warp instructions the whole chip can issue per cycle per SM
+    #: (sub-partitions with independent schedulers).
+    issue_warps_per_sm: int
+    clock_ghz: float
+    #: Main-memory bandwidth available to the kernel, in bytes per cycle
+    #: (bandwidth GB/s divided by clock GHz).
+    mem_bytes_per_cycle: float
+    #: L2 capacity in bytes and L2 bandwidth in bytes per cycle: working
+    #: sets that fit in the L2 stream at L2 rather than DRAM speed (the
+    #: paper's inputs exceed all caches; the scaled stand-ins often fit,
+    #: so the cache tier must be modeled for the same effects to surface).
+    l2_size_bytes: float
+    l2_bytes_per_cycle: float
+    #: Threads per block assumed for block-granularity codes.
+    block_size: int
+    #: Resident threads when a persistent kernel fills the machine.
+    resident_threads: int
+    # --- per-access amortized cycle costs --------------------------------
+    cycles_compute: float  #: one arithmetic/control step
+    cycles_load: float  #: coalesced 4-byte global load
+    cycles_store: float  #: coalesced 4-byte global store
+    cycles_atomic: float  #: un-contended global atomic RMW
+    #: additional serialization cycles per conflicting atomic on the same
+    #: address (the L2 processes same-address atomics one at a time).
+    cycles_atomic_conflict: float
+    #: serialization per operation on a single *hot* address (worklist
+    #: counters, global-add reduction counters).
+    cycles_hot_atomic: float
+    #: shared-memory atomic (block-add reductions): serialization per op.
+    cycles_shared_atomic: float
+    #: per-contribution cost of a warp-shuffle tree reduction.
+    cycles_shuffle_red: float
+    #: intra-block barrier (__syncthreads).
+    cycles_barrier: float
+    #: fixed host-side cost of one kernel launch, in cycles.
+    cycles_launch: float
+    #: transaction multiplier for thread-granularity adjacency streaming:
+    #: each lane walks its own list, so sectors are partially wasted (with
+    #: some reuse from caching between a lane's consecutive accesses).
+    uncoalesced_factor: float
+    #: transaction multiplier for truly random data-array accesses: a
+    #: 4-byte access occupies a full 32-byte sector.
+    scatter_factor: float
+    # --- cuda::atomic default (seq_cst, system scope) multipliers ---------
+    #: factor on atomic RMW ops under default CudaAtomic.
+    cudaatomic_rmw_mult: float
+    #: factor on .load()/.store() accesses under default CudaAtomic.
+    cudaatomic_ls_mult: float
+
+    @property
+    def issue_slots(self) -> int:
+        """Concurrent warp-issue slots chip-wide."""
+        return self.sm_count * self.issue_warps_per_sm
+
+    def seconds(self, cycles: float) -> float:
+        return cycles / (self.clock_ghz * 1e9)
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """An analytic multicore CPU model."""
+
+    name: str
+    threads: int  #: worker threads used by the study (no hyperthreading)
+    clock_ghz: float
+    mem_bytes_per_cycle: float
+    #: Shared last-level-cache capacity and bandwidth (see GPUSpec.l2_*).
+    l3_size_bytes: float
+    l3_bytes_per_cycle: float
+    # --- per-access amortized cycle costs --------------------------------
+    cycles_compute: float
+    cycles_load: float  #: cache-resident / streaming 4-byte load
+    cycles_store: float
+    cycles_atomic: float  #: lock-prefixed RMW through the shared LLC
+    cycles_atomic_conflict: float  #: extra serialization per conflicting op
+    cycles_hot_atomic: float  #: per-op serialization on one hot address
+    #: cost of one critical-section entry/exit (mutex); critical sections
+    #: additionally serialize chip-wide, which the model applies on top.
+    cycles_critical: float
+    #: per-chunk dispatch cost of OpenMP dynamic scheduling.
+    cycles_dynamic_dispatch: float
+    #: OpenMP parallel-region fork/join (per parallel loop).
+    cycles_region_omp: float
+    #: C++ `std::thread` create/join per parallel step (no thread pool in
+    #: the straightforward styles the suite uses).
+    cycles_region_cpp: float
+    #: multiplier on streaming loads under a cyclic schedule (lost spatial
+    #: locality: each thread touches every Nth element of a cache line).
+    cyclic_locality_factor: float
+    #: iterations per dynamic chunk (OpenMP's default dynamic chunk size).
+    dynamic_chunk: int
+
+    def seconds(self, cycles: float) -> float:
+        return cycles / (self.clock_ghz * 1e9)

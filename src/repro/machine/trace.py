@@ -1,0 +1,188 @@
+"""Execution traces: the interface between kernels and machine models.
+
+A styled kernel *executes* its algorithm (vectorized, on the real graph)
+and, for every parallel step it performs, records an
+:class:`IterationProfile` — an exact operation profile of that step.  The
+machine models then convert profiles into simulated time for any mapping
+combination (granularity, persistence, atomic flavor, reduction style,
+schedule) without re-executing the kernel.
+
+Profiles use a ``base + inner`` coefficient form: a work item (vertex, edge
+or worklist entry) performs ``*_base`` operations unconditionally plus
+``*_inner`` operations per inner-loop trip, with the per-item trip counts in
+:attr:`IterationProfile.inner`.  This is exact for the kernels in this
+suite, whose inner loops are uniform per trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["IterationProfile", "ExecutionTrace", "conflict_stats"]
+
+
+def conflict_stats(addresses: np.ndarray, n_cells: int) -> "tuple[float, int]":
+    """Contention statistics of one launch's atomic destinations.
+
+    Returns ``(conflict_extra, max_conflict)`` where ``conflict_extra`` is
+    the total number of same-address collisions, i.e. ``sum(max(0, c-1))``
+    over addresses, and ``max_conflict`` is the largest per-address count.
+    """
+    if addresses.size == 0:
+        return 0.0, 0
+    counts = np.bincount(addresses, minlength=n_cells)
+    counts = counts[counts > 0]
+    return float((counts - 1).sum()), int(counts.max())
+
+
+@dataclass
+class IterationProfile:
+    """Operation profile of one parallel step (one kernel launch / one
+    parallel region).
+
+    Attributes
+    ----------
+    n_items:
+        Number of work items launched.
+    inner:
+        ``int64[n_items]`` inner-loop trip counts (neighbor counts for
+        vertex items, merge lengths for TC).  ``None`` means no inner loop.
+    base_cycles / inner_cycles:
+        Arithmetic/control steps per item / per trip.
+    struct_loads_*:
+        Loads of graph structure (row_ptr/col_idx/weights/worklist): these
+        are plain loads in every atomic flavor, and they form the streaming
+        access pattern whose coalescing depends on the mapping.
+    shared_loads_* / shared_stores_*:
+        Accesses to the shared *data* arrays (dist/comp/rank/status...).
+        Under the default-CudaAtomic flavor these go through
+        ``cuda::atomic<T>::load/store`` and pay the seq_cst penalty.
+    atomics_*:
+        Atomic RMW operations on the data arrays.
+    atomic_minmax:
+        True when the RMWs are min/max (OpenMP must realize them as
+        critical sections; C++ and CUDA have native RMW for them).
+    atomics_same_address_per_item:
+        True when an item's inner-loop atomics all hit one address (the
+        pull style updating its own vertex): warp/block strip-mining cannot
+        parallelize those.
+    conflict_extra / max_conflict:
+        Cross-item same-address collision statistics (from
+        :func:`conflict_stats` over the real destination addresses).
+    hot_atomics:
+        Operations on a single hot address (worklist-size counter).
+    reduction_items:
+        Contributions to the sum reduction of PR/TC, timed according to the
+        reduction-style mapping axis.
+    barriers_per_item:
+        Block-level barriers per item (beyond the implicit granularity
+        sync the device model already charges).
+    label:
+        Phase name, for debugging and trace inspection.
+    """
+
+    n_items: int
+    inner: Optional[np.ndarray] = None
+    base_cycles: float = 1.0
+    inner_cycles: float = 0.0
+    struct_loads_base: float = 0.0
+    struct_loads_inner: float = 0.0
+    shared_loads_base: float = 0.0
+    shared_loads_inner: float = 0.0
+    shared_stores_base: float = 0.0
+    shared_stores_inner: float = 0.0
+    atomics_base: float = 0.0
+    atomics_inner: float = 0.0
+    atomic_minmax: bool = False
+    atomics_same_address_per_item: bool = False
+    conflict_extra: float = 0.0
+    max_conflict: int = 0
+    hot_atomics: float = 0.0
+    reduction_items: float = 0.0
+    barriers_per_item: float = 0.0
+    label: str = "step"
+
+    def __post_init__(self) -> None:
+        if self.n_items < 0:
+            raise ValueError("n_items must be non-negative")
+        if self.inner is not None:
+            # int32 halves the footprint of large worklist traces; trip
+            # counts are far below 2**31 (reductions promote to int64).
+            self.inner = np.asarray(self.inner, dtype=np.int32)
+            if self.inner.shape != (self.n_items,):
+                raise ValueError(
+                    f"inner must have shape ({self.n_items},), "
+                    f"got {self.inner.shape}"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def total_inner(self) -> int:
+        """Total inner-loop trips across all items."""
+        if self.inner is None:
+            return 0
+        return int(self.inner.sum())
+
+    def total_of(self, base: float, per_inner: float) -> float:
+        """Total count of an operation class over the whole launch."""
+        return base * self.n_items + per_inner * self.total_inner
+
+    @property
+    def total_loads(self) -> float:
+        return self.total_of(
+            self.struct_loads_base + self.shared_loads_base,
+            self.struct_loads_inner + self.shared_loads_inner,
+        )
+
+    @property
+    def total_stores(self) -> float:
+        return self.total_of(self.shared_stores_base, self.shared_stores_inner)
+
+    @property
+    def total_atomics(self) -> float:
+        return self.total_of(self.atomics_base, self.atomics_inner)
+
+
+@dataclass
+class ExecutionTrace:
+    """The full simulated execution of one semantic program on one graph.
+
+    Produced once per (semantic style combination, graph); timed many times
+    (once per mapping combination per device).
+    """
+
+    profiles: List[IterationProfile] = field(default_factory=list)
+    n_edges: int = 0  #: directed edge count of the input (for throughput)
+    n_vertices: int = 0
+    iterations: int = 0  #: convergence iterations of the outer loop
+    converged: bool = True
+    label: str = ""
+
+    def add(self, profile: IterationProfile) -> None:
+        self.profiles.append(profile)
+
+    @property
+    def total_work_items(self) -> int:
+        return sum(p.n_items for p in self.profiles)
+
+    @property
+    def total_inner(self) -> int:
+        return sum(p.total_inner for p in self.profiles)
+
+    @property
+    def total_atomics(self) -> float:
+        return sum(p.total_atomics for p in self.profiles)
+
+    @property
+    def n_launches(self) -> int:
+        return len(self.profiles)
+
+    def summary(self) -> str:
+        return (
+            f"trace {self.label!r}: {self.iterations} iterations, "
+            f"{self.n_launches} launches, {self.total_work_items} items, "
+            f"{self.total_inner} inner trips"
+        )

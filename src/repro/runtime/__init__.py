@@ -1,0 +1,13 @@
+"""Runtime: launching styled programs on simulated devices, with
+verification against serial references."""
+
+from .launcher import Launcher, RunResult
+from .verify import VerificationError, reference_solution, verify_result
+
+__all__ = [
+    "Launcher",
+    "RunResult",
+    "VerificationError",
+    "reference_solution",
+    "verify_result",
+]

@@ -1,0 +1,165 @@
+"""Program launcher: run a styled program on a device and a graph.
+
+The launcher implements the study's central efficiency trick (and its
+methodological core): the *semantic* axes determine what is executed, the
+*mapping* axes only determine how the execution is timed.  Traces are
+therefore executed once per (graph, semantic combination) and re-timed for
+every mapping combination and device — exactly the "compare styles with
+everything else held fixed" discipline of Section 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..kernels.base import KernelResult
+from ..kernels.registry import build_kernel
+from ..machine.cpu import CPUModel
+from ..machine.gpu import GPUModel
+from ..machine.specs import CPUSpec, GPUSpec
+from ..styles.axes import Algorithm
+from ..styles.spec import SemanticKey, StyleSpec
+from .verify import reference_solution, verify_result
+
+__all__ = ["RunResult", "Launcher"]
+
+DeviceSpec = Union[GPUSpec, CPUSpec]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one program on one device and one input."""
+
+    spec: StyleSpec
+    device: str
+    graph: str
+    seconds: float
+    throughput_ges: float  #: giga directed edges per second (Section 4.5)
+    verified: bool
+    iterations: int
+    launches: int
+
+    def __post_init__(self) -> None:
+        if self.seconds <= 0:
+            raise ValueError("simulated time must be positive")
+
+
+class Launcher:
+    """Executes styled programs with semantic-trace and reference caching.
+
+    ``source`` selects the BFS/SSSP source vertex; the default (``None``)
+    uses each graph's highest-degree vertex — deterministic and never an
+    isolated vertex, mirroring common benchmark practice.
+    """
+
+    def __init__(self, *, verify: bool = True, source: Optional[int] = None):
+        self.verify = verify
+        self.source = source
+        self._kernels: Dict[Tuple[int, Algorithm], object] = {}
+        self._traces: Dict[Tuple[int, SemanticKey], KernelResult] = {}
+        self._references: Dict[Tuple[int, Algorithm], np.ndarray] = {}
+        self._graphs: Dict[int, CSRGraph] = {}
+
+    def source_for(self, graph: CSRGraph) -> int:
+        """The BFS/SSSP source for a graph (highest-degree by default)."""
+        if self.source is not None:
+            return self.source
+        return int(np.argmax(graph.degrees))
+
+    # ------------------------------------------------------------------
+    def execute_semantic(
+        self, spec: StyleSpec, graph: CSRGraph
+    ) -> KernelResult:
+        """Execute (or fetch) the semantic trace of a spec on a graph."""
+        key = (id(graph), spec.semantic_key())
+        self._graphs[id(graph)] = graph  # keep alive while cached
+        cached = self._traces.get(key)
+        if cached is not None:
+            return cached
+        kernel = self._kernel_for(spec.algorithm, graph)
+        result = kernel.run(spec.semantic_key())
+        if self.verify:
+            reference = self._reference_for(spec.algorithm, graph)
+            verify_result(spec.algorithm, graph, result.values, reference)
+        self._traces[key] = result
+        return result
+
+    def run(
+        self, spec: StyleSpec, graph: CSRGraph, device: DeviceSpec
+    ) -> RunResult:
+        """Run one fully-specified program variant; returns its result."""
+        spec.validate()
+        self._check_pairing(spec, device)
+        result = self.execute_semantic(spec, graph)
+        model = GPUModel(device) if isinstance(device, GPUSpec) else CPUModel(device)
+        seconds = model.time_trace(result.trace, spec)
+        return RunResult(
+            spec=spec,
+            device=device.name,
+            graph=graph.name,
+            seconds=seconds,
+            throughput_ges=graph.n_edges / seconds / 1e9,
+            verified=self.verify,
+            iterations=result.trace.iterations,
+            launches=result.trace.n_launches,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_pairing(spec: StyleSpec, device: DeviceSpec) -> None:
+        is_gpu_device = isinstance(device, GPUSpec)
+        if spec.model.is_gpu != is_gpu_device:
+            raise ValueError(
+                f"{spec.model.value} programs cannot run on {device.name}"
+            )
+
+    def _kernel_for(self, algorithm: Algorithm, graph: CSRGraph):
+        key = (id(graph), algorithm)
+        kernel = self._kernels.get(key)
+        if kernel is None:
+            kernel = build_kernel(algorithm, graph, self.source_for(graph))
+            self._kernels[key] = kernel
+        return kernel
+
+    def _reference_for(self, algorithm: Algorithm, graph: CSRGraph) -> np.ndarray:
+        key = (id(graph), algorithm)
+        ref = self._references.get(key)
+        if ref is None:
+            ref = reference_solution(algorithm, graph, self.source_for(graph))
+            self._references[key] = ref
+        return ref
+
+    # ------------------------------------------------------------------
+    def release(self, graph: CSRGraph, algorithm: Algorithm) -> None:
+        """Drop cached traces/kernels/references of one (graph, algorithm).
+
+        Sweeps call this after timing every variant of a block: trace
+        arrays for large worklist-driven runs are the dominant memory
+        consumer, and they are never needed again once all mapping
+        variants and devices have been timed.
+        """
+        gid = id(graph)
+        self._kernels.pop((gid, algorithm), None)
+        self._references.pop((gid, algorithm), None)
+        stale = [
+            key
+            for key in self._traces
+            if key[0] == gid and key[1].algorithm is algorithm
+        ]
+        for key in stale:
+            del self._traces[key]
+
+    def clear_caches(self) -> None:
+        """Drop all cached kernels, traces and references."""
+        self._kernels.clear()
+        self._traces.clear()
+        self._references.clear()
+        self._graphs.clear()
+
+    @property
+    def cached_traces(self) -> int:
+        return len(self._traces)

@@ -1,0 +1,83 @@
+"""Result verification against the serial references.
+
+Mirrors the paper's methodology (Section 4.1): "Each code verifies its
+computed solution by comparing it to the solution of a simple serial
+algorithm."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..kernels import serial
+from ..styles.axes import Algorithm
+
+__all__ = ["VerificationError", "reference_solution", "verify_result"]
+
+#: PageRank comparison tolerance.  Non-deterministic (Gauss-Seidel) runs
+#: converge to the same fixed point but stop at a slightly different
+#: iterate than the Jacobi reference.
+PR_ATOL = 1e-5
+
+
+class VerificationError(AssertionError):
+    """A styled kernel produced a result that disagrees with the serial
+    reference — this is always a bug, never a style effect."""
+
+
+def reference_solution(
+    algorithm: Algorithm, graph: CSRGraph, source: int = 0
+) -> np.ndarray:
+    """Compute (once) the serial reference for a problem instance."""
+    if algorithm is Algorithm.BFS:
+        return serial.serial_bfs(graph, source)
+    if algorithm is Algorithm.SSSP:
+        return serial.serial_sssp(graph, source)
+    if algorithm is Algorithm.CC:
+        return serial.serial_cc(graph)
+    if algorithm is Algorithm.MIS:
+        return serial.serial_mis(graph)
+    if algorithm is Algorithm.PR:
+        return serial.serial_pagerank(graph)
+    if algorithm is Algorithm.TC:
+        return np.array([serial.serial_triangle_count(graph)], dtype=np.int64)
+    raise ValueError(f"unknown algorithm {algorithm!r}")
+
+
+def verify_result(
+    algorithm: Algorithm,
+    graph: CSRGraph,
+    values: np.ndarray,
+    reference: np.ndarray,
+) -> None:
+    """Raise :class:`VerificationError` if ``values`` is wrong."""
+    if algorithm in (Algorithm.BFS, Algorithm.SSSP):
+        if not np.array_equal(values, reference):
+            bad = int(np.count_nonzero(values != reference))
+            raise VerificationError(
+                f"{algorithm.value}: {bad} distances differ from the reference"
+            )
+    elif algorithm is Algorithm.CC:
+        if not np.array_equal(
+            serial.canonical_components(values), reference
+        ):
+            raise VerificationError("cc: component labeling differs")
+    elif algorithm is Algorithm.MIS:
+        if not serial.is_maximal_independent_set(graph, values):
+            raise VerificationError("mis: result is not a maximal independent set")
+        if not np.array_equal(values.astype(np.int8), reference.astype(np.int8)):
+            raise VerificationError(
+                "mis: set differs from the greedy priority-order reference"
+            )
+    elif algorithm is Algorithm.PR:
+        if not np.allclose(values, reference, atol=PR_ATOL):
+            worst = float(np.abs(values - reference).max())
+            raise VerificationError(f"pr: max rank deviation {worst:.2e}")
+    elif algorithm is Algorithm.TC:
+        if int(values[0]) != int(reference[0]):
+            raise VerificationError(
+                f"tc: counted {int(values[0])}, reference {int(reference[0])}"
+            )
+    else:
+        raise ValueError(f"unknown algorithm {algorithm!r}")

@@ -1,0 +1,291 @@
+"""Table 2 applicability matrix and combination constraints.
+
+The paper's Table 2 lists which style options exist for each algorithm; the
+text of Sections 2 and 5 adds combination rules (e.g. CudaAtomic has no
+float support, so no PR; non-deterministic PR exists only for the pull
+flow).  This module encodes both and is the single source of truth used by
+spec validation and by the enumerator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .axes import (
+    Algorithm,
+    AtomicFlavor,
+    Determinism,
+    Driver,
+    Dup,
+    Flow,
+    Granularity,
+    Iteration,
+    Model,
+    Update,
+)
+from .spec import StyleSpec
+
+__all__ = [
+    "ALLOWED",
+    "allowed_options",
+    "check_spec",
+    "uses_worklist",
+    "has_reduction",
+    "applicability_table",
+]
+
+_A = Algorithm
+
+#: Table 2, transcribed: algorithm -> axis field -> tuple of allowed options.
+#: An empty tuple means the axis does not apply (the spec field must be
+#: ``None`` or, for always-present axes, is not varied).
+ALLOWED: Dict[Algorithm, Dict[str, Tuple]] = {
+    _A.CC: {
+        "iteration": (Iteration.VERTEX, Iteration.EDGE),
+        "driver": (Driver.TOPOLOGY, Driver.DATA),
+        "dup": (Dup.DUP, Dup.NODUP),
+        "flow": (Flow.PUSH, Flow.PULL),
+        "update": (Update.READ_WRITE, Update.READ_MODIFY_WRITE),
+        "determinism": (Determinism.DETERMINISTIC, Determinism.NON_DETERMINISTIC),
+        "atomic_flavor": (AtomicFlavor.ATOMIC, AtomicFlavor.CUDA_ATOMIC),
+        "reduction": (),
+    },
+    _A.MIS: {
+        "iteration": (Iteration.VERTEX, Iteration.EDGE),
+        "driver": (Driver.TOPOLOGY, Driver.DATA),
+        "dup": (Dup.NODUP,),
+        "flow": (Flow.PUSH, Flow.PULL),
+        "update": (Update.READ_MODIFY_WRITE,),
+        "determinism": (Determinism.DETERMINISTIC, Determinism.NON_DETERMINISTIC),
+        "atomic_flavor": (AtomicFlavor.ATOMIC, AtomicFlavor.CUDA_ATOMIC),
+        "reduction": (),
+    },
+    _A.PR: {
+        "iteration": (Iteration.VERTEX,),
+        "driver": (Driver.TOPOLOGY,),
+        "dup": (),
+        "flow": (Flow.PUSH, Flow.PULL),
+        "update": (Update.READ_MODIFY_WRITE,),
+        "determinism": (Determinism.DETERMINISTIC, Determinism.NON_DETERMINISTIC),
+        # CudaAtomic does not support floats (Section 5.1), so PR keeps the
+        # classic Atomic flavor only.
+        "atomic_flavor": (AtomicFlavor.ATOMIC,),
+        "reduction": ("pr",),
+    },
+    _A.TC: {
+        "iteration": (Iteration.VERTEX, Iteration.EDGE),
+        "driver": (Driver.TOPOLOGY,),
+        "dup": (),
+        # Table 2 nominally lists push for TC, but Section 5.4 states "TC
+        # does not support this style": the counting kernel has no vertex
+        # data flow.  We treat the axis as not applicable.
+        "flow": (),
+        "update": (Update.READ_MODIFY_WRITE,),
+        "determinism": (Determinism.DETERMINISTIC,),
+        "atomic_flavor": (AtomicFlavor.ATOMIC, AtomicFlavor.CUDA_ATOMIC),
+        "reduction": ("tc",),
+    },
+    _A.BFS: {
+        "iteration": (Iteration.VERTEX, Iteration.EDGE),
+        "driver": (Driver.TOPOLOGY, Driver.DATA),
+        "dup": (Dup.DUP, Dup.NODUP),
+        "flow": (Flow.PUSH, Flow.PULL),
+        "update": (Update.READ_WRITE, Update.READ_MODIFY_WRITE),
+        "determinism": (Determinism.DETERMINISTIC, Determinism.NON_DETERMINISTIC),
+        "atomic_flavor": (AtomicFlavor.ATOMIC, AtomicFlavor.CUDA_ATOMIC),
+        "reduction": (),
+    },
+    _A.SSSP: {
+        "iteration": (Iteration.VERTEX, Iteration.EDGE),
+        "driver": (Driver.TOPOLOGY, Driver.DATA),
+        "dup": (Dup.DUP, Dup.NODUP),
+        "flow": (Flow.PUSH, Flow.PULL),
+        "update": (Update.READ_WRITE, Update.READ_MODIFY_WRITE),
+        "determinism": (Determinism.DETERMINISTIC, Determinism.NON_DETERMINISTIC),
+        "atomic_flavor": (AtomicFlavor.ATOMIC, AtomicFlavor.CUDA_ATOMIC),
+        "reduction": (),
+    },
+}
+
+
+def uses_worklist(spec: StyleSpec) -> bool:
+    """True when the spec maintains a worklist (data-driven codes)."""
+    return spec.driver is Driver.DATA
+
+
+def has_reduction(algorithm: Algorithm) -> bool:
+    """True for the two algorithms with a sum-reduction axis (PR, TC)."""
+    return bool(ALLOWED[algorithm]["reduction"])
+
+
+def allowed_options(algorithm: Algorithm, axis: str) -> Tuple:
+    """The Table 2 options of an axis for an algorithm."""
+    try:
+        return ALLOWED[algorithm][axis]
+    except KeyError as exc:
+        raise KeyError(f"unknown axis {axis!r}") from exc
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(message)
+
+
+def check_spec(spec: StyleSpec) -> None:
+    """Validate one spec against Table 2 plus the combination rules.
+
+    Raises ``ValueError`` with a specific message on the first violation.
+    """
+    alg, model = spec.algorithm, spec.model
+    table = ALLOWED[alg]
+
+    # --- Per-axis applicability (Table 2) -----------------------------
+    _require(
+        spec.iteration in table["iteration"],
+        f"{alg.value}: iteration style {spec.iteration} not applicable",
+    )
+    _require(
+        spec.driver in table["driver"],
+        f"{alg.value}: driver style {spec.driver} not applicable",
+    )
+    if spec.driver is Driver.DATA:
+        _require(
+            spec.dup in table["dup"],
+            f"{alg.value}: worklist duplication {spec.dup} not applicable",
+        )
+    else:
+        _require(spec.dup is None, "dup/nodup applies only to data-driven codes")
+
+    if table["flow"]:
+        _require(
+            spec.flow in table["flow"],
+            f"{alg.value}: flow style {spec.flow} not applicable",
+        )
+    else:
+        _require(spec.flow is None, f"{alg.value} has no push/pull axis")
+
+    if table["update"]:
+        _require(
+            spec.update in table["update"],
+            f"{alg.value}: update style {spec.update} not applicable",
+        )
+    _require(
+        spec.determinism in table["determinism"],
+        f"{alg.value}: determinism style {spec.determinism} not applicable",
+    )
+
+    # --- Combination rules (Sections 2 and 5) -------------------------
+    # Data-driven pull codes keep a "recompute me" vertex worklist and
+    # push all neighbors of updated vertices onto it — the "useless items"
+    # Section 2.4 alludes to.  That worklist is a vertex concept: for the
+    # relaxation algorithms the edge-based data-driven codes are
+    # push-flow only (an edge worklist has no pull orientation).
+    if (
+        spec.driver is Driver.DATA
+        and spec.flow is Flow.PULL
+        and spec.iteration is Iteration.EDGE
+        and alg is not Algorithm.MIS
+    ):
+        raise ValueError("edge-based data-driven relaxation codes are push-flow")
+
+    # Deterministic double-buffer codes with multiple writers need RMW on
+    # the write buffer; plain read-write would silently drop updates.
+    if (
+        spec.determinism is Determinism.DETERMINISTIC
+        and spec.update is Update.READ_WRITE
+        and spec.flow is Flow.PUSH
+    ):
+        raise ValueError("deterministic push codes require read-modify-write")
+
+    # PR's push-style codes exist only in deterministic form (Section 5.6).
+    if alg is Algorithm.PR and spec.flow is Flow.PUSH:
+        _require(
+            spec.determinism is Determinism.DETERMINISTIC,
+            "PR push-style codes are deterministic only (Section 5.6)",
+        )
+
+    # --- Model-specific mapping axes -----------------------------------
+    if model is Model.CUDA:
+        _require(spec.persistence is not None, "CUDA codes set persistence")
+        _require(spec.granularity is not None, "CUDA codes set granularity")
+        _require(
+            spec.atomic_flavor in table["atomic_flavor"],
+            f"{alg.value}: atomic flavor {spec.atomic_flavor} not applicable",
+        )
+        _require(spec.omp_schedule is None, "omp_schedule is OpenMP-only")
+        _require(spec.cpp_schedule is None, "cpp_schedule is C++-threads-only")
+        _require(spec.cpu_reduction is None, "cpu_reduction is CPU-only")
+        # Warp/block granularity requires an inner loop to strip-mine.
+        # Vertex-based codes always have one (the neighbor loop); edge-based
+        # codes have one only in TC (the per-edge intersection).
+        if spec.iteration is Iteration.EDGE and alg is not Algorithm.TC:
+            _require(
+                spec.granularity is Granularity.THREAD,
+                "edge-based codes without an inner loop are thread-granularity",
+            )
+        if has_reduction(alg):
+            _require(spec.gpu_reduction is not None, f"{alg.value} CUDA codes set gpu_reduction")
+        else:
+            _require(spec.gpu_reduction is None, f"{alg.value} has no reduction axis")
+    else:
+        for field_name in ("persistence", "granularity", "atomic_flavor", "gpu_reduction"):
+            _require(
+                getattr(spec, field_name) is None,
+                f"{field_name} applies only to CUDA codes",
+            )
+        if has_reduction(alg):
+            _require(
+                spec.cpu_reduction is not None,
+                f"{alg.value} CPU codes set cpu_reduction",
+            )
+        else:
+            _require(spec.cpu_reduction is None, f"{alg.value} has no reduction axis")
+        if model is Model.OPENMP:
+            _require(spec.omp_schedule is not None, "OpenMP codes set omp_schedule")
+            _require(spec.cpp_schedule is None, "cpp_schedule is C++-threads-only")
+        else:  # C++ threads
+            _require(spec.cpp_schedule is not None, "C++ codes set cpp_schedule")
+            _require(spec.omp_schedule is None, "omp_schedule is OpenMP-only")
+
+
+def applicability_table() -> Dict[str, Dict[str, str]]:
+    """Render Table 2 as nested dicts of '+'/'-' strings (for the bench)."""
+    axes_rows = {
+        "Vertex-based, edge-based": ("iteration", (Iteration.VERTEX, Iteration.EDGE)),
+        "Topology-driven, data-driven": ("driver", (Driver.TOPOLOGY, Driver.DATA)),
+        "Duplicates in WL, no duplicates in WL": ("dup", (Dup.DUP, Dup.NODUP)),
+        "Push, pull": ("flow", (Flow.PUSH, Flow.PULL)),
+        "Read-write, read-modify-write": (
+            "update",
+            (Update.READ_WRITE, Update.READ_MODIFY_WRITE),
+        ),
+        "Deterministic, non-deterministic": (
+            "determinism",
+            (Determinism.DETERMINISTIC, Determinism.NON_DETERMINISTIC),
+        ),
+        "Atomic, CudaAtomic": (
+            "atomic_flavor",
+            (AtomicFlavor.ATOMIC, AtomicFlavor.CUDA_ATOMIC),
+        ),
+    }
+    out: Dict[str, Dict[str, str]] = {}
+    for row_name, (axis, options) in axes_rows.items():
+        row = {}
+        for alg in Algorithm:
+            allowed = ALLOWED[alg][axis]
+            row[alg.name] = ", ".join(
+                "+" if opt in allowed else "-" for opt in options
+            )
+        out[row_name] = row
+    reduction_row = {
+        alg.name: "+, +, +" if has_reduction(alg) else "-, -, -"
+        for alg in Algorithm
+    }
+    out["Global-add, block-add, reduction-add"] = dict(reduction_row)
+    out["Atomic-red., critical-red., clause-red."] = dict(reduction_row)
+    all_plus2 = {alg.name: "+, +" for alg in Algorithm}
+    out["Persistent, non-persistent"] = dict(all_plus2)
+    out["Thread, warp, block"] = {alg.name: "+, +, +" for alg in Algorithm}
+    out["Default scheduling, dynamic scheduling"] = dict(all_plus2)
+    out["Blocked, cyclic"] = dict(all_plus2)
+    return out

@@ -1,0 +1,225 @@
+"""Enumerate the program variants of the suite (paper Table 3).
+
+The paper's exact per-algorithm version lists come from Indigo2's private
+configuration files; this module implements the documented reconstruction
+described in DESIGN.md Section 5.  The reconstruction reproduces the paper's
+PR (54) and TC (72) CUDA counts exactly and lands within ~15% of the totals
+for the other algorithms; :func:`table3_counts` reports both side by side.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .applicability import ALLOWED, check_spec, has_reduction
+from .axes import (
+    Algorithm,
+    AtomicFlavor,
+    CppSchedule,
+    CpuReduction,
+    Determinism,
+    Driver,
+    Dup,
+    Flow,
+    GpuReduction,
+    Granularity,
+    Iteration,
+    Model,
+    OmpSchedule,
+    Persistence,
+    Update,
+)
+from .spec import StyleSpec
+
+__all__ = [
+    "semantic_combinations",
+    "mapping_combinations",
+    "enumerate_specs",
+    "enumerate_all",
+    "count_specs",
+    "table3_counts",
+    "PAPER_TABLE3",
+]
+
+#: The paper's Table 3 (32-bit versions evaluated), for comparison reports.
+PAPER_TABLE3: Dict[Model, Dict[Algorithm, int]] = {
+    Model.CUDA: {
+        Algorithm.CC: 168,
+        Algorithm.MIS: 112,
+        Algorithm.PR: 54,
+        Algorithm.TC: 72,
+        Algorithm.BFS: 180,
+        Algorithm.SSSP: 168,
+    },
+    Model.OPENMP: {
+        Algorithm.CC: 36,
+        Algorithm.MIS: 36,
+        Algorithm.PR: 18,
+        Algorithm.TC: 12,
+        Algorithm.BFS: 38,
+        Algorithm.SSSP: 36,
+    },
+    Model.CPP_THREADS: {
+        Algorithm.CC: 36,
+        Algorithm.MIS: 36,
+        Algorithm.PR: 18,
+        Algorithm.TC: 12,
+        Algorithm.BFS: 38,
+        Algorithm.SSSP: 36,
+    },
+}
+
+
+def _driver_flow_combos(
+    alg: Algorithm, iteration: Iteration
+) -> List[Tuple[Driver, Optional[Dup], Optional[Flow]]]:
+    """(driver, dup, flow) triples allowed for an algorithm and iteration.
+
+    Topology-driven codes exist for every applicable flow; data-driven
+    codes exist once per allowed duplication style and flow, except that
+    edge-based data-driven relaxation codes are push-only (the pull
+    variant keeps a *vertex* "recompute" worklist — see applicability).
+    """
+    table = ALLOWED[alg]
+    combos: List[Tuple[Driver, Optional[Dup], Optional[Flow]]] = []
+    flows = table["flow"] or (None,)
+    if Driver.TOPOLOGY in table["driver"]:
+        for flow in flows:
+            combos.append((Driver.TOPOLOGY, None, flow))
+    if Driver.DATA in table["driver"]:
+        data_flows: Tuple = flows
+        if iteration is Iteration.EDGE and alg is not Algorithm.MIS and table["flow"]:
+            data_flows = (Flow.PUSH,)
+        for dup in table["dup"] or (None,):
+            if dup is None and table["dup"]:
+                continue
+            for flow in data_flows:
+                combos.append((Driver.DATA, dup, flow))
+    return combos
+
+
+def _update_det_combos(
+    alg: Algorithm, flow: Optional[Flow]
+) -> List[Tuple[Optional[Update], Determinism]]:
+    """(update, determinism) pairs allowed for an algorithm and flow.
+
+    The deterministic double-buffer form requires RMW whenever there can be
+    multiple writers (push flow), so ``rw + det + push`` is pruned;
+    PR push is deterministic-only (Section 5.6).
+    """
+    table = ALLOWED[alg]
+    updates = table["update"] or (None,)
+    dets = table["determinism"]
+    out = []
+    for update, det in itertools.product(updates, dets):
+        if (
+            det is Determinism.DETERMINISTIC
+            and update is Update.READ_WRITE
+            and flow is Flow.PUSH
+        ):
+            continue
+        if (
+            alg is Algorithm.PR
+            and flow is Flow.PUSH
+            and det is Determinism.NON_DETERMINISTIC
+        ):
+            continue
+        out.append((update, det))
+    return out
+
+
+def semantic_combinations(alg: Algorithm, model: Model) -> Iterator[StyleSpec]:
+    """All semantic-axis combinations (mapping axes left unset)."""
+    table = ALLOWED[alg]
+    for iteration in table["iteration"]:
+        for driver, dup, flow in _driver_flow_combos(alg, iteration):
+            for update, det in _update_det_combos(alg, flow):
+                yield StyleSpec(
+                    algorithm=alg,
+                    model=model,
+                    iteration=iteration,
+                    driver=driver,
+                    dup=dup,
+                    flow=flow,
+                    update=update,
+                    determinism=det,
+                )
+
+
+def _granularities(alg: Algorithm, iteration: Iteration) -> Tuple[Granularity, ...]:
+    """Granularities with an inner loop to strip-mine (see applicability)."""
+    if iteration is Iteration.VERTEX or alg is Algorithm.TC:
+        return (Granularity.THREAD, Granularity.WARP, Granularity.BLOCK)
+    return (Granularity.THREAD,)
+
+
+def mapping_combinations(
+    semantic: StyleSpec,
+) -> Iterator[StyleSpec]:
+    """Expand one semantic spec into all its mapping variants."""
+    alg, model = semantic.algorithm, semantic.model
+    if model is Model.CUDA:
+        grans = _granularities(alg, semantic.iteration)
+        flavors = ALLOWED[alg]["atomic_flavor"]
+        reductions: Tuple = tuple(GpuReduction) if has_reduction(alg) else (None,)
+        for gran, persist, flavor, red in itertools.product(
+            grans, Persistence, flavors, reductions
+        ):
+            yield semantic.with_axis(
+                granularity=gran,
+                persistence=persist,
+                atomic_flavor=flavor,
+                gpu_reduction=red,
+            )
+    elif model is Model.OPENMP:
+        reductions = tuple(CpuReduction) if has_reduction(alg) else (None,)
+        for sched, red in itertools.product(OmpSchedule, reductions):
+            yield semantic.with_axis(omp_schedule=sched, cpu_reduction=red)
+    else:  # C++ threads
+        reductions = tuple(CpuReduction) if has_reduction(alg) else (None,)
+        for sched, red in itertools.product(CppSchedule, reductions):
+            yield semantic.with_axis(cpp_schedule=sched, cpu_reduction=red)
+
+
+def enumerate_specs(alg: Algorithm, model: Model) -> List[StyleSpec]:
+    """All validated program variants for one (algorithm, model) pair."""
+    specs: List[StyleSpec] = []
+    for semantic in semantic_combinations(alg, model):
+        for spec in mapping_combinations(semantic):
+            check_spec(spec)
+            specs.append(spec)
+    return specs
+
+
+def enumerate_all(
+    models: Iterable[Model] = tuple(Model),
+    algorithms: Iterable[Algorithm] = tuple(Algorithm),
+) -> List[StyleSpec]:
+    """The full suite across the requested models and algorithms."""
+    return [
+        spec
+        for model in models
+        for alg in algorithms
+        for spec in enumerate_specs(alg, model)
+    ]
+
+
+def count_specs() -> Dict[Model, Dict[Algorithm, int]]:
+    """Our per-(model, algorithm) version counts (our Table 3)."""
+    return {
+        model: {alg: len(enumerate_specs(alg, model)) for alg in Algorithm}
+        for model in Model
+    }
+
+
+def table3_counts() -> List[Tuple[str, str, int, int]]:
+    """Rows of (model, algorithm, ours, paper) for the Table 3 report."""
+    ours = count_specs()
+    rows = []
+    for model in Model:
+        for alg in Algorithm:
+            rows.append(
+                (model.value, alg.value, ours[model][alg], PAPER_TABLE3[model][alg])
+            )
+    return rows

@@ -1,0 +1,15 @@
+"""Shared fixtures: a small but complete sweep over tiny inputs."""
+
+import pytest
+
+from repro.bench import SweepConfig, run_sweep
+
+
+@pytest.fixture(scope="session")
+def tiny_sweep():
+    """Full style grid on two tiny inputs (fast, complete structure)."""
+    config = SweepConfig(
+        scale="tiny",
+        graphs=("USA-road-d.NY", "soc-LiveJournal1"),
+    )
+    return run_sweep(config)

@@ -1,0 +1,99 @@
+"""Unit tests for the cross-cutting analyses (Figs 14/15, Section 5.13)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    BEST_STYLE_AXES,
+    COMBINATION_STYLES,
+    best_style_percentages,
+    property_correlations,
+    style_combination_matrix,
+)
+from repro.graph import analyze, load_all
+from repro.styles import Model
+
+
+class TestBestStyles:
+    def test_structure(self, tiny_sweep):
+        table = best_style_percentages(tiny_sweep)
+        assert set(table) == set(Model)
+        for axes in table.values():
+            assert set(axes) == set(BEST_STYLE_AXES)
+
+    def test_percentages_sum_to_one(self, tiny_sweep):
+        table = best_style_percentages(tiny_sweep)
+        for axes in table.values():
+            for options in axes.values():
+                if options:  # empty when no winner carries the axis
+                    assert sum(options.values()) == pytest.approx(1.0)
+
+    def test_winners_are_best_in_their_cell(self, tiny_sweep):
+        # Reconstruct one cell and check the winner logic.
+        cell = [
+            r
+            for r in tiny_sweep.select(models=[Model.CUDA])
+            if r.graph == "USA-road-d.NY" and r.device == "RTX 3090"
+            and r.spec.algorithm.value == "bfs"
+        ]
+        best = max(cell, key=lambda r: r.throughput_ges)
+        assert best.throughput_ges >= max(r.throughput_ges for r in cell)
+
+
+class TestCombinationMatrix:
+    def test_shape_and_labels(self, tiny_sweep):
+        labels, matrix = style_combination_matrix(tiny_sweep)
+        k = len(COMBINATION_STYLES)
+        assert len(labels) == k
+        assert matrix.shape == (k, k)
+
+    def test_diagonal_and_same_axis_nan(self, tiny_sweep):
+        _, matrix = style_combination_matrix(tiny_sweep)
+        # (vertex, edge) share the iteration axis -> NaN.
+        assert np.isnan(matrix[0, 0])
+        assert np.isnan(matrix[0, 1])
+
+    def test_entries_positive_where_defined(self, tiny_sweep):
+        _, matrix = style_combination_matrix(tiny_sweep)
+        finite = matrix[np.isfinite(matrix)]
+        assert finite.size > 0
+        assert (finite > 0).all()
+
+    def test_asymmetric(self, tiny_sweep):
+        # The baselines differ per row, so the matrix is not symmetric.
+        _, matrix = style_combination_matrix(tiny_sweep)
+        finite_pairs = [
+            (i, j)
+            for i in range(matrix.shape[0])
+            for j in range(matrix.shape[1])
+            if np.isfinite(matrix[i, j]) and np.isfinite(matrix[j, i])
+        ]
+        assert any(
+            not np.isclose(matrix[i, j], matrix[j, i]) for i, j in finite_pairs
+        )
+
+
+class TestCorrelations:
+    def test_correlations_bounded(self, tiny_sweep):
+        props = {
+            name: analyze(g)
+            for name, g in load_all("tiny").items()
+            if name in {r.graph for r in tiny_sweep.runs}
+        }
+        corr = property_correlations(tiny_sweep, props)
+        assert corr
+        for r in corr.values():
+            assert -1.0 <= r <= 1.0
+
+    def test_style_and_property_keys(self, tiny_sweep):
+        props = {
+            name: analyze(g)
+            for name, g in load_all("tiny").items()
+            if name in {r.graph for r in tiny_sweep.runs}
+        }
+        corr = property_correlations(tiny_sweep, props)
+        styles = {k[0] for k in corr}
+        properties = {k[1] for k in corr}
+        assert "granularity=warp" in styles
+        assert "avg_degree" in properties
+        assert "diameter" in properties

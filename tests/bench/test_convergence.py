@@ -1,0 +1,68 @@
+"""Tests for the convergence-analysis module."""
+
+import pytest
+
+from repro.bench import collect_convergence, render_convergence
+from repro.graph import grid2d, load_dataset
+from repro.styles import Algorithm, Determinism
+
+
+@pytest.fixture(scope="module")
+def records():
+    graphs = {
+        "grid": grid2d(16, 16),
+        "soc": load_dataset("soc-LiveJournal1", "tiny"),
+    }
+    return collect_convergence(
+        graphs, algorithms=(Algorithm.BFS, Algorithm.TC, Algorithm.PR)
+    )
+
+
+class TestCollection:
+    def test_every_semantic_covered(self, records):
+        from repro.styles import Model, semantic_combinations
+
+        bfs = [r for r in records if r.algorithm is Algorithm.BFS]
+        n_sem = len(list(semantic_combinations(Algorithm.BFS, Model.CUDA)))
+        assert len(bfs) == 2 * n_sem  # two graphs
+
+    def test_tc_single_iteration(self, records):
+        assert all(
+            r.iterations == 1 for r in records if r.algorithm is Algorithm.TC
+        )
+
+    def test_deterministic_counts_are_stable(self, records):
+        """Section 2.6: deterministic codes always take the same number of
+        iterations for a given input (whatever the other axes)."""
+        from repro.styles import Driver
+
+        for graph in ("grid", "soc"):
+            det_topo = {
+                r.iterations
+                for r in records
+                if r.algorithm is Algorithm.BFS and r.graph == graph
+                and r.semantic.determinism is Determinism.DETERMINISTIC
+                and r.semantic.driver is Driver.TOPOLOGY
+            }
+            assert len(det_topo) == 1
+
+    def test_nondet_never_needs_more_iterations_on_grid(self, records):
+        det = [
+            r.iterations for r in records
+            if r.algorithm is Algorithm.BFS and r.graph == "grid"
+            and r.semantic.determinism is Determinism.DETERMINISTIC
+        ]
+        nondet = [
+            r.iterations for r in records
+            if r.algorithm is Algorithm.BFS and r.graph == "grid"
+            and r.semantic.determinism is Determinism.NON_DETERMINISTIC
+        ]
+        assert min(nondet) <= min(det)
+        assert max(nondet) <= max(det)
+
+
+class TestRendering:
+    def test_table(self, records):
+        text = render_convergence(records)
+        assert "bfs" in text and "tc" in text
+        assert "det" in text and "nondet" in text

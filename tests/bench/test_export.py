@@ -1,0 +1,48 @@
+"""Tests for the CSV exporters."""
+
+import pytest
+
+from repro.bench import (
+    combination_matrix_to_csv,
+    figure_ratios_to_csv,
+    sweep_to_csv,
+)
+
+
+class TestSweepCsv:
+    def test_row_per_run(self, tiny_sweep):
+        csv = sweep_to_csv(tiny_sweep)
+        rows = csv.strip().splitlines()
+        assert len(rows) == len(tiny_sweep) + 1
+        assert rows[0].startswith("model,algorithm,graph,device")
+
+    def test_values_parse(self, tiny_sweep):
+        csv = sweep_to_csv(tiny_sweep)
+        cells = csv.strip().splitlines()[1].split(",")
+        float(cells[4])  # seconds
+        float(cells[5])  # throughput
+        int(cells[6])  # iterations
+
+
+class TestFigureCsv:
+    def test_known_figure(self, tiny_sweep):
+        csv = figure_ratios_to_csv(tiny_sweep, "fig8")
+        rows = csv.strip().splitlines()
+        assert rows[0] == "figure,algorithm,ratio_persistent_over_nonpersistent"
+        assert len(rows) > 10
+        assert all(float(r.split(",")[2]) > 0 for r in rows[1:])
+
+    def test_unknown_figure(self, tiny_sweep):
+        with pytest.raises(KeyError, match="unknown figure"):
+            figure_ratios_to_csv(tiny_sweep, "fig99")
+
+
+class TestMatrixCsv:
+    def test_shape(self, tiny_sweep):
+        csv = combination_matrix_to_csv(tiny_sweep)
+        rows = csv.strip().splitlines()
+        header = rows[0].split(",")
+        assert header[0] == "style_x"
+        assert len(rows) == len(header)  # square + header offset by 1 col
+        # Undefined cells are empty strings.
+        assert ",," in csv or csv.rstrip().endswith(",")

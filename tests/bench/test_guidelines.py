@@ -1,0 +1,31 @@
+"""Unit tests for the Section 5.16 guideline derivation."""
+
+from repro.bench.guidelines import Guideline, derive_guidelines
+
+
+class TestDerivation:
+    def test_eight_guidelines(self, tiny_sweep):
+        guidelines = derive_guidelines(tiny_sweep)
+        assert len(guidelines) == 8
+
+    def test_each_has_evidence(self, tiny_sweep):
+        for g in derive_guidelines(tiny_sweep):
+            assert g.statement
+            assert any(ch.isdigit() for ch in g.evidence)  # real numbers
+
+    def test_render(self):
+        g = Guideline("Do X.", "ratio 2.00", True)
+        text = g.render()
+        assert text.startswith("[+]")
+        assert "Do X." in text and "ratio 2.00" in text
+
+    def test_render_marks_failures(self):
+        g = Guideline("Do Y.", "ratio 0.50", False)
+        assert g.render().startswith("[!]")
+
+    def test_guidelines_hold_on_tiny_inputs(self, tiny_sweep):
+        # Even at unit-test scale the recommendations should mostly hold;
+        # allow at most one marginal miss.
+        guidelines = derive_guidelines(tiny_sweep)
+        misses = [g for g in guidelines if not g.holds]
+        assert len(misses) <= 1, [g.statement for g in misses]

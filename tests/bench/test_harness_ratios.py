@@ -1,0 +1,120 @@
+"""Integration tests for the sweep harness and ratio machinery."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    SweepConfig,
+    axis_ratios,
+    ratios_by_algorithm,
+    run_sweep,
+    throughputs_by_option,
+)
+from repro.styles import (
+    Algorithm,
+    AtomicFlavor,
+    Granularity,
+    Iteration,
+    Model,
+    Persistence,
+    count_specs,
+)
+
+
+class TestSweep:
+    def test_covers_full_grid(self, tiny_sweep):
+        counts = count_specs()
+        expected_programs = sum(sum(d.values()) for d in counts.values())
+        assert tiny_sweep.n_programs == expected_programs
+        # Each CUDA program ran on 2 GPUs x 2 graphs; CPU ones on 2 CPUs.
+        expected_runs = expected_programs * 2 * 2
+        assert len(tiny_sweep) == expected_runs
+
+    def test_lookup(self, tiny_sweep):
+        run = tiny_sweep.runs[0]
+        assert tiny_sweep.get(run.spec, run.device, run.graph) is run
+        assert tiny_sweep.get(run.spec, "nonexistent", run.graph) is None
+
+    def test_select_filters(self, tiny_sweep):
+        subset = list(
+            tiny_sweep.select(
+                algorithms=[Algorithm.TC], models=[Model.CUDA],
+                devices=["Titan V"], graphs=["USA-road-d.NY"],
+            )
+        )
+        assert subset
+        assert all(r.spec.algorithm is Algorithm.TC for r in subset)
+        assert all(r.device == "Titan V" for r in subset)
+
+    def test_all_verified(self, tiny_sweep):
+        assert all(r.verified for r in tiny_sweep.runs)
+
+    def test_config_subsets(self):
+        results = run_sweep(
+            SweepConfig(
+                scale="tiny",
+                models=(Model.OPENMP,),
+                algorithms=(Algorithm.TC,),
+                graphs=("USA-road-d.NY",),
+            )
+        )
+        assert results.n_programs == 12  # Table 3: OpenMP TC
+        assert all(r.spec.model is Model.OPENMP for r in results.runs)
+
+
+class TestRatios:
+    def test_pairing_is_exact(self, tiny_sweep):
+        ratios = ratios_by_algorithm(
+            tiny_sweep, "persistence",
+            Persistence.PERSISTENT, Persistence.NON_PERSISTENT,
+            models=[Model.CUDA],
+        )
+        # Every CUDA run with PERSISTENT has a NON_PERSISTENT partner.
+        n_persistent = sum(
+            1
+            for r in tiny_sweep.select(models=[Model.CUDA])
+            if r.spec.persistence is Persistence.PERSISTENT
+        )
+        assert sum(v.size for v in ratios.values()) == n_persistent
+
+    def test_missing_partners_skipped(self, tiny_sweep):
+        # PR has no CudaAtomic variants: no PR ratios must appear.
+        ratios = ratios_by_algorithm(
+            tiny_sweep, "atomic_flavor",
+            AtomicFlavor.ATOMIC, AtomicFlavor.CUDA_ATOMIC,
+        )
+        assert Algorithm.PR not in ratios
+
+    def test_axis_ratios_concatenates(self, tiny_sweep):
+        grouped = ratios_by_algorithm(
+            tiny_sweep, "iteration", Iteration.VERTEX, Iteration.EDGE,
+        )
+        flat = axis_ratios(
+            tiny_sweep, "iteration", Iteration.VERTEX, Iteration.EDGE,
+        )
+        assert flat.size == sum(v.size for v in grouped.values())
+
+    def test_unknown_axis_rejected(self, tiny_sweep):
+        with pytest.raises(KeyError, match="unknown style axis"):
+            ratios_by_algorithm(tiny_sweep, "warp_speed", None, None)
+
+    def test_ratios_positive(self, tiny_sweep):
+        flat = axis_ratios(
+            tiny_sweep, "iteration", Iteration.VERTEX, Iteration.EDGE,
+        )
+        assert (flat > 0).all()
+
+
+class TestThroughputGroups:
+    def test_granularity_options(self, tiny_sweep):
+        groups = throughputs_by_option(
+            tiny_sweep, "granularity", models=[Model.CUDA],
+        )
+        assert set(groups) == set(Granularity)
+        assert all(v.size > 0 for v in groups.values())
+
+    def test_skips_inapplicable(self, tiny_sweep):
+        groups = throughputs_by_option(
+            tiny_sweep, "gpu_reduction", algorithms=[Algorithm.BFS],
+        )
+        assert groups == {}

@@ -1,0 +1,84 @@
+"""Unit tests for table/figure text rendering."""
+
+import pytest
+
+from repro.bench import report
+from repro.graph import analyze, load_all
+from repro.styles import Dup, Model
+
+
+@pytest.fixture(scope="module")
+def props():
+    return {name: analyze(g) for name, g in load_all("tiny").items()}
+
+
+class TestStaticTables:
+    def test_table1(self):
+        text = report.render_table1()
+        assert "Eigenvector" in text and "PR" in text
+
+    def test_table2(self):
+        text = report.render_table2()
+        assert "Push, pull" in text
+        assert "CC" in text
+
+    def test_table3(self):
+        text = report.render_table3()
+        assert "1106" in text.replace(",", "")  # the paper's total appears
+        assert "cuda" in text
+
+    def test_table4(self, props):
+        text = report.render_table4(props)
+        assert "coPapersDBLP" in text
+        assert "SNAP" in text
+
+    def test_table5(self, props):
+        text = report.render_table5(props)
+        assert "d_avg" in text
+        assert "USA-road-d.NY" in text
+
+
+class TestSweepReports:
+    def test_ratio_figures_render(self, tiny_sweep):
+        for fig in report.FIGURE_AXES:
+            text = report.render_ratio_figure(tiny_sweep, fig)
+            assert "median" in text
+            assert "ratio > 1.0" in text
+
+    def test_unknown_figure(self, tiny_sweep):
+        with pytest.raises(KeyError, match="unknown figure"):
+            report.render_ratio_figure(tiny_sweep, "fig99")
+
+    def test_driver_figures(self, tiny_sweep):
+        for dup in Dup:
+            for model in Model:
+                text = report.render_driver_figure(tiny_sweep, dup, model)
+                assert "topology-driven / data-driven" in text
+
+    def test_throughput_figure(self, tiny_sweep):
+        text = report.render_throughput_figure(
+            tiny_sweep, "granularity",
+            title="granularity test", models=[Model.CUDA],
+        )
+        assert "thread" in text and "warp" in text and "block" in text
+
+    def test_figure14(self, tiny_sweep):
+        text = report.render_figure14(tiny_sweep)
+        assert "[cuda]" in text
+        assert "vertex=" in text
+
+    def test_figure15(self, tiny_sweep):
+        text = report.render_figure15(tiny_sweep)
+        assert "style_x" in text
+        assert "push" in text
+
+    def test_correlations(self, tiny_sweep):
+        text = report.render_correlations(tiny_sweep)
+        assert "5.13" in text
+
+    def test_figure16_and_table6(self, tiny_sweep):
+        fig = report.render_figure16(tiny_sweep)
+        assert "speedup" in fig
+        table = report.render_table6(tiny_sweep)
+        assert "Geomean speedup" in table
+        assert "N/A" in table  # CUDA has no MIS baseline

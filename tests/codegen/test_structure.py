@@ -1,0 +1,187 @@
+"""Structural tests: every generated file carries its style's constructs."""
+
+import pytest
+
+from repro.codegen import file_name, generate_source
+from repro.styles import (
+    Algorithm,
+    AtomicFlavor,
+    CppSchedule,
+    CpuReduction,
+    Determinism,
+    Driver,
+    Dup,
+    Flow,
+    GpuReduction,
+    Granularity,
+    Model,
+    OmpSchedule,
+    Persistence,
+    Update,
+    enumerate_specs,
+)
+
+ALL_SPECS = [
+    spec
+    for model in Model
+    for alg in Algorithm
+    for spec in enumerate_specs(alg, model)
+]
+
+
+class TestEverything:
+    def test_all_variants_generate(self):
+        for spec in ALL_SPECS:
+            src = generate_source(spec)
+            assert "int main" in src, spec.label()
+            assert src.count("{") == src.count("}"), spec.label()
+            assert "serial_reference" in src, spec.label()  # §4.1 check
+            assert "verified OK" in src, spec.label()
+
+    def test_file_names_unique(self):
+        names = [file_name(s) for s in ALL_SPECS]
+        assert len(names) == len(set(names))
+
+
+def pick(model, alg=Algorithm.SSSP, **conds):
+    for spec in enumerate_specs(alg, model):
+        if all(getattr(spec, k) is v for k, v in conds.items()):
+            return spec
+    raise AssertionError(f"no spec with {conds}")
+
+
+class TestCudaConstructs:
+    def test_warp_granularity(self):
+        src = generate_source(pick(Model.CUDA, granularity=Granularity.WARP))
+        assert "threadIdx.x % WS" in src
+        assert "i += WS" in src
+
+    def test_block_granularity(self):
+        src = generate_source(pick(Model.CUDA, granularity=Granularity.BLOCK))
+        assert "i += blockDim.x" in src
+
+    def test_persistent_grid_stride(self):
+        src = generate_source(pick(Model.CUDA, persistence=Persistence.PERSISTENT))
+        assert "item +=" in src  # the grid-stride loop
+
+    def test_cuda_atomic_flavor(self):
+        src = generate_source(pick(Model.CUDA, atomic_flavor=AtomicFlavor.CUDA_ATOMIC))
+        assert "#include <cuda/atomic>" in src
+        assert ".load()" in src
+
+    def test_classic_atomic_flavor(self):
+        src = generate_source(
+            pick(Model.CUDA, atomic_flavor=AtomicFlavor.ATOMIC,
+                 update=Update.READ_MODIFY_WRITE)
+        )
+        assert "atomicMin(&" in src
+
+    def test_worklist_stamp(self):
+        src = generate_source(
+            pick(Model.CUDA, driver=Driver.DATA, dup=Dup.NODUP)
+        )
+        assert "atomicMax(&stat[" in src  # Listing 3b
+
+    def test_dup_worklist_has_no_stamp(self):
+        src = generate_source(pick(Model.CUDA, driver=Driver.DATA, dup=Dup.DUP))
+        assert "atomicMax(&stat[" not in src
+
+    def test_deterministic_double_buffer(self):
+        src = generate_source(
+            pick(Model.CUDA, determinism=Determinism.DETERMINISTIC,
+                 update=Update.READ_MODIFY_WRITE)
+        )
+        assert "val_in" in src and "val_out" in src
+
+    def test_gpu_reduction_styles(self):
+        g = generate_source(
+            pick(Model.CUDA, Algorithm.TC, gpu_reduction=GpuReduction.GLOBAL_ADD)
+        )
+        assert "atomicAdd(ctr" in g.replace(" ", "") or "atomicAdd(ctr," in g
+        b = generate_source(
+            pick(Model.CUDA, Algorithm.TC, gpu_reduction=GpuReduction.BLOCK_ADD)
+        )
+        assert "atomicAdd_block" in b and "__syncthreads" in b
+        r = generate_source(
+            pick(Model.CUDA, Algorithm.TC, gpu_reduction=GpuReduction.REDUCTION_ADD)
+        )
+        assert "__shfl_down_sync" in r
+
+    def test_edge_based_uses_coo(self):
+        src = generate_source(
+            next(s for s in enumerate_specs(Algorithm.SSSP, Model.CUDA)
+                 if s.iteration.value == "edge")
+        )
+        assert "src_list[e]" in src and "dst_list[e]" in src
+
+
+class TestOpenMPConstructs:
+    def test_parallel_for(self):
+        src = generate_source(pick(Model.OPENMP))
+        assert "#pragma omp parallel for" in src
+
+    def test_dynamic_schedule(self):
+        src = generate_source(pick(Model.OPENMP, omp_schedule=OmpSchedule.DYNAMIC))
+        assert "schedule(dynamic)" in src
+
+    def test_rmw_is_critical(self):
+        src = generate_source(
+            pick(Model.OPENMP, update=Update.READ_MODIFY_WRITE)
+        )
+        assert "#pragma omp critical" in src  # Section 5.3.1
+
+    def test_rw_has_no_critical_update(self):
+        src = generate_source(
+            pick(Model.OPENMP, update=Update.READ_WRITE, driver=Driver.TOPOLOGY)
+        )
+        assert "#pragma omp critical" not in src
+
+    def test_reduction_styles(self):
+        cl = generate_source(
+            pick(Model.OPENMP, Algorithm.TC, cpu_reduction=CpuReduction.CLAUSE)
+        )
+        assert "reduction(+:" in cl
+        at = generate_source(
+            pick(Model.OPENMP, Algorithm.TC, cpu_reduction=CpuReduction.ATOMIC)
+        )
+        assert "#pragma omp atomic" in at
+        cr = generate_source(
+            pick(Model.OPENMP, Algorithm.TC, cpu_reduction=CpuReduction.CRITICAL)
+        )
+        assert "#pragma omp critical" in cr
+
+
+class TestCppConstructs:
+    def test_thread_team(self):
+        src = generate_source(pick(Model.CPP_THREADS))
+        assert "std::thread" in src
+        assert "parallel_step" in src
+
+    def test_blocked_schedule(self):
+        src = generate_source(pick(Model.CPP_THREADS, cpp_schedule=CppSchedule.BLOCKED))
+        assert "tid * " in src.replace("(long long)", "") or "beg_it" in src
+
+    def test_cyclic_schedule(self):
+        src = generate_source(pick(Model.CPP_THREADS, cpp_schedule=CppSchedule.CYCLIC))
+        assert "item += NTHREADS" in src
+
+    def test_rmw_is_cas_not_mutex(self):
+        src = generate_source(
+            pick(Model.CPP_THREADS, update=Update.READ_MODIFY_WRITE,
+                 driver=Driver.TOPOLOGY)
+        )
+        assert "compare_exchange_weak" in src
+        assert "lock_guard" not in src  # C++ min is atomic, not critical
+
+    def test_critical_reduction_uses_mutex(self):
+        src = generate_source(
+            pick(Model.CPP_THREADS, Algorithm.TC,
+                 cpu_reduction=CpuReduction.CRITICAL)
+        )
+        assert "std::mutex" in src and "lock_guard" in src
+
+    def test_worklist_fetch_add(self):
+        src = generate_source(
+            pick(Model.CPP_THREADS, driver=Driver.DATA, dup=Dup.DUP)
+        )
+        assert "fetch_add(1)" in src

@@ -1,0 +1,59 @@
+"""Tests for the suite writer (the on-disk Indigo2 artifact shape)."""
+
+import pytest
+
+from repro.codegen import generate_suite
+from repro.styles import Algorithm, Model, enumerate_specs
+
+
+class TestGenerateSuite:
+    def test_sampled_suite_layout(self, tmp_path):
+        manifest = generate_suite(
+            tmp_path, algorithms=(Algorithm.TC,), limit_per_pair=3
+        )
+        assert manifest.count == 9  # 3 models x 3 sampled variants
+        assert (tmp_path / "MANIFEST.tsv").exists()
+        assert (tmp_path / "Makefile").exists()
+        assert (tmp_path / "cuda" / "tc").is_dir()
+        assert (tmp_path / "openmp" / "tc").is_dir()
+        assert (tmp_path / "cpp" / "tc").is_dir()
+
+    def test_extensions_by_model(self, tmp_path):
+        manifest = generate_suite(
+            tmp_path, algorithms=(Algorithm.PR,), limit_per_pair=1
+        )
+        for (spec, _bits), path in manifest.files.items():
+            if spec.model is Model.CUDA:
+                assert path.suffix == ".cu"
+            else:
+                assert path.suffix == ".cpp"
+
+    def test_manifest_lists_every_file(self, tmp_path):
+        manifest = generate_suite(
+            tmp_path, models=(Model.OPENMP,), algorithms=(Algorithm.MIS,)
+        )
+        rows = (tmp_path / "MANIFEST.tsv").read_text().strip().splitlines()
+        assert len(rows) == manifest.count + 1  # + header
+        assert manifest.count == len(enumerate_specs(Algorithm.MIS, Model.OPENMP))
+
+    def test_by_model_filter(self, tmp_path):
+        manifest = generate_suite(
+            tmp_path, algorithms=(Algorithm.TC,), limit_per_pair=2
+        )
+        assert len(manifest.by_model(Model.CUDA)) == 2
+
+    def test_full_counts_match_table3(self, tmp_path):
+        # Writing only the OpenMP suite is fast; counts must equal Table 3.
+        manifest = generate_suite(tmp_path, models=(Model.OPENMP,))
+        from repro.styles import count_specs
+
+        assert manifest.count == sum(count_specs()[Model.OPENMP].values())
+
+    def test_both_data_widths_double_the_suite(self, tmp_path):
+        manifest = generate_suite(
+            tmp_path, algorithms=(Algorithm.TC,), data_bits=(32, 64),
+            limit_per_pair=2,
+        )
+        assert manifest.count == 12  # 3 models x 2 variants x 2 widths
+        names = [p.name for p in manifest.files.values()]
+        assert sum(1 for n in names if "-i64" in n) == 6

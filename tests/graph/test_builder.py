@@ -1,0 +1,105 @@
+"""Unit tests for graph construction/normalization."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    MAX_WEIGHT,
+    deterministic_weights,
+    from_edge_arrays,
+    from_edge_list,
+)
+
+
+class TestNormalization:
+    def test_symmetrization_doubles_edges(self):
+        g = from_edge_list([(0, 1), (1, 2)])
+        assert g.n_edges == 4
+        assert g.is_symmetric()
+
+    def test_no_symmetrize(self):
+        g = from_edge_list([(0, 1), (1, 2)], symmetrize=False)
+        assert g.n_edges == 2
+
+    def test_self_loops_dropped(self):
+        g = from_edge_list([(0, 0), (0, 1)])
+        assert g.n_edges == 2
+
+    def test_self_loops_kept_when_asked(self):
+        g = from_edge_list([(0, 0), (0, 1)], drop_self_loops=False,
+                           symmetrize=False, dedup=False)
+        assert g.n_edges == 2  # (0,0) and (0,1)
+
+    def test_parallel_edges_deduplicated(self):
+        g = from_edge_list([(0, 1), (0, 1), (1, 0)])
+        assert g.n_edges == 2
+
+    def test_dedup_disabled(self):
+        g = from_edge_list([(0, 1), (0, 1)], symmetrize=False, dedup=False)
+        assert g.n_edges == 2
+
+    def test_adjacency_sorted(self):
+        g = from_edge_list([(0, 3), (0, 1), (0, 2)])
+        assert np.array_equal(g.neighbors(0), [1, 2, 3])
+
+    def test_empty_graph(self):
+        g = from_edge_list([], n_vertices=4)
+        assert g.n_vertices == 4
+        assert g.n_edges == 0
+
+    def test_bad_edge_shape_rejected(self):
+        with pytest.raises(ValueError, match=r"\(u, v\) pairs"):
+            from_edge_list(np.zeros((3, 3), dtype=int))
+
+    def test_n_vertices_inferred(self):
+        g = from_edge_list([(0, 9)])
+        assert g.n_vertices == 10
+
+
+class TestWeights:
+    def test_weights_generated(self):
+        g = from_edge_list([(0, 1), (1, 2)], add_weights=True)
+        assert g.weights is not None
+        assert g.weights.min() >= 1
+        assert g.weights.max() <= MAX_WEIGHT
+
+    def test_weights_symmetric(self):
+        g = from_edge_list([(0, 1), (1, 2), (0, 2)], add_weights=True)
+        src = g.edge_sources()
+        w = {(int(s), int(d)): int(wt) for s, d, wt in zip(src, g.col_idx, g.weights)}
+        for (s, d), wt in w.items():
+            assert w[(d, s)] == wt
+
+    def test_explicit_weights_preserved(self):
+        g = from_edge_arrays(
+            np.array([0]), np.array([1]), 2,
+            weights=np.array([42]), symmetrize=True,
+        )
+        assert np.array_equal(g.weights, [42, 42])
+
+    def test_explicit_and_generated_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            from_edge_arrays(
+                np.array([0]), np.array([1]), 2,
+                weights=np.array([1]), add_weights=True,
+            )
+
+    def test_deterministic_weights_are_deterministic(self):
+        src = np.array([0, 5, 7])
+        dst = np.array([1, 2, 7])
+        assert np.array_equal(
+            deterministic_weights(src, dst), deterministic_weights(src, dst)
+        )
+
+    def test_deterministic_weights_direction_invariant(self):
+        a = deterministic_weights(np.array([3]), np.array([9]))
+        b = deterministic_weights(np.array([9]), np.array([3]))
+        assert a == b
+
+    def test_weight_range(self):
+        src = np.arange(1000)
+        dst = np.arange(1000) + 1
+        w = deterministic_weights(src, dst)
+        assert w.min() >= 1 and w.max() <= MAX_WEIGHT
+        # Weights should actually spread over the range.
+        assert len(np.unique(w)) > 100

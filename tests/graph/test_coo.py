@@ -1,0 +1,70 @@
+"""Unit tests for the COO graph container."""
+
+import numpy as np
+import pytest
+
+from repro.graph import COOGraph, csr_to_coo, from_edge_list
+
+
+def small_coo() -> COOGraph:
+    return COOGraph(
+        src=np.array([0, 1, 1, 2]),
+        dst=np.array([1, 0, 2, 1]),
+        n_vertices=3,
+    )
+
+
+class TestConstruction:
+    def test_shapes(self):
+        g = small_coo()
+        assert g.n_edges == 4
+        assert g.n_vertices == 3
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError, match="same shape"):
+            COOGraph(np.array([0]), np.array([1, 2]), 3)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            COOGraph(np.array([0]), np.array([5]), 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            COOGraph(np.array([-1]), np.array([0]), 3)
+
+    def test_weights_edge_parallel(self):
+        with pytest.raises(ValueError, match="edge-parallel"):
+            COOGraph(np.array([0]), np.array([1]), 2, weights=np.array([1, 2]))
+
+    def test_isolated_vertices_allowed(self):
+        g = COOGraph(np.array([0]), np.array([1]), 10)
+        assert g.n_vertices == 10
+
+
+class TestOperations:
+    def test_degrees(self):
+        g = small_coo()
+        assert np.array_equal(g.degrees(), [1, 2, 1])
+
+    def test_symmetry(self):
+        assert small_coo().is_symmetric()
+        assert not COOGraph(np.array([0]), np.array([1]), 2).is_symmetric()
+
+    def test_to_csr_round_trip(self):
+        g = small_coo()
+        csr = g.to_csr()
+        assert csr.n_edges == g.n_edges
+        assert np.array_equal(csr.neighbors(1), [0, 2])
+
+    def test_csr_to_coo(self):
+        csr = from_edge_list([(0, 1), (1, 2)], add_weights=True)
+        coo = csr_to_coo(csr)
+        assert coo.n_edges == csr.n_edges
+        assert coo.is_weighted
+        # Edge order matches CSR slot order.
+        assert np.array_equal(coo.src, csr.edge_sources())
+        assert np.array_equal(coo.dst, csr.col_idx)
+
+    def test_memory_bytes(self):
+        g = small_coo()
+        assert g.memory_bytes() == g.src.nbytes + g.dst.nbytes

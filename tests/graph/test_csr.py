@@ -1,0 +1,128 @@
+"""Unit tests for the CSR graph container."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, from_edge_list
+
+
+def triangle() -> CSRGraph:
+    return from_edge_list([(0, 1), (1, 2), (0, 2)], add_weights=True)
+
+
+class TestConstruction:
+    def test_basic_shape(self):
+        g = triangle()
+        assert g.n_vertices == 3
+        assert g.n_edges == 6  # two directed edges per undirected edge
+
+    def test_row_ptr_must_start_at_zero(self):
+        with pytest.raises(ValueError, match="start at 0"):
+            CSRGraph(np.array([1, 2]), np.array([0], dtype=np.int32))
+
+    def test_row_ptr_must_match_edges(self):
+        with pytest.raises(ValueError, match="must equal"):
+            CSRGraph(np.array([0, 2]), np.array([0], dtype=np.int32))
+
+    def test_row_ptr_monotone(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            CSRGraph(np.array([0, 2, 1, 3]), np.array([0, 1, 2], dtype=np.int32))
+
+    def test_col_idx_range_checked(self):
+        with pytest.raises(ValueError, match="out-of-range"):
+            CSRGraph(np.array([0, 1]), np.array([7], dtype=np.int32))
+
+    def test_weights_must_be_edge_parallel(self):
+        with pytest.raises(ValueError, match="edge-parallel"):
+            CSRGraph(
+                np.array([0, 1]),
+                np.array([0], dtype=np.int32),
+                weights=np.array([1, 2], dtype=np.int32),
+            )
+
+    def test_empty_row_ptr_rejected(self):
+        with pytest.raises(ValueError, match="at least one entry"):
+            CSRGraph(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int32))
+
+    def test_dtypes_normalized(self):
+        g = CSRGraph(np.array([0, 1], dtype=np.int16), np.array([0], dtype=np.int64))
+        assert g.row_ptr.dtype == np.int64
+        assert g.col_idx.dtype == np.int32
+
+
+class TestAccessors:
+    def test_degrees(self):
+        g = triangle()
+        assert np.array_equal(g.degrees, [2, 2, 2])
+
+    def test_neighbors_sorted_by_builder(self):
+        g = triangle()
+        assert np.array_equal(g.neighbors(0), [1, 2])
+        assert np.array_equal(g.neighbors(1), [0, 2])
+
+    def test_neighbor_range(self):
+        g = triangle()
+        beg, end = g.neighbor_range(1)
+        assert (beg, end) == (2, 4)
+
+    def test_edge_sources(self):
+        g = triangle()
+        assert np.array_equal(g.edge_sources(), [0, 0, 1, 1, 2, 2])
+
+    def test_iter_edges(self):
+        g = triangle()
+        edges = set(g.iter_edges())
+        assert (0, 1) in edges and (1, 0) in edges
+        assert len(edges) == 6
+
+    def test_edge_weights_of(self):
+        g = triangle()
+        assert g.edge_weights_of(0).shape == (2,)
+
+    def test_edge_weights_unweighted_raises(self):
+        g = from_edge_list([(0, 1)])
+        with pytest.raises(ValueError, match="unweighted"):
+            g.edge_weights_of(0)
+
+    def test_memory_bytes(self):
+        g = triangle()
+        expected = g.row_ptr.nbytes + g.col_idx.nbytes + g.weights.nbytes
+        assert g.memory_bytes() == expected
+
+
+class TestTransforms:
+    def test_symmetric(self):
+        assert triangle().is_symmetric()
+
+    def test_asymmetric_detected(self):
+        g = from_edge_list([(0, 1)], n_vertices=2, symmetrize=False)
+        assert not g.is_symmetric()
+
+    def test_reverse_of_asymmetric(self):
+        g = from_edge_list([(0, 1), (0, 2)], n_vertices=3, symmetrize=False)
+        r = g.reverse()
+        assert np.array_equal(r.neighbors(1), [0])
+        assert np.array_equal(r.neighbors(2), [0])
+        assert r.neighbors(0).size == 0
+
+    def test_reverse_preserves_edge_count(self):
+        g = triangle()
+        assert g.reverse().n_edges == g.n_edges
+
+    def test_sorted_neighbors_check(self):
+        g = triangle()
+        assert g.has_sorted_neighbors()
+        shuffled = CSRGraph(g.row_ptr, g.col_idx[::-1].copy())
+        assert not shuffled.has_sorted_neighbors()
+
+    def test_with_sorted_neighbors(self):
+        g = CSRGraph(np.array([0, 3, 3, 3]), np.array([2, 0, 1], dtype=np.int32),
+                     weights=np.array([20, 0, 10], dtype=np.int32))
+        s = g.with_sorted_neighbors()
+        assert np.array_equal(s.col_idx, [0, 1, 2])
+        # Weights permute with their edges.
+        assert np.array_equal(s.weights, [0, 10, 20])
+
+    def test_weighted_flag(self):
+        assert triangle().is_weighted
+        assert not from_edge_list([(0, 1)]).is_weighted

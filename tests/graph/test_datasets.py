@@ -1,0 +1,120 @@
+"""Unit tests for the five dataset stand-ins."""
+
+import pytest
+
+from repro.graph import DATASETS, analyze, dataset_names, load_all, load_dataset
+
+
+class TestRegistry:
+    def test_five_inputs_in_paper_order(self):
+        assert dataset_names() == [
+            "2d-2e20.sym",
+            "coPapersDBLP",
+            "rmat22.sym",
+            "soc-LiveJournal1",
+            "USA-road-d.NY",
+        ]
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("nope")
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError, match="unknown scale"):
+            load_dataset("2d-2e20.sym", "enormous")
+
+    def test_load_all_tiny(self):
+        graphs = load_all("tiny")
+        assert set(graphs) == set(dataset_names())
+        for name, g in graphs.items():
+            assert g.name == name
+            assert g.n_vertices > 0
+
+    def test_metadata(self):
+        spec = DATASETS["USA-road-d.NY"]
+        assert spec.graph_type == "road map"
+        assert spec.origin == "Dimacs"
+
+    def test_deterministic(self):
+        a = load_dataset("rmat22.sym", "tiny")
+        b = load_dataset("rmat22.sym", "tiny")
+        assert a.n_edges == b.n_edges
+
+
+class TestShapeFidelity:
+    """Scaled stand-ins must keep the paper's Table 5 shape profile."""
+
+    @pytest.fixture(scope="class")
+    def props(self):
+        return {name: analyze(g) for name, g in load_all("tiny").items()}
+
+    def test_grid_uniform_low_degree(self, props):
+        p = props["2d-2e20.sym"]
+        assert p.max_degree == 4
+        assert p.pct_deg_ge_32 == 0.0
+
+    def test_road_low_degree_high_diameter(self, props):
+        p = props["USA-road-d.NY"]
+        assert p.avg_degree < 6
+        assert p.diameter > 3 * props["soc-LiveJournal1"].diameter
+
+    def test_publication_is_densest(self, props):
+        dblp = props["coPapersDBLP"].avg_degree
+        assert all(
+            dblp >= props[name].avg_degree
+            for name in props
+            if name != "coPapersDBLP"
+        )
+
+    def test_social_graph_skew(self, props):
+        p = props["soc-LiveJournal1"]
+        assert p.max_degree > 3 * p.avg_degree
+
+    def test_grid_has_largest_diameter_class(self, props):
+        # Grid and road are the high-diameter inputs (paper Table 5).
+        high = {"2d-2e20.sym", "USA-road-d.NY"}
+        low = set(props) - high
+        assert min(props[h].diameter for h in high) > max(
+            props[l].diameter for l in low
+        )
+
+
+class TestExtraDatasets:
+    """The Indigo2-style additional inputs beyond Table 4."""
+
+    def test_names(self):
+        from repro.graph import extra_dataset_names
+
+        assert extra_dataset_names() == ["kron-skewed", "wiki-Talk", "com-Orkut"]
+
+    def test_unknown_extra(self):
+        from repro.graph import load_extra
+
+        with pytest.raises(KeyError, match="unknown extra"):
+            load_extra("nope")
+
+    def test_shapes(self):
+        from repro.graph import analyze, load_extra
+
+        kron = analyze(load_extra("kron-skewed", "tiny"))
+        wiki = analyze(load_extra("wiki-Talk", "tiny"))
+        orkut = analyze(load_extra("com-Orkut", "tiny"))
+        # kron: heavier tail than the Table-4 rmat defaults.
+        assert kron.max_degree > 8 * kron.avg_degree
+        # wiki-Talk: extreme hub concentration over a sparse periphery.
+        assert wiki.max_degree > 20 * wiki.avg_degree
+        assert wiki.avg_degree < 8
+        # orkut: much denser than the soc stand-in.
+        assert orkut.avg_degree > 20
+
+    def test_extras_run_through_the_kernels(self):
+        from repro.graph import load_extra
+        from repro.machine import RTX_3090
+        from repro.runtime import Launcher
+        from repro.styles import Algorithm, Model, enumerate_specs
+
+        g = load_extra("wiki-Talk", "tiny")
+        launcher = Launcher()
+        spec = enumerate_specs(Algorithm.BFS, Model.CUDA)[0]
+        result = launcher.run(spec, g, RTX_3090)
+        assert result.verified

@@ -1,0 +1,208 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    analyze,
+    clustered,
+    connected_components_count,
+    grid2d,
+    power_law,
+    random_uniform,
+    rmat,
+    road_network,
+)
+
+
+class TestGrid:
+    def test_shape(self):
+        g = grid2d(5, 7)
+        assert g.n_vertices == 35
+        # 4*(5*6 + 4*7) directed... count: horizontal 5*6, vertical 4*7,
+        # each undirected edge stored twice.
+        assert g.n_edges == 2 * (5 * 6 + 4 * 7)
+
+    def test_interior_degree_four(self):
+        g = grid2d(10, 10)
+        assert int(g.degrees.max()) == 4
+        # Corner vertices have degree 2.
+        assert int(g.degrees.min()) == 2
+
+    def test_connected(self):
+        assert connected_components_count(grid2d(6, 6)) == 1
+
+    def test_diameter(self):
+        p = analyze(grid2d(8, 8))
+        assert p.diameter == 14  # rows + cols - 2
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            grid2d(0, 5)
+
+    def test_deterministic(self):
+        a, b = grid2d(6, 6), grid2d(6, 6)
+        assert np.array_equal(a.col_idx, b.col_idx)
+
+
+class TestRoad:
+    def test_shape_low_degree(self):
+        g = road_network(2000, seed=1)
+        p = analyze(g)
+        assert p.avg_degree < 6
+        assert p.max_degree <= 12
+
+    def test_connected(self):
+        assert connected_components_count(road_network(500, seed=2)) == 1
+
+    def test_high_diameter(self):
+        p = analyze(road_network(2000, seed=1))
+        # Road stand-ins must be high-diameter relative to size.
+        assert p.diameter > 30
+
+    def test_deterministic(self):
+        a = road_network(300, seed=5)
+        b = road_network(300, seed=5)
+        assert np.array_equal(a.col_idx, b.col_idx)
+
+    def test_seed_changes_graph(self):
+        a = road_network(300, seed=5)
+        b = road_network(300, seed=6)
+        assert a.n_edges != b.n_edges or not np.array_equal(a.col_idx, b.col_idx)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            road_network(2)
+
+
+class TestRMAT:
+    def test_vertex_count(self):
+        g = rmat(8, 4, seed=3)
+        assert g.n_vertices == 256
+
+    def test_skewed_degrees(self):
+        p = analyze(rmat(10, 8, seed=3))
+        assert p.max_degree > 8 * p.avg_degree
+
+    def test_deterministic(self):
+        a, b = rmat(7, 4, seed=9), rmat(7, 4, seed=9)
+        assert np.array_equal(a.col_idx, b.col_idx)
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError, match="probabilities"):
+            rmat(5, 4, a=0.6, b=0.3, c=0.3)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            rmat(0)
+
+
+class TestPowerLaw:
+    def test_scale_free_tail(self):
+        p = analyze(power_law(2000, 8, seed=4))
+        assert p.max_degree > 10 * p.avg_degree
+
+    def test_average_degree(self):
+        g = power_law(2000, 8, seed=4)
+        # ~2 * attach directed edges per vertex.
+        assert 10 < g.degrees.mean() < 20
+
+    def test_connected(self):
+        assert connected_components_count(power_law(400, 5, seed=1)) == 1
+
+    def test_deterministic(self):
+        a, b = power_law(300, 6, seed=2), power_law(300, 6, seed=2)
+        assert np.array_equal(a.col_idx, b.col_idx)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            power_law(5, 9)
+
+
+class TestClustered:
+    def test_dense(self):
+        p = analyze(clustered(80, 12.0, seed=6))
+        assert p.avg_degree > 5
+
+    def test_heavy_tail(self):
+        light = analyze(clustered(120, 8.0, seed=6))
+        heavy = analyze(
+            clustered(120, 8.0, heavy_tail=1.5, max_community=300, seed=6)
+        )
+        assert heavy.max_degree > light.max_degree
+
+    def test_max_community_caps_degree(self):
+        g = clustered(60, 10.0, heavy_tail=1.2, max_community=50, seed=6)
+        # A vertex's degree can exceed one community's size through
+        # overlap, but not by orders of magnitude.
+        assert int(g.degrees.max()) < 50 * 4
+
+    def test_deterministic(self):
+        a = clustered(50, 9.0, seed=8)
+        b = clustered(50, 9.0, seed=8)
+        assert np.array_equal(a.col_idx, b.col_idx)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            clustered(0)
+
+
+class TestUniform:
+    def test_shape(self):
+        g = random_uniform(100, 500, seed=1)
+        assert g.n_vertices == 100
+        assert g.n_edges <= 1000  # dedup may remove a few
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            random_uniform(1, 10)
+
+
+class TestAllWeighted:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: grid2d(5, 5),
+            lambda: road_network(200, seed=1),
+            lambda: rmat(6, 4, seed=1),
+            lambda: power_law(100, 4, seed=1),
+            lambda: clustered(20, 8.0, seed=1),
+        ],
+    )
+    def test_generators_weighted_and_symmetric(self, maker):
+        g = maker()
+        assert g.is_weighted
+        assert g.is_symmetric()
+        assert g.has_sorted_neighbors()
+
+
+class TestHubAndSpokes:
+    def test_hub_concentration(self):
+        from repro.graph import hub_and_spokes
+
+        g = hub_and_spokes(500, n_hubs=2, spoke_degree=3.0, seed=9)
+        deg = g.degrees
+        hubs = sorted(deg, reverse=True)[:2]
+        assert min(hubs) > 10 * deg.mean()
+
+    def test_deterministic(self):
+        from repro.graph import hub_and_spokes
+        import numpy as np
+
+        a = hub_and_spokes(200, seed=4)
+        b = hub_and_spokes(200, seed=4)
+        assert np.array_equal(a.col_idx, b.col_idx)
+
+    def test_too_few_vertices(self):
+        from repro.graph import hub_and_spokes
+
+        with pytest.raises(ValueError):
+            hub_and_spokes(4, n_hubs=4)
+
+    def test_canonical_form(self):
+        from repro.graph import hub_and_spokes
+
+        g = hub_and_spokes(300, seed=2)
+        assert g.is_symmetric()
+        assert g.has_sorted_neighbors()
+        assert g.is_weighted

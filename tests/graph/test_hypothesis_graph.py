@@ -1,0 +1,95 @@
+"""Property-based tests (hypothesis) for the graph substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    bfs_levels,
+    csr_to_coo,
+    from_edge_arrays,
+    deterministic_weights,
+)
+
+
+@st.composite
+def edge_arrays(draw, max_vertices=40, max_edges=120):
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    src = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m).map(np.array)
+    )
+    dst = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m).map(np.array)
+    )
+    return n, np.asarray(src, dtype=np.int64), np.asarray(dst, dtype=np.int64)
+
+
+@given(edge_arrays())
+@settings(max_examples=60, deadline=None)
+def test_builder_invariants(data):
+    n, src, dst = data
+    g = from_edge_arrays(src, dst, n, add_weights=True)
+    # CSR structural invariants.
+    assert g.row_ptr[0] == 0
+    assert g.row_ptr[-1] == g.n_edges
+    assert (np.diff(g.row_ptr) >= 0).all()
+    assert int(g.degrees.sum()) == g.n_edges
+    # Canonicalization invariants.
+    assert g.is_symmetric()
+    assert g.has_sorted_neighbors()
+    # No self loops.
+    assert not np.any(g.edge_sources() == g.col_idx)
+    # No parallel edges: neighbor lists strictly increasing.
+    for v in range(g.n_vertices):
+        nbrs = g.neighbors(v)
+        assert (np.diff(nbrs) > 0).all()
+
+
+@given(edge_arrays())
+@settings(max_examples=40, deadline=None)
+def test_coo_round_trip(data):
+    n, src, dst = data
+    g = from_edge_arrays(src, dst, n, add_weights=True)
+    back = csr_to_coo(g).to_csr()
+    assert np.array_equal(back.row_ptr, g.row_ptr)
+    assert np.array_equal(back.col_idx, g.col_idx)
+    assert np.array_equal(back.weights, g.weights)
+
+
+@given(edge_arrays())
+@settings(max_examples=40, deadline=None)
+def test_reverse_is_involution(data):
+    n, src, dst = data
+    g = from_edge_arrays(src, dst, n, symmetrize=False)
+    rr = g.reverse().reverse()
+    assert np.array_equal(rr.row_ptr, g.row_ptr)
+    assert np.array_equal(rr.col_idx, g.col_idx)
+
+
+@given(edge_arrays())
+@settings(max_examples=30, deadline=None)
+def test_bfs_levels_triangle_inequality(data):
+    n, src, dst = data
+    g = from_edge_arrays(src, dst, n)
+    levels = bfs_levels(g, 0)
+    # Adjacent vertices' levels differ by at most 1 (when both reached).
+    s = g.edge_sources()
+    for u, v in zip(s.tolist(), g.col_idx.tolist()):
+        if levels[u] >= 0 and levels[v] >= 0:
+            assert abs(levels[u] - levels[v]) <= 1
+        # A reached vertex cannot have an unreached neighbor.
+        assert not (levels[u] >= 0 and levels[v] < 0)
+
+
+@given(
+    st.lists(st.integers(0, 10**6), min_size=1, max_size=50),
+    st.lists(st.integers(0, 10**6), min_size=1, max_size=50),
+)
+@settings(max_examples=50, deadline=None)
+def test_weights_in_range(a, b):
+    k = min(len(a), len(b))
+    w = deterministic_weights(
+        np.asarray(a[:k], dtype=np.int64), np.asarray(b[:k], dtype=np.int64)
+    )
+    assert (w >= 1).all() and (w <= 255).all()

@@ -1,0 +1,144 @@
+"""Unit tests for graph file I/O (DIMACS / edge list / Matrix Market)."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    from_edge_list,
+    load_graph,
+    read_dimacs,
+    read_edge_list,
+    read_matrix_market,
+    write_dimacs,
+    write_edge_list,
+    write_matrix_market,
+)
+
+
+@pytest.fixture
+def weighted_graph():
+    return from_edge_list([(0, 1), (1, 2), (0, 3)], add_weights=True)
+
+
+class TestDimacs:
+    def test_round_trip(self, tmp_path, weighted_graph):
+        path = tmp_path / "g.gr"
+        write_dimacs(weighted_graph, path)
+        back = read_dimacs(path, symmetrize=False)
+        assert back.n_vertices == weighted_graph.n_vertices
+        assert back.n_edges == weighted_graph.n_edges
+        assert np.array_equal(back.col_idx, weighted_graph.col_idx)
+        assert np.array_equal(back.weights, weighted_graph.weights)
+
+    def test_parse_hand_written(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("c comment\np sp 3 2\na 1 2 5\na 2 3 7\n")
+        g = read_dimacs(path, symmetrize=False)
+        assert g.n_vertices == 3
+        assert np.array_equal(g.neighbors(0), [1])
+        assert g.weights[0] == 5
+
+    def test_missing_problem_line(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("a 1 2 5\n")
+        with pytest.raises(ValueError, match="problem"):
+            read_dimacs(path)
+
+    def test_unknown_line(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("p sp 2 1\nx nonsense\n")
+        with pytest.raises(ValueError, match="unrecognized"):
+            read_dimacs(path)
+
+    def test_gzip_transparent(self, tmp_path):
+        path = tmp_path / "g.gr.gz"
+        with gzip.open(path, "wt") as fh:
+            fh.write("p sp 2 1\na 1 2 3\n")
+        g = read_dimacs(path, symmetrize=False)
+        assert g.n_edges == 1
+
+
+class TestEdgeList:
+    def test_round_trip(self, tmp_path, weighted_graph):
+        path = tmp_path / "g.wel"
+        write_edge_list(weighted_graph, path)
+        back = read_edge_list(path, symmetrize=False)
+        assert np.array_equal(back.col_idx, weighted_graph.col_idx)
+        assert np.array_equal(back.weights, weighted_graph.weights)
+
+    def test_unweighted(self, tmp_path):
+        g = from_edge_list([(0, 1), (1, 2)])
+        path = tmp_path / "g.el"
+        write_edge_list(g, path)
+        back = read_edge_list(path, symmetrize=False)
+        assert back.weights is None
+        assert back.n_edges == g.n_edges
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# SNAP header\n% other comment\n0 1\n1 2\n")
+        g = read_edge_list(path, symmetrize=False)
+        assert g.n_edges == 2
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "g.el"
+        path.write_text("# nothing\n")
+        with pytest.raises(ValueError, match="no edges"):
+            read_edge_list(path)
+
+
+class TestMatrixMarket:
+    def test_round_trip(self, tmp_path, weighted_graph):
+        path = tmp_path / "g.mtx"
+        write_matrix_market(weighted_graph, path)
+        back = read_matrix_market(path)
+        # The writer stores directed edges; the reader re-symmetrizes,
+        # which is a no-op on an already symmetric graph.
+        assert back.n_edges == weighted_graph.n_edges
+        assert np.array_equal(back.col_idx, weighted_graph.col_idx)
+
+    def test_pattern_matrix(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "3 3 2\n1 2\n2 3\n"
+        )
+        g = read_matrix_market(path)
+        assert g.n_edges == 4
+        assert g.weights is None
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text("garbage\n1 1 0\n")
+        with pytest.raises(ValueError, match="Matrix Market"):
+            read_matrix_market(path)
+
+    def test_rectangular_rejected(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n3 4 1\n1 2\n"
+        )
+        with pytest.raises(ValueError, match="square"):
+            read_matrix_market(path)
+
+
+class TestLoadDispatch:
+    def test_by_extension(self, tmp_path, weighted_graph):
+        for name in ("g.gr", "g.mtx", "g.wel"):
+            path = tmp_path / name
+            if name.endswith(".gr"):
+                write_dimacs(weighted_graph, path)
+            elif name.endswith(".mtx"):
+                write_matrix_market(weighted_graph, path)
+            else:
+                write_edge_list(weighted_graph, path)
+            g = load_graph(path)
+            assert g.n_vertices == weighted_graph.n_vertices
+
+    def test_unknown_extension(self, tmp_path):
+        path = tmp_path / "g.xyz"
+        path.write_text("")
+        with pytest.raises(ValueError, match="unknown graph format"):
+            load_graph(path)

@@ -1,0 +1,117 @@
+"""Unit tests for graph property analysis (Tables 4/5 machinery)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import (
+    analyze,
+    bfs_levels,
+    connected_components_count,
+    estimate_diameter,
+    from_edge_list,
+    grid2d,
+    random_uniform,
+)
+
+
+def to_nx(graph) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.n_vertices))
+    src = graph.edge_sources()
+    g.add_edges_from(zip(src.tolist(), graph.col_idx.tolist()))
+    return g
+
+
+class TestBfsLevels:
+    def test_path_graph(self):
+        g = from_edge_list([(0, 1), (1, 2), (2, 3)])
+        assert np.array_equal(bfs_levels(g, 0), [0, 1, 2, 3])
+
+    def test_unreachable_marked(self):
+        g = from_edge_list([(0, 1), (2, 3)])
+        levels = bfs_levels(g, 0)
+        assert levels[2] == -1 and levels[3] == -1
+
+    def test_source_out_of_range(self):
+        g = from_edge_list([(0, 1)])
+        with pytest.raises(ValueError):
+            bfs_levels(g, 5)
+
+    def test_matches_networkx(self):
+        g = random_uniform(80, 300, seed=7)
+        ref = nx.single_source_shortest_path_length(to_nx(g), 0)
+        levels = bfs_levels(g, 0)
+        for v in range(g.n_vertices):
+            expected = ref.get(v, -1)
+            assert levels[v] == expected
+
+    def test_isolated_source(self):
+        g = from_edge_list([(1, 2)], n_vertices=4)
+        levels = bfs_levels(g, 0)
+        assert levels[0] == 0
+        assert (levels[1:] == -1).all()
+
+
+class TestDiameter:
+    def test_exact_on_path(self):
+        g = from_edge_list([(i, i + 1) for i in range(9)])
+        assert estimate_diameter(g) == 9
+
+    def test_exact_on_grid(self):
+        g = grid2d(6, 9, weighted=False)
+        assert estimate_diameter(g) == 6 + 9 - 2
+
+    def test_lower_bound_on_random(self):
+        g = random_uniform(60, 200, seed=3)
+        est = estimate_diameter(g)
+        exact = max(
+            max(nx.eccentricity(c_sub).values())
+            for c_sub in (
+                to_nx(g).subgraph(c) for c in nx.connected_components(to_nx(g))
+            )
+        )
+        assert est <= exact
+        # The double sweep should get close on these sizes.
+        assert est >= exact - 2
+
+    def test_empty(self):
+        g = from_edge_list([], n_vertices=0)
+        assert estimate_diameter(g) == 0
+
+
+class TestComponents:
+    def test_single_component(self):
+        assert connected_components_count(grid2d(4, 4, weighted=False)) == 1
+
+    def test_multiple(self):
+        g = from_edge_list([(0, 1), (2, 3), (4, 5)])
+        assert connected_components_count(g) == 3
+
+    def test_isolated_vertices_counted(self):
+        g = from_edge_list([(0, 1)], n_vertices=4)
+        assert connected_components_count(g) == 3
+
+
+class TestAnalyze:
+    def test_fields(self):
+        g = grid2d(10, 10)
+        p = analyze(g)
+        assert p.n_vertices == 100
+        assert p.n_edges == g.n_edges
+        assert p.avg_degree == pytest.approx(g.degrees.mean())
+        assert p.max_degree == 4
+        assert p.pct_deg_ge_32 == 0.0
+        assert p.pct_deg_ge_512 == 0.0
+        assert p.diameter == 18
+        assert p.size_mb == pytest.approx(g.memory_bytes() / 2**20)
+
+    def test_explicit_diameter_skips_estimation(self):
+        g = grid2d(4, 4)
+        p = analyze(g, diameter=99)
+        assert p.diameter == 99
+
+    def test_table_rows_render(self):
+        p = analyze(grid2d(4, 4))
+        assert p.name in p.table4_row()
+        assert p.name in p.table5_row()

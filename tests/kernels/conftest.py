@@ -1,0 +1,26 @@
+"""Shared fixtures for kernel tests."""
+
+import pytest
+
+from repro.graph import grid2d, load_all, power_law, random_uniform
+
+
+@pytest.fixture(scope="session")
+def tiny_graphs():
+    """The five dataset stand-ins at unit-test scale."""
+    return load_all("tiny")
+
+
+@pytest.fixture(scope="session")
+def small_grid():
+    return grid2d(8, 8)
+
+
+@pytest.fixture(scope="session")
+def small_social():
+    return power_law(200, 6, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_random():
+    return random_uniform(120, 400, seed=13)

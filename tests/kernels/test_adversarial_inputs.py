@@ -1,0 +1,138 @@
+"""Adversarial input structures through every kernel.
+
+Degenerate and extreme graph shapes exercise code paths the random and
+dataset graphs rarely hit: empty adjacency, single components of size one,
+stars (maximal hub contention), complete graphs (maximal density), long
+paths (maximal diameter), and disconnected unions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edge_list
+from repro.kernels import (
+    build_kernel,
+    canonical_components,
+    is_maximal_independent_set,
+    serial_bfs,
+    serial_cc,
+    serial_mis,
+    serial_pagerank,
+    serial_sssp,
+    serial_triangle_count,
+)
+from repro.styles import Algorithm, Model, semantic_combinations
+
+SEMANTICS = {
+    alg: [s.semantic_key() for s in semantic_combinations(alg, Model.CUDA)]
+    for alg in Algorithm
+}
+
+
+def star(n=33):
+    """One hub, n-1 leaves: every push targets the same cell."""
+    return from_edge_list([(0, i) for i in range(1, n)], add_weights=True)
+
+
+def path(n=40):
+    return from_edge_list([(i, i + 1) for i in range(n - 1)], add_weights=True)
+
+
+def complete(n=12):
+    return from_edge_list(
+        [(i, j) for i in range(n) for j in range(i + 1, n)], add_weights=True
+    )
+
+
+def disconnected():
+    return from_edge_list(
+        [(0, 1), (2, 3), (3, 4), (6, 7)], n_vertices=9, add_weights=True
+    )
+
+
+def isolated_only():
+    return from_edge_list([], n_vertices=5)
+
+
+GRAPHS = {
+    "star": star(),
+    "path": path(),
+    "complete": complete(),
+    "disconnected": disconnected(),
+}
+
+
+@pytest.mark.parametrize("gname", list(GRAPHS))
+@pytest.mark.parametrize("alg", list(Algorithm), ids=lambda a: a.value)
+def test_every_style_on_adversarial_graphs(gname, alg):
+    g = GRAPHS[gname]
+    kernel = build_kernel(alg, g, source=0)
+    for sem in SEMANTICS[alg]:
+        result = kernel.run(sem)
+        if alg is Algorithm.BFS:
+            assert np.array_equal(result.values, serial_bfs(g, 0)), sem
+        elif alg is Algorithm.SSSP:
+            assert np.array_equal(result.values, serial_sssp(g, 0)), sem
+        elif alg is Algorithm.CC:
+            assert np.array_equal(
+                canonical_components(result.values), serial_cc(g)
+            ), sem
+        elif alg is Algorithm.MIS:
+            assert is_maximal_independent_set(g, result.values), sem
+            assert np.array_equal(result.values, serial_mis(g)), sem
+        elif alg is Algorithm.PR:
+            assert np.allclose(result.values, serial_pagerank(g), atol=1e-5), sem
+        else:
+            assert int(result.values[0]) == serial_triangle_count(g), sem
+
+
+class TestSpecificShapes:
+    def test_star_hub_contention_recorded(self):
+        """Push relaxation into a star hub must report the contention."""
+        g = star(64)
+        sem = next(
+            s.semantic_key()
+            for s in semantic_combinations(Algorithm.BFS, Model.CUDA)
+            if s.flow and s.flow.value == "push"
+            and s.update and s.update.value == "rmw"
+            and s.driver.value == "topology"
+            and s.iteration.value == "vertex"
+            and s.determinism.value == "nondet"
+        )
+        trace = build_kernel(Algorithm.BFS, g, 0).run(sem).trace
+        assert max(p.max_conflict for p in trace.profiles) >= 32
+
+    def test_path_needs_diameter_iterations(self):
+        g = path(50)
+        sem = next(
+            s.semantic_key()
+            for s in semantic_combinations(Algorithm.BFS, Model.CUDA)
+            if s.determinism.value == "det" and s.driver.value == "topology"
+            and s.iteration.value == "vertex" and s.flow.value == "push"
+        )
+        trace = build_kernel(Algorithm.BFS, g, 0).run(sem).trace
+        assert trace.iterations == 50  # 49 levels + detection pass
+
+    def test_complete_graph_mis_is_one_vertex(self):
+        g = complete(10)
+        sem = SEMANTICS[Algorithm.MIS][0]
+        result = build_kernel(Algorithm.MIS, g, 0).run(sem)
+        assert int(result.values.sum()) == 1
+
+    def test_complete_graph_triangles(self):
+        g = complete(8)
+        sem = SEMANTICS[Algorithm.TC][0]
+        result = build_kernel(Algorithm.TC, g, 0).run(sem)
+        assert int(result.values[0]) == 8 * 7 * 6 // 6
+
+    def test_isolated_vertices_mis_all_in(self):
+        g = isolated_only()
+        sem = SEMANTICS[Algorithm.MIS][0]
+        result = build_kernel(Algorithm.MIS, g, 0).run(sem)
+        assert result.values.sum() == 5
+
+    def test_pagerank_on_disconnected_graph_sums_to_one(self):
+        g = disconnected()
+        for sem in SEMANTICS[Algorithm.PR]:
+            result = build_kernel(Algorithm.PR, g, 0).run(sem)
+            assert result.values.sum() == pytest.approx(1.0, abs=1e-6)

@@ -1,0 +1,227 @@
+"""Unit tests for the style-parameterized relaxation engine (BFS/SSSP/CC)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edge_list, grid2d
+from repro.kernels import BFSKernel, CCKernel, SSSPKernel, serial_bfs, serial_cc, serial_sssp
+from repro.kernels.base import sequential_improving
+from repro.kernels.serial import canonical_components
+from repro.styles import (
+    Algorithm,
+    Determinism,
+    Driver,
+    Dup,
+    Flow,
+    Iteration,
+    Model,
+    Update,
+    semantic_combinations,
+)
+
+
+def all_semantics(alg):
+    return list(semantic_combinations(alg, Model.CUDA))
+
+
+class TestCorrectnessAcrossStyles:
+    """Every semantic style must reproduce the serial result (the paper's
+    own verification discipline)."""
+
+    @pytest.mark.parametrize("sem", all_semantics(Algorithm.BFS), ids=lambda s: s.label())
+    def test_bfs_all_styles(self, small_social, sem):
+        result = BFSKernel(small_social, source=3).run(sem.semantic_key())
+        assert np.array_equal(result.values, serial_bfs(small_social, 3))
+        assert result.trace.converged
+
+    @pytest.mark.parametrize("sem", all_semantics(Algorithm.SSSP), ids=lambda s: s.label())
+    def test_sssp_all_styles(self, small_social, sem):
+        result = SSSPKernel(small_social, source=3).run(sem.semantic_key())
+        assert np.array_equal(result.values, serial_sssp(small_social, 3))
+
+    @pytest.mark.parametrize("sem", all_semantics(Algorithm.CC), ids=lambda s: s.label())
+    def test_cc_all_styles(self, sem):
+        g = from_edge_list([(0, 1), (1, 2), (4, 5), (6, 7), (5, 7)], n_vertices=9)
+        result = CCKernel(g).run(sem.semantic_key())
+        assert np.array_equal(
+            canonical_components(result.values), serial_cc(g)
+        )
+
+
+class TestIterationSemantics:
+    def sem(self, **kw):
+        from repro.styles.spec import SemanticKey
+
+        base = dict(
+            algorithm=Algorithm.BFS,
+            iteration=Iteration.VERTEX,
+            driver=Driver.TOPOLOGY,
+            dup=None,
+            flow=Flow.PUSH,
+            update=Update.READ_MODIFY_WRITE,
+            determinism=Determinism.DETERMINISTIC,
+        )
+        base.update(kw)
+        return SemanticKey(**base)
+
+    def test_deterministic_topology_iterations_track_eccentricity(self):
+        # Jacobi BFS advances one level per pass: ecc + 1 passes
+        # (the last detects convergence).
+        g = grid2d(6, 6, weighted=False)
+        result = BFSKernel(g, source=0).run(self.sem())
+        ecc = int(serial_bfs(g, 0).max())
+        assert result.trace.iterations == ecc + 1
+
+    def test_nondeterministic_converges_in_fewer_passes(self):
+        # In-place visibility is wave-granular: the effect needs more
+        # vertices than one wave (see repro.kernels.base.WAVE).
+        g = grid2d(64, 80, weighted=False)
+        det = BFSKernel(g, source=0).run(self.sem())
+        nondet = BFSKernel(g, source=0).run(
+            self.sem(determinism=Determinism.NON_DETERMINISTIC)
+        )
+        assert nondet.trace.iterations < det.trace.iterations
+
+    def test_data_driven_does_less_work_than_topology(self):
+        g = grid2d(10, 10, weighted=False)
+        topo = BFSKernel(g, source=0).run(
+            self.sem(determinism=Determinism.NON_DETERMINISTIC)
+        )
+        data = BFSKernel(g, source=0).run(
+            self.sem(
+                driver=Driver.DATA, dup=Dup.NODUP,
+                determinism=Determinism.NON_DETERMINISTIC,
+            )
+        )
+        assert data.trace.total_inner < topo.trace.total_inner
+
+    def test_dup_worklists_not_smaller_than_nodup(self):
+        g = grid2d(10, 10, weighted=False)
+        kernel = BFSKernel(g, source=0)
+        dup = kernel.run(
+            self.sem(
+                driver=Driver.DATA, dup=Dup.DUP,
+                determinism=Determinism.NON_DETERMINISTIC,
+            )
+        )
+        nodup = kernel.run(
+            self.sem(
+                driver=Driver.DATA, dup=Dup.NODUP,
+                determinism=Determinism.NON_DETERMINISTIC,
+            )
+        )
+        assert dup.trace.total_work_items >= nodup.trace.total_work_items
+
+    def test_pull_data_driven_pushes_more_useless_items(self, small_social):
+        # Section 2.4: pull worklists carry the neighbors of updated
+        # vertices, push worklists only the updated vertices.
+        kernel = BFSKernel(small_social, source=0)
+        push = kernel.run(
+            self.sem(
+                driver=Driver.DATA, dup=Dup.DUP, flow=Flow.PUSH,
+                determinism=Determinism.NON_DETERMINISTIC,
+            )
+        )
+        pull = kernel.run(
+            self.sem(
+                driver=Driver.DATA, dup=Dup.DUP, flow=Flow.PULL,
+                determinism=Determinism.NON_DETERMINISTIC,
+            )
+        )
+        assert pull.trace.total_work_items > push.trace.total_work_items
+
+    def test_edge_based_processes_edge_items(self):
+        g = grid2d(6, 6, weighted=False)
+        result = BFSKernel(g, source=0).run(
+            self.sem(iteration=Iteration.EDGE,
+                     determinism=Determinism.NON_DETERMINISTIC)
+        )
+        # Each topology pass enqueues all directed edges as items.
+        passes = result.trace.iterations
+        relax_items = sum(
+            p.n_items for p in result.trace.profiles if p.label.startswith("relax-edge")
+        )
+        assert relax_items == passes * g.n_edges
+
+    def test_pull_profiles_have_no_push_conflicts(self, small_social):
+        result = BFSKernel(small_social, source=0).run(
+            self.sem(flow=Flow.PULL, determinism=Determinism.NON_DETERMINISTIC)
+        )
+        relax = [p for p in result.trace.profiles if p.label.startswith("relax")]
+        assert all(p.conflict_extra == 0 for p in relax)
+        assert all(p.atomics_same_address_per_item for p in relax)
+
+    def test_push_rmw_records_conflicts(self, small_social):
+        result = BFSKernel(small_social, source=0).run(
+            self.sem(determinism=Determinism.NON_DETERMINISTIC)
+        )
+        relax = [p for p in result.trace.profiles if p.label.startswith("relax")]
+        assert any(p.conflict_extra > 0 for p in relax)
+
+    def test_deterministic_adds_copy_kernels(self):
+        g = grid2d(6, 6, weighted=False)
+        det = BFSKernel(g, source=0).run(self.sem())
+        labels = [p.label for p in det.trace.profiles]
+        assert "double-buffer refresh" in labels
+
+    def test_rw_has_no_atomics_in_push(self, small_social):
+        result = BFSKernel(small_social, source=0).run(
+            self.sem(update=Update.READ_WRITE,
+                     determinism=Determinism.NON_DETERMINISTIC)
+        )
+        relax = [p for p in result.trace.profiles if p.label.startswith("relax")]
+        assert all(p.total_atomics == 0 for p in relax)
+
+
+class TestSequentialImproving:
+    def test_single_improver(self):
+        tgt = np.array([3, 3, 3])
+        cand = np.array([10, 5, 7])
+        before = np.array([8, 8, 8])
+        # 10 >= 8 no; 5 < 8 yes; 7 < min(8, 5) no.
+        assert sequential_improving(tgt, cand, before).tolist() == [False, True, False]
+
+    def test_strictly_decreasing_chain(self):
+        tgt = np.zeros(4, dtype=np.int64)
+        cand = np.array([9, 7, 5, 3])
+        before = np.full(4, 10)
+        assert sequential_improving(tgt, cand, before).all()
+
+    def test_independent_addresses(self):
+        tgt = np.array([0, 1, 2])
+        cand = np.array([1, 1, 1])
+        before = np.array([5, 0, 5])
+        assert sequential_improving(tgt, cand, before).tolist() == [True, False, True]
+
+    def test_order_sensitivity(self):
+        tgt = np.array([4, 4])
+        before = np.array([10, 10])
+        inc = sequential_improving(tgt, np.array([3, 7]), before)
+        dec = sequential_improving(tgt, np.array([7, 3]), before)
+        assert inc.tolist() == [True, False]
+        assert dec.tolist() == [True, True]
+
+    def test_empty(self):
+        out = sequential_improving(
+            np.empty(0, dtype=np.int64), np.empty(0), np.empty(0)
+        )
+        assert out.size == 0
+
+
+class TestValidation:
+    def test_bad_edge_cost(self):
+        g = grid2d(3, 3)
+        from repro.kernels.relaxation import RelaxationKernel
+
+        with pytest.raises(ValueError, match="edge_cost"):
+            RelaxationKernel(g, edge_cost="bogus")
+
+    def test_weight_required(self):
+        g = grid2d(3, 3, weighted=False)
+        with pytest.raises(ValueError, match="weight"):
+            SSSPKernel(g)
+
+    def test_source_range(self):
+        g = grid2d(3, 3)
+        with pytest.raises(ValueError, match="source"):
+            BFSKernel(g, source=99)

@@ -1,0 +1,126 @@
+"""Serial references validated against networkx (an independent oracle)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    INF,
+    canonical_components,
+    is_maximal_independent_set,
+    serial_bfs,
+    serial_cc,
+    serial_mis,
+    serial_pagerank,
+    serial_sssp,
+    serial_triangle_count,
+)
+from repro.graph import from_edge_list
+
+
+def to_nx(graph, weighted=False):
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.n_vertices))
+    src = graph.edge_sources()
+    if weighted:
+        for s, d, w in zip(src.tolist(), graph.col_idx.tolist(), graph.weights.tolist()):
+            g.add_edge(s, d, weight=w)
+    else:
+        g.add_edges_from(zip(src.tolist(), graph.col_idx.tolist()))
+    return g
+
+
+class TestBFS:
+    def test_matches_networkx(self, small_random):
+        ref = nx.single_source_shortest_path_length(to_nx(small_random), 0)
+        out = serial_bfs(small_random, 0)
+        for v in range(small_random.n_vertices):
+            expected = ref.get(v, INF)
+            assert out[v] == expected
+
+    def test_unreached_are_inf(self):
+        g = from_edge_list([(0, 1), (2, 3)])
+        out = serial_bfs(g, 0)
+        assert out[2] == INF and out[3] == INF
+
+
+class TestSSSP:
+    def test_matches_networkx(self, small_random):
+        ref = nx.single_source_dijkstra_path_length(
+            to_nx(small_random, weighted=True), 0
+        )
+        out = serial_sssp(small_random, 0)
+        for v in range(small_random.n_vertices):
+            assert out[v] == ref.get(v, INF)
+
+    def test_requires_weights(self):
+        g = from_edge_list([(0, 1)])
+        with pytest.raises(ValueError, match="weights"):
+            serial_sssp(g, 0)
+
+
+class TestCC:
+    def test_matches_networkx(self, small_random):
+        out = serial_cc(small_random)
+        for comp in nx.connected_components(to_nx(small_random)):
+            labels = {int(out[v]) for v in comp}
+            assert labels == {min(comp)}
+
+    def test_labels_are_component_minima(self):
+        g = from_edge_list([(4, 5), (1, 2)], n_vertices=6)
+        out = serial_cc(g)
+        assert out[5] == 4 and out[4] == 4
+        assert out[2] == 1 and out[1] == 1
+        assert out[0] == 0 and out[3] == 3
+
+    def test_canonicalization(self):
+        raw = np.array([7, 7, 3, 3])
+        assert np.array_equal(canonical_components(raw), [0, 0, 2, 2])
+
+
+class TestMIS:
+    def test_validity(self, small_random):
+        mis = serial_mis(small_random)
+        assert is_maximal_independent_set(small_random, mis)
+
+    def test_checker_rejects_dependent_set(self):
+        g = from_edge_list([(0, 1)])
+        assert not is_maximal_independent_set(g, np.array([1, 1]))
+
+    def test_checker_rejects_non_maximal_set(self):
+        g = from_edge_list([(0, 1), (2, 3)])
+        assert not is_maximal_independent_set(g, np.array([1, 0, 0, 0]))
+
+    def test_deterministic(self, small_social):
+        assert np.array_equal(serial_mis(small_social), serial_mis(small_social))
+
+
+class TestPageRank:
+    def test_matches_networkx(self, small_random):
+        ref = nx.pagerank(to_nx(small_random), alpha=0.85, tol=1e-12, max_iter=500)
+        out = serial_pagerank(small_random)
+        for v in range(small_random.n_vertices):
+            assert out[v] == pytest.approx(ref[v], abs=2e-5)
+
+    def test_sums_to_one(self, small_social):
+        assert serial_pagerank(small_social).sum() == pytest.approx(1.0)
+
+    def test_dangling_vertices_handled(self):
+        g = from_edge_list([(0, 1)], n_vertices=3)  # vertex 2 isolated
+        out = serial_pagerank(g)
+        assert out.sum() == pytest.approx(1.0)
+        assert out[2] > 0
+
+
+class TestTriangleCount:
+    def test_matches_networkx(self, small_random):
+        expected = sum(nx.triangles(to_nx(small_random)).values()) // 3
+        assert serial_triangle_count(small_random) == expected
+
+    def test_known_counts(self):
+        triangle = from_edge_list([(0, 1), (1, 2), (0, 2)])
+        assert serial_triangle_count(triangle) == 1
+        k4 = from_edge_list([(i, j) for i in range(4) for j in range(i + 1, 4)])
+        assert serial_triangle_count(k4) == 4
+        path = from_edge_list([(0, 1), (1, 2)])
+        assert serial_triangle_count(path) == 0

@@ -1,0 +1,64 @@
+"""Unit tests for the device registry (paper Section 4.3 testbed)."""
+
+import dataclasses
+
+import pytest
+
+from repro.machine import (
+    CPUS,
+    DEVICES,
+    GPUS,
+    RTX_3090,
+    THREADRIPPER_2950X,
+    TITAN_V,
+    XEON_GOLD_6226R,
+    get_device,
+)
+
+
+class TestRegistry:
+    def test_two_gpus_two_cpus(self):
+        assert set(GPUS) == {"Titan V", "RTX 3090"}
+        assert set(CPUS) == {"Threadripper 2950X", "Xeon Gold 6226R x2"}
+        assert len(DEVICES) == 4
+
+    def test_get_device(self):
+        assert get_device("Titan V") is TITAN_V
+        with pytest.raises(KeyError, match="unknown device"):
+            get_device("H100")
+
+
+class TestSpecSanity:
+    def test_threads_match_paper(self):
+        # "We use 16 threads ... on the first system and 32 on the second."
+        assert THREADRIPPER_2950X.threads == 16
+        assert XEON_GOLD_6226R.threads == 32
+
+    def test_sm_counts_match_paper(self):
+        assert TITAN_V.sm_count == 80
+        assert RTX_3090.sm_count == 82
+
+    def test_clocks_match_paper(self):
+        assert TITAN_V.clock_ghz == pytest.approx(1.2)
+        assert RTX_3090.clock_ghz == pytest.approx(1.74)
+        assert THREADRIPPER_2950X.clock_ghz == pytest.approx(3.5)
+        assert XEON_GOLD_6226R.clock_ghz == pytest.approx(2.9)
+
+    def test_volta_cudaatomic_penalty_larger(self):
+        # Figure 1: ~100x medians on the Titan V vs ~10x on the 3090.
+        assert TITAN_V.cudaatomic_ls_mult > 5 * RTX_3090.cudaatomic_ls_mult
+
+    def test_seconds_conversion(self):
+        assert TITAN_V.seconds(1.2e9) == pytest.approx(1.0)
+        assert THREADRIPPER_2950X.seconds(3.5e9) == pytest.approx(1.0)
+
+    def test_all_costs_positive(self):
+        for spec in DEVICES.values():
+            for field in dataclasses.fields(spec):
+                value = getattr(spec, field.name)
+                if isinstance(value, (int, float)):
+                    assert value > 0, f"{spec.name}.{field.name} must be positive"
+
+    def test_issue_slots(self):
+        assert TITAN_V.issue_slots == 320
+        assert RTX_3090.issue_slots == 328

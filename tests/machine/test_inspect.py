@@ -1,0 +1,55 @@
+"""Tests for the trace-inspection utilities."""
+
+import numpy as np
+
+from repro.graph import grid2d
+from repro.kernels import BFSKernel
+from repro.machine import (
+    ExecutionTrace,
+    IterationProfile,
+    render_trace,
+    summarize_trace,
+    trace_to_csv,
+)
+from repro.styles import Algorithm, Model, semantic_combinations
+
+
+def make_trace():
+    t = ExecutionTrace(n_edges=10, n_vertices=5, iterations=2, label="x")
+    t.add(IterationProfile(n_items=5, inner=np.array([1, 2, 3, 4, 5]),
+                           atomics_inner=1.0, label="relax"))
+    t.add(IterationProfile(n_items=5, inner=np.array([1, 0, 0, 0, 0]),
+                           atomics_inner=1.0, hot_atomics=3.0, label="relax"))
+    t.add(IterationProfile(n_items=5, shared_stores_base=1.0, label="init"))
+    return t
+
+
+class TestSummaries:
+    def test_aggregation_by_label(self):
+        summary = summarize_trace(make_trace())
+        assert set(summary) == {"relax", "init"}
+        assert summary["relax"].n_items == 10
+        assert summary["relax"].inner_total == 16
+        assert summary["relax"].atomics == 16.0
+        assert summary["relax"].hot_atomics == 3.0
+
+    def test_csv_rows(self):
+        csv = trace_to_csv(make_trace())
+        rows = csv.strip().splitlines()
+        assert len(rows) == 4  # header + 3 launches
+        assert rows[0].startswith("launch,label,")
+        assert rows[1].split(",")[1] == "relax"
+
+    def test_render(self):
+        text = render_trace(make_trace())
+        assert "relax" in text and "init" in text
+        assert "2 iterations" in text
+
+    def test_real_kernel_trace(self):
+        g = grid2d(8, 8, weighted=False)
+        sem = next(iter(semantic_combinations(Algorithm.BFS, Model.CUDA)))
+        trace = BFSKernel(g, 0).run(sem.semantic_key()).trace
+        text = render_trace(trace)
+        assert "relax" in text
+        csv = trace_to_csv(trace)
+        assert csv.count("\n") == trace.n_launches + 1

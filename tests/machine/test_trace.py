@@ -1,0 +1,80 @@
+"""Unit tests for execution traces and conflict statistics."""
+
+import numpy as np
+import pytest
+
+from repro.machine import ExecutionTrace, IterationProfile, conflict_stats
+
+
+class TestConflictStats:
+    def test_no_conflicts(self):
+        extra, mx = conflict_stats(np.array([0, 1, 2, 3]), 4)
+        assert extra == 0.0
+        assert mx == 1
+
+    def test_all_same_address(self):
+        extra, mx = conflict_stats(np.array([5, 5, 5, 5]), 10)
+        assert extra == 3.0
+        assert mx == 4
+
+    def test_mixed(self):
+        extra, mx = conflict_stats(np.array([0, 0, 1, 2, 2, 2]), 3)
+        assert extra == 3.0  # (2-1) + (3-1)
+        assert mx == 3
+
+    def test_empty(self):
+        assert conflict_stats(np.empty(0, dtype=np.int64), 5) == (0.0, 0)
+
+
+class TestIterationProfile:
+    def test_inner_shape_checked(self):
+        with pytest.raises(ValueError, match="shape"):
+            IterationProfile(n_items=3, inner=np.array([1, 2]))
+
+    def test_negative_items_rejected(self):
+        with pytest.raises(ValueError):
+            IterationProfile(n_items=-1)
+
+    def test_inner_stored_as_int32(self):
+        p = IterationProfile(n_items=2, inner=np.array([3, 4], dtype=np.int64))
+        assert p.inner.dtype == np.int32
+
+    def test_totals(self):
+        p = IterationProfile(
+            n_items=4,
+            inner=np.array([1, 2, 3, 4]),
+            struct_loads_base=2.0,
+            struct_loads_inner=1.0,
+            shared_loads_base=1.0,
+            shared_loads_inner=0.5,
+            shared_stores_base=0.25,
+            atomics_base=1.0,
+            atomics_inner=1.0,
+        )
+        assert p.total_inner == 10
+        assert p.total_loads == (2 + 1) * 4 + (1 + 0.5) * 10
+        assert p.total_stores == 0.25 * 4
+        assert p.total_atomics == 4 + 10
+
+    def test_no_inner(self):
+        p = IterationProfile(n_items=5)
+        assert p.total_inner == 0
+        assert p.total_atomics == 0.0
+
+
+class TestExecutionTrace:
+    def test_accumulation(self):
+        t = ExecutionTrace(n_edges=10, n_vertices=5)
+        t.add(IterationProfile(n_items=5, inner=np.array([1] * 5)))
+        t.add(IterationProfile(n_items=3, atomics_base=2.0))
+        assert t.n_launches == 2
+        assert t.total_work_items == 8
+        assert t.total_inner == 5
+        assert t.total_atomics == 6.0
+
+    def test_summary_mentions_counts(self):
+        t = ExecutionTrace(label="x", n_edges=1, n_vertices=1, iterations=7)
+        t.add(IterationProfile(n_items=1))
+        s = t.summary()
+        assert "7 iterations" in s
+        assert "1 launches" in s

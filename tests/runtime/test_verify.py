@@ -1,0 +1,70 @@
+"""Unit tests for result verification."""
+
+import numpy as np
+import pytest
+
+from repro.graph import power_law
+from repro.runtime import VerificationError, reference_solution, verify_result
+from repro.styles import Algorithm
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return power_law(150, 5, seed=21)
+
+
+class TestReferences:
+    @pytest.mark.parametrize("alg", list(Algorithm))
+    def test_reference_exists(self, graph, alg):
+        ref = reference_solution(alg, graph)
+        assert ref is not None
+
+    def test_tc_reference_is_scalar_count(self, graph):
+        ref = reference_solution(Algorithm.TC, graph)
+        assert ref.shape == (1,)
+
+
+class TestVerification:
+    @pytest.mark.parametrize("alg", list(Algorithm))
+    def test_reference_verifies_against_itself(self, graph, alg):
+        ref = reference_solution(alg, graph)
+        verify_result(alg, graph, ref.copy(), ref)
+
+    def test_bfs_detects_corruption(self, graph):
+        ref = reference_solution(Algorithm.BFS, graph)
+        bad = ref.copy()
+        bad[3] += 1
+        with pytest.raises(VerificationError, match="distances differ"):
+            verify_result(Algorithm.BFS, graph, bad, ref)
+
+    def test_cc_accepts_relabeled_components(self, graph):
+        ref = reference_solution(Algorithm.CC, graph)
+        relabeled = ref + 1000  # same partition, different label values
+        verify_result(Algorithm.CC, graph, relabeled, ref)
+
+    def test_cc_detects_wrong_partition(self, graph):
+        ref = reference_solution(Algorithm.CC, graph)
+        bad = ref.copy()
+        bad[0] = 999
+        with pytest.raises(VerificationError):
+            verify_result(Algorithm.CC, graph, bad, ref)
+
+    def test_mis_detects_invalid_set(self, graph):
+        ref = reference_solution(Algorithm.MIS, graph)
+        bad = np.ones_like(ref)  # everything in the set: not independent
+        with pytest.raises(VerificationError, match="independent"):
+            verify_result(Algorithm.MIS, graph, bad, ref)
+
+    def test_pr_allows_small_tolerance(self, graph):
+        ref = reference_solution(Algorithm.PR, graph)
+        verify_result(Algorithm.PR, graph, ref + 1e-7, ref)
+
+    def test_pr_detects_large_error(self, graph):
+        ref = reference_solution(Algorithm.PR, graph)
+        with pytest.raises(VerificationError, match="deviation"):
+            verify_result(Algorithm.PR, graph, ref + 1e-2, ref)
+
+    def test_tc_detects_miscount(self, graph):
+        ref = reference_solution(Algorithm.TC, graph)
+        with pytest.raises(VerificationError, match="counted"):
+            verify_result(Algorithm.TC, graph, ref + 1, ref)

@@ -1,0 +1,219 @@
+"""Unit tests for the Table 2 applicability matrix and combination rules."""
+
+import pytest
+
+from repro.styles import (
+    Algorithm,
+    AtomicFlavor,
+    CppSchedule,
+    CpuReduction,
+    Determinism,
+    Driver,
+    Dup,
+    Flow,
+    GpuReduction,
+    Granularity,
+    Iteration,
+    Model,
+    OmpSchedule,
+    Persistence,
+    StyleSpec,
+    Update,
+    allowed_options,
+    applicability_table,
+    has_reduction,
+)
+
+
+def make(alg, model, **kw):
+    defaults = dict(
+        iteration=Iteration.VERTEX,
+        driver=Driver.TOPOLOGY,
+        flow=Flow.PUSH,
+        update=Update.READ_MODIFY_WRITE,
+        determinism=Determinism.NON_DETERMINISTIC,
+    )
+    if model is Model.CUDA:
+        defaults.update(
+            persistence=Persistence.NON_PERSISTENT,
+            granularity=Granularity.THREAD,
+            atomic_flavor=AtomicFlavor.ATOMIC,
+        )
+        if has_reduction(alg):
+            defaults.update(gpu_reduction=GpuReduction.GLOBAL_ADD)
+    elif model is Model.OPENMP:
+        defaults.update(omp_schedule=OmpSchedule.DEFAULT)
+        if has_reduction(alg):
+            defaults.update(cpu_reduction=CpuReduction.CLAUSE)
+    else:
+        defaults.update(cpp_schedule=CppSchedule.BLOCKED)
+        if has_reduction(alg):
+            defaults.update(cpu_reduction=CpuReduction.CLAUSE)
+    defaults.update(kw)
+    return StyleSpec(algorithm=alg, model=model, **defaults)
+
+
+class TestTable2:
+    def test_pr_is_vertex_only(self):
+        with pytest.raises(ValueError, match="not applicable"):
+            make(
+                Algorithm.PR, Model.CUDA, iteration=Iteration.EDGE,
+                determinism=Determinism.DETERMINISTIC,
+            ).validate()
+
+    def test_mis_rejects_read_write(self):
+        with pytest.raises(ValueError, match="not applicable"):
+            make(Algorithm.MIS, Model.CUDA, update=Update.READ_WRITE).validate()
+
+    def test_mis_rejects_dup(self):
+        with pytest.raises(ValueError, match="not applicable"):
+            make(
+                Algorithm.MIS, Model.CUDA, driver=Driver.DATA, dup=Dup.DUP
+            ).validate()
+
+    def test_tc_has_no_flow_axis(self):
+        with pytest.raises(ValueError, match="push/pull"):
+            make(
+                Algorithm.TC, Model.CUDA, flow=Flow.PUSH,
+                determinism=Determinism.DETERMINISTIC,
+            ).validate()
+
+    def test_tc_deterministic_only(self):
+        with pytest.raises(ValueError, match="not applicable"):
+            make(
+                Algorithm.TC, Model.CUDA, flow=None,
+                determinism=Determinism.NON_DETERMINISTIC,
+            ).validate()
+
+    def test_pr_no_cudaatomic(self):
+        with pytest.raises(ValueError, match="not applicable"):
+            make(
+                Algorithm.PR, Model.CUDA,
+                determinism=Determinism.DETERMINISTIC,
+                atomic_flavor=AtomicFlavor.CUDA_ATOMIC,
+            ).validate()
+
+    def test_allowed_options_lookup(self):
+        assert Update.READ_WRITE in allowed_options(Algorithm.SSSP, "update")
+        assert Update.READ_WRITE not in allowed_options(Algorithm.MIS, "update")
+        with pytest.raises(KeyError):
+            allowed_options(Algorithm.SSSP, "bogus")
+
+
+class TestCombinationRules:
+    def test_deterministic_push_requires_rmw(self):
+        with pytest.raises(ValueError, match="read-modify-write"):
+            make(
+                Algorithm.SSSP, Model.CUDA,
+                update=Update.READ_WRITE,
+                determinism=Determinism.DETERMINISTIC,
+            ).validate()
+
+    def test_deterministic_pull_rw_allowed(self):
+        make(
+            Algorithm.SSSP, Model.CUDA,
+            flow=Flow.PULL,
+            update=Update.READ_WRITE,
+            determinism=Determinism.DETERMINISTIC,
+        ).validate()
+
+    def test_pr_push_must_be_deterministic(self):
+        with pytest.raises(ValueError, match="deterministic"):
+            make(
+                Algorithm.PR, Model.CUDA, flow=Flow.PUSH,
+                determinism=Determinism.NON_DETERMINISTIC,
+            ).validate()
+
+    def test_edge_data_pull_rejected_for_relaxation(self):
+        with pytest.raises(ValueError, match="push-flow"):
+            make(
+                Algorithm.BFS, Model.CUDA,
+                iteration=Iteration.EDGE, driver=Driver.DATA,
+                dup=Dup.NODUP, flow=Flow.PULL,
+            ).validate()
+
+    def test_edge_data_pull_allowed_for_mis(self):
+        make(
+            Algorithm.MIS, Model.CUDA,
+            iteration=Iteration.EDGE, driver=Driver.DATA,
+            dup=Dup.NODUP, flow=Flow.PULL,
+        ).validate()
+
+    def test_vertex_data_pull_allowed(self):
+        make(
+            Algorithm.SSSP, Model.CUDA,
+            driver=Driver.DATA, dup=Dup.NODUP, flow=Flow.PULL,
+        ).validate()
+
+
+class TestModelAxes:
+    def test_cuda_requires_granularity(self):
+        with pytest.raises(ValueError, match="granularity"):
+            make(Algorithm.BFS, Model.CUDA, granularity=None).validate()
+
+    def test_edge_based_thread_only(self):
+        with pytest.raises(ValueError, match="thread-granularity"):
+            make(
+                Algorithm.BFS, Model.CUDA,
+                iteration=Iteration.EDGE, granularity=Granularity.WARP,
+            ).validate()
+
+    def test_edge_based_tc_may_use_warp(self):
+        make(
+            Algorithm.TC, Model.CUDA, iteration=Iteration.EDGE, flow=None,
+            determinism=Determinism.DETERMINISTIC,
+            granularity=Granularity.WARP,
+        ).validate()
+
+    def test_cpu_rejects_gpu_axes(self):
+        with pytest.raises(ValueError, match="CUDA"):
+            make(
+                Algorithm.BFS, Model.OPENMP, granularity=Granularity.THREAD
+            ).validate()
+
+    def test_omp_requires_schedule(self):
+        with pytest.raises(ValueError, match="omp_schedule"):
+            make(Algorithm.BFS, Model.OPENMP, omp_schedule=None).validate()
+
+    def test_cpp_requires_schedule(self):
+        with pytest.raises(ValueError, match="cpp_schedule"):
+            make(Algorithm.BFS, Model.CPP_THREADS, cpp_schedule=None).validate()
+
+    def test_omp_rejects_cpp_schedule(self):
+        with pytest.raises(ValueError, match="C\\+\\+"):
+            make(
+                Algorithm.BFS, Model.OPENMP, cpp_schedule=CppSchedule.BLOCKED
+            ).validate()
+
+    def test_reduction_axis_only_for_pr_tc(self):
+        with pytest.raises(ValueError, match="no reduction axis"):
+            make(
+                Algorithm.BFS, Model.CUDA,
+                gpu_reduction=GpuReduction.GLOBAL_ADD,
+            ).validate()
+        with pytest.raises(ValueError, match="set gpu_reduction"):
+            make(
+                Algorithm.PR, Model.CUDA,
+                determinism=Determinism.DETERMINISTIC,
+                gpu_reduction=None,
+            ).validate()
+
+    def test_cpu_reduction_required_for_tc(self):
+        with pytest.raises(ValueError, match="set cpu_reduction"):
+            make(
+                Algorithm.TC, Model.OPENMP, flow=None,
+                determinism=Determinism.DETERMINISTIC,
+                cpu_reduction=None,
+            ).validate()
+
+
+class TestRenderedTable:
+    def test_all_13_style_rows(self):
+        table = applicability_table()
+        assert len(table) == 13  # the paper's 13 style rows
+        assert "Push, pull" in table
+        # Section 5.4: "TC does not support this style" — the axis is
+        # dropped entirely for TC in this reconstruction.
+        assert table["Push, pull"]["TC"] == "-, -"
+        assert table["Duplicates in WL, no duplicates in WL"]["MIS"] == "-, +"
+        assert table["Atomic, CudaAtomic"]["PR"] == "+, -"

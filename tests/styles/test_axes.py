@@ -1,0 +1,51 @@
+"""Sanity tests for the style-axis enums and their partition."""
+
+from repro.styles import (
+    AXIS_FIELDS,
+    MAPPING_AXES,
+    SEMANTIC_AXES,
+    Algorithm,
+    Model,
+)
+
+
+class TestPartition:
+    def test_semantic_and_mapping_disjoint(self):
+        assert not set(SEMANTIC_AXES) & set(MAPPING_AXES)
+
+    def test_union_covers_all_axis_fields(self):
+        assert set(AXIS_FIELDS) == set(SEMANTIC_AXES) | set(MAPPING_AXES)
+
+    def test_thirteen_paper_axes(self):
+        # 6 semantic + 7 mapping = the paper's 13 style sets.
+        assert len(SEMANTIC_AXES) == 6
+        assert len(MAPPING_AXES) == 7
+
+    def test_fields_exist_on_spec(self):
+        import dataclasses
+
+        from repro.styles import StyleSpec
+
+        spec_fields = {f.name for f in dataclasses.fields(StyleSpec)}
+        assert set(AXIS_FIELDS) <= spec_fields
+
+
+class TestEnums:
+    def test_six_algorithms(self):
+        assert len(Algorithm) == 6
+        assert {a.value for a in Algorithm} == {
+            "cc", "mis", "pr", "tc", "bfs", "sssp",
+        }
+
+    def test_three_models(self):
+        assert [m.value for m in Model] == ["cuda", "openmp", "cpp"]
+
+    def test_gpu_flag(self):
+        assert Model.CUDA.is_gpu
+        assert not Model.OPENMP.is_gpu
+        assert not Model.CPP_THREADS.is_gpu
+
+    def test_axis_option_values_unique_per_axis(self):
+        for axis in AXIS_FIELDS.values():
+            values = [opt.value for opt in axis]
+            assert len(values) == len(set(values))

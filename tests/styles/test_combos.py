@@ -1,0 +1,109 @@
+"""Unit tests for the variant enumeration (Table 3)."""
+
+import pytest
+
+from repro.styles import (
+    PAPER_TABLE3,
+    Algorithm,
+    Determinism,
+    Driver,
+    Dup,
+    Flow,
+    Iteration,
+    Model,
+    check_spec,
+    count_specs,
+    enumerate_all,
+    enumerate_specs,
+    mapping_combinations,
+    semantic_combinations,
+    table3_counts,
+)
+
+
+class TestEnumeration:
+    def test_all_specs_valid(self):
+        for spec in enumerate_all():
+            check_spec(spec)  # must not raise
+
+    def test_all_specs_unique(self):
+        specs = enumerate_all()
+        assert len(specs) == len(set(specs))
+
+    def test_exact_paper_matches(self):
+        """PR and TC CUDA counts reproduce the paper exactly."""
+        counts = count_specs()
+        assert counts[Model.CUDA][Algorithm.PR] == 54 == PAPER_TABLE3[Model.CUDA][Algorithm.PR]
+        assert counts[Model.CUDA][Algorithm.TC] == 72 == PAPER_TABLE3[Model.CUDA][Algorithm.TC]
+        assert counts[Model.OPENMP][Algorithm.PR] == 18
+        assert counts[Model.OPENMP][Algorithm.TC] == 12
+
+    def test_total_same_regime_as_paper(self):
+        counts = count_specs()
+        total = sum(sum(d.values()) for d in counts.values())
+        paper_total = sum(sum(d.values()) for d in PAPER_TABLE3.values())
+        assert paper_total == 1106
+        # Documented reconstruction: within 2x of the paper's total.
+        assert 0.5 * paper_total <= total <= 2.0 * paper_total
+
+    def test_cuda_has_most_variants(self):
+        counts = count_specs()
+        assert sum(counts[Model.CUDA].values()) > sum(counts[Model.OPENMP].values())
+
+    def test_cpu_models_mirror_each_other(self):
+        counts = count_specs()
+        assert counts[Model.OPENMP] == counts[Model.CPP_THREADS]
+
+    def test_table3_rows(self):
+        rows = table3_counts()
+        assert len(rows) == 18  # 3 models x 6 algorithms
+        assert all(len(r) == 4 for r in rows)
+
+
+class TestSemanticMappingSplit:
+    def test_semantics_expand_to_all_mappings(self):
+        for alg in Algorithm:
+            sems = list(semantic_combinations(alg, Model.CUDA))
+            total = sum(len(list(mapping_combinations(s))) for s in sems)
+            assert total == len(enumerate_specs(alg, Model.CUDA))
+
+    def test_semantic_combinations_have_no_mapping_axes(self):
+        for sem in semantic_combinations(Algorithm.SSSP, Model.CUDA):
+            assert sem.granularity is None
+            assert sem.persistence is None
+            assert sem.atomic_flavor is None
+
+    def test_mapping_variants_share_semantic_key(self):
+        sem = next(iter(semantic_combinations(Algorithm.BFS, Model.CUDA)))
+        keys = {m.semantic_key() for m in mapping_combinations(sem)}
+        assert len(keys) == 1
+
+
+class TestStructure:
+    def test_data_driven_edge_relaxation_is_push(self):
+        for spec in enumerate_specs(Algorithm.SSSP, Model.CUDA):
+            if spec.driver is Driver.DATA and spec.iteration is Iteration.EDGE:
+                assert spec.flow is Flow.PUSH
+
+    def test_data_driven_vertex_has_both_flows(self):
+        flows = {
+            spec.flow
+            for spec in enumerate_specs(Algorithm.SSSP, Model.CUDA)
+            if spec.driver is Driver.DATA and spec.iteration is Iteration.VERTEX
+        }
+        assert flows == {Flow.PUSH, Flow.PULL}
+
+    def test_mis_nodup_only(self):
+        for spec in enumerate_specs(Algorithm.MIS, Model.CUDA):
+            if spec.driver is Driver.DATA:
+                assert spec.dup is Dup.NODUP
+
+    def test_pr_push_det_only(self):
+        for spec in enumerate_specs(Algorithm.PR, Model.CUDA):
+            if spec.flow is Flow.PUSH:
+                assert spec.determinism is Determinism.DETERMINISTIC
+
+    def test_no_det_rw_push(self):
+        for spec in enumerate_all():
+            if spec.flow is Flow.PUSH and spec.determinism is Determinism.DETERMINISTIC:
+                assert spec.update.value != "rw"

@@ -1,0 +1,102 @@
+"""Unit tests for StyleSpec and SemanticKey."""
+
+import pytest
+
+from repro.styles import (
+    Algorithm,
+    AtomicFlavor,
+    Determinism,
+    Driver,
+    Dup,
+    Flow,
+    Granularity,
+    Iteration,
+    Model,
+    OmpSchedule,
+    Persistence,
+    StyleSpec,
+    Update,
+)
+
+
+def cuda_bfs_spec(**overrides) -> StyleSpec:
+    base = dict(
+        algorithm=Algorithm.BFS,
+        model=Model.CUDA,
+        iteration=Iteration.VERTEX,
+        driver=Driver.TOPOLOGY,
+        flow=Flow.PUSH,
+        update=Update.READ_MODIFY_WRITE,
+        determinism=Determinism.NON_DETERMINISTIC,
+        persistence=Persistence.NON_PERSISTENT,
+        granularity=Granularity.THREAD,
+        atomic_flavor=AtomicFlavor.ATOMIC,
+    )
+    base.update(overrides)
+    return StyleSpec(**base)
+
+
+class TestSemanticKey:
+    def test_mapping_axes_excluded(self):
+        a = cuda_bfs_spec(granularity=Granularity.THREAD)
+        b = cuda_bfs_spec(granularity=Granularity.WARP)
+        assert a.semantic_key() == b.semantic_key()
+
+    def test_semantic_axes_included(self):
+        a = cuda_bfs_spec(flow=Flow.PUSH)
+        b = cuda_bfs_spec(flow=Flow.PULL)
+        assert a.semantic_key() != b.semantic_key()
+
+    def test_hashable(self):
+        assert len({cuda_bfs_spec().semantic_key()}) == 1
+
+    def test_cross_model_semantics_shared(self):
+        cuda = cuda_bfs_spec()
+        omp = StyleSpec(
+            algorithm=Algorithm.BFS,
+            model=Model.OPENMP,
+            iteration=Iteration.VERTEX,
+            driver=Driver.TOPOLOGY,
+            flow=Flow.PUSH,
+            update=Update.READ_MODIFY_WRITE,
+            determinism=Determinism.NON_DETERMINISTIC,
+            omp_schedule=OmpSchedule.DEFAULT,
+        )
+        assert cuda.semantic_key() == omp.semantic_key()
+
+
+class TestHelpers:
+    def test_with_axis(self):
+        spec = cuda_bfs_spec()
+        warp = spec.with_axis(granularity=Granularity.WARP)
+        assert warp.granularity is Granularity.WARP
+        assert warp.flow is spec.flow
+
+    def test_axis_value(self):
+        spec = cuda_bfs_spec()
+        assert spec.axis_value("flow") is Flow.PUSH
+        assert spec.axis_value("cpp_schedule") is None
+
+    def test_describe_omits_unset(self):
+        d = cuda_bfs_spec().describe()
+        assert d["flow"] == "push"
+        assert "cpp_schedule" not in d
+        assert d["algorithm"] == "bfs"
+
+    def test_label_compact(self):
+        label = cuda_bfs_spec().label()
+        assert label.startswith("bfs-cuda-")
+        assert "push" in label and "thread" in label
+
+    def test_frozen(self):
+        spec = cuda_bfs_spec()
+        with pytest.raises(Exception):
+            spec.flow = Flow.PULL
+
+    def test_validate_returns_self(self):
+        spec = cuda_bfs_spec()
+        assert spec.validate() is spec
+
+    def test_dup_requires_data_driver(self):
+        with pytest.raises(ValueError, match="data-driven"):
+            cuda_bfs_spec(dup=Dup.DUP).validate()

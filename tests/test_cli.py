@@ -1,0 +1,167 @@
+"""Unit tests for the indigo2py CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scale_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--scale", "huge", "datasets"])
+
+
+class TestDatasets:
+    def test_prints_tables(self, capsys):
+        code, out = run_cli(capsys, "--scale", "tiny", "datasets")
+        assert code == 0
+        assert "Table 4" in out and "Table 5" in out
+        assert "coPapersDBLP" in out
+
+
+class TestSpecs:
+    def test_counts(self, capsys):
+        code, out = run_cli(capsys, "specs", "--model", "openmp")
+        assert code == 0
+        assert "total: 266" in out
+
+    def test_listing(self, capsys):
+        code, out = run_cli(
+            capsys, "specs", "--model", "cpp", "--algorithm", "tc", "--list"
+        )
+        assert code == 0
+        assert "tc-cpp-" in out
+
+
+class TestRun:
+    def test_runs_and_reports(self, capsys):
+        code, out = run_cli(
+            capsys, "--scale", "tiny", "run",
+            "--algorithm", "bfs", "--model", "cuda",
+            "--graph", "USA-road-d.NY", "--device", "RTX 3090",
+        )
+        assert code == 0
+        assert "throughput:" in out
+        assert "verified:   True" in out
+
+    def test_bad_index(self, capsys):
+        code = main([
+            "--scale", "tiny", "run",
+            "--algorithm", "bfs", "--model", "cuda",
+            "--graph", "USA-road-d.NY", "--device", "RTX 3090",
+            "--index", "99999",
+        ])
+        assert code == 2
+
+    def test_model_device_mismatch(self, capsys):
+        code = main([
+            "--scale", "tiny", "run",
+            "--algorithm", "bfs", "--model", "openmp",
+            "--graph", "USA-road-d.NY", "--device", "RTX 3090",
+        ])
+        assert code == 2
+
+
+class TestSweep:
+    def test_csv_output(self, capsys):
+        code, out = run_cli(
+            capsys, "--scale", "tiny", "sweep",
+            "--algorithm", "tc", "--model", "openmp",
+        )
+        assert code == 0
+        header, *rows = out.strip().splitlines()
+        assert header.startswith("model,algorithm,variant,graph,device")
+        assert len(rows) == 12 * 5 * 2  # variants x graphs x devices
+
+
+class TestTables:
+    @pytest.mark.parametrize("table_id", ["1", "2", "3"])
+    def test_static_tables(self, capsys, table_id):
+        code, out = run_cli(capsys, "table", table_id)
+        assert code == 0
+        assert f"Table {table_id}" in out
+
+    def test_table5(self, capsys):
+        code, out = run_cli(capsys, "--scale", "tiny", "table", "5")
+        assert code == 0
+        assert "degree" in out
+
+
+class TestGenerate:
+    def test_writes_suite(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "generate", str(tmp_path / "suite"),
+            "--algorithm", "tc", "--model", "openmp",
+        )
+        assert code == 0
+        assert "wrote 12 source files" in out
+        assert (tmp_path / "suite" / "MANIFEST.tsv").exists()
+
+    def test_limit(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "generate", str(tmp_path / "s2"),
+            "--algorithm", "pr", "--limit", "1",
+        )
+        assert code == 0
+        assert "wrote 3 source files" in out  # one per model
+
+
+class TestTrace:
+    def test_renders_breakdown(self, capsys):
+        code, out = run_cli(
+            capsys, "--scale", "tiny", "trace",
+            "--algorithm", "bfs", "--model", "cuda",
+            "--graph", "USA-road-d.NY",
+        )
+        assert code == 0
+        assert "phase" in out and "relax" in out
+
+    def test_csv(self, capsys):
+        code, out = run_cli(
+            capsys, "--scale", "tiny", "trace",
+            "--algorithm", "tc", "--model", "openmp",
+            "--graph", "soc-LiveJournal1", "--csv",
+        )
+        assert code == 0
+        assert out.splitlines()[1].startswith("launch,label,")
+
+
+class TestAdvise:
+    def test_dataset_graph(self, capsys):
+        # The default-scale grid is unambiguously high-diameter.
+        code, out = run_cli(capsys, "advise", "--graph", "2d-2e20.sym")
+        assert code == 0
+        assert "granularity = thread" in out
+        assert "driver = data" in out  # high-diameter input
+
+    def test_requires_input(self, capsys):
+        code = main(["advise"])
+        assert code == 2
+
+    def test_file_input(self, capsys, tmp_path):
+        from repro.graph import load_dataset, write_edge_list
+
+        path = tmp_path / "g.el"
+        write_edge_list(load_dataset("soc-LiveJournal1", "tiny"), path)
+        code, out = run_cli(capsys, "advise", "--file", str(path))
+        assert code == 0
+        assert "input:" in out
+
+
+class TestConvergenceCommand:
+    def test_renders(self, capsys):
+        code, out = run_cli(
+            capsys, "--scale", "tiny", "convergence", "--algorithm", "tc"
+        )
+        assert code == 0
+        assert "tc" in out and "iterations" in out

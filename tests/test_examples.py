@@ -1,0 +1,53 @@
+"""The examples must run end-to-end (they are the de-facto tutorials)."""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stdout}\n{proc.stderr}"
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "GES" in out
+        assert "verified against the serial reference" in out
+
+    def test_style_advisor(self):
+        out = run_example("style_advisor.py", "bfs")
+        assert "wrong-style penalty" in out
+        assert "best :" in out
+
+    def test_reproduce_figure(self):
+        out = run_example("reproduce_figure.py", "fig8", "tiny")
+        assert "persistent / non-persistent" in out
+        assert "median" in out
+
+    def test_reproduce_figure_rejects_unknown(self):
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES / "reproduce_figure.py"), "fig99"],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 2
+
+    def test_custom_graph_study(self):
+        out = run_example("custom_graph_study.py")
+        assert "winning style" in out
+        assert "verified runs" in out
+
+    @pytest.mark.skipif(shutil.which("g++") is None, reason="needs g++")
+    def test_generated_code_demo(self):
+        out = run_example("generated_code_demo.py")
+        assert "AGREE on the ordering" in out

@@ -1,0 +1,72 @@
+"""Direct tests for small public helpers exercised mostly indirectly."""
+
+import numpy as np
+import pytest
+
+from repro.bench import SweepConfig
+from repro.codegen import guard_name
+from repro.graph import from_edge_list
+from repro.kernels import flat_neighbors, wave_slices
+from repro.machine import IterationProfile
+from repro.runtime import Launcher
+from repro.styles import Algorithm, Driver, Model, enumerate_specs, uses_worklist
+
+
+class TestWaveSlices:
+    def test_covers_range(self):
+        slices = list(wave_slices(10, wave=4))
+        assert [(s.start, s.stop) for s in slices] == [
+            (0, 4), (4, 8), (8, 10),
+        ]
+
+    def test_empty(self):
+        assert list(wave_slices(0)) == []
+
+
+class TestFlatNeighbors:
+    def test_gathers_adjacency(self):
+        g = from_edge_list([(0, 1), (0, 2), (1, 2)])
+        edge_pos, owner = flat_neighbors(g, np.array([0, 2]))
+        assert np.array_equal(owner, [0, 0, 1, 1])
+        assert np.array_equal(g.col_idx[edge_pos], [1, 2, 0, 1])
+
+    def test_empty_items(self):
+        g = from_edge_list([(0, 1)])
+        edge_pos, owner = flat_neighbors(g, np.empty(0, dtype=np.int64))
+        assert edge_pos.size == 0 and owner.size == 0
+
+    def test_isolated_items(self):
+        g = from_edge_list([(0, 1)], n_vertices=4)
+        edge_pos, owner = flat_neighbors(g, np.array([2, 3]))
+        assert edge_pos.size == 0
+
+
+class TestSmallHelpers:
+    def test_uses_worklist(self):
+        specs = enumerate_specs(Algorithm.BFS, Model.CUDA)
+        data = next(s for s in specs if s.driver is Driver.DATA)
+        topo = next(s for s in specs if s.driver is Driver.TOPOLOGY)
+        assert uses_worklist(data)
+        assert not uses_worklist(topo)
+
+    def test_guard_name_identifier(self):
+        spec = enumerate_specs(Algorithm.TC, Model.CUDA)[0]
+        name = guard_name(spec)
+        assert name.isidentifier()
+        assert name == name.upper()
+
+    def test_profile_total_of(self):
+        p = IterationProfile(n_items=4, inner=np.array([1, 2, 3, 4]))
+        assert p.total_of(2.0, 0.5) == 2.0 * 4 + 0.5 * 10
+
+    def test_launcher_source_for(self):
+        g = from_edge_list([(0, 1), (1, 2), (1, 3)])
+        assert Launcher().source_for(g) == 1  # highest degree
+        assert Launcher(source=2).source_for(g) == 2
+
+    def test_sweep_devices_for(self):
+        config = SweepConfig()
+        gpu_names = {d.name for d in config.devices_for(Model.CUDA)}
+        cpu_names = {d.name for d in config.devices_for(Model.OPENMP)}
+        assert gpu_names == {"Titan V", "RTX 3090"}
+        assert cpu_names == {"Threadripper 2950X", "Xeon Gold 6226R x2"}
