@@ -3,14 +3,28 @@
 These are classic pytest-benchmark measurements (multiple rounds) of the
 hot paths: semantic kernel execution, device timing of a cached trace, and
 the ratio statistics — the costs that bound a full-study sweep.
+
+The sweep-block benchmark at the bottom times one full (algorithm, graph)
+block end-to-end under both execution styles — per-spec ``Launcher.run``
+calls (the pre-batching sweep body) and the batched
+``sweep_block_runs``/``time_trace_batch`` path — and exports the numbers
+to ``BENCH_sweep.json`` at the repository root so future PRs can track
+the sweep-performance trajectory.
 """
+
+import json
+import time
+from pathlib import Path
 
 import pytest
 
+from repro.bench import SweepConfig, sweep_block_runs
 from repro.graph import load_dataset
 from repro.machine import CPUModel, GPUModel, RTX_3090, THREADRIPPER_2950X
 from repro.runtime import Launcher
 from repro.styles import Algorithm, Granularity, Model, enumerate_specs
+
+BENCH_SWEEP_JSON = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
 
 
 @pytest.fixture(scope="module")
@@ -83,3 +97,69 @@ def test_launcher_cached_run(benchmark, road):
 
     result = benchmark(launcher.run, spec, road, RTX_3090)
     assert result.verified
+
+
+# ----------------------------------------------------------------------
+# Sweep-block benchmark: batched vs per-spec mapping-variant timing
+# ----------------------------------------------------------------------
+# Semantic kernel execution is identical in both paths (the Launcher
+# caches one trace per semantic group either way), so the benchmark warms
+# a shared Launcher once and then times only the part the batched engine
+# changes: evaluating every mapping variant of the block against the
+# cached traces.  PR carries a reduction axis, so variants differing only
+# in reduction style share their core-cycle computation in a batch.
+BLOCK_CONFIG = SweepConfig(scale="tiny", algorithms=(Algorithm.PR,))
+ROUNDS = 7
+
+
+def _block_per_spec(launcher, graph):
+    """The pre-batching sweep body: one Launcher.run per (spec, device)."""
+    runs = []
+    for model in BLOCK_CONFIG.models:
+        specs = enumerate_specs(BLOCK_CONFIG.algorithms[0], model)
+        devices = BLOCK_CONFIG.devices_for(model)
+        for spec in specs:
+            for device in devices:
+                runs.append(launcher.run(spec, graph, device))
+    return runs
+
+
+def _block_batched(launcher, graph):
+    """The batched sweep body: one time_trace_batch pass per trace/device."""
+    runs = []
+    for model in BLOCK_CONFIG.models:
+        specs = enumerate_specs(BLOCK_CONFIG.algorithms[0], model)
+        devices = BLOCK_CONFIG.devices_for(model)
+        runs.extend(sweep_block_runs(launcher, specs, graph, devices))
+    return runs
+
+
+def test_sweep_block_batched_vs_per_spec(social):
+    """Batched mapping-variant timing must beat the per-spec loop on a
+    full (algorithm, graph) block, at workers=1, with identical results.
+    The measured numbers are exported to BENCH_sweep.json."""
+    launcher = Launcher()
+    per_spec_runs = _block_per_spec(launcher, social)
+    batched_runs = _block_batched(launcher, social)
+    assert batched_runs == per_spec_runs  # bit-identical, not just close
+
+    per_spec = batched = float("inf")
+    for _ in range(ROUNDS):  # interleaved so drift hits both paths alike
+        start = time.perf_counter()
+        _block_per_spec(launcher, social)
+        per_spec = min(per_spec, time.perf_counter() - start)
+        start = time.perf_counter()
+        _block_batched(launcher, social)
+        batched = min(batched, time.perf_counter() - start)
+    speedup = per_spec / batched
+
+    payload = {
+        "benchmark": "sweep-block PR x soc-LiveJournal1 (tiny), all models/devices",
+        "runs_per_block": len(batched_runs),
+        "rounds": ROUNDS,
+        "per_spec_seconds": round(per_spec, 6),
+        "batched_seconds": round(batched, 6),
+        "batched_speedup": round(speedup, 3),
+    }
+    BENCH_SWEEP_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    assert speedup > 1.0, f"batched timing slower than per-spec: {payload}"

@@ -13,9 +13,22 @@ from .boxen import LetterValues, letter_values
 from .comparison import SpeedupCell, baseline_speedups, best_style_spec, table6
 from .convergence import ConvergenceRecord, collect_convergence, render_convergence
 from .export import combination_matrix_to_csv, figure_ratios_to_csv, sweep_to_csv
-from .storage import load_results, save_results
+from .storage import (
+    cached_sweep,
+    code_fingerprint,
+    load_results,
+    save_results,
+    sweep_cache_key,
+    sweep_cache_path,
+)
 from .guidelines import Guideline, derive_guidelines
-from .harness import StudyResults, SweepConfig, run_sweep
+from .harness import StudyResults, SweepConfig, run_sweep, sweep_block_runs
+from .parallel import (
+    SweepBlock,
+    partition_blocks,
+    run_sweep_parallel,
+    stderr_progress,
+)
 from .ratios import axis_ratios, ratios_by_algorithm, throughputs_by_option
 from . import report
 
@@ -23,6 +36,15 @@ __all__ = [
     "SweepConfig",
     "StudyResults",
     "run_sweep",
+    "run_sweep_parallel",
+    "sweep_block_runs",
+    "SweepBlock",
+    "partition_blocks",
+    "stderr_progress",
+    "cached_sweep",
+    "code_fingerprint",
+    "sweep_cache_key",
+    "sweep_cache_path",
     "axis_ratios",
     "ratios_by_algorithm",
     "throughputs_by_option",

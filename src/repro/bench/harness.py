@@ -24,7 +24,7 @@ from ..styles.axes import Algorithm, Model
 from ..styles.combos import enumerate_specs
 from ..styles.spec import StyleSpec
 
-__all__ = ["SweepConfig", "StudyResults", "run_sweep"]
+__all__ = ["SweepConfig", "StudyResults", "run_sweep", "sweep_block_runs"]
 
 DeviceSpec = Union[GPUSpec, CPUSpec]
 
@@ -57,10 +57,24 @@ class StudyResults:
     _index: Dict[Tuple[StyleSpec, str, str], RunResult] = field(
         default_factory=dict, repr=False
     )
+    #: Secondary indices: run positions per key, so `select` scans only the
+    #: narrowest matching subset instead of every run (the analysis layer
+    #: calls it thousands of times per figure).
+    _by_algorithm: Dict[Algorithm, List[int]] = field(
+        default_factory=dict, repr=False
+    )
+    _by_model: Dict[Model, List[int]] = field(default_factory=dict, repr=False)
+    _by_device: Dict[str, List[int]] = field(default_factory=dict, repr=False)
+    _by_graph: Dict[str, List[int]] = field(default_factory=dict, repr=False)
 
     def add(self, run: RunResult) -> None:
+        position = len(self.runs)
         self.runs.append(run)
         self._index[(run.spec, run.device, run.graph)] = run
+        self._by_algorithm.setdefault(run.spec.algorithm, []).append(position)
+        self._by_model.setdefault(run.spec.model, []).append(position)
+        self._by_device.setdefault(run.device, []).append(position)
+        self._by_graph.setdefault(run.graph, []).append(position)
 
     def get(
         self, spec: StyleSpec, device: str, graph: str
@@ -76,12 +90,13 @@ class StudyResults:
         devices: Optional[Iterable[str]] = None,
         graphs: Optional[Iterable[str]] = None,
     ) -> Iterator[RunResult]:
-        """Iterate runs matching all provided filters."""
+        """Iterate runs matching all provided filters (in run order)."""
         algorithms = None if algorithms is None else set(algorithms)
         models = None if models is None else set(models)
         devices = None if devices is None else set(devices)
         graphs = None if graphs is None else set(graphs)
-        for run in self.runs:
+        candidates = self._candidates(algorithms, models, devices, graphs)
+        for run in candidates:
             if algorithms is not None and run.spec.algorithm not in algorithms:
                 continue
             if models is not None and run.spec.model not in models:
@@ -91,6 +106,34 @@ class StudyResults:
             if graphs is not None and run.graph not in graphs:
                 continue
             yield run
+
+    def _candidates(self, algorithms, models, devices, graphs) -> Iterable[RunResult]:
+        """Runs from the narrowest secondary index covering a given filter
+        (all runs when no filter is provided)."""
+        best: Optional[List[List[int]]] = None
+        best_size = -1
+        for index, keys in (
+            (self._by_algorithm, algorithms),
+            (self._by_model, models),
+            (self._by_device, devices),
+            (self._by_graph, graphs),
+        ):
+            if keys is None:
+                continue
+            lists = [index.get(key, []) for key in keys]
+            size = sum(len(lst) for lst in lists)
+            if best is None or size < best_size:
+                best, best_size = lists, size
+        if best is None:
+            return self.runs
+        if len(best) == 1:
+            positions: Iterable[int] = best[0]
+        else:
+            # Each position appears under exactly one key of a field, so
+            # the union is a disjoint merge of sorted lists.
+            positions = sorted(pos for lst in best for pos in lst)
+        runs = self.runs
+        return (runs[pos] for pos in positions)
 
     @property
     def n_programs(self) -> int:
@@ -128,9 +171,25 @@ def run_sweep(
         }
         for graph in graphs.values():
             for model, specs in per_model_specs.items():
-                devices = config.devices_for(model)
-                for spec in specs:
-                    for device in devices:
-                        results.add(launcher.run(spec, graph, device))
+                for run in sweep_block_runs(launcher, specs, graph, config.devices_for(model)):
+                    results.add(run)
             launcher.release(graph, algorithm)
     return results
+
+
+def sweep_block_runs(
+    launcher: Launcher,
+    specs: Sequence[StyleSpec],
+    graph: CSRGraph,
+    devices: Sequence[DeviceSpec],
+) -> Iterator[RunResult]:
+    """Runs of one (specs, graph) block over its devices, batched.
+
+    Each device times all mapping variants of each cached semantic trace in
+    one pass; results are yielded in the study's canonical
+    ``for spec: for device`` order.
+    """
+    per_device = [launcher.run_batch(specs, graph, device) for device in devices]
+    for i in range(len(specs)):
+        for batch in per_device:
+            yield batch[i]

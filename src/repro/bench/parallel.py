@@ -1,0 +1,223 @@
+"""Parallel sweep engine: (algorithm, graph) blocks over a process pool.
+
+The sweep's natural work unit is one (algorithm, graph) *block*: all
+program variants of one algorithm on one input, across every model and
+device.  Blocks share nothing but the deterministic input graphs, so they
+fan out over a ``multiprocessing`` pool perfectly — each worker rebuilds
+its graph locally (graphs are deterministic to rebuild, the same property
+:mod:`repro.bench.storage` relies on), executes the block with the batched
+launcher, and ships only the compact :class:`RunResult` list back.
+
+The simulator is deterministic by design, so the parallel engine is
+*bit-identical* to the serial path: blocks are reassembled in the serial
+iteration order and every worker performs exactly the computations the
+serial sweep would.  ``workers=1`` (or a single block) falls back to the
+in-process serial sweep.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..graph.csr import CSRGraph
+from ..graph.datasets import DATASETS, EXTRA_DATASETS, load_all
+from ..runtime.launcher import Launcher, RunResult
+from ..styles.axes import Algorithm, Model
+from ..styles.combos import enumerate_specs
+from .harness import StudyResults, SweepConfig, run_sweep, sweep_block_runs
+
+__all__ = [
+    "SweepBlock",
+    "partition_blocks",
+    "resolve_workers",
+    "run_sweep_parallel",
+    "stderr_progress",
+]
+
+#: Environment override for the default worker count.
+WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+#: Called after each finished block: ``progress(done, total, block)``.
+ProgressFn = Callable[[int, int, "SweepBlock"], None]
+
+
+@dataclass(frozen=True)
+class SweepBlock:
+    """One unit of parallel work: every variant of one algorithm on one
+    input graph, across the configured models and devices.
+
+    Workers rebuild the graph from ``(graph_name, scale)`` through the
+    dataset registry; ``graph`` carries the actual object only when the
+    caller supplied custom inputs that the registry cannot rebuild.
+    """
+
+    algorithm: Algorithm
+    graph_name: str
+    scale: str
+    models: Tuple[Model, ...]
+    gpu_names: Tuple[str, ...]
+    cpu_names: Tuple[str, ...]
+    verify: bool
+    graph: Optional[CSRGraph] = field(default=None, compare=False)
+
+    @property
+    def config(self) -> SweepConfig:
+        """The single-block SweepConfig this block executes."""
+        return SweepConfig(
+            scale=self.scale,
+            models=self.models,
+            algorithms=(self.algorithm,),
+            gpu_names=self.gpu_names,
+            cpu_names=self.cpu_names,
+            graphs=(self.graph_name,),
+            verify=self.verify,
+        )
+
+
+def partition_blocks(
+    config: SweepConfig, graphs: Optional[Dict[str, CSRGraph]] = None
+) -> List[SweepBlock]:
+    """Split a sweep into its (algorithm, graph) blocks, in serial order.
+
+    When ``graphs`` is provided, each block carries its graph object to the
+    worker (a caller-supplied graph may differ from what the registry would
+    rebuild under the same name); registry inputs ship as name + scale only.
+    """
+    names = (
+        list(graphs)
+        if graphs is not None
+        else list(config.graphs) if config.graphs is not None
+        else list(DATASETS)
+    )
+    blocks = []
+    for algorithm in config.algorithms:
+        for name in names:
+            payload = None if graphs is None else graphs[name]
+            blocks.append(
+                SweepBlock(
+                    algorithm=algorithm,
+                    graph_name=name,
+                    scale=config.scale,
+                    models=tuple(config.models),
+                    gpu_names=tuple(config.gpu_names),
+                    cpu_names=tuple(config.cpu_names),
+                    verify=config.verify,
+                    graph=payload,
+                )
+            )
+    return blocks
+
+
+def _build_block_graph(block: SweepBlock) -> CSRGraph:
+    if block.graph is not None:
+        return block.graph
+    spec = {**DATASETS, **EXTRA_DATASETS}[block.graph_name]
+    return spec.build(block.scale)
+
+
+def run_block(block: SweepBlock) -> List[RunResult]:
+    """Execute one block in the current process and return its runs.
+
+    This is the pool's worker function; it is also the exact per-block body
+    of the serial sweep, which is what makes the two paths bit-identical.
+    """
+    graph = _build_block_graph(block)
+    launcher = Launcher(verify=block.verify)
+    config = block.config
+    runs: List[RunResult] = []
+    for model in block.models:
+        specs = enumerate_specs(block.algorithm, model)
+        runs.extend(
+            sweep_block_runs(launcher, specs, graph, config.devices_for(model))
+        )
+    launcher.release(graph, block.algorithm)
+    return runs
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Worker count: explicit argument, else $REPRO_SWEEP_WORKERS, else all
+    cores."""
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV)
+        if env:
+            try:
+                workers = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"${WORKERS_ENV} must be a positive integer, got {env!r}"
+                ) from None
+        else:
+            workers = os.cpu_count() or 1
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    return workers
+
+
+def stderr_progress(done: int, total: int, block: SweepBlock) -> None:
+    """Default progress reporter: one stderr line per finished block."""
+    print(
+        f"[sweep {done}/{total}] {block.algorithm.value} x {block.graph_name}",
+        file=sys.stderr,
+        flush=True,
+    )
+
+
+def run_sweep_parallel(
+    config: SweepConfig = SweepConfig(),
+    *,
+    workers: Optional[int] = None,
+    chunksize: int = 1,
+    progress: Optional[ProgressFn] = None,
+    graphs: Optional[Dict[str, CSRGraph]] = None,
+) -> StudyResults:
+    """Run the configured sweep across a process pool.
+
+    Bit-identical to :func:`repro.bench.run_sweep`: same runs, same order,
+    same floats.  ``workers=None`` uses ``$REPRO_SWEEP_WORKERS`` or the
+    machine's core count; ``workers=1`` (or a single block) runs serially
+    in-process.  ``chunksize`` batches blocks per pool dispatch for very
+    fine-grained sweeps.
+    """
+    workers = resolve_workers(workers)
+    if graphs is None:
+        all_graphs = load_all(config.scale)
+        graphs_for_results = (
+            all_graphs
+            if config.graphs is None
+            else {name: all_graphs[name] for name in config.graphs}
+        )
+        blocks = partition_blocks(config)
+    else:
+        graphs_for_results = dict(graphs)
+        blocks = partition_blocks(config, graphs_for_results)
+
+    if workers == 1 or len(blocks) <= 1:
+        results = run_sweep(config, graphs=graphs_for_results)
+        if progress is not None:
+            total = max(len(blocks), 1)
+            for done, block in enumerate(blocks, start=1):
+                progress(done, total, block)
+        return results
+
+    results = StudyResults(graphs=graphs_for_results)
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+    )
+    total = len(blocks)
+    with ctx.Pool(processes=min(workers, total)) as pool:
+        # imap preserves submission order, so results assemble in the
+        # serial sweep's (algorithm, graph) order no matter which worker
+        # finishes first.
+        for done, (block, runs) in enumerate(
+            zip(blocks, pool.imap(run_block, blocks, chunksize=max(1, chunksize))),
+            start=1,
+        ):
+            for run in runs:
+                results.add(run)
+            if progress is not None:
+                progress(done, total, block)
+    return results

@@ -62,20 +62,24 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser("sweep", help="run the full sweep, print CSV")
     sweep.add_argument("--algorithm", choices=[a.value for a in Algorithm])
     sweep.add_argument("--model", choices=[m.value for m in Model])
+    _add_workers_flag(sweep)
 
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("id", type=int, choices=range(1, 7))
+    _add_results_flags(table)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument(
         "id",
         help="figure id: 1-16 (e.g. 1, 9; sub-panels print together)",
     )
+    _add_results_flags(figure)
 
-    sub.add_parser(
+    guidelines = sub.add_parser(
         "guidelines",
         help="re-derive the paper's Section 5.16 programming guidelines",
     )
+    _add_results_flags(guidelines)
 
     adv = sub.add_parser(
         "advise",
@@ -117,6 +121,27 @@ def build_parser() -> argparse.ArgumentParser:
              "(the full Indigo2-style artifact)",
     )
     return parser
+
+
+def _add_workers_flag(sub) -> None:
+    sub.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for the sweep "
+             "(default: $REPRO_SWEEP_WORKERS or all cores; 1 = serial)",
+    )
+
+
+def _add_results_flags(sub) -> None:
+    _add_workers_flag(sub)
+    sub.add_argument(
+        "--results", metavar="PATH", default=None,
+        help="results file to use: loaded if present, otherwise the sweep "
+             "runs once and is saved there",
+    )
+    sub.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the content-addressed sweep cache and re-run",
+    )
 
 
 def _cmd_datasets(args) -> int:
@@ -176,14 +201,17 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    from ..bench.harness import SweepConfig, run_sweep
+    from ..bench.harness import SweepConfig
+    from ..bench.parallel import run_sweep_parallel, stderr_progress
 
     config = SweepConfig(
         scale=args.scale,
         models=(Model(args.model),) if args.model else tuple(Model),
         algorithms=(Algorithm(args.algorithm),) if args.algorithm else tuple(Algorithm),
     )
-    results = run_sweep(config)
+    results = run_sweep_parallel(
+        config, workers=args.workers, progress=stderr_progress
+    )
     print("model,algorithm,variant,graph,device,seconds,throughput_ges,iterations")
     for run in results.runs:
         print(
@@ -194,10 +222,38 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
-def _sweep_for_reports(scale: str):
-    from ..bench.harness import SweepConfig, run_sweep
+def _sweep_for_reports(args):
+    """The full-grid sweep behind tables/figures, via the result cache.
 
-    return run_sweep(SweepConfig(scale=scale))
+    ``--results PATH`` pins an explicit file (loaded if present, created
+    otherwise); ``--no-cache`` forces a fresh run; the default is the
+    content-addressed cache, so the sweep runs at most once per
+    (configuration, simulator source) pair no matter how many tables and
+    figures are regenerated.
+    """
+    from pathlib import Path
+
+    from ..bench.harness import SweepConfig
+    from ..bench.parallel import run_sweep_parallel, stderr_progress
+    from ..bench.storage import cached_sweep, load_results, save_results
+
+    config = SweepConfig(scale=args.scale)
+
+    def run(cfg):
+        return run_sweep_parallel(
+            cfg, workers=args.workers, progress=stderr_progress
+        )
+
+    if args.results:
+        path = Path(args.results)
+        if path.exists():
+            return load_results(path)
+        results = run(config)
+        save_results(results, path, scale=args.scale)
+        return results
+    if args.no_cache:
+        return run(config)
+    return cached_sweep(config, runner=run)
 
 
 def _cmd_table(args) -> int:
@@ -215,7 +271,7 @@ def _cmd_table(args) -> int:
         render = report.render_table4 if args.id == 4 else report.render_table5
         print(render(props))
     else:  # table 6
-        results = _sweep_for_reports(args.scale)
+        results = _sweep_for_reports(args)
         print(report.render_table6(results))
     return 0
 
@@ -224,7 +280,7 @@ def _cmd_figure(args) -> int:
     from ..bench import report
 
     fid = str(args.id)
-    results = _sweep_for_reports(args.scale)
+    results = _sweep_for_reports(args)
     if fid == "1":
         print(report.render_ratio_figure(results, "fig1-3090"))
         print()
@@ -359,7 +415,7 @@ def _cmd_generate(args) -> int:
 def _cmd_guidelines(args) -> int:
     from ..bench.guidelines import derive_guidelines
 
-    results = _sweep_for_reports(args.scale)
+    results = _sweep_for_reports(args)
     for guideline in derive_guidelines(results):
         print(guideline.render())
     return 0
@@ -384,6 +440,9 @@ def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # Downstream pipe (e.g. `| head`) closed early: exit quietly.
         import os

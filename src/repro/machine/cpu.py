@@ -23,7 +23,7 @@ Sections 2.10.2, 2.11, 2.12 and 5.3/5.5:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence
 
 from ..styles.axes import (
     CppSchedule,
@@ -34,6 +34,7 @@ from ..styles.axes import (
 from ..styles.spec import StyleSpec
 from .scheduling import (
     UnitDecomposition,
+    cached_decomposition,
     cpu_blocked_units,
     cpu_cyclic_units,
     makespan,
@@ -70,6 +71,47 @@ class CPUModel:
             return self.spec.l3_bytes_per_cycle
         return self.spec.mem_bytes_per_cycle
 
+    def time_trace_batch(
+        self, trace: ExecutionTrace, styles: Sequence[StyleSpec]
+    ) -> List[float]:
+        """Simulated wall times of many mapping variants of one trace.
+
+        Bit-identical to calling :meth:`time_trace` per style: the batch
+        resolves the trace's bandwidth once and, within each step, shares
+        the core (work + memory + contention) cycles across styles whose
+        mapping differs only in the reduction axis.
+        """
+        styles = list(styles)
+        s = self.spec
+        regions = []
+        keys = []
+        for style in styles:
+            if style.model is Model.CUDA:
+                raise ValueError("CPUModel times OpenMP / C++-threads specs only")
+            regions.append(
+                s.cycles_region_omp
+                if style.model is Model.OPENMP
+                else s.cycles_region_cpp
+            )
+            keys.append((style.model, style.omp_schedule, style.cpp_schedule))
+        mem_bw = self._bandwidth_for(trace)
+        totals = [0.0] * len(styles)
+        for p in trace.profiles:
+            if p.n_items == 0:
+                for i, region in enumerate(regions):
+                    totals[i] += region
+                continue
+            cores: dict = {}
+            for i, style in enumerate(styles):
+                core = cores.get(keys[i])
+                if core is None:
+                    core = self._core_cycles(p, style, mem_bw)
+                    cores[keys[i]] = core
+                totals[i] += (
+                    core + self._reduction_cycles(p, style) + regions[i]
+                )
+        return [s.seconds(t) for t in totals]
+
     def throughput(self, trace: ExecutionTrace, style: StyleSpec) -> float:
         """Giga-edges per second (Section 4.5 metric)."""
         return trace.n_edges / self.time_trace(trace, style) / 1e9
@@ -93,7 +135,18 @@ class CPUModel:
         )
         if p.n_items == 0:
             return region
+        core = self._core_cycles(p, style, mem_bw)
+        red_cycles = self._reduction_cycles(p, style)
+        return core + red_cycles + region
 
+    def _core_cycles(
+        self, p: IterationProfile, style: StyleSpec, mem_bw: float
+    ) -> float:
+        """Work + memory + contention cycles of one step — everything except
+        the reduction style and the parallel-region overhead.  Depends on
+        the style only through (model, omp_schedule, cpp_schedule), which is
+        what makes batch sharing possible."""
+        s = self.spec
         cyclic = style.cpp_schedule is CppSchedule.CYCLIC
         load_factor = s.cyclic_locality_factor if cyclic else 1.0
 
@@ -128,15 +181,12 @@ class CPUModel:
         overlap = min(1.0, s.threads / p.n_items)
         conflict_cycles = p.conflict_extra * s.cycles_atomic_conflict * overlap
         hot_cycles = p.hot_atomics * s.cycles_hot_atomic
-        red_cycles = self._reduction_cycles(p, style)
 
         return (
             max(work_cycles, mem_cycles)
             + serial_cycles
             + conflict_cycles
             + hot_cycles
-            + red_cycles
-            + region
         )
 
     # ------------------------------------------------------------------
@@ -178,17 +228,13 @@ class CPUModel:
 
     def _units(self, p: IterationProfile, style: StyleSpec) -> UnitDecomposition:
         cyclic = style.cpp_schedule is CppSchedule.CYCLIC
-        cache = getattr(p, _DECOMP_CACHE_ATTR, None)
-        if cache is None:
-            cache = {}
-            setattr(p, _DECOMP_CACHE_ATTR, cache)
-        key = (cyclic, self.spec.threads)
-        units = cache.get(key)
-        if units is None:
-            builder = cpu_cyclic_units if cyclic else cpu_blocked_units
-            units = builder(p.inner, p.n_items, self.spec.threads)
-            cache[key] = units
-        return units
+        builder = cpu_cyclic_units if cyclic else cpu_blocked_units
+        return cached_decomposition(
+            p,
+            _DECOMP_CACHE_ATTR,
+            (cyclic, self.spec.threads),
+            lambda: builder(p.inner, p.n_items, self.spec.threads),
+        )
 
     def _memory_cycles(
         self, p: IterationProfile, load_factor: float, mem_bw: float

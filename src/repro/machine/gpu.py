@@ -26,7 +26,7 @@ structure reads) barely moves.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 from ..styles.axes import (
     AtomicFlavor,
@@ -37,7 +37,13 @@ from ..styles.axes import (
     Persistence,
 )
 from ..styles.spec import StyleSpec
-from .scheduling import WARP_WIDTH, UnitDecomposition, gpu_units, makespan
+from .scheduling import (
+    WARP_WIDTH,
+    UnitDecomposition,
+    cached_decomposition,
+    gpu_units,
+    makespan,
+)
 from .specs import GPUSpec
 from .trace import ExecutionTrace, IterationProfile
 
@@ -79,6 +85,65 @@ class GPUModel:
             return self.spec.l2_bytes_per_cycle
         return self.spec.mem_bytes_per_cycle
 
+    def time_trace_batch(
+        self, trace: ExecutionTrace, styles: Sequence[StyleSpec]
+    ) -> List[float]:
+        """Simulated wall times of many mapping variants of one trace.
+
+        Bit-identical to calling :meth:`time_trace` per style: the batch
+        resolves the trace's bandwidth once and, within each launch, shares
+        the core (issue + memory + contention) cycles across styles whose
+        mapping differs only in the reduction axis — that value is the same
+        float either way, it is simply not recomputed.
+        """
+        styles = list(styles)
+        contexts = [self._style_context(style) for style in styles]
+        s = self.spec
+        mem_bw = self._bandwidth_for(trace)
+        totals = [0.0] * len(styles)
+        for p in trace.profiles:
+            if p.n_items == 0:
+                for i in range(len(totals)):
+                    totals[i] += s.cycles_launch
+                continue
+            cores: dict = {}
+            for i, (style, gran, persistent, flavor_ls, flavor_rmw, key) in (
+                enumerate(contexts)
+            ):
+                core = cores.get(key)
+                if core is None:
+                    core = self._core_cycles(
+                        p, style, gran, persistent, flavor_ls, flavor_rmw, mem_bw
+                    )
+                    cores[key] = core
+                totals[i] += (
+                    core
+                    + self._reduction_cycles(p, style, gran, flavor_rmw)
+                    + s.cycles_launch
+                )
+        return [s.seconds(t) for t in totals]
+
+    def _style_context(self, style: StyleSpec) -> Tuple:
+        """Pre-resolved mapping context of one style, with the key under
+        which its core cycles are shared within a launch."""
+        if style.model is not Model.CUDA:
+            raise ValueError("GPUModel times CUDA specs only")
+        s = self.spec
+        flavor_rmw = (
+            s.cudaatomic_rmw_mult
+            if style.atomic_flavor is AtomicFlavor.CUDA_ATOMIC
+            else 1.0
+        )
+        flavor_ls = (
+            s.cudaatomic_ls_mult
+            if style.atomic_flavor is AtomicFlavor.CUDA_ATOMIC
+            else 1.0
+        )
+        gran = style.granularity or Granularity.THREAD
+        persistent = style.persistence is Persistence.PERSISTENT
+        core_key = (style.atomic_flavor, gran, persistent, style.iteration)
+        return style, gran, persistent, flavor_ls, flavor_rmw, core_key
+
     def throughput(self, trace: ExecutionTrace, style: StyleSpec) -> float:
         """Giga-edges per second (the paper's Section 4.5 metric)."""
         seconds = self.time_trace(trace, style)
@@ -98,20 +163,28 @@ class GPUModel:
             mem_bw = s.mem_bytes_per_cycle
         if p.n_items == 0:
             return s.cycles_launch
-
-        flavor_rmw = (
-            s.cudaatomic_rmw_mult
-            if style.atomic_flavor is AtomicFlavor.CUDA_ATOMIC
-            else 1.0
+        _, gran, persistent, flavor_ls, flavor_rmw, _ = self._style_context(style)
+        core = self._core_cycles(
+            p, style, gran, persistent, flavor_ls, flavor_rmw, mem_bw
         )
-        flavor_ls = (
-            s.cudaatomic_ls_mult
-            if style.atomic_flavor is AtomicFlavor.CUDA_ATOMIC
-            else 1.0
-        )
-        gran = style.granularity or Granularity.THREAD
-        persistent = style.persistence is Persistence.PERSISTENT
+        red_cycles = self._reduction_cycles(p, style, gran, flavor_rmw)
+        return core + red_cycles + s.cycles_launch
 
+    def _core_cycles(
+        self,
+        p: IterationProfile,
+        style: StyleSpec,
+        gran: Granularity,
+        persistent: bool,
+        flavor_ls: float,
+        flavor_rmw: float,
+        mem_bw: float,
+    ) -> float:
+        """Issue + memory + contention cycles of one launch — everything
+        except the reduction style and the launch overhead.  Depends on the
+        style only through (atomic flavor, granularity, persistence,
+        iteration), which is what makes batch sharing possible."""
+        s = self.spec
         # --- per-item coefficient assembly -----------------------------
         alpha = (
             p.base_cycles * s.cycles_compute
@@ -162,15 +235,8 @@ class GPUModel:
             + p.conflict_extra * overlap / L2_BANKS
         )
         hot_cycles = p.hot_atomics * s.cycles_hot_atomic * flavor_rmw
-        red_cycles = self._reduction_cycles(p, style, gran, flavor_rmw)
 
-        return (
-            max(issue_cycles, mem_cycles)
-            + conflict_cycles
-            + hot_cycles
-            + red_cycles
-            + s.cycles_launch
-        )
+        return max(issue_cycles, mem_cycles) + conflict_cycles + hot_cycles
 
     # ------------------------------------------------------------------
     def _units(
@@ -179,23 +245,20 @@ class GPUModel:
         """Decompose with a per-profile memo (mapping variants re-time the
         same profiles; the decomposition depends only on gran/persistence
         and this device's geometry)."""
-        cache = getattr(p, _DECOMP_CACHE_ATTR, None)
-        if cache is None:
-            cache = {}
-            setattr(p, _DECOMP_CACHE_ATTR, cache)
         key = (gran, persistent, self.spec.block_size, self.spec.resident_threads)
-        units = cache.get(key)
-        if units is None:
-            units = gpu_units(
+        return cached_decomposition(
+            p,
+            _DECOMP_CACHE_ATTR,
+            key,
+            lambda: gpu_units(
                 p.inner,
                 p.n_items,
                 gran,
                 persistent,
                 block_size=self.spec.block_size,
                 resident_threads=self.spec.resident_threads,
-            )
-            cache[key] = units
-        return units
+            ),
+        )
 
     def _memory_cycles(
         self,

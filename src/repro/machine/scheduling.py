@@ -29,6 +29,7 @@ __all__ = [
     "gpu_units",
     "cpu_blocked_units",
     "cpu_cyclic_units",
+    "cached_decomposition",
     "makespan",
 ]
 
@@ -100,6 +101,26 @@ def makespan(total: float, longest: float, slots: float) -> float:
     if slots <= 0:
         raise ValueError("slots must be positive")
     return max(total / slots, longest)
+
+
+def cached_decomposition(profile, cache_attr: str, key, builder):
+    """Fetch (or build and memoize) a profile's :class:`UnitDecomposition`.
+
+    A decomposition depends only on the mapping axes and the device
+    geometry, so every mapping variant that re-times the same launch
+    shares it.  The memo lives on the profile object itself and therefore
+    has exactly the trace cache's lifetime — released together with the
+    trace when the sweep drops the block.
+    """
+    cache = getattr(profile, cache_attr, None)
+    if cache is None:
+        cache = {}
+        setattr(profile, cache_attr, cache)
+    units = cache.get(key)
+    if units is None:
+        units = builder()
+        cache[key] = units
+    return units
 
 
 # ----------------------------------------------------------------------

@@ -11,7 +11,7 @@ everything else held fixed" discipline of Section 5.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -63,6 +63,7 @@ class Launcher:
         self._traces: Dict[Tuple[int, SemanticKey], KernelResult] = {}
         self._references: Dict[Tuple[int, Algorithm], np.ndarray] = {}
         self._graphs: Dict[int, CSRGraph] = {}
+        self._models: Dict[str, Union[GPUModel, CPUModel]] = {}
 
     def source_for(self, graph: CSRGraph) -> int:
         """The BFS/SSSP source for a graph (highest-degree by default)."""
@@ -95,8 +96,55 @@ class Launcher:
         spec.validate()
         self._check_pairing(spec, device)
         result = self.execute_semantic(spec, graph)
-        model = GPUModel(device) if isinstance(device, GPUSpec) else CPUModel(device)
+        model = self.model_for(device)
         seconds = model.time_trace(result.trace, spec)
+        return self._result(spec, graph, device, result, seconds)
+
+    def run_batch(
+        self, specs: Sequence[StyleSpec], graph: CSRGraph, device: DeviceSpec
+    ) -> List[RunResult]:
+        """Run many program variants on one device and one input.
+
+        Equivalent to calling :meth:`run` per spec (bit-identical results),
+        but each distinct semantic trace is fetched once and all of its
+        mapping variants are timed in a single batched pass
+        (:meth:`GPUModel.time_trace_batch` / :meth:`CPUModel.time_trace_batch`).
+        """
+        specs = list(specs)
+        model = self.model_for(device)
+        groups: Dict[SemanticKey, List[int]] = {}
+        for i, spec in enumerate(specs):
+            spec.validate()
+            self._check_pairing(spec, device)
+            groups.setdefault(spec.semantic_key(), []).append(i)
+        out: List[Optional[RunResult]] = [None] * len(specs)
+        for indices in groups.values():
+            result = self.execute_semantic(specs[indices[0]], graph)
+            batch = [specs[i] for i in indices]
+            for i, seconds in zip(indices, model.time_trace_batch(result.trace, batch)):
+                out[i] = self._result(specs[i], graph, device, result, seconds)
+        return out  # type: ignore[return-value]
+
+    def model_for(self, device: DeviceSpec) -> Union[GPUModel, CPUModel]:
+        """The (memoized) timing model of one device."""
+        model = self._models.get(device.name)
+        if model is None:
+            model = (
+                GPUModel(device)
+                if isinstance(device, GPUSpec)
+                else CPUModel(device)
+            )
+            self._models[device.name] = model
+        return model
+
+    def _result(
+        self,
+        spec: StyleSpec,
+        graph: CSRGraph,
+        device: DeviceSpec,
+        result: KernelResult,
+        seconds: float,
+    ) -> RunResult:
         return RunResult(
             spec=spec,
             device=device.name,

@@ -1,0 +1,250 @@
+"""Tests for the parallel sweep engine, batched timing, and the
+content-addressed result cache."""
+
+import pickle
+
+import pytest
+
+from repro.bench import (
+    StudyResults,
+    SweepConfig,
+    cached_sweep,
+    load_results,
+    partition_blocks,
+    run_sweep,
+    run_sweep_parallel,
+    sweep_cache_key,
+    sweep_cache_path,
+)
+from repro.bench.parallel import resolve_workers, run_block
+from repro.graph import load_dataset
+from repro.machine import CPUModel, GPUModel, RTX_3090, THREADRIPPER_2950X
+from repro.runtime import Launcher
+from repro.styles import Algorithm, Model, enumerate_specs
+
+REDUCED = SweepConfig(
+    scale="tiny",
+    algorithms=(Algorithm.BFS, Algorithm.PR),
+    graphs=("USA-road-d.NY", "soc-LiveJournal1"),
+)
+
+
+def run_signature(results):
+    return [
+        (r.spec, r.device, r.graph, r.seconds, r.throughput_ges)
+        for r in results.runs
+    ]
+
+
+class TestBatchedTiming:
+    """time_trace_batch must be bit-identical to per-spec time_trace."""
+
+    @pytest.mark.parametrize("algorithm", [Algorithm.SSSP, Algorithm.PR])
+    def test_gpu_batch_matches_serial(self, algorithm):
+        graph = load_dataset("soc-LiveJournal1", "tiny")
+        launcher = Launcher()
+        model = GPUModel(RTX_3090)
+        specs = enumerate_specs(algorithm, Model.CUDA)
+        groups = {}
+        for spec in specs:
+            groups.setdefault(spec.semantic_key(), []).append(spec)
+        for group in groups.values():
+            trace = launcher.execute_semantic(group[0], graph).trace
+            serial = [model.time_trace(trace, spec) for spec in group]
+            assert model.time_trace_batch(trace, group) == serial
+
+    @pytest.mark.parametrize("model_axis", [Model.OPENMP, Model.CPP_THREADS])
+    def test_cpu_batch_matches_serial(self, model_axis):
+        graph = load_dataset("USA-road-d.NY", "tiny")
+        launcher = Launcher()
+        model = CPUModel(THREADRIPPER_2950X)
+        specs = enumerate_specs(Algorithm.PR, model_axis)
+        groups = {}
+        for spec in specs:
+            groups.setdefault(spec.semantic_key(), []).append(spec)
+        for group in groups.values():
+            trace = launcher.execute_semantic(group[0], graph).trace
+            serial = [model.time_trace(trace, spec) for spec in group]
+            assert model.time_trace_batch(trace, group) == serial
+
+    def test_gpu_batch_rejects_cpu_specs(self):
+        graph = load_dataset("USA-road-d.NY", "tiny")
+        launcher = Launcher()
+        spec = enumerate_specs(Algorithm.BFS, Model.OPENMP)[0]
+        trace = launcher.execute_semantic(spec, graph).trace
+        with pytest.raises(ValueError, match="CUDA specs only"):
+            GPUModel(RTX_3090).time_trace_batch(trace, [spec])
+
+    def test_run_batch_matches_run(self):
+        graph = load_dataset("USA-road-d.NY", "tiny")
+        launcher = Launcher()
+        specs = enumerate_specs(Algorithm.BFS, Model.CUDA)[:20]
+        batch = launcher.run_batch(specs, graph, RTX_3090)
+        singles = [launcher.run(spec, graph, RTX_3090) for spec in specs]
+        assert batch == singles
+
+    def test_launcher_memoizes_models(self):
+        launcher = Launcher()
+        assert launcher.model_for(RTX_3090) is launcher.model_for(RTX_3090)
+        assert isinstance(launcher.model_for(THREADRIPPER_2950X), CPUModel)
+
+
+class TestParallelSweep:
+    def test_partition_covers_grid_in_serial_order(self):
+        blocks = partition_blocks(REDUCED)
+        assert len(blocks) == 2 * 2  # algorithms x graphs
+        assert [(b.algorithm, b.graph_name) for b in blocks] == [
+            (Algorithm.BFS, "USA-road-d.NY"),
+            (Algorithm.BFS, "soc-LiveJournal1"),
+            (Algorithm.PR, "USA-road-d.NY"),
+            (Algorithm.PR, "soc-LiveJournal1"),
+        ]
+
+    def test_parallel_matches_serial(self):
+        serial = run_sweep(REDUCED)
+        parallel = run_sweep_parallel(REDUCED, workers=2)
+        assert run_signature(parallel) == run_signature(serial)
+
+    def test_workers_one_falls_back_to_serial(self):
+        serial = run_sweep(REDUCED)
+        fallback = run_sweep_parallel(REDUCED, workers=1)
+        assert run_signature(fallback) == run_signature(serial)
+
+    def test_run_block_is_the_serial_block_body(self):
+        block = partition_blocks(REDUCED)[0]
+        runs = run_block(block)
+        serial = run_sweep(block.config)
+        assert runs == serial.runs
+
+    def test_progress_reports_every_block(self):
+        seen = []
+        run_sweep_parallel(
+            REDUCED, workers=2,
+            progress=lambda done, total, block: seen.append((done, total)),
+        )
+        assert seen == [(1, 4), (2, 4), (3, 4), (4, 4)]
+
+    def test_custom_graphs_ship_to_workers(self):
+        graphs = {"custom": load_dataset("USA-road-d.NY", "tiny")}
+        config = SweepConfig(scale="tiny", algorithms=(Algorithm.BFS,))
+        serial = run_sweep(config, graphs=graphs)
+        parallel = run_sweep_parallel(config, workers=2, graphs=graphs)
+        assert run_signature(parallel) == run_signature(serial)
+
+    def test_resolve_workers(self, monkeypatch):
+        assert resolve_workers(3) == 3
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "5")
+        assert resolve_workers(None) == 5
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+
+
+class TestSelectIndices:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_sweep(REDUCED)
+
+    def test_matches_linear_scan(self, results):
+        filters = dict(
+            algorithms=[Algorithm.PR],
+            models=[Model.CUDA, Model.OPENMP],
+            devices=["RTX 3090", "Threadripper 2950X"],
+            graphs=["soc-LiveJournal1"],
+        )
+        for subset in (
+            {},
+            {"algorithms": filters["algorithms"]},
+            {"devices": filters["devices"]},
+            {"graphs": filters["graphs"], "models": filters["models"]},
+            filters,
+        ):
+            expected = [
+                r
+                for r in results.runs
+                if ("algorithms" not in subset or r.spec.algorithm in subset["algorithms"])
+                and ("models" not in subset or r.spec.model in subset["models"])
+                and ("devices" not in subset or r.device in subset["devices"])
+                and ("graphs" not in subset or r.graph in subset["graphs"])
+            ]
+            assert list(results.select(**subset)) == expected
+
+    def test_unknown_key_selects_nothing(self, results):
+        assert list(results.select(devices=["No Such Device"])) == []
+
+    def test_indices_survive_pickle_round_trip(self, results, tmp_path):
+        from repro.bench import save_results
+
+        path = save_results(results, tmp_path / "r.pkl", scale="tiny")
+        back = load_results(path, rebuild_graphs=False)
+        assert len(list(back.select(algorithms=[Algorithm.PR]))) == len(
+            list(results.select(algorithms=[Algorithm.PR]))
+        )
+
+
+class TestSweepCache:
+    CONFIG = SweepConfig(
+        scale="tiny",
+        algorithms=(Algorithm.BFS,),
+        graphs=("USA-road-d.NY",),
+    )
+
+    def test_round_trip_uses_cache(self, tmp_path):
+        calls = []
+
+        def runner(config):
+            calls.append(config)
+            return run_sweep(config)
+
+        first = cached_sweep(self.CONFIG, cache_dir=tmp_path, runner=runner)
+        second = cached_sweep(self.CONFIG, cache_dir=tmp_path, runner=runner)
+        assert len(calls) == 1  # second invocation loaded from disk
+        assert run_signature(second) == run_signature(first)
+        assert sweep_cache_path(self.CONFIG, tmp_path).exists()
+
+    def test_distinct_configs_get_distinct_keys(self):
+        other = SweepConfig(
+            scale="tiny", algorithms=(Algorithm.PR,), graphs=("USA-road-d.NY",)
+        )
+        assert sweep_cache_key(self.CONFIG) != sweep_cache_key(other)
+
+    def test_code_fingerprint_change_invalidates(self, tmp_path, monkeypatch):
+        calls = []
+
+        def runner(config):
+            calls.append(config)
+            return run_sweep(config)
+
+        cached_sweep(self.CONFIG, cache_dir=tmp_path, runner=runner)
+        # Simulate a simulator source edit: the fingerprint changes, the
+        # old entry no longer addresses this configuration.
+        from repro.bench import storage
+
+        monkeypatch.setattr(
+            storage, "code_fingerprint", lambda: "deadbeef" * 8
+        )
+        cached_sweep(self.CONFIG, cache_dir=tmp_path, runner=runner)
+        assert len(calls) == 2
+
+    def test_refresh_bypasses_but_rewrites(self, tmp_path):
+        calls = []
+
+        def runner(config):
+            calls.append(config)
+            return run_sweep(config)
+
+        cached_sweep(self.CONFIG, cache_dir=tmp_path, runner=runner)
+        cached_sweep(self.CONFIG, cache_dir=tmp_path, runner=runner, refresh=True)
+        assert len(calls) == 2
+        cached_sweep(self.CONFIG, cache_dir=tmp_path, runner=runner)
+        assert len(calls) == 2  # refreshed entry is warm again
+
+    def test_corrupt_entry_is_rebuilt(self, tmp_path):
+        path = sweep_cache_path(self.CONFIG, tmp_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(pickle.dumps({"nope": 1}))
+        results = cached_sweep(
+            self.CONFIG, cache_dir=tmp_path, runner=run_sweep
+        )
+        assert isinstance(results, StudyResults)
+        assert len(results) > 0
+        assert load_results(path).n_programs == results.n_programs
