@@ -11,8 +11,14 @@ from .analysis import (
 from .baselines import BASELINES, BaselineRun, baseline_style, baseline_trace
 from .boxen import LetterValues, letter_values
 from .comparison import SpeedupCell, baseline_speedups, best_style_spec, table6
+from .checkpoint import BlockOutcome, CheckpointStore
 from .convergence import ConvergenceRecord, collect_convergence, render_convergence
-from .export import combination_matrix_to_csv, figure_ratios_to_csv, sweep_to_csv
+from .export import (
+    combination_matrix_to_csv,
+    failure_manifest_to_csv,
+    figure_ratios_to_csv,
+    sweep_to_csv,
+)
 from .storage import (
     cached_sweep,
     code_fingerprint,
@@ -26,6 +32,8 @@ from .harness import StudyResults, SweepConfig, run_sweep, sweep_block_runs
 from .parallel import (
     SweepBlock,
     partition_blocks,
+    resolve_block_timeout,
+    resolve_workers,
     run_sweep_parallel,
     stderr_progress,
 )
@@ -39,9 +47,14 @@ __all__ = [
     "run_sweep_parallel",
     "sweep_block_runs",
     "SweepBlock",
+    "BlockOutcome",
+    "CheckpointStore",
     "partition_blocks",
+    "resolve_block_timeout",
+    "resolve_workers",
     "stderr_progress",
     "cached_sweep",
+    "failure_manifest_to_csv",
     "code_fingerprint",
     "sweep_cache_key",
     "sweep_cache_path",

@@ -1,0 +1,174 @@
+"""Resumable sweep checkpoints: stream finished blocks to disk.
+
+A multi-minute sweep that dies at block 29/30 — worker crash, OOM killer,
+Ctrl-C — should not re-execute the 28 finished blocks.  The supervisor
+streams every *healthy* block outcome into an append-only checkpoint
+directory under the sweep cache as soon as it completes; ``repro sweep
+--resume`` loads those entries, skips their blocks, and re-runs only what
+is missing (including previously quarantined blocks, which are
+deliberately *not* checkpointed).
+
+The store is keyed by the sweep's content address (configuration + scale
++ simulator source fingerprint), so an entry can never be resumed into a
+different sweep or survive a source edit.  Every entry is written
+atomically (``*.tmp`` then :func:`os.replace`) with an embedded SHA-256
+checksum; a truncated or tampered entry is detected on load, moved to a
+``quarantine/`` subdirectory with a warning, and its block simply re-runs
+— corruption costs one block, never the sweep.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import shutil
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..runtime.errors import CheckpointCorruptError, FailedRun
+from ..runtime.launcher import RunResult
+from . import faults
+
+__all__ = ["BlockOutcome", "CheckpointStore"]
+
+PathLike = Union[str, Path]
+BlockKey = Tuple[str, str]  #: (algorithm value, graph name)
+
+_MAGIC = "repro-sweep-checkpoint-v1"
+
+
+@dataclass
+class BlockOutcome:
+    """What one (algorithm, graph) block produced: its runs plus any
+    per-variant failure records."""
+
+    runs: List[RunResult] = field(default_factory=list)
+    failures: List[FailedRun] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        """True when the block executed (possibly with variant failures)
+        rather than being quarantined outright."""
+        return bool(self.runs) or not any(
+            f.stage == "block" for f in self.failures
+        )
+
+
+class CheckpointStore:
+    """Per-sweep directory of atomically-written, checksummed block
+    entries."""
+
+    def __init__(self, directory: PathLike):
+        self.directory = Path(directory)
+
+    @classmethod
+    def for_config(
+        cls, config, cache_dir: Optional[PathLike] = None
+    ) -> "CheckpointStore":
+        """The store for one sweep, under the sweep cache directory."""
+        from .storage import default_cache_dir, sweep_cache_key
+
+        base = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        return cls(base / "checkpoints" / sweep_cache_key(config))
+
+    # ------------------------------------------------------------------
+    def entry_path(self, index: int) -> Path:
+        return self.directory / f"block-{index:04d}.ckpt"
+
+    def save_block(
+        self, index: int, key: BlockKey, outcome: BlockOutcome
+    ) -> Path:
+        """Atomically persist one finished block (tmp + rename, checksummed)."""
+        body = pickle.dumps(
+            {
+                "magic": _MAGIC,
+                "index": index,
+                "key": tuple(key),
+                "runs": outcome.runs,
+                "failures": outcome.failures,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        blob = hashlib.sha256(body).hexdigest().encode("ascii") + b"\n" + body
+        path = self.entry_path(index)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+        tmp.write_bytes(blob)
+        os.replace(tmp, path)
+        faults.maybe_corrupt_checkpoint(path, key[0], key[1])
+        return path
+
+    def load(
+        self, expected: Optional[Dict[int, BlockKey]] = None
+    ) -> Dict[int, BlockOutcome]:
+        """All valid entries, by block index.
+
+        ``expected`` maps block index -> (algorithm, graph) of the sweep
+        being resumed; entries that do not match are ignored.  Corrupt
+        entries are quarantined with a stderr warning and skipped.
+        """
+        out: Dict[int, BlockOutcome] = {}
+        if not self.directory.is_dir():
+            return out
+        for path in sorted(self.directory.glob("block-*.ckpt")):
+            try:
+                entry = self._read_entry(path)
+            except CheckpointCorruptError as exc:
+                self._quarantine(path, exc)
+                continue
+            index = entry["index"]
+            key = tuple(entry["key"])
+            if expected is not None and expected.get(index) != key:
+                continue
+            out[index] = BlockOutcome(
+                runs=entry["runs"], failures=entry["failures"]
+            )
+        return out
+
+    def clear(self) -> None:
+        """Remove the whole store (quarantined entries included)."""
+        shutil.rmtree(self.directory, ignore_errors=True)
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("block-*.ckpt"))
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _read_entry(path: Path) -> dict:
+        blob = path.read_bytes()
+        checksum, sep, body = blob.partition(b"\n")
+        if not sep or len(checksum) != 64:
+            raise CheckpointCorruptError(f"{path.name}: missing checksum header")
+        if hashlib.sha256(body).hexdigest().encode("ascii") != checksum:
+            raise CheckpointCorruptError(
+                f"{path.name}: checksum mismatch (truncated or tampered entry)"
+            )
+        try:
+            entry = pickle.loads(body)
+        except Exception as exc:
+            raise CheckpointCorruptError(
+                f"{path.name}: cannot unpickle entry ({exc})"
+            ) from None
+        if not isinstance(entry, dict) or entry.get("magic") != _MAGIC:
+            raise CheckpointCorruptError(
+                f"{path.name}: not a sweep checkpoint entry"
+            )
+        return entry
+
+    def _quarantine(self, path: Path, reason: Exception) -> None:
+        quarantine = self.directory / "quarantine"
+        quarantine.mkdir(parents=True, exist_ok=True)
+        dest = quarantine / path.name
+        try:
+            os.replace(path, dest)
+        except OSError:
+            return
+        print(
+            f"warning: corrupt checkpoint entry quarantined to {dest}: {reason}",
+            file=sys.stderr,
+        )

@@ -18,7 +18,12 @@ from .harness import StudyResults
 from .ratios import ratios_by_algorithm
 from .report import FIGURE_AXES
 
-__all__ = ["sweep_to_csv", "figure_ratios_to_csv", "combination_matrix_to_csv"]
+__all__ = [
+    "sweep_to_csv",
+    "figure_ratios_to_csv",
+    "combination_matrix_to_csv",
+    "failure_manifest_to_csv",
+]
 
 
 def sweep_to_csv(results: StudyResults) -> str:
@@ -34,6 +39,23 @@ def sweep_to_csv(results: StudyResults) -> str:
             f"{run.graph},{run.device},{run.seconds:.6e},"
             f"{run.throughput_ges:.6f},{run.iterations},{run.launches},"
             f"{run.spec.label()}\n"
+        )
+    return buf.getvalue()
+
+
+def failure_manifest_to_csv(results: StudyResults) -> str:
+    """The failure manifest as CSV (empty data section when clean)."""
+    buf = io.StringIO()
+    buf.write(
+        "stage,error_class,algorithm,model,graph,device,style,attempts,"
+        "digest,message\n"
+    )
+    for f in results.failures:
+        message = f.message.replace('"', "'").replace("\n", " ")
+        buf.write(
+            f"{f.stage},{f.error_class.value},{f.algorithm},"
+            f"{f.model or ''},{f.graph},{f.device or ''},"
+            f"{f.spec_label or ''},{f.attempts},{f.digest},\"{message}\"\n"
         )
     return buf.getvalue()
 

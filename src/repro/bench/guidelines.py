@@ -49,6 +49,14 @@ def _median(values: np.ndarray) -> float:
     return float(np.median(values)) if values.size else float("nan")
 
 
+def _option(grouped: dict, key) -> np.ndarray:
+    """An option's throughputs, tolerating options missing entirely (a
+    sweep with quarantined blocks can lose a whole style's runs; the
+    guideline then reads nan and reports not-established instead of
+    crashing)."""
+    return grouped.get(key, np.empty(0))
+
+
 def derive_guidelines(results: StudyResults) -> List[Guideline]:
     """Re-derive the Section 5.16 guidelines from the sweep."""
     out: List[Guideline] = []
@@ -66,11 +74,11 @@ def derive_guidelines(results: StudyResults) -> List[Guideline]:
     warp_uni = throughputs_by_option(
         results, "granularity", models=[Model.CUDA], graphs=uniform
     )
-    rel_skew = _median(warp_skew[Granularity.WARP]) / _median(
-        warp_skew[Granularity.THREAD]
+    rel_skew = _median(_option(warp_skew, Granularity.WARP)) / _median(
+        _option(warp_skew, Granularity.THREAD)
     )
-    rel_uni = _median(warp_uni[Granularity.WARP]) / _median(
-        warp_uni[Granularity.THREAD]
+    rel_uni = _median(_option(warp_uni, Granularity.WARP)) / _median(
+        _option(warp_uni, Granularity.THREAD)
     )
     out.append(
         Guideline(
@@ -105,8 +113,8 @@ def derive_guidelines(results: StudyResults) -> List[Guideline]:
         results, "cpu_reduction",
         models=[Model.OPENMP, Model.CPP_THREADS],
     )
-    crit_penalty = _median(critical[CpuReduction.CLAUSE]) / _median(
-        critical[CpuReduction.CRITICAL]
+    crit_penalty = _median(_option(critical, CpuReduction.CLAUSE)) / _median(
+        _option(critical, CpuReduction.CRITICAL)
     )
     out.append(
         Guideline(

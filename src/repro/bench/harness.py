@@ -19,6 +19,7 @@ from ..graph.csr import CSRGraph
 from ..graph.datasets import load_all
 from ..machine.devices import CPUS, GPUS
 from ..machine.specs import CPUSpec, GPUSpec
+from ..runtime.errors import FailedRun
 from ..runtime.launcher import Launcher, RunResult
 from ..styles.axes import Algorithm, Model
 from ..styles.combos import enumerate_specs
@@ -54,6 +55,10 @@ class StudyResults:
 
     runs: List[RunResult] = field(default_factory=list)
     graphs: Dict[str, CSRGraph] = field(default_factory=dict)
+    #: Failure manifest: grid cells (or whole blocks) that produced no run,
+    #: with the error class and message behind each (see
+    #: :class:`repro.runtime.errors.FailedRun`).
+    failures: List[FailedRun] = field(default_factory=list)
     _index: Dict[Tuple[StyleSpec, str, str], RunResult] = field(
         default_factory=dict, repr=False
     )
@@ -135,10 +140,33 @@ class StudyResults:
         runs = self.runs
         return (runs[pos] for pos in positions)
 
+    def add_failure(self, failure: FailedRun) -> None:
+        self.failures.append(failure)
+
     @property
     def n_programs(self) -> int:
         """Distinct program variants that were run."""
         return len({run.spec for run in self.runs})
+
+    @property
+    def n_failures(self) -> int:
+        return len(self.failures)
+
+    def failure_summary(self, *, limit: int = 20) -> str:
+        """Human-readable failure manifest (for stderr after a sweep)."""
+        if not self.failures:
+            return "sweep failures: none"
+        by_class: Dict[str, int] = {}
+        for failure in self.failures:
+            key = failure.error_class.value
+            by_class[key] = by_class.get(key, 0) + 1
+        counts = ", ".join(f"{k}: {v}" for k, v in sorted(by_class.items()))
+        lines = [f"sweep failures: {len(self.failures)} ({counts})"]
+        for failure in self.failures[:limit]:
+            lines.append(f"  {failure.render()}")
+        if len(self.failures) > limit:
+            lines.append(f"  ... and {len(self.failures) - limit} more")
+        return "\n".join(lines)
 
     def __len__(self) -> int:
         return len(self.runs)
@@ -182,14 +210,37 @@ def sweep_block_runs(
     specs: Sequence[StyleSpec],
     graph: CSRGraph,
     devices: Sequence[DeviceSpec],
+    failures: Optional[List[FailedRun]] = None,
 ) -> Iterator[RunResult]:
     """Runs of one (specs, graph) block over its devices, batched.
 
     Each device times all mapping variants of each cached semantic trace in
     one pass; results are yielded in the study's canonical
     ``for spec: for device`` order.
+
+    With ``failures`` (a list to append to), a variant whose verification
+    or execution fails is recorded there as a :class:`FailedRun` per
+    affected (spec, device) cell and skipped, instead of aborting the
+    whole block.
     """
-    per_device = [launcher.run_batch(specs, graph, device) for device in devices]
+    per_device = []
+    for device in devices:
+        on_error = None
+        if failures is not None:
+            def on_error(spec, exc, _device=device):
+                failures.append(
+                    FailedRun.from_exception(
+                        exc,
+                        algorithm=spec.algorithm.value,
+                        graph=graph.name,
+                        spec_label=spec.label(),
+                        model=spec.model.value,
+                        device=_device.name,
+                    )
+                )
+        per_device.append(launcher.run_batch(specs, graph, device, on_error=on_error))
     for i in range(len(specs)):
         for batch in per_device:
-            yield batch[i]
+            run = batch[i]
+            if run is not None:
+                yield run

@@ -1,37 +1,62 @@
-"""Parallel sweep engine: (algorithm, graph) blocks over a process pool.
+"""Fault-tolerant parallel sweep engine: supervised (algorithm, graph)
+block workers.
 
 The sweep's natural work unit is one (algorithm, graph) *block*: all
 program variants of one algorithm on one input, across every model and
 device.  Blocks share nothing but the deterministic input graphs, so they
-fan out over a ``multiprocessing`` pool perfectly — each worker rebuilds
-its graph locally (graphs are deterministic to rebuild, the same property
+fan out over worker processes perfectly — each worker rebuilds its graph
+locally (graphs are deterministic to rebuild, the same property
 :mod:`repro.bench.storage` relies on), executes the block with the batched
 launcher, and ships only the compact :class:`RunResult` list back.
+
+Unlike a bare process pool, the engine *supervises* its workers:
+
+* a per-block timeout (``--block-timeout`` / ``$REPRO_BLOCK_TIMEOUT``)
+  kills hung workers instead of wedging the sweep;
+* failed, crashed, or timed-out blocks are retried with bounded
+  exponential backoff, then once more in the supervisor's own process
+  (the *serial fallback*, which distinguishes a worker-environment fault
+  — a killed process, a bad fork — from a genuine kernel bug);
+* blocks that still fail are quarantined into the failure manifest on
+  :class:`StudyResults` while every healthy block completes;
+* a variant that fails verification inside a block costs only its own
+  grid cells (recorded per (spec, device) in the manifest), never the
+  block;
+* every healthy block streams to an atomic, checksummed checkpoint
+  (:mod:`repro.bench.checkpoint`), so ``resume=True`` skips finished
+  blocks after a crash or Ctrl-C;
+* SIGINT and dead workers always tear the worker set down cleanly.
 
 The simulator is deterministic by design, so the parallel engine is
 *bit-identical* to the serial path: blocks are reassembled in the serial
 iteration order and every worker performs exactly the computations the
-serial sweep would.  ``workers=1`` (or a single block) falls back to the
-in-process serial sweep.
+serial sweep would.  ``workers=1`` (or a single block) executes the
+blocks in-process, in order.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.connection
 import os
 import sys
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..graph.csr import CSRGraph
 from ..graph.datasets import DATASETS, EXTRA_DATASETS, load_all
+from ..runtime.errors import ErrorClass, FailedRun, error_digest
 from ..runtime.launcher import Launcher, RunResult
 from ..styles.axes import Algorithm, Model
 from ..styles.combos import enumerate_specs
-from .harness import StudyResults, SweepConfig, run_sweep, sweep_block_runs
+from . import faults
+from .checkpoint import BlockOutcome, CheckpointStore
+from .harness import StudyResults, SweepConfig, sweep_block_runs
 
 __all__ = [
     "SweepBlock",
+    "BlockOutcome",
     "partition_blocks",
     "resolve_workers",
     "run_sweep_parallel",
@@ -40,6 +65,18 @@ __all__ = [
 
 #: Environment override for the default worker count.
 WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+#: Environment override for the per-block timeout (seconds, float).
+BLOCK_TIMEOUT_ENV = "REPRO_BLOCK_TIMEOUT"
+
+#: Default number of worker retries before the serial fallback.
+DEFAULT_MAX_RETRIES = 2
+
+#: First-retry backoff in seconds; doubles per retry.
+DEFAULT_RETRY_BACKOFF = 0.25
+
+#: Supervisor poll interval (seconds).
+_TICK = 0.05
 
 #: Called after each finished block: ``progress(done, total, block)``.
 ProgressFn = Callable[[int, int, "SweepBlock"], None]
@@ -76,6 +113,11 @@ class SweepBlock:
             graphs=(self.graph_name,),
             verify=self.verify,
         )
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """Stable (algorithm, graph) identity, used by the checkpoint."""
+        return (self.algorithm.value, self.graph_name)
 
 
 def partition_blocks(
@@ -122,8 +164,10 @@ def _build_block_graph(block: SweepBlock) -> CSRGraph:
 def run_block(block: SweepBlock) -> List[RunResult]:
     """Execute one block in the current process and return its runs.
 
-    This is the pool's worker function; it is also the exact per-block body
-    of the serial sweep, which is what makes the two paths bit-identical.
+    This is the exact per-block body of the serial sweep (which is what
+    makes the two paths bit-identical); any failure propagates.  The
+    supervised engine goes through :func:`run_block_outcome` instead, which
+    captures per-variant failures and honours the fault-injection plan.
     """
     graph = _build_block_graph(block)
     launcher = Launcher(verify=block.verify)
@@ -138,10 +182,42 @@ def run_block(block: SweepBlock) -> List[RunResult]:
     return runs
 
 
-def resolve_workers(workers: Optional[int]) -> int:
-    """Worker count: explicit argument, else $REPRO_SWEEP_WORKERS, else all
-    cores."""
+def run_block_outcome(block: SweepBlock, attempt: int = 0) -> BlockOutcome:
+    """Execute one block, capturing per-variant failures.
+
+    A variant whose verification or execution fails becomes a
+    :class:`FailedRun` in the outcome; the rest of the block still runs.
+    Whole-block failures (including injected ones) propagate to the
+    supervisor, which owns the retry policy.
+    """
+    faults.inject_block_fault(block.algorithm.value, block.graph_name, attempt)
+    graph = _build_block_graph(block)
+    launcher = Launcher(verify=block.verify)
+    faults.apply_verify_faults(launcher, block, attempt)
+    config = block.config
+    outcome = BlockOutcome()
+    for model in block.models:
+        specs = enumerate_specs(block.algorithm, model)
+        outcome.runs.extend(
+            sweep_block_runs(
+                launcher, specs, graph, config.devices_for(model),
+                failures=outcome.failures,
+            )
+        )
+    launcher.release(graph, block.algorithm)
+    return outcome
+
+
+def resolve_workers(
+    workers: Optional[int], n_blocks: Optional[int] = None
+) -> int:
+    """Worker count: explicit argument, else ``$REPRO_SWEEP_WORKERS``, else
+    all cores capped by the number of blocks (spawning 32 workers for a
+    3-block sweep helps nobody)."""
     if workers is None:
+        default = os.cpu_count() or 1
+        if n_blocks is not None:
+            default = max(1, min(default, n_blocks))
         env = os.environ.get(WORKERS_ENV)
         if env:
             try:
@@ -151,10 +227,28 @@ def resolve_workers(workers: Optional[int]) -> int:
                     f"${WORKERS_ENV} must be a positive integer, got {env!r}"
                 ) from None
         else:
-            workers = os.cpu_count() or 1
+            workers = default
     if workers < 1:
         raise ValueError("workers must be >= 1")
     return workers
+
+
+def resolve_block_timeout(block_timeout: Optional[float]) -> Optional[float]:
+    """Per-block timeout: explicit argument, else ``$REPRO_BLOCK_TIMEOUT``,
+    else none."""
+    if block_timeout is None:
+        env = os.environ.get(BLOCK_TIMEOUT_ENV)
+        if env:
+            try:
+                block_timeout = float(env)
+            except ValueError:
+                raise ValueError(
+                    f"${BLOCK_TIMEOUT_ENV} must be a number of seconds, "
+                    f"got {env!r}"
+                ) from None
+    if block_timeout is not None and block_timeout <= 0:
+        raise ValueError("block timeout must be positive")
+    return block_timeout
 
 
 def stderr_progress(done: int, total: int, block: SweepBlock) -> None:
@@ -166,23 +260,238 @@ def stderr_progress(done: int, total: int, block: SweepBlock) -> None:
     )
 
 
+# ----------------------------------------------------------------------
+# Worker supervision
+# ----------------------------------------------------------------------
+def _worker_main(conn, block: SweepBlock, attempt: int) -> None:
+    """Entry point of one supervised worker process."""
+    os.environ[faults.WORKER_ENV] = "1"
+    try:
+        outcome = run_block_outcome(block, attempt)
+    except BaseException as exc:  # report, then die; supervisor retries
+        try:
+            conn.send(
+                ("error", _classify_name(exc), f"{type(exc).__name__}: {exc}")
+            )
+            conn.close()
+        except Exception:
+            pass
+        os._exit(1)
+    try:
+        conn.send(("ok", outcome))
+        conn.close()
+    except Exception:
+        os._exit(1)
+
+
+def _classify_name(exc: BaseException) -> str:
+    from ..runtime.errors import classify_error
+
+    return classify_error(exc).value
+
+
+@dataclass
+class _Supervised:
+    """Book-keeping of one block while the supervisor owns it."""
+
+    index: int
+    block: SweepBlock
+    attempt: int = 0
+    process: Optional[multiprocessing.process.BaseProcess] = None
+    conn: Optional[object] = None
+    deadline: Optional[float] = None
+    ready_at: float = 0.0
+    message: Optional[tuple] = None
+
+
+class _Supervisor:
+    """Runs blocks in supervised worker processes with retry, timeout,
+    serial fallback, and quarantine."""
+
+    def __init__(
+        self,
+        *,
+        workers: int,
+        block_timeout: Optional[float],
+        max_retries: int,
+        retry_backoff: float,
+        on_block_done: Callable[[int, BlockOutcome], None],
+    ):
+        self.workers = workers
+        self.block_timeout = block_timeout
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.on_block_done = on_block_done
+        self.ctx = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+
+    def run(self, tasks: List[_Supervised]) -> None:
+        queue: List[_Supervised] = list(tasks)
+        running: List[_Supervised] = []
+        try:
+            while queue or running:
+                now = time.monotonic()
+                for task in list(queue):
+                    if len(running) >= self.workers:
+                        break
+                    if task.ready_at <= now:
+                        queue.remove(task)
+                        self._start(task)
+                        running.append(task)
+                if not running:
+                    time.sleep(_TICK)
+                    continue
+                ready = multiprocessing.connection.wait(
+                    [t.conn for t in running], timeout=_TICK
+                )
+                now = time.monotonic()
+                finished: List[Tuple[_Supervised, bool]] = []
+                for task in running:
+                    if task.conn in ready:
+                        try:
+                            task.message = task.conn.recv()
+                        except (EOFError, OSError):
+                            task.message = None  # died before reporting
+                        finished.append((task, False))
+                    elif task.deadline is not None and now >= task.deadline:
+                        task.message = (
+                            "error",
+                            ErrorClass.TIMEOUT.value,
+                            f"block exceeded the {self.block_timeout:g}s "
+                            f"per-block timeout",
+                        )
+                        finished.append((task, True))
+                for task, timed_out in finished:
+                    running.remove(task)
+                    self._reap(task, kill=timed_out)
+                    self._handle(task, queue)
+        except BaseException:
+            # SIGINT, a supervisor bug, anything: never leak workers.
+            for task in running:
+                self._reap(task, kill=True)
+            raise
+
+    # ------------------------------------------------------------------
+    def _start(self, task: _Supervised) -> None:
+        recv_conn, send_conn = self.ctx.Pipe(duplex=False)
+        task.process = self.ctx.Process(
+            target=_worker_main,
+            args=(send_conn, task.block, task.attempt),
+            daemon=True,
+        )
+        task.process.start()
+        # Close the parent's copy of the send end so a dead worker reads
+        # as EOF instead of a wait that never returns.
+        send_conn.close()
+        task.conn = recv_conn
+        task.message = None
+        task.deadline = (
+            None
+            if self.block_timeout is None
+            else time.monotonic() + self.block_timeout
+        )
+
+    def _reap(self, task: _Supervised, *, kill: bool) -> None:
+        process = task.process
+        if process is not None:
+            if kill and process.is_alive():
+                process.terminate()
+            process.join(timeout=5)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=5)
+        if task.conn is not None:
+            task.conn.close()
+        task.conn = None
+
+    def _handle(self, task: _Supervised, queue: List[_Supervised]) -> None:
+        message = task.message
+        if message is not None and message[0] == "ok":
+            self.on_block_done(task.index, message[1])
+            return
+        if message is None:
+            exitcode = task.process.exitcode if task.process else None
+            error_class = ErrorClass.CRASH
+            detail = f"worker process died (exit code {exitcode})"
+        else:
+            error_class = ErrorClass(message[1])
+            detail = message[2]
+        if task.attempt < self.max_retries:
+            task.attempt += 1
+            task.ready_at = (
+                time.monotonic()
+                + self.retry_backoff * (2 ** (task.attempt - 1))
+            )
+            task.process = None
+            task.message = None
+            queue.append(task)
+            return
+        attempts = task.attempt + 1
+        if error_class is not ErrorClass.TIMEOUT:
+            # Serial fallback: run the block once in this process.  A
+            # worker-environment fault (killed process, broken fork) will
+            # succeed here; a genuine kernel bug will fail again.
+            try:
+                outcome = run_block_outcome(task.block, attempt=attempts)
+            except Exception as exc:
+                error_class = ErrorClass(_classify_name(exc))
+                detail = f"{type(exc).__name__}: {exc}"
+                attempts += 1
+            else:
+                self.on_block_done(task.index, outcome)
+                return
+        # Quarantine: the block is recorded as failed; the sweep goes on.
+        failure = FailedRun(
+            algorithm=task.block.algorithm.value,
+            graph=task.block.graph_name,
+            error_class=error_class,
+            message=detail,
+            digest=error_digest(error_class, detail),
+            stage="block",
+            attempts=attempts,
+        )
+        self.on_block_done(task.index, BlockOutcome(failures=[failure]))
+
+
+# ----------------------------------------------------------------------
 def run_sweep_parallel(
     config: SweepConfig = SweepConfig(),
     *,
     workers: Optional[int] = None,
-    chunksize: int = 1,
+    chunksize: int = 1,  # kept for API compatibility; no longer used
     progress: Optional[ProgressFn] = None,
     graphs: Optional[Dict[str, CSRGraph]] = None,
+    block_timeout: Optional[float] = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+    resume: bool = False,
+    checkpoint_dir: Optional[str] = None,
 ) -> StudyResults:
-    """Run the configured sweep across a process pool.
+    """Run the configured sweep across supervised worker processes.
 
-    Bit-identical to :func:`repro.bench.run_sweep`: same runs, same order,
-    same floats.  ``workers=None`` uses ``$REPRO_SWEEP_WORKERS`` or the
-    machine's core count; ``workers=1`` (or a single block) runs serially
-    in-process.  ``chunksize`` batches blocks per pool dispatch for very
-    fine-grained sweeps.
+    Bit-identical to :func:`repro.bench.run_sweep` on healthy blocks: same
+    runs, same order, same floats.  Failures — a bad variant, a crashed or
+    hung worker, a corrupted checkpoint entry — are captured into the
+    result's failure manifest instead of aborting the sweep; see the
+    module docstring for the supervision policy.
+
+    ``workers=None`` uses ``$REPRO_SWEEP_WORKERS`` or the machine's core
+    count capped by the block count; ``workers=1`` (or a single block)
+    runs the blocks serially in-process.  ``block_timeout=None`` reads
+    ``$REPRO_BLOCK_TIMEOUT`` (no timeout if unset).  Healthy blocks are
+    checkpointed as they finish (registry inputs only — custom ``graphs``
+    cannot be rebuilt on resume); ``resume=True`` skips blocks already
+    checkpointed by an interrupted identical sweep.  The checkpoint is
+    removed after a fully clean sweep and kept otherwise, so a follow-up
+    ``resume=True`` retries exactly the quarantined blocks.
     """
-    workers = resolve_workers(workers)
+    del chunksize  # block dispatch is per-process now
+    block_timeout = resolve_block_timeout(block_timeout)
+    if max_retries < 0:
+        raise ValueError("max_retries must be >= 0")
     if graphs is None:
         all_graphs = load_all(config.scale)
         graphs_for_results = (
@@ -191,33 +500,98 @@ def run_sweep_parallel(
             else {name: all_graphs[name] for name in config.graphs}
         )
         blocks = partition_blocks(config)
+        store: Optional[CheckpointStore] = CheckpointStore.for_config(
+            config, checkpoint_dir
+        )
     else:
         graphs_for_results = dict(graphs)
         blocks = partition_blocks(config, graphs_for_results)
+        store = None  # custom graphs cannot be rebuilt on resume
+    workers = resolve_workers(workers, len(blocks))
+    total = len(blocks)
 
-    if workers == 1 or len(blocks) <= 1:
-        results = run_sweep(config, graphs=graphs_for_results)
+    outcomes: Dict[int, BlockOutcome] = {}
+    if store is not None:
+        if resume:
+            expected = {i: b.key for i, b in enumerate(blocks)}
+            outcomes.update(store.load(expected))
+        else:
+            store.clear()
+
+    done_count = len(outcomes)
+    if progress is not None:
+        for done, index in enumerate(sorted(outcomes), start=1):
+            progress(done, total, blocks[index])
+
+    def record(index: int, outcome: BlockOutcome) -> None:
+        nonlocal done_count
+        outcomes[index] = outcome
+        # Quarantined blocks are deliberately not checkpointed: a resumed
+        # sweep should retry them, not inherit their failure.
+        if store is not None and outcome.healthy:
+            store.save_block(index, blocks[index].key, outcome)
+        done_count += 1
         if progress is not None:
-            total = max(len(blocks), 1)
-            for done, block in enumerate(blocks, start=1):
-                progress(done, total, block)
-        return results
+            progress(done_count, total, blocks[index])
+
+    todo = [i for i in range(total) if i not in outcomes]
+    if todo:
+        if workers == 1 or len(todo) == 1:
+            _run_blocks_inprocess(blocks, todo, record)
+        else:
+            supervisor = _Supervisor(
+                workers=workers,
+                block_timeout=block_timeout,
+                max_retries=max_retries,
+                retry_backoff=retry_backoff,
+                on_block_done=record,
+            )
+            supervisor.run([_Supervised(i, blocks[i]) for i in todo])
 
     results = StudyResults(graphs=graphs_for_results)
-    ctx = multiprocessing.get_context(
-        "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
-    )
-    total = len(blocks)
-    with ctx.Pool(processes=min(workers, total)) as pool:
-        # imap preserves submission order, so results assemble in the
-        # serial sweep's (algorithm, graph) order no matter which worker
-        # finishes first.
-        for done, (block, runs) in enumerate(
-            zip(blocks, pool.imap(run_block, blocks, chunksize=max(1, chunksize))),
-            start=1,
-        ):
-            for run in runs:
-                results.add(run)
-            if progress is not None:
-                progress(done, total, block)
+    clean = True
+    for index in range(total):
+        outcome = outcomes.get(index)
+        if outcome is None:  # only possible if a callback misbehaved
+            clean = False
+            continue
+        for run in outcome.runs:
+            results.add(run)
+        for failure in outcome.failures:
+            results.add_failure(failure)
+        clean = clean and not outcome.failures
+    if store is not None and clean:
+        store.clear()
     return results
+
+
+def _run_blocks_inprocess(
+    blocks: List[SweepBlock],
+    todo: List[int],
+    record: Callable[[int, BlockOutcome], None],
+) -> None:
+    """The serial engine: same blocks, same order, no worker processes.
+
+    Timeouts and crash recovery need process isolation and do not apply;
+    a block that raises is quarantined directly.
+    """
+    for index in todo:
+        block = blocks[index]
+        try:
+            outcome = run_block_outcome(block)
+        except Exception as exc:
+            error_class = ErrorClass(_classify_name(exc))
+            detail = f"{type(exc).__name__}: {exc}"
+            outcome = BlockOutcome(
+                failures=[
+                    FailedRun(
+                        algorithm=block.algorithm.value,
+                        graph=block.graph_name,
+                        error_class=error_class,
+                        message=detail,
+                        digest=error_digest(error_class, detail),
+                        stage="block",
+                    )
+                ]
+            )
+        record(index, outcome)

@@ -22,6 +22,7 @@ import hashlib
 import json
 import os
 import pickle
+import sys
 from pathlib import Path
 from typing import Callable, Optional, Union
 
@@ -42,6 +43,12 @@ PathLike = Union[str, Path]
 
 _MAGIC = "repro-study-results-v1"
 
+#: Current on-disk format: a text header line with the format name and a
+#: SHA-256 checksum of the pickled payload, then the payload itself.  A
+#: truncated or bit-flipped file fails the checksum with a clear error
+#: instead of a pickle traceback (or, worse, silently wrong data).
+_MAGIC_V2 = b"repro-study-results-v2"
+
 #: Environment override for the sweep-cache directory.
 CACHE_DIR_ENV = "REPRO_SWEEP_CACHE"
 
@@ -59,9 +66,15 @@ def save_results(
         "scale": scale,
         "graph_names": list(results.graphs),
         "runs": results.runs,
+        "failures": results.failures,
     }
-    with open(path, "wb") as fh:
-        pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    header = _MAGIC_V2 + b" " + hashlib.sha256(body).hexdigest().encode("ascii")
+    # tmp + rename: a crash mid-write leaves the old file (or nothing),
+    # never a truncated one under the real name.
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    tmp.write_bytes(header + b"\n" + body)
+    os.replace(tmp, path)
     return path
 
 
@@ -76,13 +89,30 @@ def load_results(
     need the graphs supplied manually.
     """
     path = Path(path)
-    with open(path, "rb") as fh:
-        payload = pickle.load(fh)
+    blob = path.read_bytes()
+    if blob.startswith(_MAGIC_V2):
+        header, sep, body = blob.partition(b"\n")
+        checksum = header.split(b" ", 1)[1] if b" " in header else b""
+        if not sep or hashlib.sha256(body).hexdigest().encode("ascii") != checksum:
+            raise ValueError(
+                f"{path} is truncated or corrupt (checksum mismatch)"
+            )
+        payload = pickle.loads(body)
+    else:
+        # Legacy v1 entries: a bare pickle, no integrity check.
+        try:
+            payload = pickle.loads(blob)
+        except Exception as exc:
+            raise ValueError(
+                f"{path} is not a saved repro study result ({exc})"
+            ) from None
     if not isinstance(payload, dict) or payload.get("magic") != _MAGIC:
         raise ValueError(f"{path} is not a saved repro study result")
     results = StudyResults()
     for run in payload["runs"]:
         results.add(run)
+    for failure in payload.get("failures", ()):
+        results.add_failure(failure)
     if rebuild_graphs:
         scale = payload["scale"]
         registry = {**DATASETS, **EXTRA_DATASETS}
@@ -177,16 +207,37 @@ def cached_sweep(
     if not refresh and path.exists():
         try:
             return load_results(path)
-        except Exception:
-            pass  # unreadable/stale entry: fall through and rebuild it
+        except (ValueError, OSError, pickle.PickleError, EOFError) as exc:
+            # Unreadable or corrupt entry: quarantine it (never silently
+            # discard — the file is evidence) and rebuild.
+            _quarantine_cache_entry(path, exc)
     if runner is None:
         from .parallel import run_sweep_parallel
 
         results = run_sweep_parallel(config, workers=workers)
     else:
         results = runner(config)
+    # A sweep with quarantined blocks is incomplete for reasons that may
+    # be transient (a killed worker, a timeout under load); caching it
+    # would pin the gap.  Per-variant failures are deterministic kernel
+    # bugs and cache fine.
+    if any(f.stage == "block" for f in results.failures):
+        return results
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
-    save_results(results, tmp, scale=config.scale)
-    os.replace(tmp, path)
+    save_results(results, path, scale=config.scale)
     return results
+
+
+def _quarantine_cache_entry(path: Path, reason: Exception) -> None:
+    """Move an unreadable cache file into a ``quarantine/`` sibling dir."""
+    quarantine = path.parent / "quarantine"
+    dest = quarantine / path.name
+    try:
+        quarantine.mkdir(parents=True, exist_ok=True)
+        os.replace(path, dest)
+    except OSError:
+        return  # cannot move it; the rebuild below overwrites it anyway
+    print(
+        f"warning: unreadable sweep-cache entry moved to {dest}: {reason}",
+        file=sys.stderr,
+    )

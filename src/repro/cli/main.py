@@ -129,6 +129,21 @@ def _add_workers_flag(sub) -> None:
         help="worker processes for the sweep "
              "(default: $REPRO_SWEEP_WORKERS or all cores; 1 = serial)",
     )
+    sub.add_argument(
+        "--block-timeout", type=float, default=None, metavar="SECONDS",
+        help="kill and retry any (algorithm, graph) block that runs longer "
+             "than this (default: $REPRO_BLOCK_TIMEOUT, else no timeout)",
+    )
+    sub.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="worker retries per failed block before the in-process "
+             "fallback and quarantine (default: 2)",
+    )
+    sub.add_argument(
+        "--resume", action="store_true",
+        help="skip blocks already checkpointed by an interrupted run of "
+             "the identical sweep",
+    )
 
 
 def _add_results_flags(sub) -> None:
@@ -200,6 +215,25 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _supervision_kwargs(args) -> dict:
+    """The supervision options every sweep-running command shares."""
+    kwargs = dict(
+        workers=args.workers,
+        block_timeout=args.block_timeout,
+        resume=args.resume,
+    )
+    if args.max_retries is not None:
+        kwargs["max_retries"] = args.max_retries
+    return kwargs
+
+
+def _report_failures(results) -> None:
+    """Print the failure manifest summary to stderr (never stdout — the
+    CSV/tables there must stay machine-readable)."""
+    if results.failures:
+        print(results.failure_summary(), file=sys.stderr)
+
+
 def _cmd_sweep(args) -> int:
     from ..bench.harness import SweepConfig
     from ..bench.parallel import run_sweep_parallel, stderr_progress
@@ -210,7 +244,7 @@ def _cmd_sweep(args) -> int:
         algorithms=(Algorithm(args.algorithm),) if args.algorithm else tuple(Algorithm),
     )
     results = run_sweep_parallel(
-        config, workers=args.workers, progress=stderr_progress
+        config, progress=stderr_progress, **_supervision_kwargs(args)
     )
     print("model,algorithm,variant,graph,device,seconds,throughput_ges,iterations")
     for run in results.runs:
@@ -219,6 +253,7 @@ def _cmd_sweep(args) -> int:
             f"{run.spec.label()},{run.graph},{run.device},"
             f"{run.seconds:.6e},{run.throughput_ges:.6f},{run.iterations}"
         )
+    _report_failures(results)
     return 0
 
 
@@ -241,19 +276,22 @@ def _sweep_for_reports(args):
 
     def run(cfg):
         return run_sweep_parallel(
-            cfg, workers=args.workers, progress=stderr_progress
+            cfg, progress=stderr_progress, **_supervision_kwargs(args)
         )
 
     if args.results:
         path = Path(args.results)
         if path.exists():
-            return load_results(path)
+            results = load_results(path)
+        else:
+            results = run(config)
+            save_results(results, path, scale=args.scale)
+    elif args.no_cache:
         results = run(config)
-        save_results(results, path, scale=args.scale)
-        return results
-    if args.no_cache:
-        return run(config)
-    return cached_sweep(config, runner=run)
+    else:
+        results = cached_sweep(config, runner=run)
+    _report_failures(results)
+    return results
 
 
 def _cmd_table(args) -> int:
@@ -437,12 +475,22 @@ _COMMANDS = {
 
 
 def main(argv: Optional[list] = None) -> int:
+    from concurrent.futures.process import BrokenProcessPool
+
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenProcessPool:
+        print(
+            "error: a sweep worker process died unexpectedly (out of "
+            "memory, or killed); re-run with fewer --workers, or "
+            "--workers 1 to run serially",
+            file=sys.stderr,
+        )
+        return 1
     except BrokenPipeError:
         # Downstream pipe (e.g. `| head`) closed early: exit quietly.
         import os

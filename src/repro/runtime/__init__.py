@@ -1,6 +1,16 @@
 """Runtime: launching styled programs on simulated devices, with
 verification against serial references."""
 
+from .errors import (
+    BlockTimeoutError,
+    CheckpointCorruptError,
+    ErrorClass,
+    FailedRun,
+    SweepError,
+    WorkerCrashError,
+    classify_error,
+    error_digest,
+)
 from .launcher import Launcher, RunResult
 from .verify import VerificationError, reference_solution, verify_result
 
@@ -10,4 +20,12 @@ __all__ = [
     "VerificationError",
     "reference_solution",
     "verify_result",
+    "ErrorClass",
+    "FailedRun",
+    "SweepError",
+    "BlockTimeoutError",
+    "WorkerCrashError",
+    "CheckpointCorruptError",
+    "classify_error",
+    "error_digest",
 ]

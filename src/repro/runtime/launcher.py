@@ -11,7 +11,7 @@ everything else held fixed" discipline of Section 5.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -101,14 +101,25 @@ class Launcher:
         return self._result(spec, graph, device, result, seconds)
 
     def run_batch(
-        self, specs: Sequence[StyleSpec], graph: CSRGraph, device: DeviceSpec
-    ) -> List[RunResult]:
+        self,
+        specs: Sequence[StyleSpec],
+        graph: CSRGraph,
+        device: DeviceSpec,
+        *,
+        on_error: Optional[Callable[[StyleSpec, Exception], None]] = None,
+    ) -> List[Optional[RunResult]]:
         """Run many program variants on one device and one input.
 
         Equivalent to calling :meth:`run` per spec (bit-identical results),
         but each distinct semantic trace is fetched once and all of its
         mapping variants are timed in a single batched pass
         (:meth:`GPUModel.time_trace_batch` / :meth:`CPUModel.time_trace_batch`).
+
+        Without ``on_error`` any failure (a :class:`VerificationError`, a
+        kernel exception) propagates, as :meth:`run`'s would.  With it, the
+        failing semantic group is reported — ``on_error(spec, exc)`` per
+        affected spec — its result slots are left ``None``, and the rest of
+        the batch still runs: one bad variant costs its cells, not the sweep.
         """
         specs = list(specs)
         model = self.model_for(device)
@@ -119,11 +130,19 @@ class Launcher:
             groups.setdefault(spec.semantic_key(), []).append(i)
         out: List[Optional[RunResult]] = [None] * len(specs)
         for indices in groups.values():
-            result = self.execute_semantic(specs[indices[0]], graph)
             batch = [specs[i] for i in indices]
-            for i, seconds in zip(indices, model.time_trace_batch(result.trace, batch)):
+            try:
+                result = self.execute_semantic(specs[indices[0]], graph)
+                times = model.time_trace_batch(result.trace, batch)
+            except Exception as exc:
+                if on_error is None:
+                    raise
+                for i in indices:
+                    on_error(specs[i], exc)
+                continue
+            for i, seconds in zip(indices, times):
                 out[i] = self._result(specs[i], graph, device, result, seconds)
-        return out  # type: ignore[return-value]
+        return out
 
     def model_for(self, device: DeviceSpec) -> Union[GPUModel, CPUModel]:
         """The (memoized) timing model of one device."""

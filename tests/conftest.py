@@ -1,0 +1,38 @@
+"""Suite-wide fixtures.
+
+The fault-injection tests exercise hang detection and worker supervision;
+if one of those paths regresses, the test itself could hang.  Every test
+marked ``faults`` therefore runs under a hard SIGALRM deadline so a
+regression fails loudly instead of wedging the suite.
+"""
+
+import signal
+
+import pytest
+
+#: Hard per-test deadline for ``@pytest.mark.faults`` tests, in seconds —
+#: generous next to their sub-second fault schedules, tiny next to a hang.
+FAULT_TEST_TIMEOUT = 120
+
+
+@pytest.fixture(autouse=True)
+def _fault_test_deadline(request):
+    if request.node.get_closest_marker("faults") is None or not hasattr(
+        signal, "SIGALRM"
+    ):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"fault test exceeded the {FAULT_TEST_TIMEOUT}s deadline — "
+            "hang detection is likely broken"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(FAULT_TEST_TIMEOUT)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
