@@ -1,0 +1,41 @@
+"""Correctness tooling for the generated suite and the simulator.
+
+The paper's methodology rests on two properties that nothing else in the
+pipeline checks end to end:
+
+1. every generated program actually *exhibits* the style combination its
+   :class:`~repro.styles.spec.StyleSpec` declares (Tables 2/3), and
+2. every simulated execution respects the invariants the styles imply —
+   in particular that the read-write (racy) styles stay benign in the
+   Section 2.5 sense.
+
+This subpackage provides both audits on one shared findings model:
+
+* :mod:`repro.analysis.conformance` — a static style-conformance linter
+  over the emitted CUDA / OpenMP / C++ sources plus a manifest
+  cross-check against the style enumeration;
+* :mod:`repro.analysis.sanitizer` — a dynamic trace sanitizer that
+  validates :class:`~repro.machine.trace.ExecutionTrace` /
+  :class:`~repro.machine.trace.IterationProfile` invariants after a run
+  (optionally on every launch via ``$REPRO_SANITIZE``).
+
+Both are wired into the CLI as ``python -m repro analyze``.
+"""
+
+from .findings import Finding, Report, Severity, rule_catalog
+from .conformance import lint_source, lint_suite, spec_from_label
+from .sanitizer import SanitizerError, assert_sane, sanitize_result, sanitize_trace
+
+__all__ = [
+    "Finding",
+    "Report",
+    "Severity",
+    "rule_catalog",
+    "lint_source",
+    "lint_suite",
+    "spec_from_label",
+    "SanitizerError",
+    "assert_sane",
+    "sanitize_result",
+    "sanitize_trace",
+]

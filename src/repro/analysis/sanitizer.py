@@ -1,0 +1,236 @@
+"""Dynamic trace sanitizer: style invariants over execution traces.
+
+The styled kernels *execute* their algorithm and record an
+:class:`~repro.machine.trace.IterationProfile` per launch; everything the
+machine models later time flows through those profiles.  This module
+checks, after a run, that a trace is consistent with the semantic style
+that produced it — the ThreadSanitizer discipline transplanted onto the
+simulator:
+
+* RMW (atomic) styles must record an atomic-address conflict histogram on
+  their push steps, and read-write styles must not;
+* the wave-granular write-write conflicts that read-write push styles
+  perform on *plain* stores are detected and asserted benign — the run
+  must still have converged to the verified fixed point (the Section 2.5
+  resolution the simulator commits to);
+* plain-store conflict statistics must never appear under an RMW style;
+* a data-driven pass's worklist push count must balance the next pass's
+  item count, and a converged run's final pass must push nothing;
+* per-item cost vectors must be non-negative with ``inner`` lengths
+  matching item counts;
+* deterministic styles must show their double-buffer refresh launches,
+  non-deterministic ones must not.
+
+:func:`sanitize_trace` returns a :class:`~repro.analysis.findings.Report`;
+:func:`assert_sane` raises :class:`SanitizerError` instead, which is what
+:class:`~repro.runtime.launcher.Launcher` calls when ``$REPRO_SANITIZE``
+is set.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+from ..machine.trace import ExecutionTrace, IterationProfile
+from ..styles.axes import Algorithm, Determinism, Flow, Update
+from ..styles.spec import SemanticKey, StyleSpec
+from .findings import Finding, Report
+
+__all__ = ["SanitizerError", "sanitize_trace", "sanitize_result", "assert_sane"]
+
+#: Algorithms that run the shared relaxation engine (their step profiles
+#: are labelled ``relax-*``).
+RELAX_ALGORITHMS = frozenset({Algorithm.BFS, Algorithm.SSSP, Algorithm.CC})
+
+#: IterationProfile fields that must never be negative.
+_COUNT_FIELDS: Tuple[str, ...] = (
+    "base_cycles",
+    "inner_cycles",
+    "struct_loads_base",
+    "struct_loads_inner",
+    "shared_loads_base",
+    "shared_loads_inner",
+    "shared_stores_base",
+    "shared_stores_inner",
+    "atomics_base",
+    "atomics_inner",
+    "conflict_extra",
+    "max_conflict",
+    "store_conflict_extra",
+    "store_max_conflict",
+    "hot_atomics",
+    "reduction_items",
+    "barriers_per_item",
+)
+
+Style = Union[StyleSpec, SemanticKey]
+
+
+class SanitizerError(RuntimeError):
+    """A trace violated a style invariant; carries the full report."""
+
+    def __init__(self, report: Report):
+        self.report = report
+        super().__init__(report.render_text())
+
+
+def _style_label(style: Style) -> str:
+    if isinstance(style, StyleSpec):
+        return style.label()
+    parts = [style.algorithm.value]
+    for axis in ("iteration", "driver", "dup", "flow", "update", "determinism"):
+        value = getattr(style, axis)
+        if value is not None:
+            parts.append(value.value)
+    return "-".join(parts)
+
+
+def sanitize_trace(style: Style, trace: ExecutionTrace) -> Report:
+    """Check one execution trace against its semantic style; returns the
+    findings report (``report.ok`` when every invariant holds)."""
+    label = _style_label(style)
+    report = Report(title=f"sanitize {label}")
+    report.checked = trace.n_launches
+    alg = style.algorithm
+    relax = alg in RELAX_ALGORITHMS
+    deterministic = style.determinism is Determinism.DETERMINISTIC
+
+    wl_passes: List[Tuple[int, IterationProfile]] = []
+    store_conflicts = 0.0
+    for i, p in enumerate(trace.profiles):
+        locus = f"launch {i} ({p.label})"
+
+        negative = [name for name in _COUNT_FIELDS if getattr(p, name) < 0]
+        if p.n_items < 0:
+            negative.append("n_items")
+        if p.wl_pushes < -1:
+            negative.append("wl_pushes")
+        if p.inner is not None and p.inner.size and int(p.inner.min()) < 0:
+            negative.append("inner")
+        if negative:
+            report.add(
+                Finding.of(
+                    "SAN-NEG", spec=label, locus=locus,
+                    message="negative count field(s): " + ", ".join(negative),
+                )
+            )
+
+        if p.inner is not None and p.inner.shape != (p.n_items,):
+            report.add(
+                Finding.of(
+                    "SAN-INNER-SHAPE", spec=label, locus=locus,
+                    message=f"inner has shape {p.inner.shape}, expected "
+                            f"({p.n_items},)",
+                )
+            )
+
+        if relax and p.label.startswith("relax-"):
+            if style.update is Update.READ_WRITE and (
+                p.conflict_extra or p.max_conflict
+            ):
+                report.add(
+                    Finding.of(
+                        "SAN-RW-HIST", spec=label, locus=locus,
+                        message=(
+                            "read-write style recorded an atomic conflict "
+                            f"histogram (extra={p.conflict_extra}, "
+                            f"max={p.max_conflict})"
+                        ),
+                    )
+                )
+            if (
+                style.update is Update.READ_MODIFY_WRITE
+                and style.flow is Flow.PUSH
+                and p.total_atomics > 0
+                and p.max_conflict < 1
+            ):
+                report.add(
+                    Finding.of(
+                        "SAN-RMW-HIST", spec=label, locus=locus,
+                        message=(
+                            f"rmw push step performed {p.total_atomics:.0f} "
+                            "atomics but recorded no conflict histogram"
+                        ),
+                    )
+                )
+            if style.update is Update.READ_MODIFY_WRITE and (
+                p.store_conflict_extra or p.store_max_conflict
+            ):
+                report.add(
+                    Finding.of(
+                        "SAN-STORE-RACE", spec=label, locus=locus,
+                        message=(
+                            "plain-store conflict statistics under an rmw "
+                            f"style (extra={p.store_conflict_extra}, "
+                            f"max={p.store_max_conflict})"
+                        ),
+                    )
+                )
+            store_conflicts += p.store_conflict_extra
+
+        if p.label.endswith("-wl") and p.wl_pushes >= 0:
+            wl_passes.append((i, p))
+
+    for (i, prev), (j, nxt) in zip(wl_passes, wl_passes[1:]):
+        if prev.wl_pushes != nxt.n_items:
+            report.add(
+                Finding.of(
+                    "SAN-WL-BALANCE", spec=label,
+                    locus=f"launch {i} ({prev.label}) -> launch {j}",
+                    message=(
+                        f"pass pushed {prev.wl_pushes} items but the next "
+                        f"worklist pass processed {nxt.n_items}"
+                    ),
+                )
+            )
+    if trace.converged and wl_passes:
+        i, last = wl_passes[-1]
+        if last.wl_pushes != 0:
+            report.add(
+                Finding.of(
+                    "SAN-WL-FINAL", spec=label,
+                    locus=f"launch {i} ({last.label})",
+                    message="converged trace's final worklist pass still "
+                            f"pushed {last.wl_pushes} item(s)",
+                )
+            )
+
+    if store_conflicts and not trace.converged:
+        report.add(
+            Finding.of(
+                "SAN-RACE-BENIGN", spec=label, locus="trace",
+                message=(
+                    f"{store_conflicts:.0f} plain-store write-write "
+                    "conflict(s) on a run that did not converge — the "
+                    "read-write race was not benign"
+                ),
+            )
+        )
+
+    if (relax or alg is Algorithm.MIS) and trace.iterations >= 1:
+        has_refresh = any(
+            p.label == "double-buffer refresh" for p in trace.profiles
+        )
+        if deterministic != has_refresh:
+            message = (
+                "deterministic style shows no double-buffer refresh launches"
+                if deterministic
+                else "non-deterministic style shows double-buffer refresh launches"
+            )
+            report.add(
+                Finding.of("SAN-DETERMINISM", spec=label, locus="trace",
+                           message=message)
+            )
+    return report
+
+
+def sanitize_result(style: Style, result) -> Report:
+    """Sanitize a :class:`~repro.kernels.base.KernelResult`'s trace."""
+    return sanitize_trace(style, result.trace)
+
+
+def assert_sane(style: Style, trace: ExecutionTrace) -> None:
+    """Raise :class:`SanitizerError` if the trace violates any invariant."""
+    report = sanitize_trace(style, trace)
+    if not report.ok:
+        raise SanitizerError(report)

@@ -1,0 +1,64 @@
+"""A lightweight token/structure model of one generated source file.
+
+The conformance linter does not parse C++ — the generators emit a closed
+set of constructs (the paper's Listings 1-13), so substring presence plus
+a little block structure around ``#pragma omp critical`` is exact for
+this suite.  :class:`SourceModel` packages those queries so the rules in
+:mod:`repro.analysis.conformance` read as construct checks, not string
+soup.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["SourceModel"]
+
+
+class SourceModel:
+    """Token and structure queries over one emitted source text."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.lines = text.splitlines()
+
+    # ------------------------------------------------------------------
+    def has(self, token: str) -> bool:
+        """Whether ``token`` appears anywhere in the source."""
+        return token in self.text
+
+    def has_any(self, *tokens: str) -> bool:
+        return any(t in self.text for t in tokens)
+
+    def count(self, token: str) -> int:
+        return self.text.count(token)
+
+    # ------------------------------------------------------------------
+    def omp_pragmas(self) -> List[str]:
+        """All ``#pragma omp ...`` lines (stripped)."""
+        return [
+            ln.strip() for ln in self.lines if ln.lstrip().startswith("#pragma omp")
+        ]
+
+    def critical_blocks(self) -> List[str]:
+        """The guarded text of each ``#pragma omp critical`` section.
+
+        The generators emit critical sections as the pragma line followed
+        by a braced block (or, for reductions, a single statement); the
+        next three lines always cover the guarded code, which is all the
+        rules need to classify what the section protects.
+        """
+        blocks = []
+        for i, ln in enumerate(self.lines):
+            if "#pragma omp critical" in ln:
+                blocks.append("\n".join(self.lines[i + 1 : i + 4]))
+        return blocks
+
+    def atomic_pragma_targets(self) -> List[str]:
+        """The statement guarded by each ``#pragma omp atomic`` (non-capture)."""
+        targets = []
+        for i, ln in enumerate(self.lines):
+            stripped = ln.strip()
+            if stripped == "#pragma omp atomic" and i + 1 < len(self.lines):
+                targets.append(self.lines[i + 1].strip())
+        return targets

@@ -4,13 +4,12 @@ combinations (Fig 15), and graph-property correlations (Section 5.13).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..graph.properties import GraphProperties, analyze
 from ..styles.axes import (
-    Algorithm,
     Determinism,
     Driver,
     Dup,

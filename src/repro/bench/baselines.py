@@ -28,16 +28,14 @@ models as the styled codes.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Tuple
 
 import numpy as np
 
 from ..graph.csr import CSRGraph
 from ..kernels.base import INF
 from ..kernels.serial import serial_bfs, serial_sssp
-from ..kernels.tc import TriangleCountKernel
 from ..machine.trace import ExecutionTrace, IterationProfile
 from ..styles.axes import (
     Algorithm,

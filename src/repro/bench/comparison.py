@@ -12,11 +12,10 @@ model) — one style is picked per model and then evaluated on every input.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..graph.csr import CSRGraph
 from ..machine.cpu import CPUModel
 from ..machine.devices import CPUS, GPUS
 from ..machine.gpu import GPUModel

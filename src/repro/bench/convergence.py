@@ -11,7 +11,7 @@ determinism/driver axes move that count.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -19,7 +19,7 @@ from ..graph.csr import CSRGraph
 from ..runtime.launcher import Launcher
 from ..styles.axes import Algorithm, Determinism, Driver, Model
 from ..styles.combos import semantic_combinations
-from ..styles.spec import SemanticKey, StyleSpec
+from ..styles.spec import SemanticKey
 
 __all__ = ["ConvergenceRecord", "collect_convergence", "render_convergence"]
 

@@ -8,11 +8,10 @@ figure's underlying observations, and the Fig. 15 matrix.
 from __future__ import annotations
 
 import io
-from typing import Iterable, Optional
 
 import numpy as np
 
-from ..styles.axes import Algorithm, Model
+from ..styles.axes import Model
 from .analysis import style_combination_matrix
 from .harness import StudyResults
 from .ratios import ratios_by_algorithm

@@ -9,7 +9,7 @@ actually measured.  Each guideline carries the evidence behind it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

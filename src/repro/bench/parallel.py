@@ -361,7 +361,7 @@ class _Supervisor:
                             "error",
                             ErrorClass.TIMEOUT.value,
                             f"block exceeded the {self.block_timeout:g}s "
-                            f"per-block timeout",
+                            "per-block timeout",
                         )
                         finished.append((task, True))
                 for task, timed_out in finished:

@@ -9,25 +9,22 @@ what users see.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..graph.datasets import DATASETS
-from ..graph.properties import GraphProperties, analyze
+from ..graph.properties import GraphProperties
 from ..kernels.registry import PROBLEM_CATEGORIES
 from ..styles.applicability import applicability_table
 from ..styles.axes import (
     Algorithm,
     AtomicFlavor,
     CppSchedule,
-    CpuReduction,
     Determinism,
     Dup,
     Driver,
     Flow,
-    GpuReduction,
-    Granularity,
     Iteration,
     Model,
     OmpSchedule,

@@ -8,18 +8,19 @@ Subcommands:
 * ``sweep``     — run the full study sweep and dump throughputs as CSV.
 * ``table``     — regenerate one of the paper's tables (1-6).
 * ``figure``    — regenerate one of the paper's figures (1-16).
+* ``analyze``   — style-conformance linter / trace sanitizer.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, Optional
+from typing import Optional
 
 from ..graph.datasets import dataset_names, load_all, load_dataset
 from ..graph.properties import analyze
 from ..machine.devices import DEVICES, get_device
-from ..styles.axes import Algorithm, Dup, Granularity, Model
+from ..styles.axes import Algorithm, Dup, Model
 from ..styles.combos import enumerate_specs
 from ..runtime.launcher import Launcher
 
@@ -119,6 +120,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--bits", choices=("32", "64", "both"), default="32",
         help="data-type width(s): 32 (paper's evaluated set), 64, or both "
              "(the full Indigo2-style artifact)",
+    )
+
+    ana = sub.add_parser(
+        "analyze",
+        help="style-conformance linter / trace sanitizer (repro.analysis)",
+    )
+    ana.add_argument(
+        "--suite", metavar="DIR",
+        help="lint a generated suite directory (MANIFEST.tsv + sources)",
+    )
+    ana.add_argument(
+        "--strict", action="store_true",
+        help="with --suite: require the full enumeration even for "
+             "suites generated with --limit",
+    )
+    ana.add_argument(
+        "--trace", action="store_true",
+        help="execute one variant and sanitize its execution trace",
+    )
+    ana.add_argument("--algorithm", choices=[a.value for a in Algorithm])
+    ana.add_argument("--model", choices=[m.value for m in Model])
+    ana.add_argument("--graph", choices=dataset_names())
+    ana.add_argument(
+        "--index", type=int, default=0,
+        help="with --trace: variant index within the enumeration",
+    )
+    ana.add_argument(
+        "--json", metavar="OUT",
+        help="also write the findings report as JSON ('-' for stdout)",
+    )
+    ana.add_argument(
+        "--rules", action="store_true",
+        help="print the rule catalog and exit",
     )
     return parser
 
@@ -450,6 +484,64 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    from ..analysis import rule_catalog
+    from ..analysis.findings import Report
+
+    if args.rules:
+        for rule, desc in rule_catalog().items():
+            print(f"{rule:<18} {desc}")
+        return 0
+    if not args.suite and not args.trace:
+        print("error: pass --suite DIR and/or --trace", file=sys.stderr)
+        return 2
+
+    report: Optional[Report] = None
+    if args.suite:
+        from ..analysis import lint_suite
+
+        report = lint_suite(args.suite, strict=args.strict)
+    if args.trace:
+        if not (args.algorithm and args.model and args.graph):
+            print(
+                "error: --trace needs --algorithm, --model and --graph",
+                file=sys.stderr,
+            )
+            return 2
+        from ..analysis.sanitizer import sanitize_trace
+
+        alg = Algorithm(args.algorithm)
+        model = Model(args.model)
+        specs = enumerate_specs(alg, model)
+        if not 0 <= args.index < len(specs):
+            print(
+                f"error: index out of range (0..{len(specs) - 1})",
+                file=sys.stderr,
+            )
+            return 2
+        spec = specs[args.index]
+        graph = load_dataset(args.graph, args.scale)
+        result = Launcher().execute_semantic(spec, graph)
+        trace_report = sanitize_trace(spec, result.trace)
+        report = (
+            trace_report
+            if report is None
+            else report.merged(trace_report, title="analysis")
+        )
+
+    assert report is not None
+    if args.json:
+        payload = report.to_json()
+        if args.json == "-":
+            sys.stdout.write(payload)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(payload)
+    if args.json != "-":
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
 def _cmd_guidelines(args) -> int:
     from ..bench.guidelines import derive_guidelines
 
@@ -471,6 +563,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "convergence": _cmd_convergence,
     "advise": _cmd_advise,
+    "analyze": _cmd_analyze,
 }
 
 

@@ -208,8 +208,8 @@ def _emit_item_header(w: CodeWriter, spec: StyleSpec, count_expr: str) -> None:
     """Listing 1/2/7/8: derive the work-item id from gidx (or the grid
     stride loop), honoring granularity and persistence."""
     gran = spec.granularity
-    w.line(f"const long long gidx = (long long)threadIdx.x + "
-           f"(long long)blockIdx.x * blockDim.x;")
+    w.line("const long long gidx = (long long)threadIdx.x + "
+           "(long long)blockIdx.x * blockDim.x;")
     if gran is Granularity.THREAD:
         w.line("long long item = gidx;")
     elif gran is Granularity.WARP:
@@ -237,7 +237,7 @@ def _emit_inner_loop(w: CodeWriter, spec: StyleSpec, beg: str, end: str) -> None
         w.open(f"for (int i = {beg} + lane; i < {end}; i += WS)")
     else:
         w.open(f"for (int i = {beg} + (int)threadIdx.x; i < {end}; "
-               f"i += blockDim.x)")
+               "i += blockDim.x)")
 
 
 def _atomic_min(spec: StyleSpec, cell: str, value: str) -> str:
@@ -435,7 +435,11 @@ def _emit_pr_kernels(w: CodeWriter, spec: StyleSpec) -> None:
     params = (
         "const int nodes, const int* __restrict__ nbr_idx, "
         "const int* __restrict__ nbr_list, const int* __restrict__ deg, "
-        f""
+        + (
+            f"const rank_t* __restrict__ {read}, rank_t* {write}, rank_t* err"
+            if det
+            else f"rank_t* {read}, rank_t* err"
+        )
     )
     w.open(f"__global__ void pr_kernel({params})")
     _emit_item_header(w, spec, "nodes")
@@ -444,10 +448,10 @@ def _emit_pr_kernels(w: CodeWriter, spec: StyleSpec) -> None:
     if pull:
         w.line("rank_t sum = 0;")
         _emit_inner_loop(w, spec, "beg", "end")
-        w.line(f"const int u = nbr_list[i];")
+        w.line("const int u = nbr_list[i];")
         w.line(f"sum += {read}[u] / deg[u];")
         w.close()
-        w.line(f"const rank_t new_rank = (1 - DAMPING) / nodes + DAMPING * sum;")
+        w.line("const rank_t new_rank = (1 - DAMPING) / nodes + DAMPING * sum;")
         w.line(f"const rank_t delta = fabs(new_rank - {read}[v]);")
         w.line(f"{write}[v] = new_rank;")
     else:
@@ -557,7 +561,7 @@ for (int i = nbr_idx[v]; i < nbr_idx[v + 1]; i++) {{
         w.open(f"if ({read}[mine] == 0)")
         w.line(f"if ({read}[other] == 1) {{ {write}[mine] = 2; *changed = 1; }}")
         w.line(f"else if ({read}[other] == 0 && hash_pri(other) > hash_pri(mine)) "
-               f"blocked[mine] = 1;")
+               "blocked[mine] = 1;")
         w.close()
         w.close()  # item guard
     w.close()  # kernel
@@ -678,7 +682,7 @@ def _emit_relax_main(w: CodeWriter, spec: StyleSpec) -> None:
         Algorithm.SSSP: "g.e_weight[i]", Algorithm.BFS: "1", Algorithm.CC: "0"
     }[alg]
     w.line(f"#define EDGE_COST_SERIAL {cost_serial}")
-    w.line(f"#define WORK_ITEMS(g) "
+    w.line("#define WORK_ITEMS(g) "
            + ("(g).nodes" if vertex else "(g).edges"))
     if persistent:
         w.line("#define PERSISTENT_GRID(items, block) "
@@ -919,13 +923,13 @@ cudaMemcpy(d_deg, deg.data(), g.nodes * sizeof(int), cudaMemcpyHostToDevice);
         )
         if det:
             w.line("cudaMalloc(&d_rank2, g.nodes * sizeof(rank_t));")
-        read, write = ("d_rank", "d_rank2") if det else ("d_rank", "d_rank")
+        rank_args = "d_rank, d_rank2" if det else "d_rank"
         w.open("for (int iter = 0; iter < 10000; iter++)")
         w.raw(
             f"""
 rank_t err = 0;
 cudaMemcpy(d_err, &err, sizeof(rank_t), cudaMemcpyHostToDevice);
-pr_kernel<<<grid, block>>>(g.nodes, d_nbr_idx, d_nbr_list, d_deg, {read}, {write}, d_err);
+pr_kernel<<<grid, block>>>(g.nodes, d_nbr_idx, d_nbr_list, d_deg, {rank_args}, d_err);
 cudaDeviceSynchronize();
 cudaMemcpy(&err, d_err, sizeof(rank_t), cudaMemcpyDeviceToHost);
 """

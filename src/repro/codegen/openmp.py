@@ -230,7 +230,7 @@ const rank_t contribution = fabs({write}[v] - {read}[v]);
 """
         _emit_reduction_loop(w, spec, err_body, "err", "g.nodes")
     if det:
-        w.line(f"std::swap(rank_in, rank_out);")
+        w.line("std::swap(rank_in, rank_out);")
     w.line("if (err < TOLERANCE) break;")
     w.close()
     if det:

@@ -61,6 +61,8 @@ class _PassStats:
     improved_items: int = 0  # distinct target vertices improved (approx.)
     conflict_extra: float = 0.0
     max_conflict: int = 0
+    store_conflict_extra: float = 0.0  # plain-store WW races (RW push)
+    store_max_conflict: int = 0
     n_items: int = 0  # work items of the pass (worklist passes fill this)
     inner: Optional[np.ndarray] = None  # per-item trip counts (idem)
 
@@ -385,6 +387,18 @@ class RelaxationKernel:
             extra, mx = conflict_stats(tgt, write.size)
             stats.conflict_extra += extra
             stats.max_conflict = max(stats.max_conflict, mx)
+        elif sem.flow is Flow.PUSH and tgt.size:
+            # Read-write push: every thread whose check passes against the
+            # *pre-wave* value stores concurrently — those plain stores are
+            # the Section 2.5 write-write races (the sequential mask above
+            # only decides who ultimately wins).  Record their collision
+            # statistics so the sanitizer can assert they stayed benign
+            # (pull flow writes are thread-local, never cross-item races).
+            racy = cand < before
+            if np.any(racy):
+                extra, mx = conflict_stats(tgt[racy], write.size)
+                stats.store_conflict_extra += extra
+                stats.store_max_conflict = max(stats.store_max_conflict, mx)
         if n_improving:
             stats.improved_items += int(np.unique(tgt[improving]).size)
             return tgt[improving]
@@ -473,6 +487,9 @@ class RelaxationKernel:
             atomics_same_address_per_item=pull and not rw,
             conflict_extra=stats.conflict_extra,
             max_conflict=stats.max_conflict,
+            store_conflict_extra=stats.store_conflict_extra,
+            store_max_conflict=stats.store_max_conflict,
+            wl_pushes=pushes if data else -1,
             hot_atomics=float(pushes) + 1.0,  # worklist appends + done-flag
             label="relax-vertex" + ("-wl" if data else ""),
         )
@@ -515,6 +532,9 @@ class RelaxationKernel:
             atomic_minmax=True,
             conflict_extra=stats.conflict_extra,
             max_conflict=stats.max_conflict,
+            store_conflict_extra=stats.store_conflict_extra,
+            store_max_conflict=stats.store_max_conflict,
+            wl_pushes=pushes if data else -1,
             hot_atomics=float(pushes) + 1.0,
             label="relax-edge" + ("-wl" if data else ""),
         )

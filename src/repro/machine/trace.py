@@ -72,6 +72,15 @@ class IterationProfile:
     conflict_extra / max_conflict:
         Cross-item same-address collision statistics (from
         :func:`conflict_stats` over the real destination addresses).
+    store_conflict_extra / store_max_conflict:
+        Same statistics for *plain* (non-atomic) stores of the read-write
+        styles: the wave-granular write-write races of Section 2.5.  The
+        trace sanitizer asserts they stay benign; the timing models do not
+        charge them (plain stores do not serialize).
+    wl_pushes:
+        Worklist pushes performed by a data-driven pass (must equal the
+        next pass's item count).  ``-1`` on launches that are not
+        worklist passes.
     hot_atomics:
         Operations on a single hot address (worklist-size counter).
     reduction_items:
@@ -100,6 +109,9 @@ class IterationProfile:
     atomics_same_address_per_item: bool = False
     conflict_extra: float = 0.0
     max_conflict: int = 0
+    store_conflict_extra: float = 0.0
+    store_max_conflict: int = 0
+    wl_pushes: int = -1
     hot_atomics: float = 0.0
     reduction_items: float = 0.0
     barriers_per_item: float = 0.0

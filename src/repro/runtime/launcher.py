@@ -10,6 +10,7 @@ everything else held fixed" discipline of Section 5.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -54,11 +55,27 @@ class Launcher:
     ``source`` selects the BFS/SSSP source vertex; the default (``None``)
     uses each graph's highest-degree vertex — deterministic and never an
     isolated vertex, mirroring common benchmark practice.
+
+    ``sanitize`` runs the trace sanitizer
+    (:func:`repro.analysis.sanitizer.assert_sane`) on every freshly
+    executed semantic trace; a violated style invariant raises
+    :class:`~repro.analysis.sanitizer.SanitizerError`.  The default
+    (``None``) follows the ``$REPRO_SANITIZE`` environment variable
+    (any value but empty/``0`` enables it).
     """
 
-    def __init__(self, *, verify: bool = True, source: Optional[int] = None):
+    def __init__(
+        self,
+        *,
+        verify: bool = True,
+        source: Optional[int] = None,
+        sanitize: Optional[bool] = None,
+    ):
         self.verify = verify
         self.source = source
+        if sanitize is None:
+            sanitize = os.environ.get("REPRO_SANITIZE", "0") not in ("", "0")
+        self.sanitize = sanitize
         self._kernels: Dict[Tuple[int, Algorithm], object] = {}
         self._traces: Dict[Tuple[int, SemanticKey], KernelResult] = {}
         self._references: Dict[Tuple[int, Algorithm], np.ndarray] = {}
@@ -86,6 +103,12 @@ class Launcher:
         if self.verify:
             reference = self._reference_for(spec.algorithm, graph)
             verify_result(spec.algorithm, graph, result.values, reference)
+        if self.sanitize:
+            # Imported late: repro.analysis depends on repro.machine and
+            # repro.styles, and the launcher must stay importable without it.
+            from ..analysis.sanitizer import assert_sane
+
+            assert_sane(spec.semantic_key(), result.trace)
         self._traces[key] = result
         return result
 

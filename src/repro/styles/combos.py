@@ -15,7 +15,6 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 from .applicability import ALLOWED, check_spec, has_reduction
 from .axes import (
     Algorithm,
-    AtomicFlavor,
     CppSchedule,
     CpuReduction,
     Determinism,

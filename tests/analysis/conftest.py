@@ -1,0 +1,21 @@
+"""Shared fixtures: generated suites for the conformance tests."""
+
+import pytest
+
+from repro.codegen.suite import generate_suite
+
+
+@pytest.fixture(scope="session")
+def full_suite(tmp_path_factory):
+    """The complete 32-bit three-model suite (all 1,698 variants)."""
+    root = tmp_path_factory.mktemp("full-suite")
+    generate_suite(root)
+    return root
+
+
+@pytest.fixture(scope="session")
+def sampled_suite(tmp_path_factory):
+    """A --limit style sample, with both data widths (exercises -i64)."""
+    root = tmp_path_factory.mktemp("sampled-suite")
+    generate_suite(root, data_bits=(32, 64), limit_per_pair=6)
+    return root

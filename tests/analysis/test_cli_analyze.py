@@ -1,0 +1,97 @@
+"""The `indigo2py analyze` command: exit codes, JSON output, rule catalog."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+pytestmark = pytest.mark.analysis
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestUsage:
+    def test_no_inputs_is_usage_error(self, capsys):
+        code, _ = run_cli(capsys, "analyze")
+        assert code == 2
+
+    def test_trace_needs_variant_selection(self, capsys):
+        code, _ = run_cli(capsys, "analyze", "--trace")
+        assert code == 2
+
+    def test_trace_index_out_of_range(self, capsys):
+        code, _ = run_cli(
+            capsys, "--scale", "tiny", "analyze", "--trace",
+            "--algorithm", "bfs", "--model", "cuda",
+            "--graph", "2d-2e20.sym", "--index", "99999",
+        )
+        assert code == 2
+
+    def test_rules_prints_catalog(self, capsys):
+        code, out = run_cli(capsys, "analyze", "--rules")
+        assert code == 0
+        for rule in ("CONF-UPDATE", "MAN-MISSING", "SAN-RW-HIST"):
+            assert rule in out
+
+
+class TestSuiteAnalysis:
+    def test_clean_suite_exits_zero(self, sampled_suite, capsys):
+        code, out = run_cli(capsys, "analyze", "--suite", str(sampled_suite))
+        assert code == 0
+        assert "no findings" in out
+
+    def test_sampled_suite_strict_exits_one(self, sampled_suite, capsys):
+        code, out = run_cli(
+            capsys, "analyze", "--suite", str(sampled_suite), "--strict"
+        )
+        assert code == 1
+        assert "MAN-MISSING" in out
+
+    def test_mutated_file_exits_one_with_json(
+        self, sampled_suite, tmp_path, capsys
+    ):
+        import shutil
+
+        root = tmp_path / "suite"
+        shutil.copytree(sampled_suite, root)
+        victim = next(root.glob("openmp/*/*-dynamic*.cpp"))
+        victim.write_text(
+            victim.read_text().replace("schedule(dynamic)", "schedule(static)")
+        )
+        out_json = tmp_path / "report.json"
+        code, _ = run_cli(
+            capsys, "analyze", "--suite", str(root), "--json", str(out_json)
+        )
+        assert code == 1
+        payload = json.loads(out_json.read_text())
+        assert payload["ok"] is False
+        rules = {f["rule"] for f in payload["findings"]}
+        assert rules == {"CONF-OMP-SCHEDULE"}
+
+
+class TestTraceAnalysis:
+    def test_trace_run_exits_zero(self, capsys):
+        code, out = run_cli(
+            capsys, "--scale", "tiny", "analyze", "--trace",
+            "--algorithm", "bfs", "--model", "cuda",
+            "--graph", "2d-2e20.sym", "--index", "3",
+        )
+        assert code == 0
+        assert "no findings" in out
+
+    def test_trace_json_to_stdout(self, capsys):
+        code, out = run_cli(
+            capsys, "--scale", "tiny", "analyze", "--trace",
+            "--algorithm", "sssp", "--model", "openmp",
+            "--graph", "2d-2e20.sym", "--json", "-",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["ok"] is True
+        assert payload["findings"] == []
+        assert payload["checked"] > 0

@@ -1,0 +1,256 @@
+"""Trace sanitizer: real executions are clean, doctored traces produce
+exactly one finding with the right rule id, and the Launcher hook fires."""
+
+import numpy as np
+import pytest
+
+import repro.runtime.launcher as launcher_mod
+from repro.analysis import (
+    SanitizerError,
+    assert_sane,
+    sanitize_result,
+    sanitize_trace,
+)
+from repro.graph.generators import grid2d, rmat
+from repro.kernels.base import KernelResult
+from repro.machine.trace import ExecutionTrace, IterationProfile
+from repro.runtime import Launcher
+from repro.styles.axes import (
+    Algorithm,
+    Determinism,
+    Driver,
+    Flow,
+    Model,
+    Update,
+)
+from repro.styles.combos import enumerate_specs
+
+pytestmark = pytest.mark.analysis
+
+
+def pick_spec(alg, model=Model.CUDA, **axes):
+    """First enumerated spec of ``alg`` matching the given axis values."""
+    for spec in enumerate_specs(alg, model):
+        if all(getattr(spec, name) is value for name, value in axes.items()):
+            return spec
+    raise AssertionError(f"no {alg} spec with {axes}")
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return rmat(7, edge_factor=4, name="rmat7")
+
+
+class TestRealExecutionsAreClean:
+    def test_every_cuda_semantic_key_sanitizes_clean(self, small_graph):
+        launcher = Launcher(sanitize=True)
+        seen = set()
+        for alg in Algorithm:
+            for spec in enumerate_specs(alg, Model.CUDA):
+                key = spec.semantic_key()
+                if key in seen:
+                    continue
+                seen.add(key)
+                result = launcher.execute_semantic(spec, small_graph)
+                report = sanitize_trace(key, result.trace)
+                assert report.ok, report.render_text()
+        assert len(seen) > 50
+
+    def test_cpu_models_on_grid(self):
+        graph = grid2d(12, 12)
+        launcher = Launcher(sanitize=True)
+        for model in (Model.OPENMP, Model.CPP_THREADS):
+            for alg in (Algorithm.BFS, Algorithm.PR):
+                spec = enumerate_specs(alg, model)[0]
+                result = launcher.execute_semantic(spec, graph)
+                assert sanitize_result(spec, result).ok
+
+    def test_assert_sane_passes_on_clean_trace(self, small_graph):
+        spec = pick_spec(Algorithm.BFS, update=Update.READ_MODIFY_WRITE)
+        result = Launcher().execute_semantic(spec, small_graph)
+        assert_sane(spec.semantic_key(), result.trace)
+
+    def test_rw_push_runs_record_store_races(self, small_graph):
+        spec = pick_spec(
+            Algorithm.BFS, update=Update.READ_WRITE, flow=Flow.PUSH
+        )
+        result = Launcher().execute_semantic(spec, small_graph)
+        assert sum(
+            p.store_conflict_extra for p in result.trace.profiles
+        ) > 0
+
+
+def one_profile_trace(profile, *, iterations=0, converged=True):
+    return ExecutionTrace(
+        profiles=[profile],
+        n_edges=10,
+        n_vertices=5,
+        iterations=iterations,
+        converged=converged,
+    )
+
+
+def assert_single(style, trace, rule):
+    report = sanitize_trace(style, trace)
+    assert [f.rule for f in report.findings] == [rule], report.render_text()
+    with pytest.raises(SanitizerError) as exc:
+        assert_sane(style, trace)
+    assert rule in exc.value.report.by_rule()
+
+
+class TestDoctoredTraces:
+    """Each injected trace mutation produces exactly one finding."""
+
+    def test_rw_style_with_atomic_histogram(self):
+        # The ISSUE's acceptance mutation: a read-write style whose trace
+        # carries an atomic-conflict histogram.
+        spec = pick_spec(
+            Algorithm.BFS, update=Update.READ_WRITE, flow=Flow.PUSH
+        )
+        p = IterationProfile(n_items=8, label="relax-vertex", conflict_extra=3.0,
+                             max_conflict=2)
+        assert_single(spec.semantic_key(), one_profile_trace(p), "SAN-RW-HIST")
+
+    def test_rmw_push_without_histogram(self):
+        spec = pick_spec(
+            Algorithm.SSSP, update=Update.READ_MODIFY_WRITE, flow=Flow.PUSH
+        )
+        p = IterationProfile(n_items=8, label="relax-vertex", atomics_base=2.0)
+        assert_single(spec, one_profile_trace(p), "SAN-RMW-HIST")
+
+    def test_store_race_stats_under_rmw(self):
+        spec = pick_spec(Algorithm.CC, update=Update.READ_MODIFY_WRITE)
+        p = IterationProfile(
+            n_items=8, label="relax-edge", store_conflict_extra=4.0,
+            store_max_conflict=3,
+        )
+        assert_single(spec, one_profile_trace(p), "SAN-STORE-RACE")
+
+    def test_negative_count(self):
+        spec = pick_spec(Algorithm.PR)
+        p = IterationProfile(n_items=4, base_cycles=-1.0)
+        assert_single(spec, one_profile_trace(p), "SAN-NEG")
+
+    def test_negative_inner_trip(self):
+        spec = pick_spec(Algorithm.TC)
+        p = IterationProfile(n_items=3, inner=np.array([1, -2, 0]))
+        assert_single(spec, one_profile_trace(p), "SAN-NEG")
+
+    def test_inner_shape_mismatch(self):
+        spec = pick_spec(Algorithm.MIS)
+        p = IterationProfile(n_items=4)
+        p.inner = np.zeros(3, dtype=np.int32)  # bypass __post_init__
+        assert_single(spec, one_profile_trace(p), "SAN-INNER-SHAPE")
+
+    def test_worklist_imbalance(self):
+        spec = pick_spec(
+            Algorithm.BFS, driver=Driver.DATA, update=Update.READ_WRITE
+        )
+        trace = ExecutionTrace(
+            profiles=[
+                IterationProfile(n_items=5, label="relax-vertex-wl", wl_pushes=3),
+                IterationProfile(n_items=4, label="relax-vertex-wl", wl_pushes=0),
+            ],
+            iterations=0,
+        )
+        assert_single(spec, trace, "SAN-WL-BALANCE")
+
+    def test_final_worklist_pass_still_pushing(self):
+        spec = pick_spec(
+            Algorithm.BFS, driver=Driver.DATA, update=Update.READ_WRITE
+        )
+        p = IterationProfile(n_items=5, label="relax-vertex-wl", wl_pushes=2)
+        assert_single(spec, one_profile_trace(p, converged=True), "SAN-WL-FINAL")
+
+    def test_non_benign_race(self):
+        spec = pick_spec(
+            Algorithm.SSSP, update=Update.READ_WRITE, flow=Flow.PUSH
+        )
+        p = IterationProfile(
+            n_items=8, label="relax-vertex", store_conflict_extra=4.0,
+            store_max_conflict=2,
+        )
+        assert_single(
+            spec, one_profile_trace(p, converged=False), "SAN-RACE-BENIGN"
+        )
+
+    def test_deterministic_without_refresh(self):
+        spec = pick_spec(Algorithm.BFS, determinism=Determinism.DETERMINISTIC)
+        p = IterationProfile(n_items=5, label="relax-vertex")
+        assert_single(
+            spec, one_profile_trace(p, iterations=2), "SAN-DETERMINISM"
+        )
+
+    def test_nondeterministic_with_refresh(self):
+        spec = pick_spec(
+            Algorithm.BFS, determinism=Determinism.NON_DETERMINISTIC
+        )
+        trace = ExecutionTrace(
+            profiles=[
+                IterationProfile(n_items=5, label="relax-vertex"),
+                IterationProfile(n_items=5, label="double-buffer refresh"),
+            ],
+            iterations=2,
+        )
+        assert_single(spec, trace, "SAN-DETERMINISM")
+
+    def test_multiple_violations_all_reported(self):
+        spec = pick_spec(
+            Algorithm.BFS, update=Update.READ_WRITE, flow=Flow.PUSH
+        )
+        p = IterationProfile(
+            n_items=8, label="relax-vertex", conflict_extra=3.0,
+            base_cycles=-1.0,
+        )
+        report = sanitize_trace(spec, one_profile_trace(p))
+        assert set(report.by_rule()) == {"SAN-NEG", "SAN-RW-HIST"}
+        assert not report.ok
+
+
+class _StubKernel:
+    def __init__(self, result):
+        self._result = result
+
+    def run(self, key):
+        return self._result
+
+
+class TestLauncherHook:
+    def test_env_var_controls_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert Launcher().sanitize is False
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        assert Launcher().sanitize is False
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert Launcher().sanitize is True
+        assert Launcher(sanitize=False).sanitize is False
+
+    def test_sanitizing_launcher_runs_clean(self, small_graph):
+        spec = pick_spec(Algorithm.BFS, update=Update.READ_MODIFY_WRITE)
+        result = Launcher(sanitize=True).execute_semantic(spec, small_graph)
+        assert result.trace.converged
+
+    def test_corrupted_trace_raises_from_launcher(
+        self, small_graph, monkeypatch
+    ):
+        spec = pick_spec(
+            Algorithm.BFS, update=Update.READ_WRITE, flow=Flow.PUSH
+        )
+        bad = KernelResult(
+            values=np.zeros(small_graph.n_vertices, dtype=np.int64),
+            trace=one_profile_trace(
+                IterationProfile(
+                    n_items=4, label="relax-vertex", conflict_extra=2.0,
+                    max_conflict=2,
+                )
+            ),
+        )
+        monkeypatch.setattr(
+            launcher_mod, "build_kernel", lambda alg, graph, source: _StubKernel(bad)
+        )
+        launcher = Launcher(verify=False, sanitize=True)
+        with pytest.raises(SanitizerError) as exc:
+            launcher.execute_semantic(spec, small_graph)
+        assert "SAN-RW-HIST" in exc.value.report.by_rule()
+        # The offending trace must not have been cached.
+        assert launcher.cached_traces == 0

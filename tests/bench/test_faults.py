@@ -24,7 +24,7 @@ from repro.bench import (
     sweep_to_csv,
 )
 from repro.bench.export import failure_manifest_to_csv
-from repro.bench.faults import FAULTS_ENV, FaultInjected, active_rules
+from repro.bench.faults import FAULTS_ENV, active_rules
 from repro.bench.parallel import resolve_block_timeout, resolve_workers
 from repro.runtime.errors import (
     BlockTimeoutError,

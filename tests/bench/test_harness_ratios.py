@@ -1,6 +1,5 @@
 """Integration tests for the sweep harness and ratio machinery."""
 
-import numpy as np
 import pytest
 
 from repro.bench import (

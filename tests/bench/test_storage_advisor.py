@@ -3,7 +3,6 @@
 import pytest
 
 from repro.bench import (
-    AdvisorReport,
     advise,
     load_results,
     save_results,

@@ -1,6 +1,5 @@
 """Structural tests: every generated file carries its style's constructs."""
 
-import pytest
 
 from repro.codegen import file_name, generate_source
 from repro.styles import (
@@ -11,7 +10,6 @@ from repro.styles import (
     Determinism,
     Driver,
     Dup,
-    Flow,
     GpuReduction,
     Granularity,
     Model,

@@ -1,6 +1,5 @@
 """Tests for the suite writer (the on-disk Indigo2 artifact shape)."""
 
-import pytest
 
 from repro.codegen import generate_suite
 from repro.styles import Algorithm, Model, enumerate_specs

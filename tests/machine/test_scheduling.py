@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.machine import (
-    UnitDecomposition,
     cpu_blocked_units,
     cpu_cyclic_units,
     gpu_units,

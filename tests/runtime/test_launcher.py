@@ -7,7 +7,6 @@ from repro.machine import RTX_3090, THREADRIPPER_2950X
 from repro.runtime import Launcher
 from repro.styles import (
     Algorithm,
-    Granularity,
     Model,
     Persistence,
     enumerate_specs,

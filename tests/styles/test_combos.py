@@ -1,6 +1,5 @@
 """Unit tests for the variant enumeration (Table 3)."""
 
-import pytest
 
 from repro.styles import (
     PAPER_TABLE3,

@@ -1,7 +1,6 @@
 """Direct tests for small public helpers exercised mostly indirectly."""
 
 import numpy as np
-import pytest
 
 from repro.bench import SweepConfig
 from repro.codegen import guard_name
