@@ -119,6 +119,60 @@ RULES: Dict[str, Tuple[Severity, str]] = {
         "enumerate_specs produces a variant the manifest does not contain "
         "(checked when the suite is complete, or under --strict)",
     ),
+    # ---- graph ingestion-validation rules (repro.graph.validate) -----
+    "VAL-PARSE": (
+        Severity.ERROR,
+        "a graph file could not be parsed (message carries path and "
+        "1-based line number)",
+    ),
+    "VAL-ROWPTR": (
+        Severity.ERROR,
+        "CSR row offsets are not a monotone [0 .. n_edges] index",
+    ),
+    "VAL-COLIDX": (
+        Severity.ERROR,
+        "CSR column indices contain out-of-range vertex ids",
+    ),
+    "VAL-WEIGHT": (
+        Severity.ERROR,
+        "edge weights contain negative, NaN or infinite values",
+    ),
+    "VAL-WEIGHT-RANGE": (
+        Severity.WARNING,
+        "edge weights contain zeros or values near the int32 overflow "
+        "boundary (clamped under the repair policy)",
+    ),
+    "VAL-SELF-LOOP": (
+        Severity.WARNING,
+        "self loops present (the canonical form drops them)",
+    ),
+    "VAL-DUP-EDGE": (
+        Severity.WARNING,
+        "duplicate parallel edges present (the canonical form dedups them)",
+    ),
+    "VAL-ASYM": (
+        Severity.WARNING,
+        "graph is not symmetric (the study stores every undirected edge "
+        "as two directed edges; pull kernels assume symmetry)",
+    ),
+    "VAL-EMPTY": (
+        Severity.WARNING,
+        "graph has no vertices or no edges (degenerate input)",
+    ),
+    "VAL-ISOLATED": (
+        Severity.WARNING,
+        "a large fraction of vertices is isolated",
+    ),
+    "VAL-SKEW": (
+        Severity.WARNING,
+        "extreme degree skew (d_max vastly above d_avg): expect severe "
+        "load imbalance under thread granularity",
+    ),
+    "VAL-UNSORTED": (
+        Severity.ERROR,
+        "adjacency lists are not sorted (the merge-based triangle "
+        "kernels require sorted neighbors)",
+    ),
     # ---- dynamic trace-sanitizer rules (sanitizer.py) ----------------
     "SAN-NEG": (
         Severity.ERROR,

@@ -19,6 +19,7 @@ from ..graph.csr import CSRGraph
 from ..graph.datasets import load_all
 from ..machine.devices import CPUS, GPUS
 from ..machine.specs import CPUSpec, GPUSpec
+from ..runtime.budget import ResourceBudget
 from ..runtime.errors import FailedRun
 from ..runtime.launcher import Launcher, RunResult
 from ..styles.axes import Algorithm, Model
@@ -42,11 +43,20 @@ class SweepConfig:
     cpu_names: Tuple[str, ...] = tuple(CPUS)
     graphs: Optional[Tuple[str, ...]] = None  #: None = all five inputs
     verify: bool = True
+    #: Pre-launch footprint cap in bytes (None = environment default —
+    #: see :class:`repro.runtime.budget.ResourceBudget`).
+    max_footprint_bytes: Optional[int] = None
 
     def devices_for(self, model: Model) -> List[DeviceSpec]:
         if model.is_gpu:
             return [GPUS[name] for name in self.gpu_names]
         return [CPUS[name] for name in self.cpu_names]
+
+    def budget(self) -> Optional[ResourceBudget]:
+        """The launcher budget for this sweep (None = env default)."""
+        if self.max_footprint_bytes is None:
+            return None
+        return ResourceBudget(max_bytes=self.max_footprint_bytes)
 
 
 @dataclass
@@ -187,7 +197,7 @@ def run_sweep(
         graphs = load_all(config.scale)
         if config.graphs is not None:
             graphs = {name: graphs[name] for name in config.graphs}
-    launcher = launcher or Launcher(verify=config.verify)
+    launcher = launcher or Launcher(verify=config.verify, budget=config.budget())
     results = StudyResults(graphs=dict(graphs))
     # Iterate (algorithm, graph) in the outer loops so the semantic traces
     # of one block are shared across all three programming models and all
@@ -199,7 +209,10 @@ def run_sweep(
         }
         for graph in graphs.values():
             for model, specs in per_model_specs.items():
-                for run in sweep_block_runs(launcher, specs, graph, config.devices_for(model)):
+                for run in sweep_block_runs(
+                    launcher, specs, graph, config.devices_for(model),
+                    failures=results.failures,
+                ):
                     results.add(run)
             launcher.release(graph, algorithm)
     return results

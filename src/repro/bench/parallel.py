@@ -99,6 +99,7 @@ class SweepBlock:
     gpu_names: Tuple[str, ...]
     cpu_names: Tuple[str, ...]
     verify: bool
+    max_footprint_bytes: Optional[int] = None
     graph: Optional[CSRGraph] = field(default=None, compare=False)
 
     @property
@@ -112,6 +113,7 @@ class SweepBlock:
             cpu_names=self.cpu_names,
             graphs=(self.graph_name,),
             verify=self.verify,
+            max_footprint_bytes=self.max_footprint_bytes,
         )
 
     @property
@@ -148,6 +150,7 @@ def partition_blocks(
                     gpu_names=tuple(config.gpu_names),
                     cpu_names=tuple(config.cpu_names),
                     verify=config.verify,
+                    max_footprint_bytes=config.max_footprint_bytes,
                     graph=payload,
                 )
             )
@@ -170,8 +173,8 @@ def run_block(block: SweepBlock) -> List[RunResult]:
     captures per-variant failures and honours the fault-injection plan.
     """
     graph = _build_block_graph(block)
-    launcher = Launcher(verify=block.verify)
     config = block.config
+    launcher = Launcher(verify=block.verify, budget=config.budget())
     runs: List[RunResult] = []
     for model in block.models:
         specs = enumerate_specs(block.algorithm, model)
@@ -192,9 +195,9 @@ def run_block_outcome(block: SweepBlock, attempt: int = 0) -> BlockOutcome:
     """
     faults.inject_block_fault(block.algorithm.value, block.graph_name, attempt)
     graph = _build_block_graph(block)
-    launcher = Launcher(verify=block.verify)
-    faults.apply_verify_faults(launcher, block, attempt)
     config = block.config
+    launcher = Launcher(verify=block.verify, budget=config.budget())
+    faults.apply_verify_faults(launcher, block, attempt)
     outcome = BlockOutcome()
     for model in block.models:
         specs = enumerate_specs(block.algorithm, model)

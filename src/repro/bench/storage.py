@@ -162,6 +162,7 @@ def sweep_cache_key(config: SweepConfig) -> str:
         "cpus": list(config.cpu_names),
         "graphs": None if config.graphs is None else list(config.graphs),
         "verify": config.verify,
+        "max_footprint_bytes": config.max_footprint_bytes,
     }
     serialized = json.dumps(payload, sort_keys=True).encode()
     return hashlib.sha256(serialized).hexdigest()

@@ -122,6 +122,32 @@ def build_parser() -> argparse.ArgumentParser:
              "(the full Indigo2-style artifact)",
     )
 
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing of the data plane (repro.robustness)",
+    )
+    fuzz.add_argument(
+        "--cases", type=int, default=None,
+        help="number of fuzz cases (default 200, or 60 with --smoke)",
+    )
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument(
+        "--smoke", action="store_true",
+        help="CI gate: planted-bug self-test plus a short fuzz run",
+    )
+    fuzz.add_argument(
+        "--self-test", action="store_true",
+        help="run only the planted-bug self-test",
+    )
+    fuzz.add_argument(
+        "--manifest", metavar="PATH",
+        help="write the replayable failure manifest to PATH",
+    )
+    fuzz.add_argument(
+        "--replay", metavar="PATH",
+        help="replay the non-ok entries of a saved manifest",
+    )
+
     ana = sub.add_parser(
         "analyze",
         help="style-conformance linter / trace sanitizer (repro.analysis)",
@@ -551,6 +577,58 @@ def _cmd_guidelines(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from ..robustness.fuzz import (
+        load_manifest,
+        replay_entry,
+        run_fuzz,
+        run_self_test,
+        write_manifest,
+    )
+
+    if args.replay:
+        manifest = load_manifest(args.replay)
+        entries = [e for e in manifest["entries"] if e["status"] != "ok"]
+        if not entries:
+            print("nothing to replay: manifest has no non-ok entries")
+            return 0
+        not_reproduced = 0
+        for entry in entries:
+            outcome = replay_entry(entry)
+            label = entry.get("planted") or entry["case"]["shape"]
+            verdict = (
+                "reproduced"
+                if outcome["reproduced"]
+                else "DID NOT REPRODUCE"
+            )
+            print(
+                f"[{entry['status']}] case {entry['case']['index']} "
+                f"({label}): {verdict} — {outcome['message']}"
+            )
+            not_reproduced += 0 if outcome["reproduced"] else 1
+        return 1 if not_reproduced else 0
+
+    reports = []
+    exit_code = 0
+    if args.smoke or args.self_test:
+        self_test = run_self_test(seed=args.seed)
+        reports.append(self_test)
+        print(self_test.render_text())
+        if not self_test.planted_ok:
+            exit_code = 1
+    if not args.self_test:
+        cases = args.cases if args.cases is not None else (60 if args.smoke else 200)
+        report = run_fuzz(cases=cases, seed=args.seed)
+        reports.append(report)
+        print(report.render_text())
+        if report.escapes:
+            exit_code = 1
+    if args.manifest:
+        path = write_manifest(args.manifest, *reports)
+        print(f"manifest written to {path}")
+    return exit_code
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "specs": _cmd_specs,
@@ -564,11 +642,14 @@ _COMMANDS = {
     "convergence": _cmd_convergence,
     "advise": _cmd_advise,
     "analyze": _cmd_analyze,
+    "fuzz": _cmd_fuzz,
 }
 
 
 def main(argv: Optional[list] = None) -> int:
     from concurrent.futures.process import BrokenProcessPool
+
+    from ..runtime.budget import BudgetExceeded
 
     args = build_parser().parse_args(argv)
     try:
@@ -576,6 +657,9 @@ def main(argv: Optional[list] = None) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BudgetExceeded as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     except BrokenProcessPool:
         print(
             "error: a sweep worker process died unexpectedly (out of "

@@ -50,6 +50,14 @@ from .properties import (
     connected_components_count,
     estimate_diameter,
 )
+from .validate import (
+    MAX_SAFE_WEIGHT,
+    GraphParseError,
+    GraphValidationError,
+    GraphValidator,
+    quarantine_file,
+    sanitize_graph,
+)
 
 __all__ = [
     "CSRGraph",
@@ -86,4 +94,10 @@ __all__ = [
     "write_edge_list",
     "read_matrix_market",
     "write_matrix_market",
+    "GraphValidator",
+    "GraphParseError",
+    "GraphValidationError",
+    "sanitize_graph",
+    "quarantine_file",
+    "MAX_SAFE_WEIGHT",
 ]

@@ -4,18 +4,37 @@ The paper's inputs come from four sources with three on-disk formats:
 DIMACS ``.gr`` (road maps), whitespace edge lists (SNAP), and Matrix Market
 ``.mtx`` (SuiteSparse).  We read and write all three so users can run the
 suite on the original files when they have them.
+
+Every reader reports malformed text as :class:`GraphParseError` carrying
+the file path and the 1-based line number, and :func:`load_graph` runs the
+parsed graph through :class:`~repro.graph.validate.GraphValidator` behind
+a ``strict`` / ``repair`` policy (see :mod:`repro.graph.validate`):
+
+* ``strict`` — any structural error (and any row with unexpected extra
+  columns) rejects the file; with ``quarantine_dir`` set the file is
+  copied there next to a machine-readable reason file.
+* ``repair`` (default) — tolerant parsing plus the
+  :func:`~repro.graph.validate.sanitize_graph` normalization pipeline
+  (self-loop drop, dedup, weight clamping).
 """
 
 from __future__ import annotations
 
 import gzip
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
 from .builder import from_edge_arrays
 from .csr import CSRGraph
+from .validate import (
+    GraphParseError,
+    GraphValidationError,
+    GraphValidator,
+    quarantine_file,
+    sanitize_graph,
+)
 
 __all__ = [
     "read_dimacs",
@@ -25,9 +44,13 @@ __all__ = [
     "read_matrix_market",
     "write_matrix_market",
     "load_graph",
+    "GraphParseError",
 ]
 
 PathLike = Union[str, Path]
+
+#: Numbered line: (1-based line number, stripped text).
+_NumberedLine = Tuple[int, str]
 
 
 def _open_text(path: PathLike, mode: str = "rt"):
@@ -38,50 +61,139 @@ def _open_text(path: PathLike, mode: str = "rt"):
 
 
 def _parse_numeric_lines(
-    lines: List[str], n_cols_min: int
-) -> np.ndarray:
+    lines: List[_NumberedLine],
+    n_cols_min: int,
+    *,
+    path: PathLike,
+    n_cols_max: int = 3,
+    strict: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Parse whitespace-separated numeric rows with real error context.
+
+    Returns ``(values, linenos)`` where ``values`` is a dense
+    ``float64[rows, n_cols]`` array (the column count is fixed by the
+    first row, at least ``n_cols_min``, at most ``n_cols_max``) and
+    ``linenos`` maps each row back to its 1-based line number.  Rows with
+    fewer columns than the first row, or non-numeric fields, raise
+    :class:`GraphParseError`; rows with *extra* columns raise under
+    ``strict`` and are truncated otherwise.
+    """
+    if not lines:
+        return np.empty((0, n_cols_min), dtype=np.float64), np.empty(0, np.int64)
+    n_cols = min(max(n_cols_min, len(lines[0][1].split())), n_cols_max)
     rows = []
-    for ln in lines:
+    linenos = []
+    for lineno, ln in lines:
         parts = ln.split()
-        if len(parts) < n_cols_min:
-            raise ValueError(f"malformed line: {ln!r}")
-        rows.append([float(p) for p in parts[:3]])
-    return np.asarray(rows, dtype=np.float64)
+        if len(parts) < n_cols:
+            raise GraphParseError(
+                path, lineno,
+                f"expected {n_cols} columns, got {len(parts)}: {ln!r}",
+            )
+        if strict and len(parts) > n_cols:
+            raise GraphParseError(
+                path, lineno,
+                f"unexpected extra columns (expected {n_cols}, got "
+                f"{len(parts)}): {ln!r}",
+            )
+        try:
+            rows.append([float(p) for p in parts[:n_cols]])
+        except ValueError:
+            raise GraphParseError(
+                path, lineno, f"non-numeric field in row: {ln!r}"
+            ) from None
+        linenos.append(lineno)
+    return (
+        np.asarray(rows, dtype=np.float64),
+        np.asarray(linenos, dtype=np.int64),
+    )
+
+
+def _check_vertex_range(
+    ids: np.ndarray,
+    linenos: np.ndarray,
+    n_vertices: Optional[int],
+    *,
+    path: PathLike,
+    one_indexed: bool,
+) -> None:
+    """Reject out-of-range endpoint ids, pointing at the offending line."""
+    if ids.size == 0:
+        return
+    lo = 1 if one_indexed else 0
+    bad = ids < lo
+    if n_vertices is not None:
+        hi = n_vertices if one_indexed else n_vertices - 1
+        bad |= ids > hi
+    if np.any(bad):
+        pos = int(np.argmax(bad))
+        origin = "1-indexed" if one_indexed else "0-indexed"
+        raise GraphParseError(
+            path, int(linenos[pos]),
+            f"vertex id {int(ids[pos])} out of range (format is {origin}"
+            + (f", {n_vertices} vertices declared)" if n_vertices is not None else ")"),
+        )
 
 
 # ----------------------------------------------------------------------
 # DIMACS challenge format (.gr): "c" comments, "p sp N M", "a u v w".
 # ----------------------------------------------------------------------
-def read_dimacs(path: PathLike, *, symmetrize: bool = True, name: Optional[str] = None) -> CSRGraph:
+def read_dimacs(
+    path: PathLike,
+    *,
+    symmetrize: bool = True,
+    strict: bool = False,
+    name: Optional[str] = None,
+) -> CSRGraph:
     """Read a 9th-DIMACS shortest-path file (1-indexed ``a u v w`` arcs)."""
     n_vertices = None
-    srcs: List[int] = []
-    dsts: List[int] = []
-    wts: List[int] = []
+    arcs: List[_NumberedLine] = []
     with _open_text(path) as fh:
-        for raw in fh:
+        for lineno, raw in enumerate(fh, start=1):
             line = raw.strip()
             if not line or line.startswith("c"):
                 continue
             if line.startswith("p"):
                 parts = line.split()
                 if len(parts) < 4 or parts[1] not in ("sp", "edge"):
-                    raise ValueError(f"unsupported problem line: {line!r}")
-                n_vertices = int(parts[2])
+                    raise GraphParseError(
+                        path, lineno, f"unsupported problem line: {line!r}"
+                    )
+                try:
+                    n_vertices = int(parts[2])
+                except ValueError:
+                    raise GraphParseError(
+                        path, lineno, f"non-integer vertex count: {parts[2]!r}"
+                    ) from None
+                if n_vertices < 0:
+                    raise GraphParseError(
+                        path, lineno, f"negative vertex count: {n_vertices}"
+                    )
             elif line.startswith("a") or line.startswith("e"):
-                parts = line.split()
-                srcs.append(int(parts[1]) - 1)
-                dsts.append(int(parts[2]) - 1)
-                wts.append(int(parts[3]) if len(parts) > 3 else 1)
+                arcs.append((lineno, line[1:].strip()))
             else:
-                raise ValueError(f"unrecognized DIMACS line: {line!r}")
+                raise GraphParseError(
+                    path, lineno, f"unrecognized DIMACS line: {line!r}"
+                )
     if n_vertices is None:
-        raise ValueError("missing DIMACS problem ('p') line")
+        raise GraphParseError(path, None, "missing DIMACS problem ('p') line")
+    arr, linenos = _parse_numeric_lines(
+        arcs, 2, path=path, n_cols_max=3, strict=strict
+    )
+    srcs = arr[:, 0].astype(np.int64)
+    dsts = arr[:, 1].astype(np.int64)
+    _check_vertex_range(srcs, linenos, n_vertices, path=path, one_indexed=True)
+    _check_vertex_range(dsts, linenos, n_vertices, path=path, one_indexed=True)
+    wts = (
+        arr[:, 2].astype(np.int64)
+        if arr.shape[1] >= 3
+        else np.ones(srcs.size, dtype=np.int64)
+    )
     return from_edge_arrays(
-        np.asarray(srcs, dtype=np.int64),
-        np.asarray(dsts, dtype=np.int64),
+        srcs - 1,
+        dsts - 1,
         n_vertices,
-        weights=np.asarray(wts, dtype=np.int64),
+        weights=wts,
         symmetrize=symmetrize,
         name=name or Path(path).stem,
     )
@@ -105,23 +217,29 @@ def read_edge_list(
     *,
     symmetrize: bool = True,
     weighted: Optional[bool] = None,
+    strict: bool = False,
     name: Optional[str] = None,
 ) -> CSRGraph:
     """Read a whitespace edge list (0-indexed; SNAP convention)."""
-    data_lines: List[str] = []
+    data_lines: List[_NumberedLine] = []
     with _open_text(path) as fh:
-        for raw in fh:
+        for lineno, raw in enumerate(fh, start=1):
             line = raw.strip()
             if not line or line.startswith("#") or line.startswith("%"):
                 continue
-            data_lines.append(line)
+            data_lines.append((lineno, line))
     if not data_lines:
-        raise ValueError("edge list contains no edges")
-    first_cols = len(data_lines[0].split())
+        raise GraphParseError(path, None, "edge list contains no edges")
+    first_cols = len(data_lines[0][1].split())
     has_weights = first_cols >= 3 if weighted is None else weighted
-    arr = _parse_numeric_lines(data_lines, 3 if has_weights else 2)
+    arr, linenos = _parse_numeric_lines(
+        data_lines, 3 if has_weights else 2, path=path,
+        n_cols_max=3 if has_weights else 2, strict=strict,
+    )
     src = arr[:, 0].astype(np.int64)
     dst = arr[:, 1].astype(np.int64)
+    _check_vertex_range(src, linenos, None, path=path, one_indexed=False)
+    _check_vertex_range(dst, linenos, None, path=path, one_indexed=False)
     w = arr[:, 2].astype(np.int64) if has_weights and arr.shape[1] >= 3 else None
     n = int(max(src.max(), dst.max())) + 1
     return from_edge_arrays(
@@ -146,34 +264,79 @@ def write_edge_list(graph: CSRGraph, path: PathLike) -> None:
 # ----------------------------------------------------------------------
 # Matrix Market coordinate format (SuiteSparse).
 # ----------------------------------------------------------------------
-def read_matrix_market(path: PathLike, *, name: Optional[str] = None) -> CSRGraph:
+def read_matrix_market(
+    path: PathLike,
+    *,
+    strict: bool = False,
+    name: Optional[str] = None,
+) -> CSRGraph:
     """Read an ``.mtx`` coordinate file (pattern or real, general/symmetric)."""
     with _open_text(path) as fh:
         header = fh.readline().strip()
         if not header.startswith("%%MatrixMarket"):
-            raise ValueError("not a Matrix Market file")
+            raise GraphParseError(path, 1, "not a Matrix Market file")
         tokens = header.split()
         if len(tokens) < 5 or tokens[1] != "matrix" or tokens[2] != "coordinate":
-            raise ValueError(f"unsupported MatrixMarket header: {header!r}")
+            raise GraphParseError(
+                path, 1, f"unsupported MatrixMarket header: {header!r}"
+            )
         field, symmetry = tokens[3], tokens[4]
         if field not in ("pattern", "real", "integer"):
-            raise ValueError(f"unsupported field type: {field}")
+            raise GraphParseError(path, 1, f"unsupported field type: {field}")
+        lineno = 1
         line = fh.readline()
+        lineno += 1
         while line.startswith("%"):
             line = fh.readline()
-        rows_n, cols_n, nnz = (int(x) for x in line.split()[:3])
+            lineno += 1
+        if not line.strip():
+            raise GraphParseError(path, lineno, "missing size line")
+        try:
+            rows_n, cols_n, nnz = (int(x) for x in line.split()[:3])
+        except ValueError:
+            raise GraphParseError(
+                path, lineno, f"malformed size line: {line.strip()!r}"
+            ) from None
         if rows_n != cols_n:
-            raise ValueError("adjacency matrices must be square")
-        data = [fh.readline() for _ in range(nnz)]
-    arr = _parse_numeric_lines([d for d in data if d.strip()], 2)
-    src = arr[:, 0].astype(np.int64) - 1
-    dst = arr[:, 1].astype(np.int64) - 1
+            raise GraphParseError(
+                path, lineno,
+                f"adjacency matrices must be square, got {rows_n}x{cols_n}",
+            )
+        if nnz < 0:
+            raise GraphParseError(path, lineno, f"negative entry count: {nnz}")
+        data: List[_NumberedLine] = []
+        for _ in range(nnz):
+            raw = fh.readline()
+            lineno += 1
+            if not raw:
+                raise GraphParseError(
+                    path, lineno,
+                    f"file truncated: expected {nnz} entries, got {len(data)}",
+                )
+            text = raw.strip()
+            if text:
+                data.append((lineno, text))
+        if len(data) < nnz:
+            raise GraphParseError(
+                path, lineno,
+                f"file truncated: expected {nnz} entries, got {len(data)}",
+            )
+    min_cols = 2 if field == "pattern" else 3
+    arr, linenos = _parse_numeric_lines(
+        data, min_cols, path=path, n_cols_max=3, strict=strict
+    )
+    src = arr[:, 0].astype(np.int64)
+    dst = arr[:, 1].astype(np.int64)
+    _check_vertex_range(src, linenos, rows_n, path=path, one_indexed=True)
+    _check_vertex_range(dst, linenos, rows_n, path=path, one_indexed=True)
     w = None
     if field in ("real", "integer") and arr.shape[1] >= 3:
         w = np.maximum(np.abs(arr[:, 2]).astype(np.int64), 1)
     return from_edge_arrays(
-        src, dst, rows_n, weights=w,
-        symmetrize=True,  # both 'general' and 'symmetric' stored graphs get the two-directed-edges convention
+        src - 1, dst - 1, rows_n, weights=w,
+        # Both 'general' and 'symmetric' storage get the study's
+        # two-directed-edges convention.
+        symmetrize=True,
         name=name or Path(path).stem,
     )
 
@@ -201,9 +364,37 @@ _READERS = {
     ".mtx": read_matrix_market,
 }
 
+_POLICIES = ("strict", "repair")
 
-def load_graph(path: PathLike, **kwargs) -> CSRGraph:
-    """Dispatch on file extension (``.gz`` transparently handled)."""
+
+def load_graph(
+    path: PathLike,
+    *,
+    policy: str = "repair",
+    validate: bool = True,
+    quarantine_dir: Optional[PathLike] = None,
+    **kwargs,
+) -> CSRGraph:
+    """Read, validate and normalize a graph file (dispatch on extension).
+
+    ``policy`` selects how much malformation is tolerated:
+
+    * ``"strict"`` — extra columns reject the row, and any error-severity
+      validation finding (out-of-range ids, bad weights) rejects the file
+      with :class:`GraphValidationError`;
+    * ``"repair"`` (default) — extra columns are truncated and the graph
+      is passed through :func:`sanitize_graph` (self-loop drop, dedup,
+      weight clamping) before being returned.
+
+    With ``quarantine_dir``, a rejected file is copied there alongside a
+    ``<name>.reason.json`` describing the rejection (see
+    :func:`~repro.graph.validate.quarantine_file`); the exception is
+    re-raised either way.  ``validate=False`` skips validation entirely
+    (the pre-hardening behavior).  Remaining ``kwargs`` go to the format
+    reader (``.gz`` is transparently handled).
+    """
+    if policy not in _POLICIES:
+        raise ValueError(f"unknown policy {policy!r}; expected one of {_POLICIES}")
     p = Path(path)
     suffix = p.suffixes[-2] if p.suffix == ".gz" and len(p.suffixes) >= 2 else p.suffix
     reader = _READERS.get(suffix)
@@ -211,4 +402,32 @@ def load_graph(path: PathLike, **kwargs) -> CSRGraph:
         raise ValueError(
             f"unknown graph format {suffix!r}; expected one of {sorted(_READERS)}"
         )
-    return reader(path, **kwargs)
+    try:
+        graph = reader(path, strict=(policy == "strict"), **kwargs)
+        if not validate:
+            return graph
+        if policy == "strict":
+            report = GraphValidator().validate(graph)
+            if not report.ok:
+                raise GraphValidationError(report, name=graph.name)
+            return graph
+        repaired, _report = sanitize_graph(graph)
+        return repaired
+    except GraphParseError as exc:
+        if quarantine_dir is not None:
+            quarantine_file(
+                path, quarantine_dir,
+                rule="VAL-PARSE", message=exc.reason, line=exc.line,
+                policy=policy,
+            )
+        raise
+    except GraphValidationError as exc:
+        if quarantine_dir is not None:
+            first = exc.report.errors[0] if exc.report.errors else None
+            quarantine_file(
+                path, quarantine_dir,
+                rule=first.rule if first else "VAL-PARSE",
+                message=first.message if first else str(exc),
+                policy=policy,
+            )
+        raise

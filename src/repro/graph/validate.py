@@ -1,0 +1,369 @@
+"""Graph ingestion validation, normalization and quarantine.
+
+The paper's methodology assumes every input is a *canonical* CSR graph:
+monotone row offsets, in-range neighbor ids, positive finite weights,
+no self loops, no parallel edges, sorted adjacency, undirected edges
+stored as two directed edges (Section 4.2).  The generators guarantee
+this by construction; user-supplied files guarantee nothing.  This module
+is the gate between the two worlds:
+
+* :class:`GraphValidator` checks the structural invariants and the
+  degenerate-shape statistics (isolated vertices, degree skew) and
+  reports violations on the shared findings model
+  (:mod:`repro.analysis.findings`, ``VAL-*`` rule ids);
+* :func:`sanitize_graph` is the repair pipeline — dedup, self-loop drop,
+  weight clamping, optional symmetrization — returning the repaired
+  graph plus a report of what it changed;
+* :func:`quarantine_file` copies a rejected input next to a
+  machine-readable reason file, so a batch ingestion service can skip it
+  and an operator can diagnose it later.
+
+:func:`repro.graph.io.load_graph` wires all three together behind a
+``strict`` / ``repair`` policy.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from ..analysis.findings import Finding, Report, Severity
+from .csr import CSRGraph
+
+__all__ = [
+    "GraphParseError",
+    "GraphValidationError",
+    "GraphValidator",
+    "sanitize_graph",
+    "quarantine_file",
+    "MAX_SAFE_WEIGHT",
+]
+
+PathLike = Union[str, Path]
+
+#: Largest weight the repair pipeline keeps: one edge relaxation must not
+#: push an int64 distance past the ``INF`` sentinel, and int32 storage
+#: bounds it anyway.
+MAX_SAFE_WEIGHT = 2**31 - 1
+
+#: Fraction of isolated vertices above which VAL-ISOLATED fires.
+ISOLATED_WARN_FRACTION = 0.5
+
+#: d_max / d_avg ratio above which VAL-SKEW fires (with a floor on d_max
+#: so tiny graphs never trigger it).
+SKEW_WARN_RATIO = 1000.0
+SKEW_MIN_DEGREE = 64
+
+
+class GraphParseError(ValueError):
+    """A graph file's *text* is malformed.
+
+    Carries the file path and the 1-based line number of the offending
+    line, so batch ingestion logs point at the byte that broke.
+    """
+
+    def __init__(self, path: PathLike, line: Optional[int], reason: str):
+        self.path = str(path)
+        self.line = line
+        self.reason = reason
+        where = f"{self.path}:{line}" if line is not None else self.path
+        super().__init__(f"{where}: {reason}")
+
+
+class GraphValidationError(ValueError):
+    """A parsed graph violates a structural invariant (strict policy).
+
+    ``report`` holds the full findings list; the message carries the
+    first error.
+    """
+
+    def __init__(self, report: Report, name: str = "graph"):
+        self.report = report
+        first = report.errors[0] if report.errors else None
+        detail = first.message if first else "validation failed"
+        rule = first.rule if first else "VAL"
+        super().__init__(f"{name}: [{rule}] {detail}")
+
+
+class GraphValidator:
+    """Checks graphs (or raw CSR arrays) against the canonical invariants.
+
+    ``validate`` returns a :class:`~repro.analysis.findings.Report`;
+    callers decide whether warnings matter.  ``check`` raises
+    :class:`GraphValidationError` on any error-severity finding.
+    """
+
+    def __init__(self, *, require_symmetric: bool = False,
+                 require_sorted: bool = False):
+        self.require_symmetric = require_symmetric
+        self.require_sorted = require_sorted
+
+    # ------------------------------------------------------------------
+    def validate_arrays(
+        self,
+        row_ptr: np.ndarray,
+        col_idx: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+        *,
+        name: str = "graph",
+    ) -> Report:
+        """Validate raw CSR arrays without constructing a CSRGraph.
+
+        :class:`~repro.graph.csr.CSRGraph` raises on the worst structural
+        violations at construction; this path reports *all* of them (and
+        the statistical ones) instead, which is what ingestion wants.
+        """
+        report = Report(title=f"validate {name}")
+        report.checked = 1
+        row_ptr = np.asarray(row_ptr)
+        col_idx = np.asarray(col_idx)
+
+        def err(rule: str, message: str) -> None:
+            report.add(Finding.of(rule, spec="", locus=name, message=message))
+
+        def warn(rule: str, message: str) -> None:
+            report.add(Finding(rule=rule, spec="", locus=name,
+                               message=message, severity=Severity.WARNING))
+
+        structural_ok = True
+        if row_ptr.ndim != 1 or row_ptr.size == 0:
+            err("VAL-ROWPTR", "row_ptr must be one-dimensional and non-empty")
+            structural_ok = False
+        else:
+            if row_ptr[0] != 0:
+                err("VAL-ROWPTR", f"row_ptr must start at 0, got {int(row_ptr[0])}")
+                structural_ok = False
+            if row_ptr[-1] != col_idx.size:
+                err(
+                    "VAL-ROWPTR",
+                    f"row_ptr[-1] ({int(row_ptr[-1])}) must equal the edge "
+                    f"count ({col_idx.size})",
+                )
+                structural_ok = False
+            diffs = np.diff(row_ptr)
+            if diffs.size and np.any(diffs < 0):
+                first = int(np.argmax(diffs < 0))
+                err(
+                    "VAL-ROWPTR",
+                    f"row offsets decrease at vertex {first} "
+                    f"({int(row_ptr[first])} -> {int(row_ptr[first + 1])})",
+                )
+                structural_ok = False
+
+        n = max(int(row_ptr.size) - 1, 0)
+        if col_idx.size:
+            lo, hi = int(col_idx.min()), int(col_idx.max())
+            if lo < 0 or hi >= n:
+                err(
+                    "VAL-COLIDX",
+                    f"neighbor ids span [{lo}, {hi}] but must lie in "
+                    f"[0, {n - 1}]",
+                )
+                structural_ok = False
+
+        if weights is not None:
+            w = np.asarray(weights)
+            if w.shape != col_idx.shape:
+                err(
+                    "VAL-WEIGHT",
+                    f"weights have shape {w.shape}, expected {col_idx.shape}",
+                )
+            elif w.size:
+                wf = w.astype(np.float64, copy=False)
+                bad = ~np.isfinite(wf)
+                if np.any(bad):
+                    err(
+                        "VAL-WEIGHT",
+                        f"{int(bad.sum())} weight(s) are NaN or infinite",
+                    )
+                elif np.any(wf < 0):
+                    err(
+                        "VAL-WEIGHT",
+                        f"{int((wf < 0).sum())} negative weight(s) "
+                        f"(min {wf.min():g})",
+                    )
+                else:
+                    n_zero = int((wf == 0).sum())
+                    n_huge = int((wf > MAX_SAFE_WEIGHT).sum())
+                    if n_zero or n_huge:
+                        warn(
+                            "VAL-WEIGHT-RANGE",
+                            f"{n_zero} zero and {n_huge} overflow-prone "
+                            f"weight(s) (safe range is [1, {MAX_SAFE_WEIGHT}])",
+                        )
+
+        if not structural_ok:
+            return report
+
+        # ---- accounting / statistics (valid structure required) -------
+        graph = CSRGraph(row_ptr.astype(np.int64), col_idx.astype(np.int32),
+                         None, name=name)
+        self._stats(graph, report, warn)
+        return report
+
+    def validate(self, graph: CSRGraph) -> Report:
+        """Validate an already-constructed (hence structurally sound)
+        graph: weight sanity plus the degenerate-shape statistics."""
+        report = self.validate_arrays(
+            graph.row_ptr, graph.col_idx, graph.weights, name=graph.name
+        )
+        return report
+
+    def check(self, graph: CSRGraph) -> CSRGraph:
+        """Raise :class:`GraphValidationError` on any error finding."""
+        report = self.validate(graph)
+        if not report.ok:
+            raise GraphValidationError(report, name=graph.name)
+        return graph
+
+    # ------------------------------------------------------------------
+    def _stats(self, graph: CSRGraph, report: Report, warn) -> None:
+        n, m = graph.n_vertices, graph.n_edges
+        if n == 0 or m == 0:
+            warn("VAL-EMPTY", f"{n} vertices, {m} directed edges")
+            return
+
+        src = graph.edge_sources().astype(np.int64)
+        dst = graph.col_idx.astype(np.int64)
+        n_self = int((src == dst).sum())
+        if n_self:
+            warn("VAL-SELF-LOOP", f"{n_self} self loop(s)")
+
+        key = src * np.int64(n) + dst
+        key_sorted = np.sort(key)
+        n_dup = int(key.size - np.unique(key_sorted).size)
+        if n_dup:
+            warn("VAL-DUP-EDGE", f"{n_dup} duplicate parallel edge(s)")
+
+        degrees = graph.degrees
+        n_isolated = int((degrees == 0).sum())
+        frac = n_isolated / n
+        if frac > ISOLATED_WARN_FRACTION:
+            warn(
+                "VAL-ISOLATED",
+                f"{n_isolated}/{n} vertices ({frac:.0%}) are isolated",
+            )
+        d_max = int(degrees.max())
+        d_avg = m / n
+        if d_max >= SKEW_MIN_DEGREE and d_avg > 0 and d_max / d_avg > SKEW_WARN_RATIO:
+            warn(
+                "VAL-SKEW",
+                f"d_max {d_max} is {d_max / d_avg:.0f}x the average degree "
+                f"{d_avg:.2f}",
+            )
+
+        if self.require_sorted and not graph.has_sorted_neighbors():
+            report.add(Finding.of(
+                "VAL-UNSORTED", spec="", locus=graph.name,
+                message="adjacency lists are not sorted",
+            ))
+        if self.require_symmetric and not graph.is_symmetric():
+            warn("VAL-ASYM", "graph is not symmetric (missing reverse edges)")
+
+
+def sanitize_graph(
+    graph: CSRGraph,
+    *,
+    symmetrize: bool = False,
+    clamp_weights: bool = True,
+) -> Tuple[CSRGraph, Report]:
+    """Normalize a graph into the canonical study form, reporting repairs.
+
+    Drops self loops, dedups parallel edges, sorts adjacency, clamps
+    weights into ``[1, MAX_SAFE_WEIGHT]`` (NaN becomes 1), and optionally
+    adds missing reverse edges.  Returns ``(repaired, report)``; the
+    report's warnings record every repair that actually changed something.
+    """
+    from .builder import from_edge_arrays
+
+    report = Report(title=f"sanitize {graph.name}")
+    report.checked = 1
+
+    def repaired(rule: str, message: str) -> None:
+        report.add(Finding(rule=rule, spec="", locus=graph.name,
+                           message=message, severity=Severity.WARNING))
+
+    src = graph.edge_sources().astype(np.int64)
+    dst = graph.col_idx.astype(np.int64)
+    w = None
+    if graph.weights is not None:
+        wf = graph.weights.astype(np.float64)
+        if clamp_weights:
+            n_bad = int((~np.isfinite(wf)).sum())
+            wf = np.where(np.isfinite(wf), wf, 1.0)
+            n_clamped = int(((wf < 1) | (wf > MAX_SAFE_WEIGHT)).sum())
+            wf = np.clip(wf, 1.0, float(MAX_SAFE_WEIGHT))
+            if n_bad:
+                repaired("VAL-WEIGHT", f"replaced {n_bad} non-finite weight(s) with 1")
+            if n_clamped:
+                repaired(
+                    "VAL-WEIGHT-RANGE",
+                    f"clamped {n_clamped} weight(s) into [1, {MAX_SAFE_WEIGHT}]",
+                )
+        w = wf.astype(np.int64)
+
+    n_self = int((src == dst).sum())
+    if n_self:
+        repaired("VAL-SELF-LOOP", f"dropped {n_self} self loop(s)")
+
+    was_symmetric = graph.is_symmetric() if symmetrize else True
+    out = from_edge_arrays(
+        src, dst, graph.n_vertices,
+        weights=w,
+        symmetrize=symmetrize and not was_symmetric,
+        dedup=True,
+        drop_self_loops=True,
+        name=graph.name,
+    )
+    # from_edge_arrays dedups post-symmetrization, so compare against the
+    # self-loop-free count to attribute the delta correctly.
+    base_edges = graph.n_edges - n_self
+    if symmetrize and not was_symmetric:
+        repaired("VAL-ASYM", "added reverse edges to symmetrize the graph")
+    elif out.n_edges < base_edges:
+        repaired(
+            "VAL-DUP-EDGE",
+            f"deduplicated {base_edges - out.n_edges} parallel edge(s)",
+        )
+    return out, report
+
+
+def quarantine_file(
+    path: PathLike,
+    quarantine_dir: PathLike,
+    *,
+    rule: str,
+    message: str,
+    line: Optional[int] = None,
+    policy: str = "strict",
+) -> Path:
+    """Copy a rejected input into the quarantine directory with a
+    machine-readable reason file; returns the reason-file path.
+
+    The original is *copied*, never moved — user inputs are not ours to
+    relocate.  The reason file is ``<name>.reason.json`` next to the
+    copy, shaped like one failure-manifest entry so tooling that already
+    parses :class:`~repro.runtime.errors.FailedRun` JSON can ingest it.
+    """
+    src = Path(path)
+    qdir = Path(quarantine_dir)
+    qdir.mkdir(parents=True, exist_ok=True)
+    if src.exists():
+        shutil.copy2(src, qdir / src.name)
+    reason_path = qdir / (src.name + ".reason.json")
+    payload = {
+        "file": str(src),
+        "rule": rule,
+        "message": message,
+        "line": line,
+        "policy": policy,
+        "error_class": "validation",
+    }
+    tmp = reason_path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(payload, indent=2) + "\n")
+    tmp.replace(reason_path)
+    return reason_path

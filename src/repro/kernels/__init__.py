@@ -4,6 +4,8 @@ from .base import (
     INF,
     WAVE,
     ConvergenceError,
+    DegenerateGraphError,
+    DivergenceError,
     KernelResult,
     flat_neighbors,
     sequential_improving,
@@ -33,6 +35,8 @@ __all__ = [
     "INF",
     "WAVE",
     "ConvergenceError",
+    "DivergenceError",
+    "DegenerateGraphError",
     "KernelResult",
     "flat_neighbors",
     "sequential_improving",

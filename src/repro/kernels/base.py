@@ -31,11 +31,14 @@ __all__ = [
     "INF",
     "WAVE",
     "MAX_ROUNDS_FACTOR",
+    "DIVERGENCE_WINDOW",
     "KernelResult",
     "wave_slices",
     "flat_neighbors",
     "vertex_hash_priority",
     "ConvergenceError",
+    "DivergenceError",
+    "DegenerateGraphError",
 ]
 
 #: Unreached-distance sentinel; INF + max weight stays well inside int64.
@@ -49,8 +52,36 @@ WAVE = 4096
 MAX_ROUNDS_FACTOR = 10
 
 
+#: Rounds a diverging residual may stagnate before DivergenceError fires.
+#: Big enough that legitimate long plateaus (near-diameter BFS frontiers on
+#: path graphs make zero *global* progress look slow, not zero) never trip
+#: it, small enough to abort a corrupted run long before the round budget.
+DIVERGENCE_WINDOW = 64
+
+
 class ConvergenceError(RuntimeError):
     """Raised when a kernel exceeds its round budget (indicates a bug)."""
+
+
+class DivergenceError(ConvergenceError):
+    """Raised when a kernel's state is provably not converging.
+
+    Distinct from the plain round-budget overrun: the kernel caught its
+    values going out of domain (negative distance, NaN/Inf rank) or its
+    residual not shrinking over :data:`DIVERGENCE_WINDOW` rounds while
+    still reporting work.  Subclasses :class:`ConvergenceError` so
+    existing handlers keep working.
+    """
+
+
+class DegenerateGraphError(ValueError):
+    """A kernel cannot run on this graph shape (e.g. zero vertices).
+
+    Subclasses :class:`ValueError` with the historical messages, so
+    pre-hardening callers that matched ``ValueError("empty graph")``
+    still catch it; new callers (the fuzzer, the budget gate) can treat
+    it as a typed, expected skip rather than a crash.
+    """
 
 
 @dataclass
@@ -90,11 +121,15 @@ def flat_neighbors(
     return edge_pos, owner
 
 
-#: Value clip for the segmented running-min trick in
-#: :func:`sequential_improving`: all real labels/distances are far below
-#: 2**31; the INF sentinels clip to the same value, which preserves every
-#: "is this candidate an improvement" comparison.
-_SEQ_CLIP = np.int64(2**31 - 1)
+#: Headroom bound for the segmented running-min trick in
+#: :func:`sequential_improving`: the per-segment offsets plus the clipped
+#: values must stay below 2**63, so the clip is chosen per call as
+#: ``2**62 // (n_segs + 1) - 1``.  Real labels/distances sit far below
+#: that (even 2**31-scale weights on a worklist only reach ~2**42 when a
+#: wave holds millions of distinct targets); only the INF sentinels clip,
+#: and they clip to a common value, which preserves every "is this
+#: candidate an improvement" comparison.
+_SEQ_HEADROOM = np.int64(2**62)
 
 
 def sequential_improving(
@@ -119,17 +154,18 @@ def sequential_improving(
         return np.zeros(0, dtype=bool)
     order = np.argsort(tgt, kind="stable")
     t_s = tgt[order]
-    c_s = np.minimum(cand[order], _SEQ_CLIP)
-    b_s = np.minimum(before[order], _SEQ_CLIP)
     is_start = np.empty(n, dtype=bool)
     is_start[0] = True
     np.not_equal(t_s[1:], t_s[:-1], out=is_start[1:])
     seg = np.cumsum(is_start) - 1
     n_segs = int(seg[-1]) + 1
+    clip = _SEQ_HEADROOM // np.int64(n_segs + 1) - np.int64(1)
+    c_s = np.minimum(cand[order], clip)
+    b_s = np.minimum(before[order], clip)
     # Segmented exclusive running min via the decreasing-offset trick:
     # earlier segments carry a strictly larger offset, so accumulate-min
     # never leaks across segment boundaries.
-    offset = (np.int64(n_segs) - seg) * (_SEQ_CLIP + np.int64(1))
+    offset = (np.int64(n_segs) - seg) * (clip + np.int64(1))
     feed = np.where(is_start, b_s, np.concatenate(([0], c_s[:-1])))
     running_excl = np.minimum.accumulate(feed + offset)
     improving_s = (c_s + offset) < running_excl

@@ -32,6 +32,7 @@ from .base import (
     MAX_ROUNDS_FACTOR,
     WAVE,
     ConvergenceError,
+    DegenerateGraphError,
     KernelResult,
     flat_neighbors,
     vertex_hash_priority,
@@ -51,7 +52,7 @@ class MISKernel:
 
     def __init__(self, graph: CSRGraph, label: str = "mis"):
         if graph.n_vertices == 0:
-            raise ValueError("empty graph")
+            raise DegenerateGraphError("empty graph")
         self.graph = graph
         self.label = label
         self.pri = vertex_hash_priority(graph.n_vertices)

@@ -27,7 +27,14 @@ from ..graph.csr import CSRGraph
 from ..machine.trace import ExecutionTrace, IterationProfile, conflict_stats
 from ..styles.axes import Determinism, Flow
 from ..styles.spec import SemanticKey
-from .base import WAVE, ConvergenceError, KernelResult
+from .base import (
+    DIVERGENCE_WINDOW,
+    WAVE,
+    ConvergenceError,
+    DegenerateGraphError,
+    DivergenceError,
+    KernelResult,
+)
 
 __all__ = ["PageRankKernel", "DAMPING", "TOLERANCE"]
 
@@ -36,12 +43,36 @@ TOLERANCE = 1e-8
 MAX_ITERS = 2000
 
 
+def _check_residual(label: str, err: float, state: dict) -> None:
+    """NaN/Inf sentinel + non-shrinking-residual divergence detection.
+
+    Power iteration's L1 residual contracts geometrically; a residual
+    that is non-finite, or fails to reach a new minimum for
+    :data:`DIVERGENCE_WINDOW` consecutive iterations, means the state is
+    corrupted (planted bug, overflow) and waiting out ``MAX_ITERS`` just
+    wastes cycles.
+    """
+    if not np.isfinite(err):
+        raise DivergenceError(f"{label}: residual is {err} — diverging")
+    if err < state["best"]:
+        state["best"] = err
+        state["stale"] = 0
+    else:
+        state["stale"] += 1
+        if state["stale"] >= DIVERGENCE_WINDOW:
+            raise DivergenceError(
+                f"{label}: residual stopped shrinking for "
+                f"{DIVERGENCE_WINDOW} iterations (stuck at {err:g}) — "
+                "diverging"
+            )
+
+
 class PageRankKernel:
     """Runs PageRank on one graph in any semantic style."""
 
     def __init__(self, graph: CSRGraph, label: str = "pr"):
         if graph.n_vertices == 0:
-            raise ValueError("empty graph")
+            raise DegenerateGraphError("empty graph")
         self.graph = graph
         self.label = label
         self._src = graph.edge_sources().astype(np.int64)
@@ -85,6 +116,7 @@ class PageRankKernel:
         n = self.graph.n_vertices
         row_ptr = self.graph.row_ptr
         deterministic = sem.determinism is Determinism.DETERMINISTIC
+        guard = {"best": float("inf"), "stale": 0}
         for _it in range(MAX_ITERS):
             prev = rank.copy()
             base = self._base_term(rank)
@@ -105,10 +137,12 @@ class PageRankKernel:
             if err < TOLERANCE:
                 trace.converged = True
                 return
+            _check_residual(self.label, err, guard)
         raise ConvergenceError(f"{self.label} pull did not converge")
 
     def _run_push(self, rank: np.ndarray, trace: ExecutionTrace) -> None:
         n = self.graph.n_vertices
+        guard = {"best": float("inf"), "stale": 0}
         for _it in range(MAX_ITERS):
             base = self._base_term(rank)
             new = np.full(n, base)
@@ -122,6 +156,7 @@ class PageRankKernel:
             if err < TOLERANCE:
                 trace.converged = True
                 return
+            _check_residual(self.label, err, guard)
         raise ConvergenceError(f"{self.label} push did not converge")
 
     # ------------------------------------------------------------------

@@ -38,10 +38,13 @@ from ..machine.trace import ExecutionTrace, IterationProfile, conflict_stats
 from ..styles.axes import Determinism, Driver, Dup, Flow, Iteration, Update
 from ..styles.spec import SemanticKey
 from .base import (
+    DIVERGENCE_WINDOW,
     INF,
     MAX_ROUNDS_FACTOR,
     WAVE,
     ConvergenceError,
+    DegenerateGraphError,
+    DivergenceError,
     KernelResult,
     flat_neighbors,
     sequential_improving,
@@ -83,7 +86,7 @@ class RelaxationKernel:
         if edge_cost == "weight" and graph.weights is None:
             raise ValueError("weighted relaxation requires edge weights")
         if graph.n_vertices == 0:
-            raise ValueError("empty graph")
+            raise DegenerateGraphError("empty graph")
         if edge_cost != "zero" and not 0 <= source < graph.n_vertices:
             raise ValueError("source out of range")
         self.graph = graph
@@ -128,6 +131,51 @@ class RelaxationKernel:
         return np.arange(beg, end, dtype=np.int64)
 
     # ------------------------------------------------------------------
+    # Divergence guard
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _new_guard_state() -> dict:
+        return {"best": (float("inf"), float("inf")), "stale": 0}
+
+    def _divergence_guard(
+        self, values: np.ndarray, state: dict, improving: int
+    ) -> None:
+        """Abort provably-diverging runs long before the round budget.
+
+        Min-relaxation values live in ``[0, INF]`` and their sum is
+        monotone non-increasing; a negative value means weight overflow
+        or a corrupted update, and a residual that stops shrinking while
+        passes still report improving updates means the run is looping,
+        not converging.
+        """
+        lo = int(values.min()) if values.size else 0
+        if lo < 0:
+            raise DivergenceError(
+                f"{self.label}: value domain violated (min {lo} < 0) — "
+                "weight overflow or corrupted update"
+            )
+        # Progress metric: (unreached count, sum of reached values).  The
+        # INF entries are counted, not summed — a float64 sum dominated by
+        # 2**60 sentinels cannot resolve small refinements and would
+        # false-flag long-diameter graphs as stale.
+        reached = values < INF
+        total = (
+            int(values.size - np.count_nonzero(reached)),
+            float(values[reached].sum(dtype=np.float64)),
+        )
+        if total < state["best"]:
+            state["best"] = total
+            state["stale"] = 0
+        elif improving:
+            state["stale"] += 1
+            if state["stale"] >= DIVERGENCE_WINDOW:
+                raise DivergenceError(
+                    f"{self.label}: residual stopped shrinking for "
+                    f"{DIVERGENCE_WINDOW} rounds despite improving "
+                    "updates — diverging"
+                )
+
+    # ------------------------------------------------------------------
     # Public entry point
     # ------------------------------------------------------------------
     def run(self, sem: SemanticKey) -> KernelResult:
@@ -155,6 +203,7 @@ class RelaxationKernel:
         n, m = self.graph.n_vertices, self.graph.n_edges
         max_rounds = MAX_ROUNDS_FACTOR * n + 10
         deterministic = sem.determinism is Determinism.DETERMINISTIC
+        guard = self._new_guard_state()
         for _round in range(max_rounds):
             if deterministic:
                 read = values.copy()
@@ -176,6 +225,7 @@ class RelaxationKernel:
             if stats.improving == 0:
                 trace.converged = True
                 return
+            self._divergence_guard(values, guard, stats.improving)
         raise ConvergenceError(
             f"{self.label} topology-driven did not converge in {max_rounds} rounds"
         )
@@ -232,6 +282,7 @@ class RelaxationKernel:
         max_rounds = MAX_ROUNDS_FACTOR * n + 10
         deterministic = sem.determinism is Determinism.DETERMINISTIC
         worklist = self._initial_worklist(sem.iteration, sem.flow)
+        guard = self._new_guard_state()
         for _round in range(max_rounds):
             if worklist.size == 0:
                 trace.converged = True
@@ -264,6 +315,7 @@ class RelaxationKernel:
                 )
             trace.add(profile)
             trace.iterations += 1
+            self._divergence_guard(values, guard, stats.improving)
         raise ConvergenceError(
             f"{self.label} data-driven did not converge in {max_rounds} rounds"
         )

@@ -24,7 +24,7 @@ from ..graph.csr import CSRGraph
 from ..machine.trace import ExecutionTrace, IterationProfile
 from ..styles.axes import Iteration
 from ..styles.spec import SemanticKey
-from .base import KernelResult
+from .base import DegenerateGraphError, KernelResult
 
 __all__ = ["TriangleCountKernel"]
 
@@ -34,7 +34,7 @@ class TriangleCountKernel:
 
     def __init__(self, graph: CSRGraph, label: str = "tc"):
         if graph.n_vertices == 0:
-            raise ValueError("empty graph")
+            raise DegenerateGraphError("empty graph")
         if not graph.has_sorted_neighbors():
             raise ValueError("TC requires sorted adjacency lists")
         self.graph = graph

@@ -57,6 +57,7 @@ TITAN_V = GPUSpec(
     scatter_factor=8.0,
     cudaatomic_rmw_mult=300.0,
     cudaatomic_ls_mult=420.0,
+    mem_bytes=12e9,  # 12 GB HBM2
 )
 
 RTX_3090 = GPUSpec(
@@ -83,6 +84,7 @@ RTX_3090 = GPUSpec(
     scatter_factor=8.0,
     cudaatomic_rmw_mult=30.0,
     cudaatomic_ls_mult=45.0,
+    mem_bytes=24e9,  # 24 GB GDDR6X
 )
 
 THREADRIPPER_2950X = CPUSpec(
@@ -104,6 +106,7 @@ THREADRIPPER_2950X = CPUSpec(
     cycles_region_cpp=90000.0,  # ~26 us: thread create + join per step
     cyclic_locality_factor=1.8,
     dynamic_chunk=1,
+    mem_bytes=128e9,
 )
 
 XEON_GOLD_6226R = CPUSpec(
@@ -125,6 +128,7 @@ XEON_GOLD_6226R = CPUSpec(
     cycles_region_cpp=120000.0,
     cyclic_locality_factor=1.8,
     dynamic_chunk=1,
+    mem_bytes=256e9,
 )
 
 GPUS: Dict[str, GPUSpec] = {spec.name: spec for spec in (TITAN_V, RTX_3090)}

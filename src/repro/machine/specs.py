@@ -74,6 +74,10 @@ class GPUSpec:
     cudaatomic_rmw_mult: float
     #: factor on .load()/.store() accesses under default CudaAtomic.
     cudaatomic_ls_mult: float
+    #: Device memory capacity in bytes — the pre-launch
+    #: :class:`~repro.runtime.budget.ResourceBudget` gate caps estimated
+    #: working sets at this (a real kernel would OOM past it).
+    mem_bytes: float = 8e9
 
     @property
     def issue_slots(self) -> int:
@@ -117,6 +121,8 @@ class CPUSpec:
     cyclic_locality_factor: float
     #: iterations per dynamic chunk (OpenMP's default dynamic chunk size).
     dynamic_chunk: int
+    #: Host memory capacity in bytes (see GPUSpec.mem_bytes).
+    mem_bytes: float = 64e9
 
     def seconds(self, cycles: float) -> float:
         return cycles / (self.clock_ghz * 1e9)

@@ -1,0 +1,25 @@
+"""Robustness tooling: differential fuzzing of the data plane."""
+
+from .fuzz import (
+    FuzzCase,
+    FuzzReport,
+    PlantedBugLauncher,
+    build_case,
+    load_manifest,
+    replay_entry,
+    run_fuzz,
+    run_self_test,
+    write_manifest,
+)
+
+__all__ = [
+    "FuzzCase",
+    "FuzzReport",
+    "PlantedBugLauncher",
+    "build_case",
+    "load_manifest",
+    "replay_entry",
+    "run_fuzz",
+    "run_self_test",
+    "write_manifest",
+]

@@ -1,0 +1,649 @@
+"""Differential fuzzing of the graph-analytics data plane.
+
+Every fuzz case is a *differential* experiment: a pathological graph shape
+(empty, isolated vertices, hub explosion, duplicate edges, degenerate or
+near-overflow weights, ...) is crossed with a sampled style spec and a
+device, executed through the real :class:`~repro.runtime.launcher.Launcher`
+— which verifies the styled kernel against the serial reference — and the
+outcome is classified:
+
+* ``ok``     — the variant ran and verified;
+* ``skip``   — a *typed*, expected rejection
+  (:class:`~repro.kernels.base.DegenerateGraphError`,
+  :class:`~repro.runtime.budget.BudgetExceeded`);
+* ``escape`` — anything else: a verification mismatch, a divergence, an
+  unhandled exception.  Escapes are bugs by definition.
+
+Everything is seed-deterministic.  A case is fully reconstructible from
+``(seed, index)`` — the graph, the algorithm, the style spec (stored as an
+index into :func:`~repro.styles.combos.enumerate_specs`) and the device
+are all drawn from ``np.random.default_rng([seed, index])`` — so a
+manifest entry can be replayed byte-for-byte with :func:`replay_entry`.
+
+The harness also proves it can catch what it claims to catch:
+:func:`run_self_test` plants a minimal result-corrupting bug into each
+algorithm's kernel (via :class:`PlantedBugLauncher`) and asserts the
+differential oracle flags it.  A fuzzer whose self-test fails is reporting
+noise, not coverage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..graph.builder import from_edge_arrays
+from ..graph.csr import CSRGraph
+from ..graph.validate import MAX_SAFE_WEIGHT, sanitize_graph
+from ..kernels.base import DegenerateGraphError, KernelResult
+from ..machine.devices import CPUS, GPUS
+from ..runtime.budget import BudgetExceeded
+from ..runtime.errors import FailedRun
+from ..runtime.launcher import Launcher
+from ..runtime.verify import pr_tolerance
+from ..styles.axes import Algorithm, Model
+from ..styles.combos import enumerate_specs
+
+__all__ = [
+    "MANIFEST_FORMAT",
+    "SHAPES",
+    "FuzzCase",
+    "FuzzReport",
+    "PlantedBugLauncher",
+    "build_case",
+    "load_manifest",
+    "replay_entry",
+    "run_fuzz",
+    "run_self_test",
+    "write_manifest",
+]
+
+MANIFEST_FORMAT = "repro-fuzz-manifest-v1"
+
+#: Shape name recorded for planted-bug self-test entries (they run on a
+#: fixed instance, not a sampled one).
+SELF_TEST_SHAPE = "self-test-grid"
+
+
+# ----------------------------------------------------------------------
+# Graph shape mutators.  Each takes the case RNG and returns a canonical
+# weighted CSR graph (weights are mandatory so SSSP specs always apply).
+# Weight mutations are symmetric per undirected edge — pull-style kernels
+# read the reverse edge's weight, so asymmetric weights would produce
+# legitimate (non-bug) differences against the reference.
+# ----------------------------------------------------------------------
+
+
+def _empty_weighted(n: int, name: str) -> CSRGraph:
+    return CSRGraph(
+        np.zeros(n + 1, dtype=np.int64),
+        np.empty(0, dtype=np.int32),
+        np.empty(0, dtype=np.int32),
+        name=name,
+    )
+
+
+def _weighted(src, dst, n: int, name: str) -> CSRGraph:
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    if src.size == 0:
+        return _empty_weighted(n, name)
+    return from_edge_arrays(src, dst, n, add_weights=True, name=name)
+
+
+def _reweight(graph: CSRGraph, weights: np.ndarray, name: str) -> CSRGraph:
+    """Replace a graph's weights and push it through the sanitizer —
+    exactly the path a dirty input file takes through ``load_graph``."""
+    dirty = CSRGraph(
+        graph.row_ptr, graph.col_idx, weights.astype(np.int32), name=name
+    )
+    clean, _report = sanitize_graph(dirty)
+    return clean
+
+
+def _sym_edge_hash(graph: CSRGraph, salt: int) -> np.ndarray:
+    """A per-edge hash that is identical for both directions of an edge."""
+    src = graph.edge_sources().astype(np.uint64)
+    dst = graph.col_idx.astype(np.uint64)
+    a = np.minimum(src, dst)
+    b = np.maximum(src, dst)
+    return a * np.uint64(0x9E3779B97F4A7C15) + b + np.uint64(salt)
+
+
+def _shape_empty(rng: np.random.Generator) -> CSRGraph:
+    return _empty_weighted(0, "fuzz-empty")
+
+
+def _shape_single_vertex(rng: np.random.Generator) -> CSRGraph:
+    return _empty_weighted(1, "fuzz-single-vertex")
+
+
+def _shape_no_edges(rng: np.random.Generator) -> CSRGraph:
+    n = int(rng.integers(2, 33))
+    return _empty_weighted(n, "fuzz-no-edges")
+
+
+def _shape_disconnected(rng: np.random.Generator) -> CSRGraph:
+    """Two cliques with no path between them (plus the odd isolated tail)."""
+    a = int(rng.integers(2, 8))
+    b = int(rng.integers(2, 8))
+    tail = int(rng.integers(0, 3))
+    src, dst = [], []
+    for i in range(a):
+        for j in range(i + 1, a):
+            src.append(i)
+            dst.append(j)
+    for i in range(b):
+        for j in range(i + 1, b):
+            src.append(a + i)
+            dst.append(a + j)
+    return _weighted(src, dst, a + b + tail, "fuzz-disconnected")
+
+
+def _shape_hub(rng: np.random.Generator) -> CSRGraph:
+    """Star: one vertex adjacent to everything (degree-skew explosion)."""
+    n = int(rng.integers(8, 65))
+    src = np.zeros(n - 1, dtype=np.int64)
+    dst = np.arange(1, n, dtype=np.int64)
+    return _weighted(src, dst, n, "fuzz-hub")
+
+
+def _shape_path(rng: np.random.Generator) -> CSRGraph:
+    """Long path — maximal diameter per vertex, stresses iteration caps."""
+    n = int(rng.integers(8, 65))
+    src = np.arange(n - 1, dtype=np.int64)
+    dst = np.arange(1, n, dtype=np.int64)
+    return _weighted(src, dst, n, "fuzz-path")
+
+
+def _shape_random(rng: np.random.Generator) -> CSRGraph:
+    n = int(rng.integers(4, 49))
+    m = int(rng.integers(1, 4 * n))
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    return _weighted(src, dst, n, "fuzz-random")
+
+
+def _shape_duplicate_edges(rng: np.random.Generator) -> CSRGraph:
+    """A handful of edges, each repeated many times (dedup stress)."""
+    n = int(rng.integers(3, 9))
+    k = int(rng.integers(1, 5))
+    base_src = rng.integers(0, n, k)
+    base_dst = rng.integers(0, n, k)
+    reps = int(rng.integers(2, 9))
+    return _weighted(
+        np.tile(base_src, reps), np.tile(base_dst, reps), n, "fuzz-dup-edges"
+    )
+
+
+def _shape_zero_weight(rng: np.random.Generator) -> CSRGraph:
+    """Weights zeroed on a random (symmetric) edge subset; the sanitizer
+    must clamp them back into the valid domain before the kernels run."""
+    g = _shape_random(rng)
+    if g.n_edges == 0:
+        return g
+    w = g.weights.copy()
+    w[_sym_edge_hash(g, int(rng.integers(0, 1 << 30))) % np.uint64(3) == 0] = 0
+    return _reweight(g, w, "fuzz-zero-weight")
+
+
+def _shape_uniform_weight(rng: np.random.Generator) -> CSRGraph:
+    """Every edge carries the same weight (degenerate tie-heavy SSSP)."""
+    g = _shape_random(rng)
+    if g.n_edges == 0:
+        return g
+    w = np.full(g.n_edges, int(rng.integers(1, 16)), dtype=np.int64)
+    return _reweight(g, w, "fuzz-uniform-weight")
+
+
+def _shape_near_overflow_weight(rng: np.random.Generator) -> CSRGraph:
+    """Weights at the top of the int32 domain on a short path — distance
+    accumulation must stay below the ``INF`` sentinel without wrapping."""
+    n = int(rng.integers(3, 9))
+    src = np.arange(n - 1, dtype=np.int64)
+    dst = np.arange(1, n, dtype=np.int64)
+    g = _weighted(src, dst, n, "fuzz-near-overflow")
+    slack = _sym_edge_hash(g, int(rng.integers(0, 1 << 30))) % np.uint64(7)
+    w = np.int64(MAX_SAFE_WEIGHT) - slack.astype(np.int64)
+    return _reweight(g, w, "fuzz-near-overflow")
+
+
+SHAPES: Dict[str, Callable[[np.random.Generator], CSRGraph]] = {
+    "empty": _shape_empty,
+    "single_vertex": _shape_single_vertex,
+    "no_edges": _shape_no_edges,
+    "disconnected": _shape_disconnected,
+    "hub": _shape_hub,
+    "path": _shape_path,
+    "random": _shape_random,
+    "duplicate_edges": _shape_duplicate_edges,
+    "zero_weight": _shape_zero_weight,
+    "uniform_weight": _shape_uniform_weight,
+    "near_overflow_weight": _shape_near_overflow_weight,
+}
+
+
+# ----------------------------------------------------------------------
+# Case construction and execution
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One sampled experiment, fully determined by ``(seed, index)``."""
+
+    seed: int
+    index: int
+    shape: str
+    algorithm: Algorithm
+    model: Model
+    spec_index: int
+    spec_label: str
+    device: str
+    n_vertices: int
+    n_edges: int
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "index": self.index,
+            "shape": self.shape,
+            "algorithm": self.algorithm.value,
+            "model": self.model.value,
+            "spec_index": self.spec_index,
+            "spec_label": self.spec_label,
+            "device": self.device,
+            "n_vertices": self.n_vertices,
+            "n_edges": self.n_edges,
+        }
+
+
+def build_case(seed: int, index: int):
+    """Reconstruct case ``index`` of run ``seed``.
+
+    Returns ``(case, graph, spec, device)``.  Every random draw comes from
+    ``default_rng([seed, index])`` in a fixed order, so the same pair
+    always yields the same experiment — this is what makes manifest
+    entries replayable.
+    """
+    rng = np.random.default_rng([int(seed), int(index)])
+    shape_names = list(SHAPES)
+    shape = shape_names[int(rng.integers(0, len(shape_names)))]
+    graph = SHAPES[shape](rng)
+    algorithms = list(Algorithm)
+    algorithm = algorithms[int(rng.integers(0, len(algorithms)))]
+    models = list(Model)
+    model = models[int(rng.integers(0, len(models)))]
+    specs = enumerate_specs(algorithm, model)
+    spec_index = int(rng.integers(0, len(specs)))
+    spec = specs[spec_index]
+    devices = list(GPUS.values()) if model.is_gpu else list(CPUS.values())
+    device = devices[int(rng.integers(0, len(devices)))]
+    case = FuzzCase(
+        seed=int(seed),
+        index=int(index),
+        shape=shape,
+        algorithm=algorithm,
+        model=model,
+        spec_index=spec_index,
+        spec_label=spec.label(),
+        device=device.name,
+        n_vertices=graph.n_vertices,
+        n_edges=graph.n_edges,
+    )
+    return case, graph, spec, device
+
+
+def _execute(
+    launcher: Launcher, spec, graph: CSRGraph, device
+) -> Tuple[str, Optional[Exception]]:
+    """Run one case and classify the outcome."""
+    try:
+        launcher.run(spec, graph, device)
+        return "ok", None
+    except (DegenerateGraphError, BudgetExceeded) as exc:
+        return "skip", exc
+    except Exception as exc:  # noqa: BLE001 — every escape is a finding
+        return "escape", exc
+
+
+def _entry(
+    status: str,
+    case: FuzzCase,
+    exc: Optional[Exception],
+    *,
+    planted: Optional[str] = None,
+) -> dict:
+    entry: dict = {"status": status, "case": case.to_dict()}
+    if planted is not None:
+        entry["planted"] = planted
+    if exc is not None:
+        failed = FailedRun.from_exception(
+            exc,
+            algorithm=case.algorithm.value,
+            graph=case.shape,
+            spec_label=case.spec_label,
+            model=case.model.value,
+            device=case.device,
+        )
+        entry["failure"] = {
+            "error_class": failed.error_class.value,
+            "message": failed.message,
+            "digest": failed.digest,
+        }
+    return entry
+
+
+# ----------------------------------------------------------------------
+# Reports and manifests
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzzing (or self-test) run."""
+
+    seed: int
+    cases: int = 0
+    ok: int = 0
+    #: Every non-ok outcome (skips, escapes, planted-bug detections).
+    entries: List[dict] = field(default_factory=list)
+    planted_total: int = 0
+    planted_detected: int = 0
+
+    @property
+    def escapes(self) -> List[dict]:
+        """Genuine findings: escapes that were *not* planted on purpose."""
+        return [
+            e
+            for e in self.entries
+            if e["status"] == "escape" and "planted" not in e
+        ]
+
+    @property
+    def skips(self) -> List[dict]:
+        return [e for e in self.entries if e["status"] == "skip"]
+
+    @property
+    def planted_ok(self) -> bool:
+        return self.planted_detected == self.planted_total
+
+    def render_text(self) -> str:
+        lines = []
+        if self.planted_total:
+            verdict = "PASS" if self.planted_ok else "FAIL"
+            lines.append(
+                f"planted-bug self-test: {self.planted_detected}/"
+                f"{self.planted_total} injected bugs detected [{verdict}]"
+            )
+            for e in self.entries:
+                if e.get("planted") and e["status"] != "escape":
+                    c = e["case"]
+                    lines.append(
+                        f"  MISSED: {e['planted']} [{c['spec_label']}] "
+                        f"on {c['device']}"
+                    )
+        if self.cases:
+            lines.append(
+                f"fuzz: {self.cases} cases, seed {self.seed} — "
+                f"{self.ok} ok, {len(self.skips)} typed skips, "
+                f"{len(self.escapes)} escapes"
+            )
+            for e in self.escapes:
+                c = e["case"]
+                failure = e.get("failure", {})
+                lines.append(
+                    f"  ESCAPE case {c['index']}: {c['shape']} x "
+                    f"{c['algorithm']} [{c['spec_label']}] on {c['device']} "
+                    f"— {failure.get('message', '?')}"
+                )
+        return "\n".join(lines) if lines else "fuzz: nothing ran"
+
+
+def run_fuzz(
+    cases: int = 200,
+    seed: int = 0,
+    *,
+    launcher_factory: Optional[Callable[[], Launcher]] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> FuzzReport:
+    """Run ``cases`` seed-deterministic differential experiments.
+
+    ``launcher_factory`` builds the launcher for each case (tests inject
+    :class:`PlantedBugLauncher` here); the default is a fresh verifying
+    :class:`Launcher` per case, so no state leaks between experiments.
+    """
+    factory = launcher_factory or (lambda: Launcher(verify=True))
+    report = FuzzReport(seed=int(seed))
+    for index in range(cases):
+        case, graph, spec, device = build_case(seed, index)
+        status, exc = _execute(factory(), spec, graph, device)
+        report.cases += 1
+        if status == "ok":
+            report.ok += 1
+        else:
+            report.entries.append(_entry(status, case, exc))
+        if progress is not None:
+            progress(index + 1, cases)
+    return report
+
+
+def write_manifest(path, *reports: FuzzReport) -> Path:
+    """Write one replayable JSON manifest covering the given reports."""
+    path = Path(path)
+    payload = {
+        "format": MANIFEST_FORMAT,
+        "seeds": [r.seed for r in reports],
+        "cases": sum(r.cases for r in reports),
+        "escapes": sum(len(r.escapes) for r in reports),
+        "planted_total": sum(r.planted_total for r in reports),
+        "planted_detected": sum(r.planted_detected for r in reports),
+        "entries": [e for r in reports for e in r.entries],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    os.replace(tmp, path)
+    return path
+
+
+def load_manifest(path) -> dict:
+    path = Path(path)
+    payload = json.loads(path.read_text())
+    if (
+        not isinstance(payload, dict)
+        or payload.get("format") != MANIFEST_FORMAT
+    ):
+        raise ValueError(f"{path} is not a {MANIFEST_FORMAT} manifest")
+    return payload
+
+
+def replay_entry(entry: dict) -> dict:
+    """Re-run one manifest entry and report whether it reproduces.
+
+    Returns ``{"reproduced": bool, "status": str, "message": str}``.
+    ``reproduced`` means the replay reached the same outcome class as the
+    recorded run (same status, and for failures the same error class).
+    """
+    recorded_status = entry["status"]
+    case_d = entry["case"]
+    planted = entry.get("planted")
+    if planted is not None:
+        algorithm = Algorithm(planted)
+        model = Model(case_d["model"])
+        spec = enumerate_specs(algorithm, model)[case_d["spec_index"]]
+        device = _device_by_name(case_d["device"])
+        graph = _self_test_graph()
+        launcher = PlantedBugLauncher(algorithm=algorithm)
+    else:
+        case, graph, spec, device = build_case(
+            case_d["seed"], case_d["index"]
+        )
+        if case.spec_label != case_d["spec_label"]:
+            return {
+                "reproduced": False,
+                "status": "mismatch",
+                "message": (
+                    f"case reconstruction drifted: expected "
+                    f"{case_d['spec_label']}, rebuilt {case.spec_label}"
+                ),
+            }
+        launcher = Launcher(verify=True)
+    status, exc = _execute(launcher, spec, graph, device)
+    reproduced = status == recorded_status
+    recorded_failure = entry.get("failure")
+    if reproduced and recorded_failure is not None and exc is not None:
+        replay_class = FailedRun.from_exception(
+            exc, algorithm=case_d["algorithm"], graph=case_d["shape"]
+        ).error_class.value
+        reproduced = replay_class == recorded_failure["error_class"]
+    message = "ok" if exc is None else f"{type(exc).__name__}: {exc}"
+    return {"reproduced": reproduced, "status": status, "message": message}
+
+
+def _device_by_name(name: str):
+    registry: Dict[str, Union[object]] = {**GPUS, **CPUS}
+    try:
+        return registry[name]
+    except KeyError:
+        raise ValueError(f"unknown device {name!r}") from None
+
+
+# ----------------------------------------------------------------------
+# Planted-bug self-test
+# ----------------------------------------------------------------------
+
+
+def mutate_values(
+    algorithm: Algorithm, values: np.ndarray, graph: CSRGraph
+) -> np.ndarray:
+    """The smallest result corruption the oracle must still catch."""
+    v = values.copy()
+    if v.size == 0:
+        return v
+    if algorithm is Algorithm.TC:
+        v[0] += 1
+    elif algorithm is Algorithm.PR:
+        v[0] = v[0] + 10.0 * pr_tolerance(graph.n_vertices)
+    elif algorithm is Algorithm.CC:
+        other = np.nonzero(v != v[0])[0]
+        if other.size:
+            v[0] = v[other[0]]  # merge vertex 0 into another component
+        else:
+            v[0] = v.max() + 1  # split vertex 0 out of the only component
+    elif algorithm is Algorithm.MIS:
+        v[0] = 1 - v[0]  # flip membership of vertex 0
+    else:  # BFS / SSSP distance vectors
+        v[0] += 1
+    return v
+
+
+class _MutatingKernel:
+    """Wraps a real kernel; corrupts its result after every run."""
+
+    def __init__(self, inner, algorithm: Algorithm, graph: CSRGraph):
+        self._inner = inner
+        self._algorithm = algorithm
+        self._graph = graph
+
+    def run(self, semantic_key) -> KernelResult:
+        result = self._inner.run(semantic_key)
+        return KernelResult(
+            values=mutate_values(self._algorithm, result.values, self._graph),
+            trace=result.trace,
+        )
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class PlantedBugLauncher(Launcher):
+    """A launcher whose kernels carry an injected result-corrupting bug.
+
+    ``algorithm=None`` plants the bug into every kernel; otherwise only
+    the named algorithm is corrupted.  Used by the fuzzer's self-test to
+    prove the differential oracle actually detects wrong answers.
+    """
+
+    def __init__(self, *, algorithm: Optional[Algorithm] = None, **kwargs):
+        kwargs.setdefault("verify", True)
+        super().__init__(**kwargs)
+        self.planted_algorithm = algorithm
+
+    def _kernel_for(self, algorithm: Algorithm, graph: CSRGraph):
+        kernel = super()._kernel_for(algorithm, graph)
+        planted = self.planted_algorithm in (None, algorithm)
+        if planted and not isinstance(kernel, _MutatingKernel):
+            kernel = _MutatingKernel(kernel, algorithm, graph)
+            self._kernels[(id(graph), algorithm)] = kernel
+        return kernel
+
+
+def _self_test_graph() -> CSRGraph:
+    """A fixed connected weighted 4x4 grid — small, non-degenerate, and
+    with a unique reference solution for every algorithm."""
+    side = 4
+    src, dst = [], []
+    for r in range(side):
+        for c in range(side):
+            v = r * side + c
+            if c + 1 < side:
+                src.append(v)
+                dst.append(v + 1)
+            if r + 1 < side:
+                src.append(v)
+                dst.append(v + side)
+    return from_edge_arrays(
+        np.asarray(src),
+        np.asarray(dst),
+        side * side,
+        add_weights=True,
+        name="fuzz-self-test",
+    )
+
+
+def run_self_test(seed: int = 0) -> FuzzReport:
+    """Plant a bug into every algorithm's kernel and check it is caught.
+
+    Each algorithm is exercised under one GPU and one CPU model; a planted
+    bug that does *not* escape is recorded as ``missed`` and fails the
+    self-test (``report.planted_ok``).
+    """
+    report = FuzzReport(seed=int(seed))
+    graph = _self_test_graph()
+    gpu = next(iter(GPUS.values()))
+    cpu = next(iter(CPUS.values()))
+    for algorithm in Algorithm:
+        for model in (Model.CUDA, Model.OPENMP):
+            spec = enumerate_specs(algorithm, model)[0]
+            device = gpu if model.is_gpu else cpu
+            launcher = PlantedBugLauncher(algorithm=algorithm)
+            status, exc = _execute(launcher, spec, graph, device)
+            report.planted_total += 1
+            case = FuzzCase(
+                seed=int(seed),
+                index=-1,
+                shape=SELF_TEST_SHAPE,
+                algorithm=algorithm,
+                model=model,
+                spec_index=0,
+                spec_label=spec.label(),
+                device=device.name,
+                n_vertices=graph.n_vertices,
+                n_edges=graph.n_edges,
+            )
+            if status == "escape":
+                report.planted_detected += 1
+                report.entries.append(
+                    _entry("escape", case, exc, planted=algorithm.value)
+                )
+            else:
+                report.entries.append(
+                    _entry("missed", case, exc, planted=algorithm.value)
+                )
+    return report

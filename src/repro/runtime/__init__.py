@@ -1,6 +1,7 @@
 """Runtime: launching styled programs on simulated devices, with
 verification against serial references."""
 
+from .budget import BudgetExceeded, ResourceBudget, estimate_bytes
 from .errors import (
     BlockTimeoutError,
     CheckpointCorruptError,
@@ -12,7 +13,12 @@ from .errors import (
     error_digest,
 )
 from .launcher import Launcher, RunResult
-from .verify import VerificationError, reference_solution, verify_result
+from .verify import (
+    VerificationError,
+    pr_tolerance,
+    reference_solution,
+    verify_result,
+)
 
 __all__ = [
     "Launcher",
@@ -20,6 +26,10 @@ __all__ = [
     "VerificationError",
     "reference_solution",
     "verify_result",
+    "pr_tolerance",
+    "ResourceBudget",
+    "BudgetExceeded",
+    "estimate_bytes",
     "ErrorClass",
     "FailedRun",
     "SweepError",

@@ -1,0 +1,151 @@
+"""Pre-launch resource budgeting.
+
+A production sweep service must refuse work it cannot afford *before*
+allocating it: an OOM kill takes the whole worker (and every cached trace
+in it) down, while a typed :class:`BudgetExceeded` raised up front becomes
+one clean failure-manifest entry.  This module estimates the working-set
+footprint of one (graph, style) execution from the graph's array sizes
+and the style's extra state, and checks it against:
+
+* an explicit per-run byte limit (``max_bytes``),
+* the target device's memory capacity (``GPUSpec.mem_bytes`` /
+  ``CPUSpec.mem_bytes``), and
+* an optional cap on a run's *simulated* seconds (``max_seconds``) —
+  useful for fuzzing and CI, where a pathological case that simulates to
+  hours of device time is a finding, not a result to wait for.
+
+:class:`~repro.runtime.launcher.Launcher` consults a budget before every
+semantic execution; :func:`ResourceBudget.from_env` builds one from
+``$REPRO_MAX_FOOTPRINT_MB`` / ``$REPRO_MAX_SIM_SECONDS`` so sweeps can be
+capped without code changes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..graph.csr import CSRGraph
+from ..machine.specs import CPUSpec, GPUSpec
+from ..styles.axes import Driver
+from ..styles.spec import StyleSpec
+
+__all__ = [
+    "BudgetExceeded",
+    "ResourceBudget",
+    "estimate_bytes",
+]
+
+#: Per-vertex working state: int64 value array plus the deterministic
+#: styles' double buffer, degrees, and per-vertex trace fields.
+_VERTEX_STATE_BYTES = 48
+
+#: Per-edge working state: the kernels' flat int64 src/dst/cost views on
+#: top of the CSR arrays themselves.
+_EDGE_STATE_BYTES = 24
+
+#: Extra per-edge allowance for data-driven styles: worklists are edge
+#: slots (int64) and the dup style can push a multiple of the frontier.
+_WORKLIST_BYTES = 16
+
+
+class BudgetExceeded(RuntimeError):
+    """A run was refused before launch: estimated cost exceeds the budget.
+
+    Carries the numbers so manifest entries stay machine-readable.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        estimated: float,
+        limit: float,
+        dimension: str = "bytes",
+    ):
+        super().__init__(message)
+        self.estimated = estimated
+        self.limit = limit
+        self.dimension = dimension
+
+
+def estimate_bytes(graph: CSRGraph, spec: Optional[StyleSpec] = None) -> int:
+    """Estimated peak working-set bytes of one execution.
+
+    Deliberately a cheap upper-ish bound from array shapes (exact
+    accounting would require running the kernel): CSR storage + per-vertex
+    and per-edge kernel state, plus a worklist allowance for data-driven
+    styles.
+    """
+    n, m = graph.n_vertices, graph.n_edges
+    total = graph.memory_bytes()
+    total += n * _VERTEX_STATE_BYTES + m * _EDGE_STATE_BYTES
+    if spec is not None and spec.driver is Driver.DATA:
+        total += m * _WORKLIST_BYTES
+    return int(total)
+
+
+@dataclass(frozen=True)
+class ResourceBudget:
+    """Configurable pre-launch limits; ``None`` disables a dimension."""
+
+    max_bytes: Optional[int] = None
+    max_seconds: Optional[float] = None
+
+    @classmethod
+    def from_env(cls) -> "ResourceBudget":
+        """Budget from ``$REPRO_MAX_FOOTPRINT_MB`` / ``$REPRO_MAX_SIM_SECONDS``.
+
+        Unset or empty variables leave the dimension unlimited, so the
+        default environment yields an inactive budget.
+        """
+        mb = os.environ.get("REPRO_MAX_FOOTPRINT_MB", "")
+        secs = os.environ.get("REPRO_MAX_SIM_SECONDS", "")
+        return cls(
+            max_bytes=int(float(mb) * 1e6) if mb else None,
+            max_seconds=float(secs) if secs else None,
+        )
+
+    @property
+    def active(self) -> bool:
+        return self.max_bytes is not None or self.max_seconds is not None
+
+    # ------------------------------------------------------------------
+    def check_footprint(
+        self,
+        graph: CSRGraph,
+        spec: Optional[StyleSpec] = None,
+        device: Optional[Union[GPUSpec, CPUSpec]] = None,
+    ) -> int:
+        """Raise :class:`BudgetExceeded` if the estimated footprint of
+        running ``spec`` on ``graph`` exceeds the byte budget or the
+        device's memory; returns the estimate otherwise."""
+        estimated = estimate_bytes(graph, spec)
+        limit: Optional[float] = self.max_bytes
+        source = "budget"
+        if device is not None and (limit is None or device.mem_bytes < limit):
+            limit = device.mem_bytes
+            source = device.name
+        if limit is not None and estimated > limit:
+            raise BudgetExceeded(
+                f"estimated footprint {estimated / 1e6:.1f} MB for "
+                f"{graph.name} exceeds the {source} limit "
+                f"{limit / 1e6:.1f} MB",
+                estimated=float(estimated),
+                limit=float(limit),
+                dimension="bytes",
+            )
+        return estimated
+
+    def check_seconds(self, seconds: float, *, label: str = "run") -> None:
+        """Raise :class:`BudgetExceeded` if a simulated time exceeds the
+        time budget."""
+        if self.max_seconds is not None and seconds > self.max_seconds:
+            raise BudgetExceeded(
+                f"{label}: simulated time {seconds:.3g} s exceeds the "
+                f"budget {self.max_seconds:.3g} s",
+                estimated=seconds,
+                limit=self.max_seconds,
+                dimension="seconds",
+            )

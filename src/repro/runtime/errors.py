@@ -49,6 +49,15 @@ class ErrorClass(enum.Enum):
     CHECKPOINT = "checkpoint"
     #: The sweep was interrupted (SIGINT / KeyboardInterrupt).
     INTERRUPTED = "interrupted"
+    #: A kernel's state was provably diverging (NaN/Inf residual,
+    #: out-of-domain values, or a non-shrinking residual window).
+    DIVERGENCE = "divergence"
+    #: A run was skipped before launch because its estimated footprint
+    #: exceeded the configured resource budget.
+    BUDGET = "budget"
+    #: The graph shape cannot run this kernel (e.g. zero vertices) —
+    #: an expected, typed skip rather than a crash.
+    DEGENERATE = "degenerate"
 
 
 class SweepError(RuntimeError):
@@ -69,10 +78,18 @@ class CheckpointCorruptError(SweepError):
 
 def classify_error(exc: BaseException) -> ErrorClass:
     """Map an exception onto the :class:`ErrorClass` taxonomy."""
+    from ..kernels.base import DegenerateGraphError, DivergenceError
+    from .budget import BudgetExceeded
     from .verify import VerificationError
 
     if isinstance(exc, VerificationError):
         return ErrorClass.VERIFICATION
+    if isinstance(exc, DivergenceError):
+        return ErrorClass.DIVERGENCE
+    if isinstance(exc, BudgetExceeded):
+        return ErrorClass.BUDGET
+    if isinstance(exc, DegenerateGraphError):
+        return ErrorClass.DEGENERATE
     if isinstance(exc, BlockTimeoutError):
         return ErrorClass.TIMEOUT
     if isinstance(exc, WorkerCrashError):

@@ -24,6 +24,7 @@ from ..machine.gpu import GPUModel
 from ..machine.specs import CPUSpec, GPUSpec
 from ..styles.axes import Algorithm
 from ..styles.spec import SemanticKey, StyleSpec
+from .budget import BudgetExceeded, ResourceBudget
 from .verify import reference_solution, verify_result
 
 __all__ = ["RunResult", "Launcher"]
@@ -62,6 +63,15 @@ class Launcher:
     :class:`~repro.analysis.sanitizer.SanitizerError`.  The default
     (``None``) follows the ``$REPRO_SANITIZE`` environment variable
     (any value but empty/``0`` enables it).
+
+    ``budget`` is a pre-launch :class:`~repro.runtime.budget.ResourceBudget`:
+    before executing a variant, its estimated footprint is checked against
+    the budget (and the target device's memory), and after timing, the
+    simulated seconds against the time budget — violations raise
+    :class:`~repro.runtime.budget.BudgetExceeded`, a typed skip the sweep
+    machinery records in the failure manifest.  The default (``None``)
+    builds one from ``$REPRO_MAX_FOOTPRINT_MB`` / ``$REPRO_MAX_SIM_SECONDS``
+    (inactive when unset).
     """
 
     def __init__(
@@ -70,12 +80,14 @@ class Launcher:
         verify: bool = True,
         source: Optional[int] = None,
         sanitize: Optional[bool] = None,
+        budget: Optional[ResourceBudget] = None,
     ):
         self.verify = verify
         self.source = source
         if sanitize is None:
             sanitize = os.environ.get("REPRO_SANITIZE", "0") not in ("", "0")
         self.sanitize = sanitize
+        self.budget = ResourceBudget.from_env() if budget is None else budget
         self._kernels: Dict[Tuple[int, Algorithm], object] = {}
         self._traces: Dict[Tuple[int, SemanticKey], KernelResult] = {}
         self._references: Dict[Tuple[int, Algorithm], np.ndarray] = {}
@@ -86,6 +98,8 @@ class Launcher:
         """The BFS/SSSP source for a graph (highest-degree by default)."""
         if self.source is not None:
             return self.source
+        if graph.n_vertices == 0:
+            return 0  # kernels reject the empty graph with a typed error
         return int(np.argmax(graph.degrees))
 
     # ------------------------------------------------------------------
@@ -118,9 +132,15 @@ class Launcher:
         """Run one fully-specified program variant; returns its result."""
         spec.validate()
         self._check_pairing(spec, device)
+        if self.budget.active:
+            self.budget.check_footprint(graph, spec, device)
         result = self.execute_semantic(spec, graph)
         model = self.model_for(device)
         seconds = model.time_trace(result.trace, spec)
+        if self.budget.active:
+            self.budget.check_seconds(
+                seconds, label=f"{spec.label()} on {graph.name}"
+            )
         return self._result(spec, graph, device, result, seconds)
 
     def run_batch(
@@ -155,6 +175,8 @@ class Launcher:
         for indices in groups.values():
             batch = [specs[i] for i in indices]
             try:
+                if self.budget.active:
+                    self.budget.check_footprint(graph, specs[indices[0]], device)
                 result = self.execute_semantic(specs[indices[0]], graph)
                 times = model.time_trace_batch(result.trace, batch)
             except Exception as exc:
@@ -164,6 +186,17 @@ class Launcher:
                     on_error(specs[i], exc)
                 continue
             for i, seconds in zip(indices, times):
+                if self.budget.active:
+                    try:
+                        self.budget.check_seconds(
+                            seconds,
+                            label=f"{specs[i].label()} on {graph.name}",
+                        )
+                    except BudgetExceeded as exc:
+                        if on_error is None:
+                            raise
+                        on_error(specs[i], exc)
+                        continue
                 out[i] = self._result(specs[i], graph, device, result, seconds)
         return out
 

@@ -1,0 +1,215 @@
+"""Ingestion validation, sanitize pipeline, and quarantine."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edge_arrays, load_graph
+from repro.graph.csr import CSRGraph
+from repro.graph.validate import (
+    MAX_SAFE_WEIGHT,
+    GraphParseError,
+    GraphValidationError,
+    GraphValidator,
+    quarantine_file,
+    sanitize_graph,
+)
+
+
+def _clean_graph():
+    src = np.array([0, 1, 1, 2], dtype=np.int64)
+    dst = np.array([1, 0, 2, 1], dtype=np.int64)
+    return from_edge_arrays(src, dst, 3, symmetrize=False)
+
+
+class TestValidateArrays:
+    def test_clean_graph_ok(self):
+        g = _clean_graph()
+        report = GraphValidator().validate(g)
+        assert report.ok
+        assert not report.warnings
+
+    def test_decreasing_row_ptr(self):
+        report = GraphValidator().validate_arrays(
+            np.array([0, 3, 1, 4]), np.zeros(4, dtype=np.int32)
+        )
+        assert not report.ok
+        assert "VAL-ROWPTR" in report.by_rule()
+
+    def test_row_ptr_tail_mismatch(self):
+        report = GraphValidator().validate_arrays(
+            np.array([0, 2, 5]), np.zeros(4, dtype=np.int32)
+        )
+        assert any(f.rule == "VAL-ROWPTR" for f in report.errors)
+
+    def test_out_of_range_col_idx(self):
+        report = GraphValidator().validate_arrays(
+            np.array([0, 1, 2]), np.array([1, 7], dtype=np.int32)
+        )
+        assert any(f.rule == "VAL-COLIDX" for f in report.errors)
+
+    def test_nan_and_negative_weights(self):
+        row_ptr = np.array([0, 1, 2])
+        col = np.array([1, 0], dtype=np.int32)
+        rep_nan = GraphValidator().validate_arrays(
+            row_ptr, col, np.array([np.nan, 1.0])
+        )
+        assert any(f.rule == "VAL-WEIGHT" for f in rep_nan.errors)
+        rep_neg = GraphValidator().validate_arrays(
+            row_ptr, col, np.array([-3.0, 1.0])
+        )
+        assert any(f.rule == "VAL-WEIGHT" for f in rep_neg.errors)
+
+    def test_zero_weight_warns_not_errors(self):
+        report = GraphValidator().validate_arrays(
+            np.array([0, 1, 2]), np.array([1, 0], dtype=np.int32),
+            np.array([0.0, 1.0]),
+        )
+        assert report.ok
+        assert any(f.rule == "VAL-WEIGHT-RANGE" for f in report.warnings)
+
+    def test_self_loop_and_duplicate_accounting(self):
+        row_ptr = np.array([0, 3, 3])
+        col = np.array([0, 1, 1], dtype=np.int32)
+        report = GraphValidator().validate_arrays(row_ptr, col)
+        rules = report.by_rule()
+        assert "VAL-SELF-LOOP" in rules
+        assert "VAL-DUP-EDGE" in rules
+        assert report.ok  # warnings only
+
+    def test_empty_graph_warns(self):
+        report = GraphValidator().validate_arrays(
+            np.array([0]), np.empty(0, dtype=np.int32)
+        )
+        assert report.ok
+        assert "VAL-EMPTY" in report.by_rule()
+
+    def test_isolated_fraction_warns(self):
+        # 1 edge, 10 vertices -> 8 isolated.
+        g = from_edge_arrays(
+            np.array([0]), np.array([1]), 10, symmetrize=True
+        )
+        report = GraphValidator().validate(g)
+        assert "VAL-ISOLATED" in report.by_rule()
+
+
+class TestCheckAndErrors:
+    def test_check_passes_clean(self):
+        g = _clean_graph()
+        assert GraphValidator().check(g) is g
+
+    def test_validation_error_carries_report(self):
+        report = GraphValidator().validate_arrays(
+            np.array([0, 2, 1]), np.zeros(1, dtype=np.int32)
+        )
+        err = GraphValidationError(report, name="bad")
+        assert err.report is report
+        assert "VAL-ROWPTR" in str(err)
+        assert isinstance(err, ValueError)
+
+    def test_parse_error_message_has_path_and_line(self):
+        err = GraphParseError("/data/g.el", 17, "non-numeric field")
+        assert "/data/g.el:17" in str(err)
+        assert err.line == 17
+        assert isinstance(err, ValueError)
+
+
+class TestSanitize:
+    def test_drops_self_loops_and_dups(self):
+        src = np.array([0, 0, 0, 1], dtype=np.int64)
+        dst = np.array([0, 1, 1, 0], dtype=np.int64)
+        g = CSRGraph(
+            np.array([0, 3, 4], dtype=np.int64),
+            dst.astype(np.int32), None, name="dirty",
+        )
+        del src
+        out, report = sanitize_graph(g)
+        assert out.n_edges == 2  # 0->1 and 1->0
+        rules = report.by_rule()
+        assert "VAL-SELF-LOOP" in rules
+        assert "VAL-DUP-EDGE" in rules
+
+    def test_clamps_weights(self):
+        g = CSRGraph(
+            np.array([0, 1, 2], dtype=np.int64),
+            np.array([1, 0], dtype=np.int32),
+            np.array([0, 1], dtype=np.int32),
+            name="zero-weight",
+        )
+        out, report = sanitize_graph(g)
+        assert out.weights is not None and out.weights.min() >= 1
+        assert "VAL-WEIGHT-RANGE" in report.by_rule()
+        assert out.weights.max() <= MAX_SAFE_WEIGHT
+
+    def test_symmetrize_adds_reverse_edges(self):
+        g = from_edge_arrays(
+            np.array([0]), np.array([1]), 2, symmetrize=False
+        )
+        out, report = sanitize_graph(g, symmetrize=True)
+        assert out.is_symmetric()
+        assert "VAL-ASYM" in report.by_rule()
+
+    def test_clean_graph_untouched(self):
+        g = _clean_graph()
+        out, report = sanitize_graph(g)
+        assert out.n_edges == g.n_edges
+        assert not report.findings
+
+
+class TestQuarantine:
+    def test_copies_file_and_writes_reason(self, tmp_path):
+        bad = tmp_path / "bad.el"
+        bad.write_text("0 not-a-number\n")
+        qdir = tmp_path / "quarantine"
+        reason_path = quarantine_file(
+            bad, qdir, rule="VAL-PARSE", message="non-numeric field", line=1
+        )
+        assert (qdir / "bad.el").exists()
+        assert bad.exists()  # copied, not moved
+        payload = json.loads(reason_path.read_text())
+        assert payload["rule"] == "VAL-PARSE"
+        assert payload["line"] == 1
+        assert payload["error_class"] == "validation"
+
+    def test_load_graph_quarantines_parse_error(self, tmp_path):
+        bad = tmp_path / "bad.el"
+        bad.write_text("0 1\n0 x\n")
+        qdir = tmp_path / "q"
+        with pytest.raises(GraphParseError) as exc:
+            load_graph(bad, quarantine_dir=qdir)
+        assert exc.value.line == 2
+        reason = json.loads((qdir / "bad.el.reason.json").read_text())
+        assert reason["rule"] == "VAL-PARSE"
+        assert reason["line"] == 2
+
+
+class TestLoadGraphPolicy:
+    def test_repair_policy_sanitizes(self, tmp_path):
+        f = tmp_path / "dirty.el"
+        f.write_text("0 1\n0 1\n1 1\n1 0\n")  # dup edge + self loop
+        g = load_graph(f, policy="repair")
+        assert g.n_edges == 2
+
+    def test_strict_policy_rejects_extra_columns(self, tmp_path):
+        f = tmp_path / "extra.el"
+        f.write_text("0 1\n1 0 7 99\n")
+        with pytest.raises(GraphParseError, match="extra columns"):
+            load_graph(f, policy="strict")
+        # repair policy truncates instead of rejecting
+        g = load_graph(f, policy="repair")
+        assert g.n_vertices == 2
+
+    def test_unknown_policy_raises(self, tmp_path):
+        f = tmp_path / "g.el"
+        f.write_text("0 1\n1 0\n")
+        with pytest.raises(ValueError, match="unknown policy"):
+            load_graph(f, policy="lenient")
+
+    def test_validate_false_skips_pipeline(self, tmp_path):
+        # The builder still canonicalizes; validate=False only skips the
+        # validator/sanitizer layer (pre-hardening behavior).
+        f = tmp_path / "dirty.el"
+        f.write_text("0 1\n0 1\n1 0\n")
+        g = load_graph(f, validate=False, symmetrize=False)
+        assert g.n_edges == 2

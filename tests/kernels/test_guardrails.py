@@ -1,0 +1,155 @@
+"""Numerical guardrails: divergence detection and typed degenerate errors."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edge_arrays
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import grid2d
+from repro.kernels import (
+    ConvergenceError,
+    DegenerateGraphError,
+    DivergenceError,
+    MISKernel,
+    PageRankKernel,
+    RelaxationKernel,
+    TriangleCountKernel,
+)
+from repro.kernels import pr as pr_mod
+from repro.kernels.base import DIVERGENCE_WINDOW
+from repro.styles.axes import Algorithm, Model
+from repro.styles.combos import enumerate_specs
+
+
+def _empty_graph():
+    return CSRGraph(np.array([0], dtype=np.int64), np.empty(0, dtype=np.int32))
+
+
+def _sem(algorithm, **filters):
+    specs = enumerate_specs(algorithm, Model.CUDA)
+    for spec in specs:
+        if all(getattr(spec, k).value == v for k, v in filters.items()):
+            return spec.semantic_key()
+    raise AssertionError(f"no spec matches {filters}")
+
+
+class TestDegenerateTyped:
+    def test_all_kernels_raise_typed_empty(self):
+        g = _empty_graph()
+        for ctor in (
+            lambda: RelaxationKernel(g, edge_cost="unit"),
+            lambda: PageRankKernel(g),
+            lambda: MISKernel(g),
+            lambda: TriangleCountKernel(g),
+        ):
+            with pytest.raises(DegenerateGraphError, match="empty graph"):
+                ctor()
+
+    def test_still_a_value_error(self):
+        # Pre-hardening callers matched ValueError; keep that contract.
+        with pytest.raises(ValueError, match="empty graph"):
+            PageRankKernel(_empty_graph())
+
+
+class TestRelaxationDivergence:
+    def test_negative_values_detected(self):
+        g = grid2d(4, 4)
+        kernel = RelaxationKernel(g, edge_cost="unit")
+        state = kernel._new_guard_state()
+        with pytest.raises(DivergenceError, match="domain violated"):
+            kernel._divergence_guard(
+                np.array([-1, 2, 3], dtype=np.int64), state, improving=1
+            )
+
+    def test_stale_residual_detected(self):
+        g = grid2d(4, 4)
+        kernel = RelaxationKernel(g, edge_cost="unit")
+        state = kernel._new_guard_state()
+        values = np.array([5, 5, 5], dtype=np.int64)
+        kernel._divergence_guard(values, state, improving=1)  # sets best
+        with pytest.raises(DivergenceError, match="residual"):
+            for _ in range(DIVERGENCE_WINDOW + 1):
+                kernel._divergence_guard(values, state, improving=1)
+
+    def test_shrinking_residual_passes(self):
+        g = grid2d(4, 4)
+        kernel = RelaxationKernel(g, edge_cost="unit")
+        state = kernel._new_guard_state()
+        values = np.full(8, 1000, dtype=np.int64)
+        for _ in range(DIVERGENCE_WINDOW * 2):
+            values -= 1
+            kernel._divergence_guard(values, state, improving=1)
+
+    def test_clean_runs_unaffected(self):
+        g = grid2d(6, 6)
+        kernel = RelaxationKernel(g, edge_cost="unit")
+        sem = _sem(Algorithm.BFS, driver="topology")
+        result = kernel.run(sem)
+        assert result.trace.converged
+
+
+class TestPageRankDivergence:
+    def test_nan_residual_detected(self):
+        g = grid2d(4, 4)
+        kernel = PageRankKernel(g)
+        # Corrupt the dangling-mass term so ranks (and the residual) go NaN.
+        kernel._safe_deg = kernel._safe_deg * np.nan
+        sem = _sem(Algorithm.PR, flow="pull", determinism="det")
+        with pytest.raises(DivergenceError, match="diverging"):
+            kernel.run(sem)
+
+    def test_stale_residual_detected(self):
+        state = {"best": float("inf"), "stale": 0}
+        pr_mod._check_residual("pr", 1.0, state)
+        with pytest.raises(DivergenceError, match="stopped shrinking"):
+            for _ in range(DIVERGENCE_WINDOW + 1):
+                pr_mod._check_residual("pr", 1.0, state)
+
+    def test_divergence_is_convergence_error(self):
+        # Existing handlers that catch ConvergenceError keep working.
+        assert issubclass(DivergenceError, ConvergenceError)
+
+    def test_clean_pr_unaffected(self):
+        g = grid2d(6, 6)
+        kernel = PageRankKernel(g)
+        for flow, det in (("pull", "det"), ("push", "det")):
+            sem = _sem(Algorithm.PR, flow=flow, determinism=det)
+            result = kernel.run(sem)
+            assert result.trace.converged
+
+
+class TestDegenerateEndToEnd:
+    """Degenerate shapes flow load_graph -> Launcher -> verify cleanly."""
+
+    @pytest.mark.parametrize(
+        "src,dst,n",
+        [
+            ([0], [1], 2),  # single edge
+            ([0, 2], [1, 3], 4),  # disconnected pairs
+            ([0, 0, 0], [1, 1, 1], 2),  # all-duplicate edges
+        ],
+    )
+    def test_small_shapes_run_and_verify(self, src, dst, n):
+        from repro.machine.devices import TITAN_V
+        from repro.runtime import Launcher
+
+        g = from_edge_arrays(np.array(src), np.array(dst), n)
+        launcher = Launcher()
+        for algorithm in (Algorithm.BFS, Algorithm.CC, Algorithm.PR):
+            spec = enumerate_specs(algorithm, Model.CUDA)[0]
+            result = launcher.run(spec, g, TITAN_V)
+            assert result.seconds > 0
+
+    def test_empty_graph_is_typed_skip(self):
+        from repro.machine.devices import TITAN_V
+        from repro.runtime import ErrorClass, FailedRun, Launcher
+
+        g = _empty_graph()
+        launcher = Launcher()
+        spec = enumerate_specs(Algorithm.BFS, Model.CUDA)[0]
+        with pytest.raises(DegenerateGraphError) as exc:
+            launcher.run(spec, g, TITAN_V)
+        failed = FailedRun.from_exception(
+            exc.value, algorithm="bfs", graph="empty"
+        )
+        assert failed.error_class is ErrorClass.DEGENERATE
