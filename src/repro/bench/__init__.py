@@ -27,6 +27,14 @@ from .storage import (
     sweep_cache_key,
     sweep_cache_path,
 )
+from .tracestore import (
+    TraceStore,
+    TraceStoreStats,
+    default_trace_dir,
+    kernel_code_fingerprint,
+    resolve_trace_store,
+    trace_digest,
+)
 from .guidelines import Guideline, derive_guidelines
 from .harness import StudyResults, SweepConfig, run_sweep, sweep_block_runs
 from .parallel import (
@@ -35,6 +43,8 @@ from .parallel import (
     resolve_block_timeout,
     resolve_workers,
     run_sweep_parallel,
+    semantic_shard_order,
+    shard_blocks,
     stderr_progress,
 )
 from .ratios import axis_ratios, ratios_by_algorithm, throughputs_by_option
@@ -58,6 +68,14 @@ __all__ = [
     "code_fingerprint",
     "sweep_cache_key",
     "sweep_cache_path",
+    "semantic_shard_order",
+    "shard_blocks",
+    "TraceStore",
+    "TraceStoreStats",
+    "default_trace_dir",
+    "kernel_code_fingerprint",
+    "resolve_trace_store",
+    "trace_digest",
     "axis_ratios",
     "ratios_by_algorithm",
     "throughputs_by_option",

@@ -35,7 +35,9 @@ from . import faults
 __all__ = ["BlockOutcome", "CheckpointStore"]
 
 PathLike = Union[str, Path]
-BlockKey = Tuple[str, str]  #: (algorithm value, graph name)
+#: (algorithm value, graph name) plus, for semantic shards of one block,
+#: a ``shard-i-of-n`` component (see :meth:`SweepBlock.key`).
+BlockKey = Tuple[str, ...]
 
 _MAGIC = "repro-sweep-checkpoint-v1"
 
@@ -47,6 +49,10 @@ class BlockOutcome:
 
     runs: List[RunResult] = field(default_factory=list)
     failures: List[FailedRun] = field(default_factory=list)
+    #: Kernels the block actually executed (trace-store hits excluded).
+    #: Deliberately not checkpointed: it counts work done by *this*
+    #: invocation, and a resumed block executes nothing.
+    kernel_executions: int = 0
 
     @property
     def healthy(self) -> bool:

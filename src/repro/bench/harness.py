@@ -13,7 +13,20 @@ full sweep is minutes, not hours.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .tracestore import TraceStore
 
 from ..graph.csr import CSRGraph
 from ..graph.datasets import load_all
@@ -46,6 +59,13 @@ class SweepConfig:
     #: Pre-launch footprint cap in bytes (None = environment default —
     #: see :class:`repro.runtime.budget.ResourceBudget`).
     max_footprint_bytes: Optional[int] = None
+    #: Use the persistent trace store (:mod:`repro.bench.tracestore`):
+    #: semantic executions are fetched from / saved to disk, so repeated
+    #: or resumed sweeps re-time mapping variants with zero kernel
+    #: executions.  ``$REPRO_TRACE_CACHE=0`` overrides to off; a path
+    #: there overrides the directory.  Deliberately *not* part of the
+    #: sweep cache key — results are bit-identical either way.
+    trace_cache: bool = True
 
     def devices_for(self, model: Model) -> List[DeviceSpec]:
         if model.is_gpu:
@@ -58,6 +78,17 @@ class SweepConfig:
             return None
         return ResourceBudget(max_bytes=self.max_footprint_bytes)
 
+    def trace_store(self) -> Union["TraceStore", bool]:
+        """The resolved persistent trace store for this sweep.
+
+        Returns ``False`` (not ``None``) when disabled: a launcher given
+        ``None`` would re-resolve from the environment, silently undoing
+        ``trace_cache=False``.
+        """
+        from .tracestore import resolve_trace_store
+
+        return resolve_trace_store(enabled=self.trace_cache) or False
+
 
 @dataclass
 class StudyResults:
@@ -69,6 +100,11 @@ class StudyResults:
     #: with the error class and message behind each (see
     #: :class:`repro.runtime.errors.FailedRun`).
     failures: List[FailedRun] = field(default_factory=list)
+    #: Kernels actually executed to produce these results (trace-store
+    #: and in-memory hits excluded) — 0 for a fully warm trace store.
+    #: Not persisted by ``save_results``: it describes one invocation,
+    #: not the results.
+    kernel_executions: int = 0
     _index: Dict[Tuple[StyleSpec, str, str], RunResult] = field(
         default_factory=dict, repr=False
     )
@@ -197,7 +233,11 @@ def run_sweep(
         graphs = load_all(config.scale)
         if config.graphs is not None:
             graphs = {name: graphs[name] for name in config.graphs}
-    launcher = launcher or Launcher(verify=config.verify, budget=config.budget())
+    launcher = launcher or Launcher(
+        verify=config.verify,
+        budget=config.budget(),
+        trace_store=config.trace_store(),
+    )
     results = StudyResults(graphs=dict(graphs))
     # Iterate (algorithm, graph) in the outer loops so the semantic traces
     # of one block are shared across all three programming models and all
@@ -215,6 +255,7 @@ def run_sweep(
                 ):
                     results.add(run)
             launcher.release(graph, algorithm)
+    results.kernel_executions = launcher.kernel_executions
     return results
 
 

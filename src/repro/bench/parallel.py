@@ -4,10 +4,19 @@ block workers.
 The sweep's natural work unit is one (algorithm, graph) *block*: all
 program variants of one algorithm on one input, across every model and
 device.  Blocks share nothing but the deterministic input graphs, so they
-fan out over worker processes perfectly — each worker rebuilds its graph
-locally (graphs are deterministic to rebuild, the same property
-:mod:`repro.bench.storage` relies on), executes the block with the batched
-launcher, and ships only the compact :class:`RunResult` list back.
+fan out over worker processes perfectly.  Graphs reach the workers through
+the zero-copy shared-memory plane (:mod:`repro.graph.shm`): the supervisor
+publishes each graph's CSR arrays once, workers attach read-only views —
+no per-worker rebuild, no pickling — and fall back to a local rebuild if
+the plane is gone.  Each worker executes its block with the batched
+launcher and ships only the compact :class:`RunResult` list back.
+
+Because attaching a graph is free, the plane also unlocks a *finer* work
+unit: when there are more workers than (algorithm, graph) blocks, a block
+is split into **semantic shards** — disjoint subsets of its semantic style
+combinations, every mapping variant and device of each combination staying
+with its shard.  Shard results are reassembled in the serial run order, so
+the split changes wall-clock time and nothing else.
 
 Unlike a bare process pool, the engine *supervises* its workers:
 
@@ -41,15 +50,18 @@ import multiprocessing.connection
 import os
 import sys
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..graph import shm
 from ..graph.csr import CSRGraph
 from ..graph.datasets import DATASETS, EXTRA_DATASETS, load_all
+from ..graph.shm import SharedGraphHandle, SharedGraphPlane
 from ..runtime.errors import ErrorClass, FailedRun, error_digest
 from ..runtime.launcher import Launcher, RunResult
 from ..styles.axes import Algorithm, Model
 from ..styles.combos import enumerate_specs
+from ..styles.spec import SemanticKey, StyleSpec
 from . import faults
 from .checkpoint import BlockOutcome, CheckpointStore
 from .harness import StudyResults, SweepConfig, sweep_block_runs
@@ -58,6 +70,8 @@ __all__ = [
     "SweepBlock",
     "BlockOutcome",
     "partition_blocks",
+    "semantic_shard_order",
+    "shard_blocks",
     "resolve_workers",
     "run_sweep_parallel",
     "stderr_progress",
@@ -100,6 +114,13 @@ class SweepBlock:
     cpu_names: Tuple[str, ...]
     verify: bool
     max_footprint_bytes: Optional[int] = None
+    trace_cache: bool = True
+    #: Which semantic shard of the block this is (see :func:`shard_blocks`);
+    #: ``n_shards == 1`` means the whole block.
+    shard: int = 0
+    n_shards: int = 1
+    #: Shared-memory plane handle: workers attach instead of rebuilding.
+    shm_handle: Optional[SharedGraphHandle] = field(default=None, compare=False)
     graph: Optional[CSRGraph] = field(default=None, compare=False)
 
     @property
@@ -114,12 +135,37 @@ class SweepBlock:
             graphs=(self.graph_name,),
             verify=self.verify,
             max_footprint_bytes=self.max_footprint_bytes,
+            trace_cache=self.trace_cache,
         )
 
     @property
-    def key(self) -> Tuple[str, str]:
-        """Stable (algorithm, graph) identity, used by the checkpoint."""
-        return (self.algorithm.value, self.graph_name)
+    def key(self) -> Tuple[str, ...]:
+        """Stable block identity, used by the checkpoint.
+
+        ``(algorithm, graph)`` for a whole block; semantic shards append a
+        ``shard-i-of-n`` component, so a resume with a different worker
+        count (hence a different sharding) re-runs the affected blocks
+        instead of mis-resuming partial ones.
+        """
+        if self.n_shards == 1:
+            return (self.algorithm.value, self.graph_name)
+        return (
+            self.algorithm.value,
+            self.graph_name,
+            f"shard-{self.shard}-of-{self.n_shards}",
+        )
+
+    def specs_for(self, model: Model) -> List[StyleSpec]:
+        """This block's program variants of one model (shard-filtered)."""
+        specs = enumerate_specs(self.algorithm, model)
+        if self.n_shards == 1:
+            return specs
+        order = semantic_shard_order(self.algorithm, self.models)
+        return [
+            spec
+            for spec in specs
+            if order[spec.semantic_key()] % self.n_shards == self.shard
+        ]
 
 
 def partition_blocks(
@@ -151,13 +197,64 @@ def partition_blocks(
                     cpu_names=tuple(config.cpu_names),
                     verify=config.verify,
                     max_footprint_bytes=config.max_footprint_bytes,
+                    trace_cache=config.trace_cache,
                     graph=payload,
                 )
             )
     return blocks
 
 
+def semantic_shard_order(
+    algorithm: Algorithm, models: Sequence[Model]
+) -> Dict[SemanticKey, int]:
+    """First-appearance order of semantic combinations across models.
+
+    :class:`SemanticKey` excludes the programming model, so one semantic
+    trace serves every model's mapping variants — shards must therefore
+    keep *equal* semantic keys together or the trace would execute once
+    per shard.  The order is a pure function of (algorithm, models), so
+    publisher and every worker derive the same sharding independently.
+    """
+    order: Dict[SemanticKey, int] = {}
+    for model in models:
+        for spec in enumerate_specs(algorithm, model):
+            key = spec.semantic_key()
+            if key not in order:
+                order[key] = len(order)
+    return order
+
+
+def shard_blocks(blocks: List[SweepBlock], workers: int) -> List[SweepBlock]:
+    """Split shared-memory-backed blocks into semantic shards.
+
+    Only useful when workers would otherwise idle (``workers`` exceeds the
+    block count) and only safe when the graph ships as a plane handle
+    (attaching is free; rebuilding per shard would multiply graph-build
+    time).  Shards of one block stay adjacent and ordered, which is what
+    lets :func:`run_sweep_parallel` reassemble serial run order.
+    """
+    if workers <= len(blocks):
+        return blocks
+    target = -(-workers // len(blocks))  # ceil: shards wanted per block
+    out: List[SweepBlock] = []
+    for block in blocks:
+        n = 1
+        if block.shm_handle is not None and block.n_shards == 1:
+            n_groups = len(semantic_shard_order(block.algorithm, block.models))
+            n = min(n_groups, target)
+        if n <= 1:
+            out.append(block)
+            continue
+        out.extend(replace(block, shard=s, n_shards=n) for s in range(n))
+    return out
+
+
 def _build_block_graph(block: SweepBlock) -> CSRGraph:
+    if block.shm_handle is not None:
+        try:
+            return shm.attach_graph(block.shm_handle)
+        except shm.SharedGraphGone:
+            pass  # plane gone: rebuild locally below
     if block.graph is not None:
         return block.graph
     spec = {**DATASETS, **EXTRA_DATASETS}[block.graph_name]
@@ -174,12 +271,18 @@ def run_block(block: SweepBlock) -> List[RunResult]:
     """
     graph = _build_block_graph(block)
     config = block.config
-    launcher = Launcher(verify=block.verify, budget=config.budget())
+    launcher = Launcher(
+        verify=block.verify,
+        budget=config.budget(),
+        trace_store=config.trace_store(),
+    )
     runs: List[RunResult] = []
     for model in block.models:
-        specs = enumerate_specs(block.algorithm, model)
         runs.extend(
-            sweep_block_runs(launcher, specs, graph, config.devices_for(model))
+            sweep_block_runs(
+                launcher, block.specs_for(model), graph,
+                config.devices_for(model),
+            )
         )
     launcher.release(graph, block.algorithm)
     return runs
@@ -195,19 +298,27 @@ def run_block_outcome(block: SweepBlock, attempt: int = 0) -> BlockOutcome:
     """
     faults.inject_block_fault(block.algorithm.value, block.graph_name, attempt)
     graph = _build_block_graph(block)
+    faults.inject_attached_fault(
+        block.algorithm.value, block.graph_name, attempt
+    )
     config = block.config
-    launcher = Launcher(verify=block.verify, budget=config.budget())
+    launcher = Launcher(
+        verify=block.verify,
+        budget=config.budget(),
+        trace_store=config.trace_store(),
+    )
     faults.apply_verify_faults(launcher, block, attempt)
     outcome = BlockOutcome()
     for model in block.models:
-        specs = enumerate_specs(block.algorithm, model)
         outcome.runs.extend(
             sweep_block_runs(
-                launcher, specs, graph, config.devices_for(model),
+                launcher, block.specs_for(model), graph,
+                config.devices_for(model),
                 failures=outcome.failures,
             )
         )
     launcher.release(graph, block.algorithm)
+    outcome.kernel_executions = launcher.kernel_executions
     return outcome
 
 
@@ -256,11 +367,10 @@ def resolve_block_timeout(block_timeout: Optional[float]) -> Optional[float]:
 
 def stderr_progress(done: int, total: int, block: SweepBlock) -> None:
     """Default progress reporter: one stderr line per finished block."""
-    print(
-        f"[sweep {done}/{total}] {block.algorithm.value} x {block.graph_name}",
-        file=sys.stderr,
-        flush=True,
-    )
+    label = f"{block.algorithm.value} x {block.graph_name}"
+    if block.n_shards > 1:
+        label += f" [shard {block.shard + 1}/{block.n_shards}]"
+    print(f"[sweep {done}/{total}] {label}", file=sys.stderr, flush=True)
 
 
 # ----------------------------------------------------------------------
@@ -511,6 +621,25 @@ def run_sweep_parallel(
         blocks = partition_blocks(config, graphs_for_results)
         store = None  # custom graphs cannot be rebuilt on resume
     workers = resolve_workers(workers, len(blocks))
+
+    # Publish the graphs once into the shared-memory plane: workers attach
+    # read-only views instead of rebuilding (or unpickling) each graph,
+    # and the free attach makes semantic shards a sensible finer work
+    # unit when workers outnumber blocks.
+    plane: Optional[SharedGraphPlane] = None
+    if workers > 1 and len(blocks) > 1 and shm.shm_enabled():
+        plane = SharedGraphPlane()
+        blocks = [
+            replace(
+                block,
+                shm_handle=plane.publish(
+                    block.graph_name, graphs_for_results[block.graph_name]
+                ),
+                graph=None,
+            )
+            for block in blocks
+        ]
+        blocks = shard_blocks(blocks, workers)
     total = len(blocks)
 
     outcomes: Dict[int, BlockOutcome] = {}
@@ -538,34 +667,67 @@ def run_sweep_parallel(
             progress(done_count, total, blocks[index])
 
     todo = [i for i in range(total) if i not in outcomes]
-    if todo:
-        if workers == 1 or len(todo) == 1:
-            _run_blocks_inprocess(blocks, todo, record)
-        else:
-            supervisor = _Supervisor(
-                workers=workers,
-                block_timeout=block_timeout,
-                max_retries=max_retries,
-                retry_backoff=retry_backoff,
-                on_block_done=record,
-            )
-            supervisor.run([_Supervised(i, blocks[i]) for i in todo])
+    try:
+        if todo:
+            if workers == 1 or len(todo) == 1:
+                _run_blocks_inprocess(blocks, todo, record)
+            else:
+                supervisor = _Supervisor(
+                    workers=workers,
+                    block_timeout=block_timeout,
+                    max_retries=max_retries,
+                    retry_backoff=retry_backoff,
+                    on_block_done=record,
+                )
+                supervisor.run([_Supervised(i, blocks[i]) for i in todo])
+    finally:
+        if plane is not None:
+            plane.close()
 
+    # Reassemble in serial run order.  Shards of one block are adjacent in
+    # the block list but stripe its semantic groups, so their merged runs
+    # are re-sorted by the block's canonical (spec, device) positions —
+    # which is what keeps the parallel path bit-identical to the serial
+    # one regardless of worker count.
     results = StudyResults(graphs=graphs_for_results)
     clean = True
-    for index in range(total):
-        outcome = outcomes.get(index)
-        if outcome is None:  # only possible if a callback misbehaved
-            clean = False
-            continue
-        for run in outcome.runs:
+    index = 0
+    while index < total:
+        block = blocks[index]
+        group = range(index, index + block.n_shards)
+        index += block.n_shards
+        runs: List[RunResult] = []
+        for i in group:
+            outcome = outcomes.get(i)
+            if outcome is None:  # only possible if a callback misbehaved
+                clean = False
+                continue
+            runs.extend(outcome.runs)
+            for failure in outcome.failures:
+                results.add_failure(failure)
+            results.kernel_executions += outcome.kernel_executions
+            clean = clean and not outcome.failures
+        if block.n_shards > 1:
+            positions = _canonical_positions(block)
+            runs.sort(key=lambda run: positions[(run.spec, run.device)])
+        for run in runs:
             results.add(run)
-        for failure in outcome.failures:
-            results.add_failure(failure)
-        clean = clean and not outcome.failures
     if store is not None and clean:
         store.clear()
     return results
+
+
+def _canonical_positions(
+    block: SweepBlock,
+) -> Dict[Tuple[StyleSpec, str], int]:
+    """Serial run order of one block's (spec, device) cells."""
+    config = block.config
+    positions: Dict[Tuple[StyleSpec, str], int] = {}
+    for model in block.models:
+        for spec in enumerate_specs(block.algorithm, model):
+            for device in config.devices_for(model):
+                positions[(spec, device.name)] = len(positions)
+    return positions
 
 
 def _run_blocks_inprocess(

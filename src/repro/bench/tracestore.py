@@ -1,0 +1,476 @@
+"""Persistent content-addressed store of semantic execution traces.
+
+The launcher's central efficiency trick — execute each *semantic* style
+combination once, re-time it for every mapping combination — previously
+stopped at the process boundary: the trace cache lived in memory, so every
+sweep, every worker process, and every resumed run re-executed (and
+re-verified) the same kernels from scratch.  This store extends the trick
+across processes and sessions: a trace is serialized once, keyed by
+everything that determines its content, and any later launcher reassembles
+it *bit-identically* with zero kernel executions.
+
+The key of one entry is the tuple
+
+    (graph content fingerprint, algorithm, semantic axes,
+     kernel-code fingerprint, source vertex)
+
+— precisely the inputs of ``kernel.run``.  The graph fingerprint hashes
+the CSR arrays (:meth:`repro.graph.csr.CSRGraph.fingerprint`), so renamed
+or rebuilt-but-identical graphs hit and *changed content misses*; the
+kernel-code fingerprint hashes every source file the executed trace can
+depend on, so any kernel edit invalidates exactly the stale entries; the
+source vertex covers the one per-launcher seed (BFS/SSSP root).
+
+Entries are single files: a checksummed header line followed by a
+compressed numpy archive holding the output values, every per-launch
+``inner`` array, and a JSON metadata record with the exact scalar profile
+fields (Python's JSON round-trips floats losslessly).  Writes are atomic
+(``tmp`` + rename); a truncated, bit-flipped or unparseable entry is
+*quarantined* on read — moved aside with a stderr warning, never silently
+deleted, and never able to crash a sweep.
+
+Resolution order for whether a launcher uses the store:
+
+* ``$REPRO_TRACE_CACHE=0`` (or empty) — hard kill switch, wins over all;
+* ``$REPRO_TRACE_CACHE=/path`` — use that directory;
+* callers that opt in (the sweep paths; ``SweepConfig.trace_cache``,
+  default on) — use ``~/.cache/repro/traces``;
+* everything else (a bare ``Launcher()``) — off unless the environment
+  opts in.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import sys
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..kernels.base import KernelResult
+from ..machine.trace import ExecutionTrace, IterationProfile
+from ..styles.spec import SemanticKey
+
+__all__ = [
+    "TRACE_CACHE_ENV",
+    "TraceStore",
+    "TraceStoreStats",
+    "default_trace_dir",
+    "resolve_trace_store",
+    "kernel_code_fingerprint",
+    "trace_digest",
+]
+
+#: Trace-store directory override / kill switch (``0``/empty disables).
+TRACE_CACHE_ENV = "REPRO_TRACE_CACHE"
+
+_MAGIC = b"repro-trace-v1"
+
+#: IterationProfile fields serialized as JSON scalars (everything but the
+#: numpy ``inner`` array).
+_PROFILE_SCALARS = tuple(
+    f.name for f in fields(IterationProfile) if f.name != "inner"
+)
+
+_TRACE_SCALARS = ("n_edges", "n_vertices", "iterations", "converged", "label")
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+_kernel_fp_memo: Optional[str] = None
+
+
+def kernel_code_fingerprint() -> str:
+    """SHA-256 over every source file an execution trace depends on.
+
+    Narrower than :func:`repro.bench.storage.code_fingerprint` (which
+    hashes the whole package and guards *results*): a trace is determined
+    by the kernels, the trace/profile model, and the verification oracles
+    — editing a figure renderer must not invalidate stored traces.
+    """
+    global _kernel_fp_memo
+    if _kernel_fp_memo is None:
+        root = Path(__file__).resolve().parent.parent
+        paths = sorted((root / "kernels").rglob("*.py"))
+        paths.append(root / "machine" / "trace.py")
+        paths.append(root / "runtime" / "verify.py")
+        digest = hashlib.sha256()
+        for path in paths:
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _kernel_fp_memo = digest.hexdigest()
+    return _kernel_fp_memo
+
+
+def trace_digest(trace: ExecutionTrace) -> str:
+    """Canonical SHA-256 of a trace's full content.
+
+    Two traces with equal digests are byte-identical for every consumer
+    (timing models, sanitizer, inspection); used by tests and ``repro
+    cache verify`` to prove stored traces reassemble exactly.
+    """
+    digest = hashlib.sha256()
+    meta = [_scalars_of(trace, _TRACE_SCALARS)]
+    for profile in trace.profiles:
+        meta.append(_scalars_of(profile, _PROFILE_SCALARS))
+        digest.update(b"i" if profile.inner is not None else b"-")
+        if profile.inner is not None:
+            digest.update(profile.inner.tobytes())
+    digest.update(json.dumps(meta, sort_keys=True).encode())
+    return digest.hexdigest()
+
+
+def _scalars_of(obj, names: Tuple[str, ...]) -> Dict[str, object]:
+    out = {}
+    for name in names:
+        value = getattr(obj, name)
+        if isinstance(value, (np.integer, np.floating, np.bool_)):
+            value = value.item()
+        out[name] = value
+    return out
+
+
+# ----------------------------------------------------------------------
+# Store
+# ----------------------------------------------------------------------
+def default_trace_dir() -> Path:
+    """``~/.cache/repro/traces`` (respecting ``$XDG_CACHE_HOME``)."""
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "traces"
+
+
+def resolve_trace_store(
+    enabled: Optional[bool] = None,
+    directory: Optional[Union[str, Path]] = None,
+) -> Optional["TraceStore"]:
+    """The store an execution path should use, or ``None`` for disabled.
+
+    ``enabled`` is the caller's default (``True`` for sweep paths,
+    ``None`` for a bare launcher, ``False`` for an explicit opt-out);
+    ``$REPRO_TRACE_CACHE`` overrides in both directions as described in
+    the module docstring.
+    """
+    env = os.environ.get(TRACE_CACHE_ENV)
+    if env is not None and env.strip() in ("", "0"):
+        return None
+    if enabled is False:
+        return None
+    if directory is not None:
+        return TraceStore(directory)
+    if env:
+        return TraceStore(env)
+    if enabled:
+        return TraceStore(default_trace_dir())
+    return None
+
+
+@dataclass
+class TraceStoreStats:
+    """What ``repro cache stats`` reports."""
+
+    directory: Path
+    entries: int = 0
+    total_bytes: int = 0
+    stale: int = 0  #: entries whose kernel fingerprint is no longer current
+    unverified: int = 0
+    quarantined: int = 0
+    by_algorithm: Dict[str, int] = None
+
+    def render(self) -> str:
+        lines = [
+            f"trace store: {self.directory}",
+            f"  entries:     {self.entries} ({self.total_bytes / 1e6:.2f} MB)",
+            f"  stale:       {self.stale} (kernel code changed since stored)",
+            f"  unverified:  {self.unverified}",
+            f"  quarantined: {self.quarantined}",
+        ]
+        if self.by_algorithm:
+            per = ", ".join(
+                f"{k}: {v}" for k, v in sorted(self.by_algorithm.items())
+            )
+            lines.append(f"  by algorithm: {per}")
+        return "\n".join(lines)
+
+
+class TraceStore:
+    """Directory of checksummed, compressed, content-addressed traces."""
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    # Keys and paths
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _semantic_payload(semantic: SemanticKey) -> Dict[str, Optional[str]]:
+        return {
+            f.name: (None if getattr(semantic, f.name) is None
+                     else getattr(semantic, f.name).value)
+            for f in fields(SemanticKey)
+        }
+
+    @classmethod
+    def key_payload(
+        cls, graph_fp: str, semantic: SemanticKey, source: int
+    ) -> Dict[str, object]:
+        return {
+            "graph": graph_fp,
+            "semantic": cls._semantic_payload(semantic),
+            "kernel_code": kernel_code_fingerprint(),
+            "source": int(source),
+        }
+
+    @classmethod
+    def entry_key(
+        cls, graph_fp: str, semantic: SemanticKey, source: int
+    ) -> str:
+        payload = json.dumps(
+            cls.key_payload(graph_fp, semantic, source), sort_keys=True
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def entry_path(
+        self, graph: CSRGraph, semantic: SemanticKey, source: int
+    ) -> Path:
+        key = self.entry_key(graph.fingerprint(), semantic, source)
+        return self.directory / f"trace-{key}.npz"
+
+    # ------------------------------------------------------------------
+    # Save / load
+    # ------------------------------------------------------------------
+    def save(
+        self,
+        graph: CSRGraph,
+        semantic: SemanticKey,
+        source: int,
+        result: KernelResult,
+        *,
+        verified: bool,
+    ) -> Path:
+        """Atomically persist one semantic execution (idempotent)."""
+        trace = result.trace
+        meta = {
+            "magic": _MAGIC.decode(),
+            "key": self.key_payload(graph.fingerprint(), semantic, source),
+            "graph_name": graph.name,
+            "algorithm": semantic.algorithm.value,
+            "verified": bool(verified),
+            "trace": _scalars_of(trace, _TRACE_SCALARS),
+            "profiles": [
+                dict(
+                    _scalars_of(profile, _PROFILE_SCALARS),
+                    has_inner=profile.inner is not None,
+                )
+                for profile in trace.profiles
+            ],
+            "values_dtype": result.values.dtype.str,
+        }
+        arrays = {
+            "meta": np.frombuffer(
+                json.dumps(meta, sort_keys=True).encode(), dtype=np.uint8
+            ),
+            "values": result.values,
+        }
+        for i, profile in enumerate(trace.profiles):
+            if profile.inner is not None:
+                arrays[f"inner_{i}"] = profile.inner
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **arrays)
+        body = buffer.getvalue()
+        checksum = hashlib.sha256(body).hexdigest().encode("ascii")
+        path = self.entry_path(graph, semantic, source)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+        tmp.write_bytes(_MAGIC + b" " + checksum + b"\n" + body)
+        os.replace(tmp, path)
+        self.stores += 1
+        return path
+
+    def load(
+        self,
+        graph: CSRGraph,
+        semantic: SemanticKey,
+        source: int,
+        *,
+        require_verified: bool = True,
+    ) -> Optional[KernelResult]:
+        """Reassemble one stored execution, or ``None`` on any miss.
+
+        A corrupt entry (bad checksum, truncated archive, wrong key) is
+        quarantined and reads as a miss; an entry stored without
+        verification is a miss for a verifying launcher.
+        """
+        path = self.entry_path(graph, semantic, source)
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        try:
+            meta, archive = self._decode(blob)
+            expected = self.key_payload(graph.fingerprint(), semantic, source)
+            if meta["key"] != expected:
+                raise ValueError("entry key does not match its address")
+            result = self._reassemble(meta, archive)
+        except Exception as exc:
+            self._quarantine(path, exc)
+            self.misses += 1
+            return None
+        if require_verified and not meta["verified"]:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _decode(blob: bytes) -> Tuple[dict, dict]:
+        header, sep, body = blob.partition(b"\n")
+        if not sep or not header.startswith(_MAGIC + b" "):
+            raise ValueError("missing trace-store header")
+        checksum = header.split(b" ", 1)[1]
+        if hashlib.sha256(body).hexdigest().encode("ascii") != checksum:
+            raise ValueError("checksum mismatch (truncated or corrupt entry)")
+        with np.load(io.BytesIO(body), allow_pickle=False) as npz:
+            archive = {name: npz[name] for name in npz.files}
+        meta = json.loads(archive.pop("meta").tobytes().decode())
+        if meta.get("magic") != _MAGIC.decode():
+            raise ValueError("not a trace-store entry")
+        return meta, archive
+
+    @staticmethod
+    def _reassemble(meta: dict, archive: dict) -> KernelResult:
+        trace = ExecutionTrace(**meta["trace"])
+        for i, scalars in enumerate(meta["profiles"]):
+            scalars = dict(scalars)
+            has_inner = scalars.pop("has_inner")
+            inner = archive[f"inner_{i}"] if has_inner else None
+            trace.add(IterationProfile(inner=inner, **scalars))
+        values = archive["values"]
+        if values.dtype.str != meta["values_dtype"]:
+            raise ValueError("values dtype mismatch")
+        return KernelResult(values=values, trace=trace)
+
+    def _quarantine(self, path: Path, reason: Exception) -> None:
+        quarantine = self.directory / "quarantine"
+        dest = quarantine / path.name
+        try:
+            quarantine.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest)
+        except OSError:
+            return
+        print(
+            f"warning: corrupt trace-store entry quarantined to {dest}: "
+            f"{reason}",
+            file=sys.stderr,
+        )
+
+    # ------------------------------------------------------------------
+    # Maintenance (the `repro cache` subcommands)
+    # ------------------------------------------------------------------
+    def _entries(self) -> List[Path]:
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob("trace-*.npz"))
+
+    def stats(self) -> TraceStoreStats:
+        """Scan the store (reads every entry's metadata)."""
+        stats = TraceStoreStats(directory=self.directory, by_algorithm={})
+        current = kernel_code_fingerprint()
+        quarantine = self.directory / "quarantine"
+        if quarantine.is_dir():
+            stats.quarantined = sum(1 for _ in quarantine.iterdir())
+        for path in self._entries():
+            stats.entries += 1
+            stats.total_bytes += path.stat().st_size
+            try:
+                meta, _ = self._decode(path.read_bytes())
+            except Exception:
+                continue  # verify/gc deal with corrupt entries
+            algorithm = meta.get("algorithm", "?")
+            stats.by_algorithm[algorithm] = (
+                stats.by_algorithm.get(algorithm, 0) + 1
+            )
+            if meta["key"].get("kernel_code") != current:
+                stats.stale += 1
+            if not meta.get("verified", False):
+                stats.unverified += 1
+        return stats
+
+    def gc(self, *, everything: bool = False) -> Tuple[int, int]:
+        """Drop stale entries (kernel code changed) and the quarantine.
+
+        ``everything=True`` clears the whole store.  Returns
+        ``(entries_removed, bytes_reclaimed)``.
+        """
+        removed = 0
+        reclaimed = 0
+        current = kernel_code_fingerprint()
+        for path in self._entries():
+            drop = everything
+            if not drop:
+                try:
+                    meta, _ = self._decode(path.read_bytes())
+                    drop = meta["key"].get("kernel_code") != current
+                except Exception:
+                    drop = True  # unreadable: gc reclaims it
+            if drop:
+                size = path.stat().st_size
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                removed += 1
+                reclaimed += size
+        quarantine = self.directory / "quarantine"
+        if quarantine.is_dir():
+            for path in quarantine.iterdir():
+                size = path.stat().st_size
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                removed += 1
+                reclaimed += size
+        return removed, reclaimed
+
+    def verify_entries(self) -> Tuple[int, List[Tuple[Path, str]]]:
+        """Fully decode every entry; quarantine the ones that fail.
+
+        Returns ``(ok_count, [(quarantined_path, reason), ...])``.
+        """
+        ok = 0
+        bad: List[Tuple[Path, str]] = []
+        for path in self._entries():
+            try:
+                meta, archive = self._decode(path.read_bytes())
+                result = self._reassemble(meta, archive)
+                trace_digest(result.trace)  # full content walk
+            except Exception as exc:
+                reason = f"{type(exc).__name__}: {exc}"
+                self._quarantine(path, exc)
+                bad.append((self.directory / "quarantine" / path.name, reason))
+                continue
+            ok += 1
+        return ok, bad
+
+    def __len__(self) -> int:
+        return len(self._entries())
+
+    def __bool__(self) -> bool:
+        # A store object is always "on" — an *empty* store must not read
+        # as "no store" in `store or ...` / `if store:` expressions.
+        return True

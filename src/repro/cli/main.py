@@ -9,6 +9,7 @@ Subcommands:
 * ``table``     — regenerate one of the paper's tables (1-6).
 * ``figure``    — regenerate one of the paper's figures (1-16).
 * ``analyze``   — style-conformance linter / trace sanitizer.
+* ``cache``     — inspect / garbage-collect the persistent trace store.
 """
 
 from __future__ import annotations
@@ -180,6 +181,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--rules", action="store_true",
         help="print the rule catalog and exit",
     )
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or garbage-collect the persistent trace store",
+    )
+    cache.add_argument(
+        "action", choices=("stats", "gc", "verify"),
+        help="stats: summarize the store; gc: drop stale entries "
+             "(kernel code changed) and the quarantine; verify: fully "
+             "decode every entry, quarantining the corrupt ones",
+    )
+    cache.add_argument(
+        "--dir", metavar="PATH", default=None,
+        help="trace-store directory (default: $REPRO_TRACE_CACHE, else "
+             "~/.cache/repro/traces)",
+    )
+    cache.add_argument(
+        "--all", action="store_true",
+        help="with gc: clear the whole store, not just stale entries",
+    )
     return parser
 
 
@@ -203,6 +224,11 @@ def _add_workers_flag(sub) -> None:
         "--resume", action="store_true",
         help="skip blocks already checkpointed by an interrupted run of "
              "the identical sweep",
+    )
+    sub.add_argument(
+        "--no-trace-cache", action="store_true",
+        help="bypass the persistent semantic-trace store and re-execute "
+             "every kernel (see `cache` for inspecting the store)",
     )
 
 
@@ -302,6 +328,7 @@ def _cmd_sweep(args) -> int:
         scale=args.scale,
         models=(Model(args.model),) if args.model else tuple(Model),
         algorithms=(Algorithm(args.algorithm),) if args.algorithm else tuple(Algorithm),
+        trace_cache=not args.no_trace_cache,
     )
     results = run_sweep_parallel(
         config, progress=stderr_progress, **_supervision_kwargs(args)
@@ -332,7 +359,9 @@ def _sweep_for_reports(args):
     from ..bench.parallel import run_sweep_parallel, stderr_progress
     from ..bench.storage import cached_sweep, load_results, save_results
 
-    config = SweepConfig(scale=args.scale)
+    config = SweepConfig(
+        scale=args.scale, trace_cache=not args.no_trace_cache
+    )
 
     def run(cfg):
         return run_sweep_parallel(
@@ -629,6 +658,30 @@ def _cmd_fuzz(args) -> int:
     return exit_code
 
 
+def _cmd_cache(args) -> int:
+    import os
+
+    from ..bench.tracestore import TRACE_CACHE_ENV, TraceStore, default_trace_dir
+
+    directory = args.dir
+    if directory is None:
+        env = os.environ.get(TRACE_CACHE_ENV)
+        directory = env if env and env.strip() not in ("", "0") else None
+    store = TraceStore(directory if directory else default_trace_dir())
+    if args.action == "stats":
+        print(store.stats().render())
+        return 0
+    if args.action == "gc":
+        removed, reclaimed = store.gc(everything=args.all)
+        print(f"removed {removed} entries ({reclaimed / 1e6:.2f} MB)")
+        return 0
+    ok, bad = store.verify_entries()
+    print(f"verified {ok} entries, quarantined {len(bad)}")
+    for path, reason in bad:
+        print(f"  {path}: {reason}")
+    return 1 if bad else 0
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "specs": _cmd_specs,
@@ -643,6 +696,7 @@ _COMMANDS = {
     "advise": _cmd_advise,
     "analyze": _cmd_analyze,
     "fuzz": _cmd_fuzz,
+    "cache": _cmd_cache,
 }
 
 

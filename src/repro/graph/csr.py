@@ -14,6 +14,7 @@ edges in both formats").
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterator, Optional, Tuple
 
@@ -44,6 +45,9 @@ class CSRGraph:
     weights: Optional[np.ndarray] = None
     name: str = "graph"
     _degrees: np.ndarray = field(init=False, repr=False, compare=False, default=None)
+    _fingerprint: Optional[str] = field(
+        init=False, repr=False, compare=False, default=None
+    )
 
     def __post_init__(self) -> None:
         row_ptr = np.ascontiguousarray(self.row_ptr, dtype=np.int64)
@@ -189,6 +193,28 @@ class CSRGraph:
         fwd = np.sort(src * n + dst)
         bwd = np.sort(dst * n + src)
         return bool(np.array_equal(fwd, bwd))
+
+    def fingerprint(self) -> str:
+        """SHA-256 content hash of the CSR arrays (memoized).
+
+        The fingerprint covers structure and weights but not ``name``: two
+        graphs with identical arrays are the same input regardless of what
+        they are called, and everything derived from the content (traces,
+        references, the source-vertex default) is shared between them.
+        Unlike ``id()``, the fingerprint is stable across processes and can
+        never alias a different graph after garbage collection — it is the
+        cache identity used by the launcher and the persistent trace store.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256(b"csr-v1")
+            digest.update(np.int64(self.n_vertices).tobytes())
+            digest.update(self.row_ptr.tobytes())
+            digest.update(self.col_idx.tobytes())
+            if self.weights is not None:
+                digest.update(b"weighted")
+                digest.update(self.weights.tobytes())
+            object.__setattr__(self, "_fingerprint", digest.hexdigest())
+        return self._fingerprint
 
     def memory_bytes(self) -> int:
         """Size of the CSR arrays in bytes (Table 4's "Size" column)."""

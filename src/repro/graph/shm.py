@@ -1,0 +1,258 @@
+"""Zero-copy shared-memory graph plane for the parallel sweep.
+
+The sweep's worker processes all operate on the *same* deterministic input
+graphs, yet before this module each worker either rebuilt its graph from
+the dataset registry (CPU time per block) or received a pickled copy
+(serialization time plus a private copy per worker).  The plane publishes
+each graph's CSR arrays exactly once into POSIX shared memory
+(:mod:`multiprocessing.shared_memory`); workers *attach* to the segments
+and wrap them in read-only numpy views, so every process shares one
+physical copy of ``row_ptr``/``col_idx``/``weights`` with zero
+deserialization — the Gunrock/GraphBLAST lesson that shared graph storage
+is what amortizes per-variant overhead, applied to the analytic pipeline.
+
+Lifecycle and crash-safety:
+
+* the **publisher** (the sweep supervisor) owns the segments: it unlinks
+  them in a ``finally`` and, as a backstop, via ``atexit`` — a crashed or
+  interrupted sweep never leaks ``/dev/shm`` segments;
+* **workers** only ever attach.  Attached segments are de-registered from
+  Python's resource tracker (which would otherwise unlink segments it does
+  not own when any worker exits) and closed, never unlinked;
+* attach is **tolerant**: a stale cached mapping (e.g. after an in-process
+  retry) is dropped and re-attached, and a segment that is genuinely gone
+  raises :class:`SharedGraphGone` so the caller can fall back to rebuilding
+  the graph locally — a dead plane costs a rebuild, never the block.
+
+``$REPRO_SHM=0`` disables the plane entirely (workers fall back to the
+rebuild/pickle paths).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .csr import CSRGraph
+
+try:  # pragma: no cover - absent only on exotic platforms
+    from multiprocessing import resource_tracker, shared_memory
+
+    _HAVE_SHM = True
+except ImportError:  # pragma: no cover
+    _HAVE_SHM = False
+
+__all__ = [
+    "SHM_ENV",
+    "SharedGraphGone",
+    "SharedArraySpec",
+    "SharedGraphHandle",
+    "SharedGraphPlane",
+    "shm_enabled",
+    "attach_graph",
+    "detach_all",
+]
+
+#: Set to ``0`` (or empty) to disable the shared-memory plane.
+SHM_ENV = "REPRO_SHM"
+
+
+def shm_enabled() -> bool:
+    """True when shared-memory publication is available and not disabled."""
+    return _HAVE_SHM and os.environ.get(SHM_ENV, "1") not in ("", "0")
+
+
+class SharedGraphGone(RuntimeError):
+    """An attach target no longer exists (publisher closed or crashed)."""
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Where one numpy array lives in shared memory."""
+
+    segment: str
+    shape: Tuple[int, ...]
+    dtype: str  #: numpy dtype string (e.g. ``<i8``)
+
+
+@dataclass(frozen=True)
+class SharedGraphHandle:
+    """A picklable reference to one published graph.
+
+    Ships to workers instead of the graph itself; :func:`attach_graph`
+    reconstructs a read-only :class:`CSRGraph` over the shared buffers.
+    """
+
+    graph_name: str
+    fingerprint: str
+    row_ptr: SharedArraySpec
+    col_idx: SharedArraySpec
+    weights: Optional[SharedArraySpec]
+
+
+class SharedGraphPlane:
+    """Publisher side: owns the shared segments of a set of graphs."""
+
+    def __init__(self) -> None:
+        self._segments: List[object] = []
+        self._handles: Dict[str, SharedGraphHandle] = {}
+        self._closed = False
+        # Backstop only — the sweep closes the plane in a ``finally``.
+        atexit.register(self.close)
+
+    def publish(self, name: str, graph: CSRGraph) -> SharedGraphHandle:
+        """Copy one graph's CSR arrays into shared memory, once."""
+        if self._closed:
+            raise SharedGraphGone("graph plane is closed")
+        existing = self._handles.get(name)
+        if existing is not None:
+            return existing
+        handle = SharedGraphHandle(
+            graph_name=name,
+            fingerprint=graph.fingerprint(),
+            row_ptr=self._share(graph.row_ptr),
+            col_idx=self._share(graph.col_idx),
+            weights=None if graph.weights is None else self._share(graph.weights),
+        )
+        self._handles[name] = handle
+        return handle
+
+    def handle(self, name: str) -> Optional[SharedGraphHandle]:
+        return self._handles.get(name)
+
+    def close(self) -> None:
+        """Close and unlink every published segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        atexit.unregister(self.close)
+        for segment in self._segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except (FileNotFoundError, OSError):
+                pass  # already unlinked (or torn down by the OS)
+        self._segments.clear()
+        self._handles.clear()
+
+    def __enter__(self) -> "SharedGraphPlane":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _share(self, array: np.ndarray) -> SharedArraySpec:
+        # Zero-length arrays (an edgeless graph) still need a 1-byte
+        # segment — SharedMemory rejects size 0.
+        segment = shared_memory.SharedMemory(
+            create=True, size=max(1, array.nbytes)
+        )
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+        view[...] = array
+        self._segments.append(segment)
+        _PUBLISHED.add(segment.name)
+        return SharedArraySpec(
+            segment=segment.name, shape=tuple(array.shape), dtype=array.dtype.str
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+#: Per-process cache of attached segments, so shards of the same graph in
+#: one worker map it once, and a retry re-uses (or replaces) the mapping.
+_ATTACHED: Dict[str, object] = {}
+
+#: Segment names created by *this* process (or its fork parent, which
+#: shares the same resource tracker).  Attaching one of these must not
+#: de-register it — the publisher's unlink does that exactly once.
+_PUBLISHED: set = set()
+
+
+def _untrack(segment) -> None:
+    """De-register an attached segment from the resource tracker.
+
+    On Python < 3.13 every ``SharedMemory``, attached or created, is
+    registered with the tracker — which then unlinks segments it does not
+    own when the registering process exits.  The publisher owns cleanup;
+    attachers must not.
+    """
+    try:
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def _attach_segment(name: str):
+    segment = _ATTACHED.get(name)
+    if segment is not None:
+        return segment
+    try:
+        try:  # Python >= 3.13: never tracked in the first place
+            segment = shared_memory.SharedMemory(name=name, track=False)
+        except TypeError:
+            segment = shared_memory.SharedMemory(name=name)
+            if name not in _PUBLISHED:
+                _untrack(segment)
+    except FileNotFoundError:
+        raise SharedGraphGone(
+            f"shared-memory segment {name!r} is gone (publisher exited?)"
+        ) from None
+    _ATTACHED[name] = segment
+    return segment
+
+
+def _attach_array(spec: SharedArraySpec) -> np.ndarray:
+    for retry in (False, True):
+        segment = _attach_segment(spec.segment)
+        try:
+            array = np.ndarray(
+                spec.shape, dtype=np.dtype(spec.dtype), buffer=segment.buf
+            )
+            break
+        except (TypeError, ValueError):
+            # Stale mapping (segment closed under us): drop and re-attach.
+            _ATTACHED.pop(spec.segment, None)
+            if retry:
+                raise SharedGraphGone(
+                    f"shared-memory segment {spec.segment!r} is unusable"
+                ) from None
+    array.flags.writeable = False
+    return array
+
+
+def attach_graph(handle: SharedGraphHandle) -> CSRGraph:
+    """Reconstruct a read-only :class:`CSRGraph` over shared buffers.
+
+    Zero-copy: the returned graph's arrays are views of the published
+    segments (``CSRGraph`` keeps already-contiguous, correctly-typed
+    arrays as-is).  Raises :class:`SharedGraphGone` when the plane no
+    longer exists — callers fall back to rebuilding the graph.
+    """
+    if not _HAVE_SHM:  # pragma: no cover - platform without shm
+        raise SharedGraphGone("multiprocessing.shared_memory is unavailable")
+    graph = CSRGraph(
+        row_ptr=_attach_array(handle.row_ptr),
+        col_idx=_attach_array(handle.col_idx),
+        weights=None if handle.weights is None else _attach_array(handle.weights),
+        name=handle.graph_name,
+    )
+    # The publisher hashed the same bytes; inherit instead of re-hashing
+    # megabytes per attach.
+    object.__setattr__(graph, "_fingerprint", handle.fingerprint)
+    return graph
+
+
+def detach_all() -> None:
+    """Close every segment this process attached (never unlinks)."""
+    for segment in _ATTACHED.values():
+        try:
+            segment.close()
+        except OSError:  # pragma: no cover - already closed by the OS
+            pass
+    _ATTACHED.clear()

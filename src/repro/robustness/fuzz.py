@@ -572,6 +572,8 @@ class PlantedBugLauncher(Launcher):
 
     def __init__(self, *, algorithm: Optional[Algorithm] = None, **kwargs):
         kwargs.setdefault("verify", True)
+        # The trace store must never see (or serve) a planted-bug trace.
+        kwargs.setdefault("trace_store", False)
         super().__init__(**kwargs)
         self.planted_algorithm = algorithm
 
@@ -580,7 +582,7 @@ class PlantedBugLauncher(Launcher):
         planted = self.planted_algorithm in (None, algorithm)
         if planted and not isinstance(kernel, _MutatingKernel):
             kernel = _MutatingKernel(kernel, algorithm, graph)
-            self._kernels[(id(graph), algorithm)] = kernel
+            self._kernels[(graph.fingerprint(), algorithm)] = kernel
         return kernel
 
 

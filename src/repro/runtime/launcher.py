@@ -12,9 +12,21 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..bench.tracestore import TraceStore
 
 from ..graph.csr import CSRGraph
 from ..kernels.base import KernelResult
@@ -72,6 +84,20 @@ class Launcher:
     machinery records in the failure manifest.  The default (``None``)
     builds one from ``$REPRO_MAX_FOOTPRINT_MB`` / ``$REPRO_MAX_SIM_SECONDS``
     (inactive when unset).
+
+    ``trace_store`` is the persistent trace store
+    (:class:`repro.bench.tracestore.TraceStore`): semantic executions are
+    looked up there before any kernel runs and saved there afterwards, so
+    a warm store re-times mapping variants with zero kernel executions.
+    The default (``None``) follows ``$REPRO_TRACE_CACHE`` (a directory
+    path enables it; unset leaves it off for bare launchers — the sweep
+    paths opt in via ``SweepConfig.trace_cache``); pass ``False`` to
+    force it off regardless of the environment.
+
+    All internal caches are keyed by the graph's *content fingerprint*
+    (never ``id()``, which can alias a different graph once the original
+    is garbage collected), so content-identical graphs share traces and
+    :attr:`kernel_executions` counts real kernel runs only.
     """
 
     def __init__(
@@ -81,6 +107,7 @@ class Launcher:
         source: Optional[int] = None,
         sanitize: Optional[bool] = None,
         budget: Optional[ResourceBudget] = None,
+        trace_store: Union["TraceStore", None, bool] = None,
     ):
         self.verify = verify
         self.source = source
@@ -88,10 +115,20 @@ class Launcher:
             sanitize = os.environ.get("REPRO_SANITIZE", "0") not in ("", "0")
         self.sanitize = sanitize
         self.budget = ResourceBudget.from_env() if budget is None else budget
-        self._kernels: Dict[Tuple[int, Algorithm], object] = {}
-        self._traces: Dict[Tuple[int, SemanticKey], KernelResult] = {}
-        self._references: Dict[Tuple[int, Algorithm], np.ndarray] = {}
-        self._graphs: Dict[int, CSRGraph] = {}
+        if trace_store is None or trace_store is False:
+            # Imported late: repro.bench depends on this module.
+            from ..bench.tracestore import resolve_trace_store
+
+            trace_store = resolve_trace_store(
+                enabled=None if trace_store is None else False
+            )
+        self.trace_store: Optional["TraceStore"] = trace_store
+        #: Kernels actually executed (trace-store and in-memory hits do
+        #: not count) — what the warm-sweep guarantees are asserted on.
+        self.kernel_executions = 0
+        self._kernels: Dict[Tuple[str, Algorithm], object] = {}
+        self._traces: Dict[Tuple[str, SemanticKey], KernelResult] = {}
+        self._references: Dict[Tuple[str, Algorithm], np.ndarray] = {}
         self._models: Dict[str, Union[GPUModel, CPUModel]] = {}
 
     def source_for(self, graph: CSRGraph) -> int:
@@ -106,14 +143,33 @@ class Launcher:
     def execute_semantic(
         self, spec: StyleSpec, graph: CSRGraph
     ) -> KernelResult:
-        """Execute (or fetch) the semantic trace of a spec on a graph."""
-        key = (id(graph), spec.semantic_key())
-        self._graphs[id(graph)] = graph  # keep alive while cached
+        """Execute (or fetch) the semantic trace of a spec on a graph.
+
+        Lookup order: in-memory cache, then the persistent trace store
+        (a hit reassembles the stored execution bit-identically with no
+        kernel run), then a real kernel execution — which is verified,
+        sanitized, and written back to the store.
+        """
+        semantic = spec.semantic_key()
+        key = (graph.fingerprint(), semantic)
         cached = self._traces.get(key)
         if cached is not None:
             return cached
+        if self.trace_store is not None:
+            stored = self.trace_store.load(
+                graph, semantic, self.source_for(graph),
+                require_verified=self.verify,
+            )
+            if stored is not None:
+                if self.sanitize:
+                    from ..analysis.sanitizer import assert_sane
+
+                    assert_sane(semantic, stored.trace)
+                self._traces[key] = stored
+                return stored
         kernel = self._kernel_for(spec.algorithm, graph)
-        result = kernel.run(spec.semantic_key())
+        self.kernel_executions += 1
+        result = kernel.run(semantic)
         if self.verify:
             reference = self._reference_for(spec.algorithm, graph)
             verify_result(spec.algorithm, graph, result.values, reference)
@@ -122,7 +178,12 @@ class Launcher:
             # repro.styles, and the launcher must stay importable without it.
             from ..analysis.sanitizer import assert_sane
 
-            assert_sane(spec.semantic_key(), result.trace)
+            assert_sane(semantic, result.trace)
+        if self.trace_store is not None:
+            self.trace_store.save(
+                graph, semantic, self.source_for(graph), result,
+                verified=self.verify,
+            )
         self._traces[key] = result
         return result
 
@@ -241,7 +302,7 @@ class Launcher:
             )
 
     def _kernel_for(self, algorithm: Algorithm, graph: CSRGraph):
-        key = (id(graph), algorithm)
+        key = (graph.fingerprint(), algorithm)
         kernel = self._kernels.get(key)
         if kernel is None:
             kernel = build_kernel(algorithm, graph, self.source_for(graph))
@@ -249,7 +310,7 @@ class Launcher:
         return kernel
 
     def _reference_for(self, algorithm: Algorithm, graph: CSRGraph) -> np.ndarray:
-        key = (id(graph), algorithm)
+        key = (graph.fingerprint(), algorithm)
         ref = self._references.get(key)
         if ref is None:
             ref = reference_solution(algorithm, graph, self.source_for(graph))
@@ -263,9 +324,10 @@ class Launcher:
         Sweeps call this after timing every variant of a block: trace
         arrays for large worklist-driven runs are the dominant memory
         consumer, and they are never needed again once all mapping
-        variants and devices have been timed.
+        variants and devices have been timed.  (The persistent trace
+        store keeps its copy — release frees memory, not history.)
         """
-        gid = id(graph)
+        gid = graph.fingerprint()
         self._kernels.pop((gid, algorithm), None)
         self._references.pop((gid, algorithm), None)
         stale = [
@@ -281,7 +343,6 @@ class Launcher:
         self._kernels.clear()
         self._traces.clear()
         self._references.clear()
-        self._graphs.clear()
 
     @property
     def cached_traces(self) -> int:

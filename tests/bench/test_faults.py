@@ -190,6 +190,47 @@ class TestBlockSupervision:
         assert not results.failures
         assert run_signature(results) == run_signature(clean)
 
+    def test_worker_killed_while_attached_to_shm_plane(
+        self, monkeypatch, tmp_path, clean
+    ):
+        # The worker dies *after* attaching to the shared-memory graph
+        # plane.  The contract under test: a dying attacher never unlinks
+        # the published segments (the supervisor owns them), so retries,
+        # sibling workers, and the serial fallback still attach — and the
+        # sweep finishes with no leaked /dev/shm segments.
+        import os
+
+        shm_dir = "/dev/shm"
+        before = set(os.listdir(shm_dir)) if os.path.isdir(shm_dir) else None
+        arm(monkeypatch, {
+            "action": "kill-attached",
+            "algorithm": "pr", "graph": "USA-road-d.NY",
+        })
+        results = run_sweep_parallel(
+            REDUCED, workers=2, checkpoint_dir=tmp_path,
+            max_retries=1, retry_backoff=0.0,
+        )
+        assert not results.failures
+        assert run_signature(results) == run_signature(clean)
+        if before is not None:
+            leaked = set(os.listdir(shm_dir)) - before
+            assert not leaked
+
+    def test_worker_killed_while_attached_recovers_on_retry(
+        self, monkeypatch, tmp_path, clean
+    ):
+        # Only the first attempt dies: the retried worker re-attaches to
+        # the same still-published segments and completes normally.
+        arm(monkeypatch, {
+            "action": "kill-attached", "algorithm": "bfs",
+            "graph": "soc-LiveJournal1", "attempts": [0],
+        })
+        results = run_sweep_parallel(
+            REDUCED, workers=2, checkpoint_dir=tmp_path, retry_backoff=0.0
+        )
+        assert not results.failures
+        assert run_signature(results) == run_signature(clean)
+
     def test_hung_block_hits_the_timeout(self, monkeypatch, tmp_path, clean):
         arm(monkeypatch, {
             "action": "hang", "algorithm": "bfs", "graph": "soc-LiveJournal1",

@@ -139,6 +139,73 @@ class TestParallelSweep:
             resolve_workers(0)
 
 
+class TestSemanticShards:
+    """Sharded (shm-backed) blocks must be invisible in the results."""
+
+    def test_shard_blocks_splits_only_shm_backed_blocks(self):
+        from repro.bench import shard_blocks
+
+        blocks = partition_blocks(REDUCED)
+        # No shm handle: blocks must pass through untouched even with
+        # surplus workers (rebuilding the graph per shard is a net loss).
+        assert shard_blocks(blocks, workers=32) == blocks
+
+    def test_sharded_parallel_matches_serial(self, tmp_path):
+        serial = run_sweep(REDUCED)
+        sharded = run_sweep_parallel(
+            REDUCED, workers=8, checkpoint_dir=tmp_path
+        )
+        assert run_signature(sharded) == run_signature(serial)
+        assert sharded.kernel_executions == serial.kernel_executions
+
+    def test_shards_partition_the_semantic_groups(self):
+        from dataclasses import replace
+
+        from repro.bench import semantic_shard_order
+        from repro.graph.shm import SharedArraySpec, SharedGraphHandle
+
+        block = partition_blocks(REDUCED)[0]
+        dummy = SharedArraySpec(segment="x", shape=(1,), dtype="<i8")
+        handle = SharedGraphHandle(
+            graph_name=block.graph_name, fingerprint="f",
+            row_ptr=dummy, col_idx=dummy, weights=None,
+        )
+        block = replace(block, shm_handle=handle)
+        n = 3
+        shards = [replace(block, shard=s, n_shards=n) for s in range(n)]
+        order = semantic_shard_order(block.algorithm, block.models)
+        for model in block.models:
+            full = enumerate_specs(block.algorithm, model)
+            pieces = [shard.specs_for(model) for shard in shards]
+            # Disjoint, exhaustive, and grouped by semantic key.
+            flat = [spec for piece in pieces for spec in piece]
+            assert sorted(s.label() for s in flat) == sorted(
+                s.label() for s in full
+            )
+            for s, piece in enumerate(pieces):
+                assert all(
+                    order[spec.semantic_key()] % n == s for spec in piece
+                )
+
+    def test_shard_keys_are_distinct_and_worker_count_sensitive(self):
+        from dataclasses import replace
+
+        block = partition_blocks(REDUCED)[0]
+        assert block.key == ("bfs", "USA-road-d.NY")
+        a = replace(block, shard=0, n_shards=2).key
+        b = replace(block, shard=1, n_shards=2).key
+        c = replace(block, shard=0, n_shards=3).key
+        assert len({a, b, c, block.key}) == 4
+
+    def test_plane_disabled_still_matches_serial(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM", "0")
+        serial = run_sweep(REDUCED)
+        parallel = run_sweep_parallel(
+            REDUCED, workers=4, checkpoint_dir=tmp_path
+        )
+        assert run_signature(parallel) == run_signature(serial)
+
+
 class TestSelectIndices:
     @pytest.fixture(scope="class")
     def results(self):

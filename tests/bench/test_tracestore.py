@@ -1,0 +1,313 @@
+"""Tests of the persistent trace store (repro.bench.tracestore).
+
+The store's contract has two halves the tests pin down separately:
+
+* a **hit** must reassemble the stored execution *bit-identically* —
+  same values array, same trace digest, same downstream timings — with
+  zero kernel executions;
+* everything that could make a stored trace wrong — kernel code edits,
+  different graph content, a different source vertex, corruption, an
+  unverified entry read by a verifying launcher — must read as a clean
+  *miss*, never a wrong answer and never a crash.
+"""
+
+import numpy as np
+import pytest
+
+import repro.bench.tracestore as tracestore
+from repro.bench import SweepConfig, run_sweep, run_sweep_parallel
+from repro.bench.tracestore import (
+    TRACE_CACHE_ENV,
+    TraceStore,
+    default_trace_dir,
+    kernel_code_fingerprint,
+    resolve_trace_store,
+    trace_digest,
+)
+from repro.cli.main import main
+from repro.graph import load_dataset
+from repro.machine.devices import RTX_3090
+from repro.runtime import Launcher
+from repro.styles import Algorithm, Model, enumerate_specs
+
+SPEC = enumerate_specs(Algorithm.SSSP, Model.CUDA)[0]
+
+
+@pytest.fixture()
+def graph():
+    return load_dataset("soc-LiveJournal1", "tiny")
+
+
+def warm_store(tmp_path, graph, **launcher_kwargs):
+    """Execute SPEC once into a fresh store; returns (store, run, result)."""
+    store = TraceStore(tmp_path)
+    launcher = Launcher(trace_store=store, **launcher_kwargs)
+    run = launcher.run(SPEC, graph, RTX_3090)
+    result = launcher.execute_semantic(SPEC, graph)
+    return store, run, result
+
+
+class TestResolve:
+    def test_kill_switch_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TRACE_CACHE_ENV, "0")
+        assert resolve_trace_store(enabled=True) is None
+        assert resolve_trace_store(directory=tmp_path) is None
+
+    def test_env_path_enables_bare_launchers(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TRACE_CACHE_ENV, str(tmp_path))
+        store = resolve_trace_store()
+        assert store is not None and store.directory == tmp_path
+        assert Launcher().trace_store is not None
+
+    def test_bare_launcher_is_off_without_env(self, monkeypatch):
+        monkeypatch.delenv(TRACE_CACHE_ENV, raising=False)
+        assert resolve_trace_store() is None
+        assert Launcher().trace_store is None
+
+    def test_opt_in_uses_default_dir(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(TRACE_CACHE_ENV, raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        store = resolve_trace_store(enabled=True)
+        assert store.directory == default_trace_dir()
+        assert resolve_trace_store(enabled=False) is None
+
+    def test_launcher_false_forces_off(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TRACE_CACHE_ENV, str(tmp_path))
+        assert Launcher(trace_store=False).trace_store is None
+
+    def test_empty_store_instance_is_kept(self, tmp_path):
+        # An empty TraceStore is falsy (len 0); the launcher must not
+        # drop it on that account.
+        store = TraceStore(tmp_path)
+        assert Launcher(trace_store=store).trace_store is store
+
+
+class TestRoundTrip:
+    def test_warm_launcher_executes_nothing(self, tmp_path, graph):
+        store, cold_run, cold = warm_store(tmp_path, graph)
+        assert store.stores == 1
+
+        warm = TraceStore(tmp_path)
+        launcher = Launcher(trace_store=warm)
+        warm_run = launcher.run(SPEC, graph, RTX_3090)
+        assert launcher.kernel_executions == 0
+        assert warm.hits == 1
+        assert warm_run == cold_run
+
+    def test_hit_is_bit_identical(self, tmp_path, graph):
+        _, _, cold = warm_store(tmp_path, graph)
+        warm = Launcher(trace_store=TraceStore(tmp_path))
+        result = warm.execute_semantic(SPEC, graph)
+        assert np.array_equal(result.values, cold.values)
+        assert result.values.dtype == cold.values.dtype
+        assert trace_digest(result.trace) == trace_digest(cold.trace)
+
+    def test_content_identical_graph_hits(self, tmp_path, graph):
+        warm_store(tmp_path, graph)
+        rebuilt = load_dataset("soc-LiveJournal1", "tiny")
+        assert rebuilt is not graph
+        launcher = Launcher(trace_store=TraceStore(tmp_path))
+        launcher.run(SPEC, rebuilt, RTX_3090)
+        assert launcher.kernel_executions == 0
+
+    def test_entries_survive_verify_scan(self, tmp_path, graph):
+        store, _, _ = warm_store(tmp_path, graph)
+        ok, bad = store.verify_entries()
+        assert (ok, bad) == (1, [])
+        assert len(store) == 1
+
+
+class TestInvalidation:
+    def test_kernel_code_change_misses(self, tmp_path, graph, monkeypatch):
+        warm_store(tmp_path, graph)
+        monkeypatch.setattr(tracestore, "_kernel_fp_memo", "f" * 64)
+        launcher = Launcher(trace_store=TraceStore(tmp_path))
+        launcher.run(SPEC, graph, RTX_3090)
+        assert launcher.kernel_executions == 1  # stale entry not used
+
+    def test_different_graph_content_misses(self, tmp_path, graph):
+        warm_store(tmp_path, graph)
+        other = load_dataset("USA-road-d.NY", "tiny")
+        launcher = Launcher(trace_store=TraceStore(tmp_path))
+        launcher.run(SPEC, other, RTX_3090)
+        assert launcher.kernel_executions == 1
+
+    def test_different_source_misses(self, tmp_path, graph):
+        store, _, _ = warm_store(tmp_path, graph, source=0)
+        launcher = Launcher(trace_store=TraceStore(tmp_path), source=1)
+        launcher.run(SPEC, graph, RTX_3090)
+        assert launcher.kernel_executions == 1
+        assert len(store) == 2  # both seeds stored side by side
+
+    def test_unverified_entry_misses_for_verifying_launcher(
+        self, tmp_path, graph
+    ):
+        warm_store(tmp_path, graph, verify=False)
+        verifying = Launcher(trace_store=TraceStore(tmp_path))
+        verifying.run(SPEC, graph, RTX_3090)
+        assert verifying.kernel_executions == 1  # would not trust it
+        # ... and its re-execution overwrote the entry as verified.
+        relaxed = Launcher(trace_store=TraceStore(tmp_path), verify=False)
+        relaxed.run(SPEC, graph, RTX_3090)
+        assert relaxed.kernel_executions == 0
+
+    def test_stale_entries_are_gc_candidates(self, tmp_path, graph, monkeypatch):
+        store, _, _ = warm_store(tmp_path, graph)
+        monkeypatch.setattr(tracestore, "_kernel_fp_memo", "f" * 64)
+        stats = store.stats()
+        assert stats.stale == stats.entries == 1
+        removed, reclaimed = store.gc()
+        assert removed == 1 and reclaimed > 0
+        assert len(store) == 0
+
+
+class TestCorruption:
+    def corrupt_and_load(self, tmp_path, graph, mutate):
+        store, _, _ = warm_store(tmp_path, graph)
+        (entry,) = store._entries()
+        mutate(entry)
+        launcher = Launcher(trace_store=TraceStore(tmp_path))
+        launcher.run(SPEC, graph, RTX_3090)  # must not crash
+        assert launcher.kernel_executions == 1  # clean miss, re-executed
+        quarantine = tmp_path / "quarantine"
+        assert quarantine.is_dir() and any(quarantine.iterdir())
+
+    def test_truncated_entry_quarantines(self, tmp_path, graph):
+        self.corrupt_and_load(
+            tmp_path, graph,
+            lambda p: p.write_bytes(p.read_bytes()[: p.stat().st_size // 2]),
+        )
+
+    def test_bit_flip_quarantines(self, tmp_path, graph):
+        def flip(path):
+            blob = bytearray(path.read_bytes())
+            blob[-1] ^= 0xFF
+            path.write_bytes(bytes(blob))
+
+        self.corrupt_and_load(tmp_path, graph, flip)
+
+    def test_garbage_entry_quarantines(self, tmp_path, graph):
+        self.corrupt_and_load(
+            tmp_path, graph, lambda p: p.write_bytes(b"not a trace at all")
+        )
+
+    def test_reexecution_heals_the_store(self, tmp_path, graph):
+        store, _, cold = warm_store(tmp_path, graph)
+        (entry,) = store._entries()
+        entry.write_bytes(b"garbage")
+        healer = Launcher(trace_store=TraceStore(tmp_path))
+        healer.run(SPEC, graph, RTX_3090)  # quarantines, re-executes, saves
+        fresh = Launcher(trace_store=TraceStore(tmp_path))
+        result = fresh.execute_semantic(SPEC, graph)
+        assert fresh.kernel_executions == 0
+        assert trace_digest(result.trace) == trace_digest(cold.trace)
+
+
+SWEEP = SweepConfig(
+    scale="tiny",
+    algorithms=(Algorithm.BFS,),
+    models=(Model.CUDA,),
+    graphs=("USA-road-d.NY",),
+    gpu_names=("RTX 3090",),
+)
+
+
+class TestWarmSweeps:
+    def test_second_sweep_executes_zero_kernels(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TRACE_CACHE_ENV, str(tmp_path / "traces"))
+        ckpt = tmp_path / "ckpt"
+        cold = run_sweep_parallel(SWEEP, workers=1, checkpoint_dir=ckpt)
+        assert cold.kernel_executions > 0
+        warm = run_sweep_parallel(SWEEP, workers=1, checkpoint_dir=ckpt)
+        assert warm.kernel_executions == 0
+        assert warm.runs == cold.runs
+
+    def test_new_device_retimes_from_stored_traces(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TRACE_CACHE_ENV, str(tmp_path / "traces"))
+        ckpt = tmp_path / "ckpt"
+        run_sweep_parallel(SWEEP, workers=1, checkpoint_dir=ckpt)
+        # Add a second GPU: mapping variants must re-time from the stored
+        # traces — the paper's semantic/mapping split, across sessions.
+        both = SweepConfig(
+            scale=SWEEP.scale,
+            algorithms=SWEEP.algorithms,
+            models=SWEEP.models,
+            graphs=SWEEP.graphs,
+            gpu_names=("RTX 3090", "Titan V"),
+        )
+        extended = run_sweep_parallel(both, workers=1, checkpoint_dir=ckpt)
+        assert extended.kernel_executions == 0
+        assert {r.device for r in extended.runs} == {"RTX 3090", "Titan V"}
+
+    def test_serial_sweep_uses_the_store_too(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TRACE_CACHE_ENV, str(tmp_path))
+        cold = run_sweep(SWEEP)
+        warm = run_sweep(SWEEP)
+        assert cold.kernel_executions > 0
+        assert warm.kernel_executions == 0
+        assert warm.runs == cold.runs
+
+    def test_no_trace_cache_opts_out(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TRACE_CACHE_ENV, str(tmp_path))
+        config = SweepConfig(
+            scale=SWEEP.scale,
+            algorithms=SWEEP.algorithms,
+            models=SWEEP.models,
+            graphs=SWEEP.graphs,
+            gpu_names=SWEEP.gpu_names,
+            trace_cache=False,
+        )
+        run_sweep(config)
+        again = run_sweep(config)
+        assert again.kernel_executions > 0  # nothing stored, nothing hit
+        assert len(TraceStore(tmp_path)) == 0
+
+
+class TestCacheCLI:
+    def test_stats_gc_verify(self, tmp_path, graph, capsys):
+        store, _, _ = warm_store(tmp_path, graph)
+        assert main(["cache", "stats", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries:     1" in out
+
+        assert main(["cache", "verify", "--dir", str(tmp_path)]) == 0
+        assert "verified 1 entries" in capsys.readouterr().out
+
+        (entry,) = store._entries()
+        entry.write_bytes(b"garbage")
+        assert main(["cache", "verify", "--dir", str(tmp_path)]) == 1
+
+        assert main(["cache", "gc", "--dir", str(tmp_path), "--all"]) == 0
+        assert len(TraceStore(tmp_path)) == 0
+
+    def test_cache_honours_env_dir(self, tmp_path, graph, monkeypatch, capsys):
+        warm_store(tmp_path, graph)
+        monkeypatch.setenv(TRACE_CACHE_ENV, str(tmp_path))
+        assert main(["cache", "stats"]) == 0
+        assert str(tmp_path) in capsys.readouterr().out
+
+    def test_sweep_no_trace_cache_flag_parses(self, tmp_path, monkeypatch):
+        from repro.cli.main import build_parser
+
+        args = build_parser().parse_args(["sweep", "--no-trace-cache"])
+        assert args.no_trace_cache
+
+
+class TestFingerprints:
+    def test_kernel_code_fingerprint_is_memoized_and_stable(self):
+        assert kernel_code_fingerprint() == kernel_code_fingerprint()
+        assert len(kernel_code_fingerprint()) == 64
+
+    def test_graph_fingerprint_tracks_content_not_name(self, graph):
+        same = load_dataset("soc-LiveJournal1", "tiny")
+        assert same.fingerprint() == graph.fingerprint()
+        other = load_dataset("USA-road-d.NY", "tiny")
+        assert other.fingerprint() != graph.fingerprint()
+
+    def test_trace_digest_separates_traces(self, graph):
+        launcher = Launcher()
+        bfs = launcher.execute_semantic(
+            enumerate_specs(Algorithm.BFS, Model.CUDA)[0], graph
+        )
+        sssp = launcher.execute_semantic(SPEC, graph)
+        assert trace_digest(bfs.trace) != trace_digest(sssp.trace)

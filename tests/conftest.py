@@ -4,11 +4,20 @@ The fault-injection tests exercise hang detection and worker supervision;
 if one of those paths regresses, the test itself could hang.  Every test
 marked ``faults`` therefore runs under a hard SIGALRM deadline so a
 regression fails loudly instead of wedging the suite.
+
+The persistent trace store is disabled suite-wide (the ``0`` kill switch)
+so tests never read or write ``~/.cache/repro/traces`` — a warm store
+would otherwise leak state between runs and machines.  Tests of the store
+itself point ``$REPRO_TRACE_CACHE`` at a tmpdir or pass a
+:class:`~repro.bench.tracestore.TraceStore` explicitly.
 """
 
+import os
 import signal
 
 import pytest
+
+os.environ.setdefault("REPRO_TRACE_CACHE", "0")
 
 #: Hard per-test deadline for ``@pytest.mark.faults`` tests, in seconds —
 #: generous next to their sub-second fault schedules, tiny next to a hang.

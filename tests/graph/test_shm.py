@@ -1,0 +1,123 @@
+"""Tests of the zero-copy shared-memory graph plane (repro.graph.shm)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import load_dataset
+from repro.graph import shm
+from repro.graph.shm import (
+    SharedGraphGone,
+    SharedGraphPlane,
+    attach_graph,
+    shm_enabled,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shm_enabled(), reason="shared memory unavailable or disabled"
+)
+
+
+@pytest.fixture()
+def graph():
+    return load_dataset("soc-LiveJournal1", "tiny")
+
+
+class TestPublishAttach:
+    def test_roundtrip_is_equal_and_zero_copy(self, graph):
+        with SharedGraphPlane() as plane:
+            handle = plane.publish(graph.name, graph)
+            attached = attach_graph(handle)
+            try:
+                assert attached.name == graph.name
+                assert np.array_equal(attached.row_ptr, graph.row_ptr)
+                assert np.array_equal(attached.col_idx, graph.col_idx)
+                if graph.weights is None:
+                    assert attached.weights is None
+                else:
+                    assert np.array_equal(attached.weights, graph.weights)
+                # Zero-copy: the graph's arrays are views of the shared
+                # segments, not private copies made by CSRGraph.
+                assert not attached.row_ptr.flags.owndata
+                assert not attached.col_idx.flags.owndata
+            finally:
+                shm.detach_all()
+
+    def test_attached_arrays_are_read_only(self, graph):
+        with SharedGraphPlane() as plane:
+            attached = attach_graph(plane.publish(graph.name, graph))
+            try:
+                with pytest.raises(ValueError):
+                    attached.row_ptr[0] = 7
+            finally:
+                shm.detach_all()
+
+    def test_fingerprint_is_inherited_not_rehashed(self, graph):
+        with SharedGraphPlane() as plane:
+            attached = attach_graph(plane.publish(graph.name, graph))
+            try:
+                # Equal content must mean equal identity for every cache
+                # keyed by the fingerprint (launcher, trace store).
+                assert attached.fingerprint() == graph.fingerprint()
+                assert attached._fingerprint is not None  # no lazy rehash
+            finally:
+                shm.detach_all()
+
+    def test_publish_memoizes_per_name(self, graph):
+        with SharedGraphPlane() as plane:
+            first = plane.publish(graph.name, graph)
+            assert plane.publish(graph.name, graph) is first
+            assert plane.handle(graph.name) is first
+
+    def test_weighted_graph_ships_weights(self):
+        graph = load_dataset("USA-road-d.NY", "tiny")
+        assert graph.weights is not None
+        with SharedGraphPlane() as plane:
+            attached = attach_graph(plane.publish(graph.name, graph))
+            try:
+                assert np.array_equal(attached.weights, graph.weights)
+                assert not attached.weights.flags.writeable
+            finally:
+                shm.detach_all()
+
+
+class TestLifecycle:
+    def test_close_unlinks_and_attach_raises(self, graph):
+        plane = SharedGraphPlane()
+        handle = plane.publish(graph.name, graph)
+        plane.close()
+        with pytest.raises(SharedGraphGone):
+            attach_graph(handle)
+
+    def test_close_is_idempotent(self, graph):
+        plane = SharedGraphPlane()
+        plane.publish(graph.name, graph)
+        plane.close()
+        plane.close()
+
+    def test_publish_after_close_raises(self, graph):
+        plane = SharedGraphPlane()
+        plane.close()
+        with pytest.raises(SharedGraphGone):
+            plane.publish(graph.name, graph)
+
+    def test_env_kill_switch(self, monkeypatch):
+        monkeypatch.setenv(shm.SHM_ENV, "0")
+        assert not shm_enabled()
+        monkeypatch.setenv(shm.SHM_ENV, "1")
+        assert shm_enabled()
+
+    def test_attached_graph_runs_kernels(self, graph):
+        """A read-only attached graph behaves exactly like the original."""
+        from repro.machine.devices import RTX_3090
+        from repro.runtime import Launcher
+        from repro.styles import Algorithm, Model, enumerate_specs
+
+        spec = enumerate_specs(Algorithm.BFS, Model.CUDA)[0]
+        with SharedGraphPlane() as plane:
+            attached = attach_graph(plane.publish(graph.name, graph))
+            try:
+                native = Launcher().run(spec, graph, RTX_3090)
+                shared = Launcher().run(spec, attached, RTX_3090)
+                assert native == shared
+            finally:
+                shm.detach_all()

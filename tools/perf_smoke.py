@@ -1,0 +1,164 @@
+"""Trace-store performance smoke: warm sweeps must execute zero kernels.
+
+Runs one small-but-real sweep three times against a fresh trace store:
+
+1. **cold** — empty store; every semantic kernel executes and is saved;
+2. **warm** — identical sweep; every semantic trace must come from the
+   store (zero kernel executions), the results must be *bit-identical*
+   to the cold run, and the wall-clock speedup must clear a floor;
+3. **new device** — the same sweep with a second GPU added; mapping
+   variants of the new device re-time from the stored traces, so this
+   too must execute zero kernels.
+
+The measured numbers are written to ``BENCH_tracestore.json`` at the
+repository root (or ``--json PATH``) so the cold/warm trajectory is
+tracked across PRs.  Exit code 0 means every guarantee held.
+
+Usage::
+
+    python tools/perf_smoke.py [--json PATH] [--min-speedup X] [--keep]
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+DEFAULT_JSON = REPO_ROOT / "BENCH_tracestore.json"
+
+#: Warm must beat cold by at least this factor (the store's entire point
+#: is skipping kernel execution, the sweep's dominant cost).
+DEFAULT_MIN_SPEEDUP = 3.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", type=Path, default=DEFAULT_JSON,
+                        help=f"output JSON path (default: {DEFAULT_JSON})")
+    parser.add_argument("--min-speedup", type=float,
+                        default=DEFAULT_MIN_SPEEDUP,
+                        help="required cold/warm wall-clock ratio "
+                             f"(default: {DEFAULT_MIN_SPEEDUP})")
+    parser.add_argument("--keep", action="store_true",
+                        help="keep the temporary trace store for inspection")
+    args = parser.parse_args(argv)
+
+    # A fresh store in a tempdir: the smoke must measure this process's
+    # cold/warm transition, not whatever ~/.cache already holds.
+    tmp = tempfile.mkdtemp(prefix="repro-perf-smoke-")
+    trace_dir = os.path.join(tmp, "traces")
+    checkpoint_dir = os.path.join(tmp, "checkpoints")
+    os.environ["REPRO_TRACE_CACHE"] = trace_dir
+
+    from repro.bench import SweepConfig, TraceStore, run_sweep_parallel
+    from repro.styles import Algorithm, Model
+
+    config = SweepConfig(
+        scale="default",
+        algorithms=(Algorithm.SSSP,),
+        models=(Model.CUDA,),
+        graphs=("USA-road-d.NY",),
+        gpu_names=("RTX 3090",),
+    )
+
+    def sweep(cfg):
+        start = time.perf_counter()
+        results = run_sweep_parallel(
+            cfg, workers=1, checkpoint_dir=checkpoint_dir
+        )
+        return results, time.perf_counter() - start
+
+    print("perf smoke: cold sweep (empty trace store) ...", flush=True)
+    cold, cold_seconds = sweep(config)
+    print(f"  {cold_seconds:.2f}s, {cold.kernel_executions} kernel "
+          f"executions, {len(cold.runs)} runs", flush=True)
+
+    print("perf smoke: warm sweep (identical config) ...", flush=True)
+    warm, warm_seconds = sweep(config)
+    speedup = cold_seconds / warm_seconds
+    print(f"  {warm_seconds:.2f}s, {warm.kernel_executions} kernel "
+          f"executions, speedup {speedup:.2f}x", flush=True)
+
+    print("perf smoke: warm sweep with a new device added ...", flush=True)
+    extended = SweepConfig(
+        scale=config.scale,
+        algorithms=config.algorithms,
+        models=config.models,
+        graphs=config.graphs,
+        gpu_names=("RTX 3090", "Titan V"),
+    )
+    new_device, new_device_seconds = sweep(extended)
+    print(f"  {new_device_seconds:.2f}s, {new_device.kernel_executions} "
+          f"kernel executions, {len(new_device.runs)} runs", flush=True)
+
+    store = TraceStore(trace_dir)
+    stats = store.stats()
+
+    failures = []
+    if cold.kernel_executions == 0:
+        failures.append("cold sweep executed no kernels (store not empty?)")
+    if warm.kernel_executions != 0:
+        failures.append(
+            f"warm sweep executed {warm.kernel_executions} kernels "
+            "(expected 0: every trace should come from the store)"
+        )
+    if warm.runs != cold.runs:
+        failures.append("warm results are not bit-identical to cold")
+    if new_device.kernel_executions != 0:
+        failures.append(
+            f"new-device sweep executed {new_device.kernel_executions} "
+            "kernels (expected 0: re-timed from stored traces)"
+        )
+    devices = {run.device for run in new_device.runs}
+    if devices != {"RTX 3090", "Titan V"}:
+        failures.append(f"new-device sweep covered {sorted(devices)}")
+    if speedup < args.min_speedup:
+        failures.append(
+            f"warm speedup {speedup:.2f}x is below the "
+            f"{args.min_speedup:g}x floor"
+        )
+    if cold.failures or warm.failures or new_device.failures:
+        failures.append("a sweep produced failure-manifest entries")
+
+    payload = {
+        "benchmark": "trace-store cold vs warm: SSSP x USA-road-d.NY "
+                     "(default scale), CUDA, workers=1",
+        "runs": len(cold.runs),
+        "cold_seconds": round(cold_seconds, 3),
+        "cold_kernel_executions": cold.kernel_executions,
+        "warm_seconds": round(warm_seconds, 3),
+        "warm_kernel_executions": warm.kernel_executions,
+        "warm_speedup": round(speedup, 3),
+        "new_device_seconds": round(new_device_seconds, 3),
+        "new_device_kernel_executions": new_device.kernel_executions,
+        "bit_identical": warm.runs == cold.runs,
+        "store_entries": stats.entries,
+        "store_bytes": stats.total_bytes,
+    }
+    args.json.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.json}", flush=True)
+
+    if not args.keep:
+        import shutil
+
+        shutil.rmtree(tmp, ignore_errors=True)
+    else:
+        print(f"trace store kept at {trace_dir}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"perf smoke OK: warm sweep ran 0 kernels, {speedup:.2f}x faster, "
+          "bit-identical results")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
