@@ -277,22 +277,20 @@ def sweep_block_runs(
     affected (spec, device) cell and skipped, instead of aborting the
     whole block.
     """
-    per_device = []
-    for device in devices:
-        on_error = None
-        if failures is not None:
-            def on_error(spec, exc, _device=device):
-                failures.append(
-                    FailedRun.from_exception(
-                        exc,
-                        algorithm=spec.algorithm.value,
-                        graph=graph.name,
-                        spec_label=spec.label(),
-                        model=spec.model.value,
-                        device=_device.name,
-                    )
+    on_error = None
+    if failures is not None:
+        def on_error(spec, device, exc):
+            failures.append(
+                FailedRun.from_exception(
+                    exc,
+                    algorithm=spec.algorithm.value,
+                    graph=graph.name,
+                    spec_label=spec.label(),
+                    model=spec.model.value,
+                    device=device.name,
                 )
-        per_device.append(launcher.run_batch(specs, graph, device, on_error=on_error))
+            )
+    per_device = launcher.run_matrix(specs, graph, devices, on_error=on_error)
     for i in range(len(specs)):
         for batch in per_device:
             run = batch[i]

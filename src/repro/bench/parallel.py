@@ -18,6 +18,17 @@ combinations, every mapping variant and device of each combination staying
 with its shard.  Shard results are reassembled in the serial run order, so
 the split changes wall-clock time and nothing else.
 
+With surplus workers the shards are *work-stolen* rather than statically
+assigned: every block splits into its finest units (one shard per semantic
+group) and a pool of persistent workers pulls units from the supervisor's
+shared queue until it drains (:class:`_StealingPool`).  Semantic groups
+differ wildly in cost — a BFS frontier trace versus a one-launch TC pass —
+so static ceil(workers/blocks) sharding leaves late workers idle behind
+one expensive shard; pulling keeps every worker busy until the queue is
+empty, which is what lets ``--workers`` beyond the block count keep
+scaling.  ``$REPRO_WORK_STEALING=0`` (or ``work_stealing=False``) restores
+the static sharding + one-process-per-shard engine.
+
 Unlike a bare process pool, the engine *supervises* its workers:
 
 * a per-block timeout (``--block-timeout`` / ``$REPRO_BLOCK_TIMEOUT``)
@@ -73,6 +84,7 @@ __all__ = [
     "semantic_shard_order",
     "shard_blocks",
     "resolve_workers",
+    "resolve_work_stealing",
     "run_sweep_parallel",
     "stderr_progress",
 ]
@@ -82,6 +94,10 @@ WORKERS_ENV = "REPRO_SWEEP_WORKERS"
 
 #: Environment override for the per-block timeout (seconds, float).
 BLOCK_TIMEOUT_ENV = "REPRO_BLOCK_TIMEOUT"
+
+#: Environment toggle for the work-stealing shard scheduler (default on;
+#: ``0``/``false``/``no``/``off`` disable it).
+WORK_STEALING_ENV = "REPRO_WORK_STEALING"
 
 #: Default number of worker retries before the serial fallback.
 DEFAULT_MAX_RETRIES = 2
@@ -224,7 +240,9 @@ def semantic_shard_order(
     return order
 
 
-def shard_blocks(blocks: List[SweepBlock], workers: int) -> List[SweepBlock]:
+def shard_blocks(
+    blocks: List[SweepBlock], workers: int, *, fine: bool = False
+) -> List[SweepBlock]:
     """Split shared-memory-backed blocks into semantic shards.
 
     Only useful when workers would otherwise idle (``workers`` exceeds the
@@ -232,16 +250,22 @@ def shard_blocks(blocks: List[SweepBlock], workers: int) -> List[SweepBlock]:
     (attaching is free; rebuilding per shard would multiply graph-build
     time).  Shards of one block stay adjacent and ordered, which is what
     lets :func:`run_sweep_parallel` reassemble serial run order.
+
+    ``fine=True`` splits every block into its finest units — one shard
+    per semantic group — for the work-stealing scheduler, whose dynamic
+    pulling makes many small units an advantage instead of a dispatch
+    cost.  The fine shard count depends only on the block (not on
+    ``workers``), so checkpoint keys stay stable across worker counts.
     """
     if workers <= len(blocks):
         return blocks
-    target = -(-workers // len(blocks))  # ceil: shards wanted per block
+    target = None if fine else -(-workers // len(blocks))  # ceil per block
     out: List[SweepBlock] = []
     for block in blocks:
         n = 1
         if block.shm_handle is not None and block.n_shards == 1:
             n_groups = len(semantic_shard_order(block.algorithm, block.models))
-            n = min(n_groups, target)
+            n = n_groups if target is None else min(n_groups, target)
         if n <= 1:
             out.append(block)
             continue
@@ -363,6 +387,15 @@ def resolve_block_timeout(block_timeout: Optional[float]) -> Optional[float]:
     if block_timeout is not None and block_timeout <= 0:
         raise ValueError("block timeout must be positive")
     return block_timeout
+
+
+def resolve_work_stealing(work_stealing: Optional[bool]) -> bool:
+    """Work-stealing toggle: explicit argument, else ``$REPRO_WORK_STEALING``
+    (default on; ``0``/``false``/``no``/``off`` disable)."""
+    if work_stealing is not None:
+        return work_stealing
+    env = os.environ.get(WORK_STEALING_ENV, "").strip().lower()
+    return env not in ("0", "false", "no", "off")
 
 
 def stderr_progress(done: int, total: int, block: SweepBlock) -> None:
@@ -570,6 +603,281 @@ class _Supervisor:
 
 
 # ----------------------------------------------------------------------
+# Work-stealing pool
+# ----------------------------------------------------------------------
+def _stealing_worker_main(conn) -> None:
+    """Entry point of one persistent work-stealing worker.
+
+    The worker *pulls*: it announces readiness, receives one unit, runs
+    it, reports, and loops until the supervisor says stop.  Each reply
+    carries the unit index so the parent never has to guess which unit a
+    message belongs to after a respawn.
+    """
+    os.environ[faults.WORKER_ENV] = "1"
+    try:
+        conn.send(("ready",))
+        while True:
+            request = conn.recv()
+            if request[0] == "stop":
+                break
+            _, index, block, attempt = request
+            try:
+                outcome = run_block_outcome(block, attempt)
+            except BaseException as exc:
+                conn.send(
+                    (
+                        "error",
+                        index,
+                        _classify_name(exc),
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                )
+            else:
+                conn.send(("ok", index, outcome))
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass  # parent gone or tearing down: just exit
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+    os._exit(0)
+
+
+@dataclass
+class _PoolWorker:
+    """One persistent worker process of the stealing pool."""
+
+    process: multiprocessing.process.BaseProcess
+    conn: object
+    #: The unit this worker currently holds (None = idle or not yet ready).
+    task: Optional[_Supervised] = None
+    idle: bool = False
+    deadline: Optional[float] = None
+
+
+class _StealingPool:
+    """Runs fine shard units through a pool of persistent workers that
+    pull from a shared queue, with the same retry / timeout / serial
+    fallback / quarantine policy as :class:`_Supervisor`.
+
+    Dispatch is parent-driven over per-worker duplex pipes rather than a
+    shared ``multiprocessing.Queue``: killing a hung worker that holds
+    the queue's feeder lock would deadlock its siblings, while a pipe
+    dies with its worker.  Workers claim units by sending ``("ready",)``;
+    the parent replies with the next eligible unit (or ``("stop",)`` once
+    the queue drains), so units flow to whichever worker frees up first.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int,
+        unit_timeout: Optional[float],
+        max_retries: int,
+        retry_backoff: float,
+        on_unit_done: Callable[[int, BlockOutcome], None],
+    ):
+        self.workers = workers
+        self.unit_timeout = unit_timeout
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.on_unit_done = on_unit_done
+        self.ctx = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+
+    def run(self, tasks: List[_Supervised]) -> None:
+        queue: List[_Supervised] = list(tasks)
+        unresolved = len(tasks)
+        pool: List[_PoolWorker] = [
+            self._spawn() for _ in range(min(self.workers, len(tasks)))
+        ]
+        try:
+            while unresolved > 0:
+                now = time.monotonic()
+                self._dispatch(pool, queue, now)
+                ready = multiprocessing.connection.wait(
+                    [w.conn for w in pool], timeout=_TICK
+                )
+                now = time.monotonic()
+                for worker in list(pool):
+                    if worker.conn in ready:
+                        try:
+                            message = worker.conn.recv()
+                        except (EOFError, OSError):
+                            message = None  # worker died
+                        if message is None:
+                            unresolved -= self._crash(worker, pool, queue)
+                            continue
+                        if message[0] == "ready":
+                            worker.idle = True
+                            continue
+                        unresolved -= self._finish(worker, message, queue)
+                    elif (
+                        worker.deadline is not None and now >= worker.deadline
+                    ):
+                        unresolved -= self._timeout(worker, pool, queue)
+        finally:
+            # Orderly or not, never leak workers.
+            for worker in pool:
+                self._stop(worker)
+
+    # ------------------------------------------------------------------
+    def _spawn(self) -> _PoolWorker:
+        parent_conn, child_conn = self.ctx.Pipe(duplex=True)
+        process = self.ctx.Process(
+            target=_stealing_worker_main, args=(child_conn,), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        return _PoolWorker(process=process, conn=parent_conn)
+
+    def _dispatch(
+        self, pool: List[_PoolWorker], queue: List[_Supervised], now: float
+    ) -> None:
+        for worker in pool:
+            if not worker.idle:
+                continue
+            task = next((t for t in queue if t.ready_at <= now), None)
+            if task is None:
+                return
+            queue.remove(task)
+            try:
+                worker.conn.send(("task", task.index, task.block, task.attempt))
+            except (BrokenPipeError, OSError):
+                # Worker died between "ready" and dispatch; _crash on the
+                # next wait() pass will respawn it.  Requeue the unit.
+                queue.append(task)
+                worker.idle = False
+                continue
+            worker.task = task
+            worker.idle = False
+            worker.deadline = (
+                None
+                if self.unit_timeout is None
+                else now + self.unit_timeout
+            )
+
+    def _finish(
+        self, worker: _PoolWorker, message: tuple, queue: List[_Supervised]
+    ) -> int:
+        task = worker.task
+        worker.task = None
+        worker.deadline = None
+        worker.idle = True  # the worker loops straight back to recv
+        if task is None or message[1] != task.index:
+            return 0  # stale reply from a unit already resolved elsewhere
+        if message[0] == "ok":
+            self.on_unit_done(task.index, message[2])
+            return 1
+        return self._failed(
+            task, ErrorClass(message[2]), message[3], queue
+        )
+
+    def _crash(
+        self,
+        worker: _PoolWorker,
+        pool: List[_PoolWorker],
+        queue: List[_Supervised],
+    ) -> int:
+        """A worker's pipe hit EOF: reap it, respawn, fail its unit."""
+        task = worker.task
+        exitcode = worker.process.exitcode
+        self._stop(worker, kill=True)
+        pool.remove(worker)
+        pool.append(self._spawn())
+        if task is None:
+            return 0
+        return self._failed(
+            task,
+            ErrorClass.CRASH,
+            f"worker process died (exit code {exitcode})",
+            queue,
+        )
+
+    def _timeout(
+        self,
+        worker: _PoolWorker,
+        pool: List[_PoolWorker],
+        queue: List[_Supervised],
+    ) -> int:
+        task = worker.task
+        self._stop(worker, kill=True)
+        pool.remove(worker)
+        pool.append(self._spawn())
+        if task is None:
+            return 0
+        return self._failed(
+            task,
+            ErrorClass.TIMEOUT,
+            f"block exceeded the {self.unit_timeout:g}s per-block timeout",
+            queue,
+        )
+
+    def _failed(
+        self,
+        task: _Supervised,
+        error_class: ErrorClass,
+        detail: str,
+        queue: List[_Supervised],
+    ) -> int:
+        """Retry / serial fallback / quarantine — mirrors
+        :meth:`_Supervisor._handle`.  Returns resolved-unit count (0 when
+        the unit was requeued for retry)."""
+        if task.attempt < self.max_retries:
+            task.attempt += 1
+            task.ready_at = (
+                time.monotonic()
+                + self.retry_backoff * (2 ** (task.attempt - 1))
+            )
+            queue.append(task)
+            return 0
+        attempts = task.attempt + 1
+        if error_class is not ErrorClass.TIMEOUT:
+            try:
+                outcome = run_block_outcome(task.block, attempt=attempts)
+            except Exception as exc:
+                error_class = ErrorClass(_classify_name(exc))
+                detail = f"{type(exc).__name__}: {exc}"
+                attempts += 1
+            else:
+                self.on_unit_done(task.index, outcome)
+                return 1
+        failure = FailedRun(
+            algorithm=task.block.algorithm.value,
+            graph=task.block.graph_name,
+            error_class=error_class,
+            message=detail,
+            digest=error_digest(error_class, detail),
+            stage="block",
+            attempts=attempts,
+        )
+        self.on_unit_done(task.index, BlockOutcome(failures=[failure]))
+        return 1
+
+    def _stop(self, worker: _PoolWorker, *, kill: bool = False) -> None:
+        if not kill:
+            try:
+                worker.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        process = worker.process
+        if kill and process.is_alive():
+            process.terminate()
+        process.join(timeout=5)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=5)
+        try:
+            worker.conn.close()
+        except Exception:
+            pass
+
+
+# ----------------------------------------------------------------------
 def run_sweep_parallel(
     config: SweepConfig = SweepConfig(),
     *,
@@ -582,6 +890,7 @@ def run_sweep_parallel(
     retry_backoff: float = DEFAULT_RETRY_BACKOFF,
     resume: bool = False,
     checkpoint_dir: Optional[str] = None,
+    work_stealing: Optional[bool] = None,
 ) -> StudyResults:
     """Run the configured sweep across supervised worker processes.
 
@@ -600,6 +909,13 @@ def run_sweep_parallel(
     checkpointed by an interrupted identical sweep.  The checkpoint is
     removed after a fully clean sweep and kept otherwise, so a follow-up
     ``resume=True`` retries exactly the quarantined blocks.
+
+    When workers outnumber the (algorithm, graph) blocks, the surplus is
+    absorbed by the work-stealing shard scheduler (see the module
+    docstring): blocks split into their finest semantic units and a pool
+    of persistent workers pulls them from a shared queue.
+    ``work_stealing=None`` reads ``$REPRO_WORK_STEALING`` (default on);
+    ``False`` keeps the static sharding + one-process-per-shard engine.
     """
     del chunksize  # block dispatch is per-process now
     block_timeout = resolve_block_timeout(block_timeout)
@@ -621,6 +937,10 @@ def run_sweep_parallel(
         blocks = partition_blocks(config, graphs_for_results)
         store = None  # custom graphs cannot be rebuilt on resume
     workers = resolve_workers(workers, len(blocks))
+    # Work-stealing engages only with surplus workers; the comparison uses
+    # the *unsharded* block count, so the decision (and hence the fine
+    # checkpoint keys) does not depend on the sharding it triggers.
+    stealing = resolve_work_stealing(work_stealing) and workers > len(blocks)
 
     # Publish the graphs once into the shared-memory plane: workers attach
     # read-only views instead of rebuilding (or unpickling) each graph,
@@ -639,7 +959,7 @@ def run_sweep_parallel(
             )
             for block in blocks
         ]
-        blocks = shard_blocks(blocks, workers)
+        blocks = shard_blocks(blocks, workers, fine=stealing)
     total = len(blocks)
 
     outcomes: Dict[int, BlockOutcome] = {}
@@ -671,6 +991,15 @@ def run_sweep_parallel(
         if todo:
             if workers == 1 or len(todo) == 1:
                 _run_blocks_inprocess(blocks, todo, record)
+            elif stealing:
+                pool = _StealingPool(
+                    workers=workers,
+                    unit_timeout=block_timeout,
+                    max_retries=max_retries,
+                    retry_backoff=retry_backoff,
+                    on_unit_done=record,
+                )
+                pool.run([_Supervised(i, blocks[i]) for i in todo])
             else:
                 supervisor = _Supervisor(
                     workers=workers,

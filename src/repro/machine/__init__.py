@@ -13,6 +13,7 @@ from .devices import (
 )
 from .gpu import GPUModel
 from .inspect import ProfileSummary, render_trace, summarize_trace, trace_to_csv
+from .matrix import model_for_device, time_matrix
 from .scheduling import (
     WARP_WIDTH,
     UnitDecomposition,
@@ -22,7 +23,12 @@ from .scheduling import (
     makespan,
 )
 from .specs import CPUSpec, GPUSpec
-from .trace import ExecutionTrace, IterationProfile, conflict_stats
+from .trace import (
+    ExecutionTrace,
+    IterationProfile,
+    ProfileMatrix,
+    conflict_stats,
+)
 
 __all__ = [
     "GPUSpec",
@@ -39,7 +45,10 @@ __all__ = [
     "get_device",
     "ExecutionTrace",
     "IterationProfile",
+    "ProfileMatrix",
     "conflict_stats",
+    "time_matrix",
+    "model_for_device",
     "ProfileSummary",
     "summarize_trace",
     "trace_to_csv",

@@ -23,7 +23,9 @@ Sections 2.10.2, 2.11, 2.12 and 5.3/5.5:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..styles.axes import (
     CppSchedule,
@@ -37,10 +39,12 @@ from .scheduling import (
     cached_decomposition,
     cpu_blocked_units,
     cpu_cyclic_units,
+    cpu_uniform_geometry,
     makespan,
+    stack_decompositions,
 )
 from .specs import CPUSpec
-from .trace import ExecutionTrace, IterationProfile
+from .trace import ExecutionTrace, IterationProfile, ProfileMatrix
 
 __all__ = ["CPUModel"]
 
@@ -52,6 +56,7 @@ class CPUModel:
 
     def __init__(self, spec: CPUSpec):
         self.spec = spec
+        self._bw_cache: Dict[Tuple[int, int], float] = {}
 
     # ------------------------------------------------------------------
     def time_trace(self, trace: ExecutionTrace, style: StyleSpec) -> float:
@@ -65,23 +70,42 @@ class CPUModel:
         return self.spec.seconds(cycles)
 
     def _bandwidth_for(self, trace: ExecutionTrace) -> float:
-        """L3-resident working sets stream at L3, not DRAM, speed."""
-        footprint = trace.n_vertices * 16.0 + trace.n_edges * 8.0
-        if footprint <= self.spec.l3_size_bytes:
-            return self.spec.l3_bytes_per_cycle
-        return self.spec.mem_bytes_per_cycle
+        """L3-resident working sets stream at L3, not DRAM, speed.
+
+        Memoized per trace fingerprint — the (n_vertices, n_edges) pair
+        that fully determines it — so repeated batch calls skip it.
+        """
+        key = (trace.n_vertices, trace.n_edges)
+        bw = self._bw_cache.get(key)
+        if bw is None:
+            footprint = trace.n_vertices * 16.0 + trace.n_edges * 8.0
+            if footprint <= self.spec.l3_size_bytes:
+                bw = self.spec.l3_bytes_per_cycle
+            else:
+                bw = self.spec.mem_bytes_per_cycle
+            self._bw_cache[key] = bw
+        return bw
 
     def time_trace_batch(
         self, trace: ExecutionTrace, styles: Sequence[StyleSpec]
     ) -> List[float]:
         """Simulated wall times of many mapping variants of one trace.
 
-        Bit-identical to calling :meth:`time_trace` per style: the batch
-        resolves the trace's bandwidth once and, within each step, shares
-        the core (work + memory + contention) cycles across styles whose
-        mapping differs only in the reduction axis.
+        Bit-identical to calling :meth:`time_trace` per style, but computed
+        as one vectorized pass over the trace's
+        :class:`~repro.machine.trace.ProfileMatrix`: core (work + memory +
+        contention) cycles are evaluated once per distinct
+        (model, omp_schedule, cpp_schedule) combination as a per-step
+        vector, reduction cycles once per reduction style, and styles
+        gather their step columns by group index — a style whose mapping
+        differs only in the reduction axis reuses the exact same core
+        floats.  The per-step cycle matrix is reduced over the step axis
+        with ``np.add.reduce``, which accumulates in the same
+        left-to-right order as the scalar loop.
         """
         styles = list(styles)
+        if not styles:
+            return []
         s = self.spec
         regions = []
         keys = []
@@ -95,26 +119,42 @@ class CPUModel:
             )
             keys.append((style.model, style.omp_schedule, style.cpp_schedule))
         mem_bw = self._bandwidth_for(trace)
-        totals = [0.0] * len(styles)
-        for p in trace.profiles:
-            if p.n_items == 0:
-                for i, region in enumerate(regions):
-                    totals[i] += region
-                continue
-            cores: dict = {}
+        pm = trace.profile_matrix()
+        cycles = np.empty((pm.n_steps, len(styles)))
+        cycles[:] = regions
+        if pm.nonzero.size:
+            cores: Dict[Tuple, np.ndarray] = {}
+            reds: Dict[Optional[CpuReduction], object] = {}
+            add = np.empty((len(styles), pm.nonzero.size))
+            # Memoized on the profile matrix per (device, group): warm
+            # re-timing replays the stored floats (see the GPU twin).
             for i, style in enumerate(styles):
                 core = cores.get(keys[i])
                 if core is None:
-                    core = self._core_cycles(p, style, mem_bw)
+                    core = pm.geometry(
+                        ("cpu-core", s, keys[i]),
+                        lambda k=keys[i]: self._core_cycles_batch(
+                            pm, *k, mem_bw=mem_bw
+                        ),
+                    )
                     cores[keys[i]] = core
-                totals[i] += (
-                    core + self._reduction_cycles(p, style) + regions[i]
-                )
-        return [s.seconds(t) for t in totals]
+                red = reds.get(style.cpu_reduction)
+                if red is None:
+                    red = pm.geometry(
+                        ("cpu-red", s, style.cpu_reduction),
+                        lambda r=style.cpu_reduction: (
+                            self._reduction_cycles_batch(pm, r)
+                        ),
+                    )
+                    reds[style.cpu_reduction] = red
+                add[i] = core + red
+            cycles[pm.nonzero] += add.T
+        totals = np.add.reduce(cycles, axis=0)
+        return [float(s.seconds(t)) for t in totals]
 
     def throughput(self, trace: ExecutionTrace, style: StyleSpec) -> float:
         """Giga-edges per second (Section 4.5 metric)."""
-        return trace.n_edges / self.time_trace(trace, style) / 1e9
+        return trace.n_edges / self.time_trace_batch(trace, [style])[0] / 1e9
 
     # ------------------------------------------------------------------
     def profile_cycles(
@@ -227,7 +267,9 @@ class CPUModel:
         return makespan(total, longest, units.n_units or 1)
 
     def _units(self, p: IterationProfile, style: StyleSpec) -> UnitDecomposition:
-        cyclic = style.cpp_schedule is CppSchedule.CYCLIC
+        return self._units_for(p, style.cpp_schedule is CppSchedule.CYCLIC)
+
+    def _units_for(self, p: IterationProfile, cyclic: bool) -> UnitDecomposition:
         builder = cpu_cyclic_units if cyclic else cpu_blocked_units
         return cached_decomposition(
             p,
@@ -235,6 +277,164 @@ class CPUModel:
             (cyclic, self.spec.threads),
             lambda: builder(p.inner, p.n_items, self.spec.threads),
         )
+
+    # ------------------------------------------------------------------
+    def _core_cycles_batch(
+        self,
+        pm: ProfileMatrix,
+        model: Model,
+        omp: Optional[OmpSchedule],
+        cpp: Optional[CppSchedule],
+        *,
+        mem_bw: float,
+    ) -> np.ndarray:
+        """Vectorized :meth:`_core_cycles`: one per-step vector over the
+        trace's nonzero steps, entry-for-entry bit-identical to the scalar
+        expression."""
+        s = self.spec
+        cyclic = cpp is CppSchedule.CYCLIC
+        load_factor = s.cyclic_locality_factor if cyclic else 1.0
+
+        # OpenMP realizes min/max RMW as critical sections (chip-wide
+        # serialization); the atomic cost then leaves the coefficients.
+        if model is Model.OPENMP:
+            atomic_cost = np.where(pm.atomic_minmax, 0.0, s.cycles_atomic)
+            serial = np.where(
+                pm.atomic_minmax, pm.total_atomics * s.cycles_critical, 0.0
+            )
+        else:
+            atomic_cost = s.cycles_atomic
+            serial = 0.0
+
+        alpha = (
+            pm.base_cycles * s.cycles_compute
+            + pm.struct_loads_base * s.cycles_load * load_factor
+            + pm.shared_loads_base * s.cycles_load
+            + pm.shared_stores_base * s.cycles_store
+            + pm.atomics_base * atomic_cost
+        )
+        beta = (
+            pm.inner_cycles * s.cycles_compute
+            + pm.struct_loads_inner * s.cycles_load * load_factor
+            + pm.shared_loads_inner * s.cycles_load
+            + pm.shared_stores_inner * s.cycles_store
+            + pm.atomics_inner * atomic_cost
+        )
+
+        work = self._schedule_cycles_batch(pm, model, omp, cyclic, alpha, beta)
+        mem = self._memory_cycles_batch(pm, load_factor, mem_bw)
+
+        overlap = np.minimum(1.0, s.threads / pm.n_items)
+        conflict = pm.conflict_extra * s.cycles_atomic_conflict * overlap
+        hot = pm.hot_atomics * s.cycles_hot_atomic
+
+        return np.maximum(work, mem) + serial + conflict + hot
+
+    def _schedule_cycles_batch(
+        self,
+        pm: ProfileMatrix,
+        model: Model,
+        omp: Optional[OmpSchedule],
+        cyclic: bool,
+        alpha: np.ndarray,
+        beta: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized :meth:`_schedule_cycles` over the nonzero steps."""
+        s = self.spec
+        if model is Model.OPENMP and omp is OmpSchedule.DYNAMIC:
+            total = alpha * pm.n_items + beta * pm.total_inner
+            # For steps without an inner loop ``max_inner`` is 0 and the
+            # term is an exact + 0.0, matching the scalar branch.
+            longest_item = alpha + beta * pm.max_inner
+            chunk = max(1, s.dynamic_chunk)
+            n_chunks = -(-pm.n_items_int // chunk)
+            body = np.maximum(total / n_chunks, 1.0)
+            pressure = np.minimum(1.0, s.threads * s.cycles_hot_atomic / body)
+            dispatch_serial = n_chunks * s.cycles_hot_atomic * pressure
+            dispatch_local = n_chunks * s.cycles_dynamic_dispatch / s.threads
+            return (
+                total / s.threads
+                + longest_item * chunk
+                + dispatch_serial
+                + dispatch_local
+            )
+
+        total = np.empty_like(alpha)
+        longest = np.empty_like(alpha)
+        n_units = np.empty(alpha.shape, dtype=np.int64)
+        uniform = ~pm.has_inner
+        if uniform.any():
+            units_u, base_u = pm.geometry(
+                ("cpu", s.threads),
+                lambda: cpu_uniform_geometry(
+                    pm.n_items_int[uniform], s.threads
+                ),
+            )
+            t = alpha[uniform] * base_u
+            total[uniform] = t * units_u
+            longest[uniform] = t
+            n_units[uniform] = units_u
+        arrayful = np.flatnonzero(pm.has_inner)
+        if arrayful.size:
+            stacked = pm.geometry(
+                ("cpu-stack", cyclic, s.threads),
+                lambda: stack_decompositions(
+                    [
+                        self._units_for(pm.profiles[j], cyclic)
+                        for j in arrayful
+                    ],
+                    arrayful,
+                ),
+            )
+            for su in stacked:
+                pos = su.positions
+                total[pos], longest[pos] = su.times_batch(
+                    alpha[pos], beta[pos]
+                )
+                n_units[pos] = su.n_units
+        return np.maximum(total / n_units, longest)
+
+    def _memory_cycles_batch(
+        self, pm: ProfileMatrix, load_factor: float, mem_bw: float
+    ) -> np.ndarray:
+        """Vectorized :meth:`_memory_cycles` over the nonzero steps."""
+        s = self.spec
+        struct_bytes = 4.0 * load_factor * (
+            pm.struct_loads_base * pm.n_items
+            + pm.struct_loads_inner * pm.total_inner
+        )
+        data_accesses = (
+            (pm.shared_loads_base + pm.shared_stores_base) * pm.n_items
+            + (pm.shared_loads_inner + pm.shared_stores_inner) * pm.total_inner
+            + 2.0 * (
+                pm.atomics_base * pm.n_items
+                + pm.atomics_inner * pm.total_inner
+            )
+        )
+        return (struct_bytes + 16.0 * data_accesses) / mem_bw
+
+    def _reduction_cycles_batch(
+        self, pm: ProfileMatrix, red: Optional[CpuReduction]
+    ):
+        """Vectorized :meth:`_reduction_cycles` over the nonzero steps.
+
+        Returns the scalar ``0.0`` when the style has no reduction axis
+        (broadcasting it is exact: ``x + 0.0 == x`` for the non-negative
+        cycle counts involved)."""
+        if red is None:
+            return 0.0
+        s = self.spec
+        items = pm.reduction_items
+        if red is CpuReduction.ATOMIC:
+            val = items * s.cycles_hot_atomic
+        elif red is CpuReduction.CRITICAL:
+            val = items * s.cycles_critical
+        else:
+            val = (
+                items * s.cycles_compute / s.threads
+                + s.threads * s.cycles_atomic
+            )
+        return np.where(items > 0, val, 0.0)
 
     def _memory_cycles(
         self, p: IterationProfile, load_factor: float, mem_bw: float

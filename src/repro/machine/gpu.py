@@ -26,7 +26,9 @@ structure reads) barely moves.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..styles.axes import (
     AtomicFlavor,
@@ -41,11 +43,13 @@ from .scheduling import (
     WARP_WIDTH,
     UnitDecomposition,
     cached_decomposition,
+    gpu_uniform_geometry,
     gpu_units,
     makespan,
+    stack_decompositions,
 )
 from .specs import GPUSpec
-from .trace import ExecutionTrace, IterationProfile
+from .trace import ExecutionTrace, IterationProfile, ProfileMatrix
 
 __all__ = ["GPUModel"]
 
@@ -61,6 +65,7 @@ class GPUModel:
 
     def __init__(self, spec: GPUSpec):
         self.spec = spec
+        self._bw_cache: Dict[Tuple[int, int], float] = {}
 
     # ------------------------------------------------------------------
     def time_trace(self, trace: ExecutionTrace, style: StyleSpec) -> float:
@@ -78,50 +83,90 @@ class GPUModel:
 
         When the CSR arrays plus the data arrays fit in the L2, repeated
         sweeps stream from L2, not DRAM (the paper's inputs exceed all
-        caches; scaled inputs often do not).
+        caches; scaled inputs often do not).  The resolution is memoized
+        per trace fingerprint — the (n_vertices, n_edges) pair that fully
+        determines it — so repeated batch calls skip it.
         """
-        footprint = trace.n_vertices * 16.0 + trace.n_edges * 8.0
-        if footprint <= self.spec.l2_size_bytes:
-            return self.spec.l2_bytes_per_cycle
-        return self.spec.mem_bytes_per_cycle
+        key = (trace.n_vertices, trace.n_edges)
+        bw = self._bw_cache.get(key)
+        if bw is None:
+            footprint = trace.n_vertices * 16.0 + trace.n_edges * 8.0
+            if footprint <= self.spec.l2_size_bytes:
+                bw = self.spec.l2_bytes_per_cycle
+            else:
+                bw = self.spec.mem_bytes_per_cycle
+            self._bw_cache[key] = bw
+        return bw
 
     def time_trace_batch(
         self, trace: ExecutionTrace, styles: Sequence[StyleSpec]
     ) -> List[float]:
         """Simulated wall times of many mapping variants of one trace.
 
-        Bit-identical to calling :meth:`time_trace` per style: the batch
-        resolves the trace's bandwidth once and, within each launch, shares
-        the core (issue + memory + contention) cycles across styles whose
-        mapping differs only in the reduction axis — that value is the same
-        float either way, it is simply not recomputed.
+        Bit-identical to calling :meth:`time_trace` per style, but computed
+        as one vectorized pass over the trace's
+        :class:`~repro.machine.trace.ProfileMatrix`: core (issue + memory +
+        contention) cycles are evaluated once per distinct (granularity,
+        persistence, iteration) × atomic-flavor combination as a
+        per-step vector, reduction cycles once per distinct reduction
+        context, and styles gather their step columns by group index — a
+        style whose mapping differs only in the reduction axis reuses the
+        exact same core floats.  The per-step cycle matrix is reduced over
+        the step axis with ``np.add.reduce``, which accumulates in the
+        same left-to-right order as the scalar loop.
         """
         styles = list(styles)
         contexts = [self._style_context(style) for style in styles]
+        if not styles:
+            return []
         s = self.spec
         mem_bw = self._bandwidth_for(trace)
-        totals = [0.0] * len(styles)
-        for p in trace.profiles:
-            if p.n_items == 0:
-                for i in range(len(totals)):
-                    totals[i] += s.cycles_launch
-                continue
-            cores: dict = {}
-            for i, (style, gran, persistent, flavor_ls, flavor_rmw, key) in (
+        pm = trace.profile_matrix()
+        cycles = np.full((pm.n_steps, len(styles)), s.cycles_launch)
+        if pm.nonzero.size:
+            # Core-cycle group index: styles sharing (granularity,
+            # persistence, iteration) share one batch evaluation, with
+            # their distinct atomic-flavor pairs as its rows.
+            core_rows: Dict[Tuple, Dict[Tuple[float, float], int]] = {}
+            for style, gran, persistent, flavor_ls, flavor_rmw, _ in contexts:
+                rows = core_rows.setdefault(
+                    (gran, persistent, style.iteration), {}
+                )
+                rows.setdefault((flavor_ls, flavor_rmw), len(rows))
+            # Core and reduction vectors depend only on (trace, device,
+            # group), so they are memoized on the profile matrix — warm
+            # re-timing (trace-store resumes, cross-device matrix passes)
+            # replays the stored floats instead of recomputing them.
+            core_mats = {
+                gkey: pm.geometry(
+                    ("gpu-core", s, gkey, tuple(rows)),
+                    lambda gk=gkey, fl=tuple(rows): self._core_cycles_batch(
+                        pm, gk[0], gk[1], gk[2], list(fl), mem_bw
+                    ),
+                )
+                for gkey, rows in core_rows.items()
+            }
+            reds: Dict[Tuple, object] = {}
+            add = np.empty((len(styles), pm.nonzero.size))
+            for i, (style, gran, persistent, flavor_ls, flavor_rmw, _) in (
                 enumerate(contexts)
             ):
-                core = cores.get(key)
-                if core is None:
-                    core = self._core_cycles(
-                        p, style, gran, persistent, flavor_ls, flavor_rmw, mem_bw
+                gkey = (gran, persistent, style.iteration)
+                core = core_mats[gkey][core_rows[gkey][flavor_ls, flavor_rmw]]
+                rkey = (style.gpu_reduction, gran, flavor_rmw)
+                red = reds.get(rkey)
+                if red is None:
+                    red = pm.geometry(
+                        ("gpu-red", s, rkey),
+                        lambda rk=rkey: self._reduction_cycles_batch(
+                            pm, rk[0], rk[1], rk[2]
+                        ),
                     )
-                    cores[key] = core
-                totals[i] += (
-                    core
-                    + self._reduction_cycles(p, style, gran, flavor_rmw)
-                    + s.cycles_launch
-                )
-        return [s.seconds(t) for t in totals]
+                    reds[rkey] = red
+                add[i] = core + red
+            cycles[pm.nonzero] += add.T
+        totals = np.add.reduce(cycles, axis=0)
+        return [float(s.seconds(t)) for t in totals]
 
     def _style_context(self, style: StyleSpec) -> Tuple:
         """Pre-resolved mapping context of one style, with the key under
@@ -146,8 +191,179 @@ class GPUModel:
 
     def throughput(self, trace: ExecutionTrace, style: StyleSpec) -> float:
         """Giga-edges per second (the paper's Section 4.5 metric)."""
-        seconds = self.time_trace(trace, style)
+        seconds = self.time_trace_batch(trace, [style])[0]
         return trace.n_edges / seconds / 1e9
+
+    # ------------------------------------------------------------------
+    def _core_cycles_batch(
+        self,
+        pm: ProfileMatrix,
+        gran: Granularity,
+        persistent: bool,
+        iteration: Optional[Iteration],
+        flavors: Sequence[Tuple[float, float]],
+        mem_bw: float,
+    ) -> np.ndarray:
+        """Vectorized :meth:`_core_cycles`: one ``(flavors × steps)``
+        matrix over the trace's nonzero steps, entry-for-entry bit-identical
+        to the scalar expression.  The zero-coefficient branches the scalar
+        path skips only ever skip exact ``+ 0.0`` terms, so they are applied
+        unconditionally here."""
+        s = self.spec
+        fls = np.array([f[0] for f in flavors])[:, None]
+        frm = np.array([f[1] for f in flavors])[:, None]
+        # --- per-item coefficient assembly -----------------------------
+        alpha = (
+            pm.base_cycles * s.cycles_compute
+            + pm.struct_loads_base * s.cycles_load
+            + pm.shared_loads_base * s.cycles_load * fls
+            + pm.shared_stores_base * s.cycles_store * fls
+            + pm.atomics_base * s.cycles_atomic * frm
+        )
+        beta_atomic = pm.atomics_inner * s.cycles_atomic * frm
+        beta_other = (
+            pm.inner_cycles * s.cycles_compute
+            + pm.struct_loads_inner * s.cycles_load
+            + pm.shared_loads_inner * s.cycles_load * fls
+            + pm.shared_stores_inner * s.cycles_store * fls
+        )
+        # Same-address inner atomics cannot be strip-mined across lanes.
+        if gran is Granularity.THREAD:
+            beta_par = beta_other + beta_atomic
+            beta_ser = None
+        else:
+            beta_par = np.where(
+                pm.same_address, beta_other, beta_other + beta_atomic
+            )
+            beta_ser = np.where(pm.same_address, beta_atomic, 0.0)
+        if gran is Granularity.BLOCK:
+            alpha = alpha + (pm.barriers_per_item + 1.0) * s.cycles_barrier
+        else:
+            alpha = alpha + pm.barriers_per_item * s.cycles_barrier
+
+        # --- issue makespan --------------------------------------------
+        total = np.empty_like(alpha)
+        longest = np.empty_like(alpha)
+        uniform = ~pm.has_inner
+        if uniform.any():
+            units_u, base_u, _ = pm.geometry(
+                ("gpu", gran, persistent, s.block_size, s.resident_threads),
+                lambda: gpu_uniform_geometry(
+                    pm.n_items_int[uniform], gran, persistent,
+                    block_size=s.block_size,
+                    resident_threads=s.resident_threads,
+                ),
+            )
+            t = alpha[:, uniform] * base_u
+            total[:, uniform] = t * units_u
+            longest[:, uniform] = t
+        arrayful = np.flatnonzero(pm.has_inner)
+        if arrayful.size:
+            stacked = pm.geometry(
+                (
+                    "gpu-stack", gran, persistent,
+                    s.block_size, s.resident_threads,
+                ),
+                lambda: stack_decompositions(
+                    [
+                        self._units(pm.profiles[j], gran, persistent)
+                        for j in arrayful
+                    ],
+                    arrayful,
+                ),
+            )
+            for su in stacked:
+                pos = su.positions
+                total[:, pos], longest[:, pos] = su.times_batch(
+                    alpha[:, pos],
+                    beta_par[:, pos],
+                    None if beta_ser is None else beta_ser[:, pos],
+                )
+        width = (
+            s.block_size / WARP_WIDTH if gran is Granularity.BLOCK else 1.0
+        )
+        issue = np.maximum(total * width / s.issue_slots, longest)
+
+        # --- memory time -----------------------------------------------
+        mem = self._memory_cycles_batch(pm, gran, iteration, fls, frm, mem_bw)
+
+        # --- serial add-ons --------------------------------------------
+        overlap = np.minimum(1.0, s.issue_slots * WARP_WIDTH / pm.n_items)
+        conflict = frm * s.cycles_atomic_conflict * (
+            pm.max_conflict + pm.conflict_extra * overlap / L2_BANKS
+        )
+        hot = pm.hot_atomics * s.cycles_hot_atomic * frm
+        return np.maximum(issue, mem) + conflict + hot
+
+    def _memory_cycles_batch(
+        self,
+        pm: ProfileMatrix,
+        gran: Granularity,
+        iteration: Optional[Iteration],
+        fls: np.ndarray,
+        frm: np.ndarray,
+        mem_bw: float,
+    ) -> np.ndarray:
+        """Vectorized :meth:`_memory_cycles` over the nonzero steps."""
+        s = self.spec
+        sif = s.uncoalesced_factor if gran is Granularity.THREAD else 1.0
+        sif_vec = np.full(pm.n_items.shape, sif)
+        if iteration is Iteration.EDGE:
+            sif_vec[~pm.has_inner] = 1.0
+        struct_bytes = 4.0 * (
+            pm.struct_loads_base * pm.n_items
+            + pm.struct_loads_inner * pm.total_inner * sif_vec
+        )
+        shared_accesses = (
+            (pm.shared_loads_base + pm.shared_stores_base) * pm.n_items
+            + (pm.shared_loads_inner + pm.shared_stores_inner) * pm.total_inner
+        )
+        atomic_accesses = np.where(
+            pm.same_address,
+            (pm.atomics_base + np.minimum(pm.atomics_inner, 1.0)) * pm.n_items,
+            pm.atomics_base * pm.n_items + pm.atomics_inner * pm.total_inner,
+        )
+        scattered_bytes = 4.0 * s.scatter_factor * (
+            shared_accesses * fls + 2.0 * atomic_accesses * frm
+        )
+        return (struct_bytes + scattered_bytes) / mem_bw
+
+    def _reduction_cycles_batch(
+        self,
+        pm: ProfileMatrix,
+        red: Optional[GpuReduction],
+        gran: Granularity,
+        flavor_rmw: float,
+    ):
+        """Vectorized :meth:`_reduction_cycles` over the nonzero steps.
+
+        Returns the scalar ``0.0`` when the style has no reduction axis
+        (broadcasting it is exact: ``x + 0.0 == x`` for the non-negative
+        cycle counts involved)."""
+        if red is None:
+            return 0.0
+        s = self.spec
+        lanes_per_item = {
+            Granularity.THREAD: 1,
+            Granularity.WARP: WARP_WIDTH,
+            Granularity.BLOCK: s.block_size,
+        }[gran]
+        launch_threads = np.maximum(pm.n_items_int * lanes_per_item, 1)
+        n_blocks = np.maximum(1, -(-launch_threads // s.block_size))
+        items = pm.reduction_items
+        if red is GpuReduction.GLOBAL_ADD:
+            val = items * s.cycles_hot_atomic * flavor_rmw
+        elif red is GpuReduction.BLOCK_ADD:
+            val = (
+                items * s.cycles_hot_atomic * flavor_rmw
+                + n_blocks * (s.cycles_hot_atomic + 2.0 * s.cycles_barrier)
+            )
+        else:
+            val = (
+                items * s.cycles_shuffle_red / (s.issue_slots * WARP_WIDTH)
+                + n_blocks * s.cycles_hot_atomic
+            )
+        return np.where(items > 0, val, 0.0)
 
     # ------------------------------------------------------------------
     def profile_cycles(

@@ -18,7 +18,7 @@ counts — no statistical assumptions about the degree distribution.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,9 +26,13 @@ from ..styles.axes import Granularity
 
 __all__ = [
     "UnitDecomposition",
+    "StackedUnits",
+    "stack_decompositions",
     "gpu_units",
+    "gpu_uniform_geometry",
     "cpu_blocked_units",
     "cpu_cyclic_units",
+    "cpu_uniform_geometry",
     "cached_decomposition",
     "makespan",
 ]
@@ -94,6 +98,153 @@ class UnitDecomposition:
         if t is None:
             return const * self.n_units, const
         return float(t.sum()) + const * self.n_units, float(t.max()) + const
+
+    def times_batch(
+        self,
+        alphas: np.ndarray,
+        betas_par: np.ndarray,
+        betas_ser: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`times` over K coefficient sets.
+
+        Returns ``(totals, longests)`` float64 arrays of shape ``(K,)``
+        whose entry ``k`` is bit-identical to
+        ``times(alphas[k], betas_par[k], betas_ser[k])``: the per-unit
+        expression applies the same operations in the same order, the
+        row-wise ``sum``/``max`` use the same reduction routine as their
+        1-D counterparts, and the zero-coefficient branches `times`
+        skips only ever skip exact ``+ 0.0`` terms.
+        """
+        alphas = np.asarray(alphas, dtype=np.float64)
+        betas_par = np.asarray(betas_par, dtype=np.float64)
+        betas_ser = np.asarray(betas_ser, dtype=np.float64)
+        if self.n_units == 0:
+            zero = np.zeros_like(alphas)
+            return zero, zero.copy()
+        if self.base is None and self.trips_par is None:
+            t = (
+                alphas * self.uniform_base
+                + (betas_par + betas_ser) * self.uniform_trips
+            )
+            return t * self.n_units, t
+        const = (
+            alphas * self.uniform_base
+            if self.base is None
+            else np.zeros_like(alphas)
+        )
+        rows = (
+            None if self.base is None else alphas[:, None] * self.base[None, :]
+        )
+        if self.trips_par is not None:
+            trips = betas_par[:, None] * self.trips_par[None, :]
+            if self.trips_ser is not None:
+                trips = trips + betas_ser[:, None] * self.trips_ser[None, :]
+            rows = trips if rows is None else rows + trips
+        if rows is None:
+            return const * self.n_units, const.copy()
+        return (
+            rows.sum(axis=1) + const * self.n_units,
+            rows.max(axis=1) + const,
+        )
+
+
+@dataclass(frozen=True)
+class StackedUnits:
+    """Same-shape array decompositions of several launches, stacked.
+
+    Launch steps whose :class:`UnitDecomposition` arrays have identical
+    length and component layout are stacked into one 2-D matrix: row ``g``
+    holds step ``positions[g]``'s per-unit arrays, so a whole batch of
+    launches reduces in a few broadcast expressions instead of a Python
+    loop over steps.  Row-wise reductions over the stacked matrix are
+    bit-identical to each step's 1-D reduction: numpy applies the same
+    pairwise routine to every same-length contiguous row.
+    """
+
+    positions: np.ndarray
+    base: Optional[np.ndarray]
+    trips_par: Optional[np.ndarray]
+    trips_ser: Optional[np.ndarray]
+    uniform_base: float
+    n_units: int
+
+    def times_batch(
+        self,
+        alphas: np.ndarray,
+        betas_par: np.ndarray,
+        betas_ser: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(totals, longests) for coefficient arrays of shape ``(..., g)``.
+
+        The trailing axis indexes the stacked steps; any leading axes
+        broadcast (e.g. atomic-flavor rows).  Each entry is bit-identical
+        to the step's own :meth:`UnitDecomposition.times` with the matching
+        scalar coefficients: operations apply in the same order and a
+        ``None`` ``betas_ser`` skips the serial term exactly like the
+        scalar zero-coefficient branch.
+        """
+        rows = None
+        if self.trips_par is not None:
+            rows = betas_par[..., None] * self.trips_par
+            if betas_ser is not None and self.trips_ser is not None:
+                rows = rows + betas_ser[..., None] * self.trips_ser
+        if self.base is None:
+            const = alphas * self.uniform_base
+            if rows is None:
+                return const * self.n_units, const.copy()
+            return (
+                np.add.reduce(rows, axis=-1) + const * self.n_units,
+                np.maximum.reduce(rows, axis=-1) + const,
+            )
+        t = alphas[..., None] * self.base
+        if rows is not None:
+            t = t + rows
+        return np.add.reduce(t, axis=-1), np.maximum.reduce(t, axis=-1)
+
+
+def stack_decompositions(
+    units_list: Sequence[UnitDecomposition], positions: np.ndarray
+) -> List[StackedUnits]:
+    """Group per-step array decompositions into stackable batches.
+
+    ``units_list[i]`` is step ``positions[i]``'s decomposition.  Steps are
+    grouped by unit count and component layout — launches over the same
+    item set (e.g. every round of a topology-driven sweep) collapse into
+    one group.  ``np.stack`` copies and dtype-promotes the rows;
+    int→float64 promotion is exact for the trip-count magnitudes involved,
+    so the stacked products match the per-step ones bit-for-bit.
+    """
+    groups: Dict[Tuple, List[Tuple[int, UnitDecomposition]]] = {}
+    for pos, u in zip(positions, units_list):
+        kind = (
+            u.n_units,
+            u.base is None,
+            u.trips_par is None,
+            u.trips_ser is None,
+            u.uniform_base,
+            u.uniform_trips,
+        )
+        groups.setdefault(kind, []).append((int(pos), u))
+    out = []
+    for items in groups.values():
+        first = items[0][1]
+        out.append(
+            StackedUnits(
+                np.array([p for p, _ in items], dtype=np.intp),
+                None
+                if first.base is None
+                else np.stack([u.base for _, u in items]),
+                None
+                if first.trips_par is None
+                else np.stack([u.trips_par for _, u in items]),
+                None
+                if first.trips_ser is None
+                else np.stack([u.trips_ser for _, u in items]),
+                first.uniform_base,
+                first.n_units,
+            )
+        )
+    return out
 
 
 def makespan(total: float, longest: float, slots: float) -> float:
@@ -308,3 +459,57 @@ def cpu_cyclic_units(
         1.0,
         n_units,
     )
+
+
+# ----------------------------------------------------------------------
+# Vectorized uniform-step geometry
+# ----------------------------------------------------------------------
+def gpu_uniform_geometry(
+    n_items: np.ndarray,
+    granularity: Granularity,
+    persistent: bool,
+    *,
+    block_size: int,
+    resident_threads: int,
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Vectorized :func:`_gpu_units_uniform` over an int64 step vector.
+
+    For launches without an inner loop the unit decomposition collapses to
+    three numbers; this computes them for a whole vector of such launches
+    at once.  Returns ``(n_units, uniform_base, width)`` where the arrays
+    are per step (``n_units`` int64, ``uniform_base`` float64) and
+    ``width`` is the scalar unit width shared by every step of this
+    (granularity, persistence) pair.  All integer math uses the same
+    floor-division ceil idiom as the scalar path, so the values are exact.
+    Every ``n_items`` entry must be positive.
+    """
+    n = np.asarray(n_items, dtype=np.int64)
+    if granularity is Granularity.THREAD:
+        if persistent:
+            slots = np.minimum(resident_threads, n)
+            base = -(-n // slots)
+            units = -(-slots // WARP_WIDTH)
+            return units, base.astype(np.float64), 1.0
+        return -(-n // WARP_WIDTH), np.ones(n.shape), 1.0
+    lane_width = WARP_WIDTH if granularity is Granularity.WARP else block_size
+    unit_width = 1.0 if granularity is Granularity.WARP else block_size / WARP_WIDTH
+    if persistent:
+        units = np.maximum(1, np.minimum(resident_threads // lane_width, n))
+        per_unit = -(-n // units)
+        return units, per_unit.astype(np.float64), unit_width
+    return n.copy(), np.ones(n.shape), unit_width
+
+
+def cpu_uniform_geometry(
+    n_items: np.ndarray, threads: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized uniform-step geometry of the static CPU schedules.
+
+    Blocked and cyclic assignment coincide when every item is identical,
+    so one ``(n_units, uniform_base)`` pair serves both.  Every
+    ``n_items`` entry must be positive.
+    """
+    n = np.asarray(n_items, dtype=np.int64)
+    units = np.minimum(threads, n)
+    per = -(-n // units)
+    return units, per.astype(np.float64)

@@ -85,6 +85,7 @@ class GPUSpec:
         return self.sm_count * self.issue_warps_per_sm
 
     def seconds(self, cycles: float) -> float:
+        """Cycles to wall seconds; broadcasts over cycle arrays."""
         return cycles / (self.clock_ghz * 1e9)
 
 
@@ -125,4 +126,5 @@ class CPUSpec:
     mem_bytes: float = 64e9
 
     def seconds(self, cycles: float) -> float:
+        """Cycles to wall seconds; broadcasts over cycle arrays."""
         return cycles / (self.clock_ghz * 1e9)

@@ -21,7 +21,12 @@ from typing import List, Optional
 
 import numpy as np
 
-__all__ = ["IterationProfile", "ExecutionTrace", "conflict_stats"]
+__all__ = [
+    "IterationProfile",
+    "ExecutionTrace",
+    "ProfileMatrix",
+    "conflict_stats",
+]
 
 
 def conflict_stats(addresses: np.ndarray, n_cells: int) -> "tuple[float, int]":
@@ -158,6 +163,108 @@ class IterationProfile:
         return self.total_of(self.atomics_base, self.atomics_inner)
 
 
+#: Float64 counter columns of :class:`ProfileMatrix`, in storage order.
+#: ``total_inner``/``max_inner``/``total_atomics`` are derived from the
+#: profile once so the vectorized models never walk ``inner`` arrays again.
+PROFILE_FIELDS = (
+    "n_items",
+    "total_inner",
+    "max_inner",
+    "base_cycles",
+    "inner_cycles",
+    "struct_loads_base",
+    "struct_loads_inner",
+    "shared_loads_base",
+    "shared_loads_inner",
+    "shared_stores_base",
+    "shared_stores_inner",
+    "atomics_base",
+    "atomics_inner",
+    "conflict_extra",
+    "max_conflict",
+    "hot_atomics",
+    "reduction_items",
+    "barriers_per_item",
+    "total_atomics",
+)
+
+
+class ProfileMatrix:
+    """A trace's per-step counters stacked into one ``(steps × fields)``
+    ndarray, plus the masks and index vectors the vectorized device models
+    broadcast over.
+
+    The device models only spend cycles on steps with work, so every field
+    attribute (``base_cycles``, ``atomics_inner``, ...) is the column
+    restricted to the steps with ``n_items > 0``; :attr:`nonzero` maps
+    those rows back to step positions and :attr:`data` holds the full
+    unrestricted matrix.  All counts are exactly representable in float64
+    (they are far below 2**53), so stacking loses no precision.
+
+    Built once per trace via :meth:`ExecutionTrace.profile_matrix` and
+    cached there; :attr:`profiles` keeps the nonzero steps' profile
+    objects so per-step :class:`UnitDecomposition` memos stay shared with
+    the scalar path.
+    """
+
+    __slots__ = ("data", "n_steps", "nonzero", "profiles", "n_items_int",
+                 "has_inner", "same_address", "atomic_minmax",
+                 "_geometry") + PROFILE_FIELDS
+
+    def __init__(self, profiles: List[IterationProfile]):
+        n = len(profiles)
+        data = np.empty((n, len(PROFILE_FIELDS)))
+        for j, p in enumerate(profiles):
+            inner = p.inner
+            if inner is None or inner.size == 0:
+                total_inner = 0
+                max_inner = 0
+            else:
+                total_inner = int(inner.sum())
+                max_inner = int(inner.max())
+            data[j] = (
+                p.n_items, total_inner, max_inner,
+                p.base_cycles, p.inner_cycles,
+                p.struct_loads_base, p.struct_loads_inner,
+                p.shared_loads_base, p.shared_loads_inner,
+                p.shared_stores_base, p.shared_stores_inner,
+                p.atomics_base, p.atomics_inner,
+                p.conflict_extra, p.max_conflict,
+                p.hot_atomics, p.reduction_items, p.barriers_per_item,
+                p.total_of(p.atomics_base, p.atomics_inner),
+            )
+        self.data = data
+        self.n_steps = n
+        nonzero = np.flatnonzero(data[:, 0] > 0)
+        self.nonzero = nonzero
+        sub = data[nonzero]
+        for i, name in enumerate(PROFILE_FIELDS):
+            setattr(self, name, sub[:, i])
+        self.n_items_int = sub[:, 0].astype(np.int64)
+        live = [profiles[k] for k in nonzero]
+        self.profiles = live
+        self.has_inner = np.array(
+            [p.inner is not None for p in live], dtype=bool
+        )
+        self.same_address = np.array(
+            [p.atomics_same_address_per_item for p in live], dtype=bool
+        )
+        self.atomic_minmax = np.array(
+            [p.atomic_minmax for p in live], dtype=bool
+        )
+        self._geometry: dict = {}
+
+    def geometry(self, key, builder):
+        """Memoize a device-geometry-dependent derivation (e.g. the
+        uniform-step unit decomposition vectors of one (granularity,
+        persistence) pair) for the lifetime of this matrix."""
+        value = self._geometry.get(key)
+        if value is None:
+            value = builder()
+            self._geometry[key] = value
+        return value
+
+
 @dataclass
 class ExecutionTrace:
     """The full simulated execution of one semantic program on one graph.
@@ -175,6 +282,19 @@ class ExecutionTrace:
 
     def add(self, profile: IterationProfile) -> None:
         self.profiles.append(profile)
+        self._profile_matrix = None
+
+    def profile_matrix(self) -> ProfileMatrix:
+        """The (cached) stacked counter matrix of this trace's steps.
+
+        Invalidated by :meth:`add`; traces are append-only in practice, so
+        once timing starts the cache lives as long as the trace does.
+        """
+        pm = getattr(self, "_profile_matrix", None)
+        if pm is None:
+            pm = ProfileMatrix(self.profiles)
+            self._profile_matrix = pm
+        return pm
 
     @property
     def total_work_items(self) -> int:

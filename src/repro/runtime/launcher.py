@@ -261,6 +261,99 @@ class Launcher:
                 out[i] = self._result(specs[i], graph, device, result, seconds)
         return out
 
+    def run_matrix(
+        self,
+        specs: Sequence[StyleSpec],
+        graph: CSRGraph,
+        devices: Sequence[DeviceSpec],
+        *,
+        on_error: Optional[
+            Callable[[StyleSpec, DeviceSpec, Exception], None]
+        ] = None,
+    ) -> List[List[Optional[RunResult]]]:
+        """Run many program variants across many devices in one pass.
+
+        Returns ``results[d][i]`` — the run of spec ``i`` on device ``d``
+        — bit-identical to :meth:`run_batch` per device, but each distinct
+        semantic trace is fetched exactly once for the whole device list
+        and every device's batched timing reuses the trace's shared
+        profile matrix (:meth:`ExecutionTrace.profile_matrix`), so the
+        variant×device matrix of a sweep block costs one trace walk plus
+        a few broadcast evaluations per device.
+
+        ``on_error(spec, device, exc)`` receives per-cell failures (the
+        whole group's cells when the semantic execution itself fails);
+        without it the first failure propagates.  Invalid specs and
+        model/device mismatches always raise — those are caller bugs, not
+        sweep data.
+        """
+        specs = list(specs)
+        devices = list(devices)
+        models = [self.model_for(device) for device in devices]
+        groups: Dict[SemanticKey, List[int]] = {}
+        for i, spec in enumerate(specs):
+            spec.validate()
+            for device in devices:
+                self._check_pairing(spec, device)
+            groups.setdefault(spec.semantic_key(), []).append(i)
+        out: List[List[Optional[RunResult]]] = [
+            [None] * len(specs) for _ in devices
+        ]
+        for indices in groups.values():
+            batch = [specs[i] for i in indices]
+            # The footprint gate must keep its pre-execution semantics:
+            # only run the kernel if some device admits the variant.
+            active: List[int] = []
+            for d, device in enumerate(devices):
+                try:
+                    if self.budget.active:
+                        self.budget.check_footprint(
+                            graph, specs[indices[0]], device
+                        )
+                except Exception as exc:
+                    if on_error is None:
+                        raise
+                    for i in indices:
+                        on_error(specs[i], device, exc)
+                    continue
+                active.append(d)
+            if not active:
+                continue
+            try:
+                result = self.execute_semantic(specs[indices[0]], graph)
+            except Exception as exc:
+                if on_error is None:
+                    raise
+                for d in active:
+                    for i in indices:
+                        on_error(specs[i], devices[d], exc)
+                continue
+            for d in active:
+                try:
+                    times = models[d].time_trace_batch(result.trace, batch)
+                except Exception as exc:
+                    if on_error is None:
+                        raise
+                    for i in indices:
+                        on_error(specs[i], devices[d], exc)
+                    continue
+                for i, seconds in zip(indices, times):
+                    if self.budget.active:
+                        try:
+                            self.budget.check_seconds(
+                                seconds,
+                                label=f"{specs[i].label()} on {graph.name}",
+                            )
+                        except BudgetExceeded as exc:
+                            if on_error is None:
+                                raise
+                            on_error(specs[i], devices[d], exc)
+                            continue
+                    out[d][i] = self._result(
+                        specs[i], graph, devices[d], result, seconds
+                    )
+        return out
+
     def model_for(self, device: DeviceSpec) -> Union[GPUModel, CPUModel]:
         """The (memoized) timing model of one device."""
         model = self._models.get(device.name)

@@ -9,6 +9,7 @@ spec validation and by the enumerator.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, Tuple
 
 from .axes import (
@@ -131,10 +132,16 @@ def _require(condition: bool, message: str) -> None:
         raise ValueError(message)
 
 
+@lru_cache(maxsize=None)
 def check_spec(spec: StyleSpec) -> None:
     """Validate one spec against Table 2 plus the combination rules.
 
     Raises ``ValueError`` with a specific message on the first violation.
+    Validation is pure over the (frozen, hashable) spec, so successful
+    checks are memoized — sweeps revalidate the same ~1100 specs once per
+    block otherwise.  Failures raise anew on every call (``lru_cache``
+    does not cache exceptions), and the cache is bounded by the finite
+    spec space.
     """
     alg, model = spec.algorithm, spec.model
     table = ALLOWED[alg]

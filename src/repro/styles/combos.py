@@ -10,6 +10,7 @@ for the other algorithms; :func:`table3_counts` reports both side by side.
 from __future__ import annotations
 
 import itertools
+from functools import lru_cache
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .applicability import ALLOWED, check_spec, has_reduction
@@ -181,14 +182,23 @@ def mapping_combinations(
             yield semantic.with_axis(cpp_schedule=sched, cpu_reduction=red)
 
 
-def enumerate_specs(alg: Algorithm, model: Model) -> List[StyleSpec]:
-    """All validated program variants for one (algorithm, model) pair."""
+@lru_cache(maxsize=None)
+def _enumerate_specs_cached(alg: Algorithm, model: Model) -> Tuple[StyleSpec, ...]:
     specs: List[StyleSpec] = []
     for semantic in semantic_combinations(alg, model):
         for spec in mapping_combinations(semantic):
             check_spec(spec)
             specs.append(spec)
-    return specs
+    return tuple(specs)
+
+
+def enumerate_specs(alg: Algorithm, model: Model) -> List[StyleSpec]:
+    """All validated program variants for one (algorithm, model) pair.
+
+    The enumeration is deterministic, so it is memoized per pair; callers
+    get a fresh list over the shared (immutable) spec objects.
+    """
+    return list(_enumerate_specs_cached(alg, model))
 
 
 def enumerate_all(

@@ -206,6 +206,77 @@ class TestSemanticShards:
         assert run_signature(parallel) == run_signature(serial)
 
 
+class TestWorkStealing:
+    """The stealing pool must be invisible in the results: byte-identical
+    runs and the same kernel executions at every worker count."""
+
+    def test_resolve_work_stealing(self, monkeypatch):
+        from repro.bench.parallel import resolve_work_stealing
+
+        assert resolve_work_stealing(True) is True
+        assert resolve_work_stealing(False) is False
+        monkeypatch.delenv("REPRO_WORK_STEALING", raising=False)
+        assert resolve_work_stealing(None) is True
+        for off in ("0", "false", "No", "OFF"):
+            monkeypatch.setenv("REPRO_WORK_STEALING", off)
+            assert resolve_work_stealing(None) is False
+        monkeypatch.setenv("REPRO_WORK_STEALING", "1")
+        assert resolve_work_stealing(None) is True
+        # Explicit argument wins over the environment.
+        monkeypatch.setenv("REPRO_WORK_STEALING", "0")
+        assert resolve_work_stealing(True) is True
+
+    def test_fine_sharding_is_worker_count_independent(self):
+        from dataclasses import replace
+
+        from repro.bench import semantic_shard_order, shard_blocks
+        from repro.graph.shm import SharedArraySpec, SharedGraphHandle
+
+        dummy = SharedArraySpec(segment="x", shape=(1,), dtype="<i8")
+        blocks = [
+            replace(
+                block,
+                shm_handle=SharedGraphHandle(
+                    graph_name=block.graph_name, fingerprint="f",
+                    row_ptr=dummy, col_idx=dummy, weights=None,
+                ),
+            )
+            for block in partition_blocks(REDUCED)
+        ]
+        fine_8 = shard_blocks(blocks, workers=8, fine=True)
+        fine_32 = shard_blocks(blocks, workers=32, fine=True)
+        # Checkpoint keys must not depend on the worker count.
+        assert [b.key for b in fine_8] == [b.key for b in fine_32]
+        # One shard per semantic group of each block.
+        for block in blocks:
+            n_groups = len(
+                semantic_shard_order(block.algorithm, block.models)
+            )
+            shards = [b for b in fine_8 if b.graph_name == block.graph_name
+                      and b.algorithm is block.algorithm]
+            assert len(shards) == n_groups
+            assert [s.shard for s in shards] == list(range(n_groups))
+
+    def test_stealing_matches_serial_at_every_worker_count(self, tmp_path):
+        serial = run_sweep(REDUCED)
+        for workers in (2, 16):
+            stolen = run_sweep_parallel(
+                REDUCED, workers=workers,
+                checkpoint_dir=tmp_path / str(workers), work_stealing=True,
+            )
+            assert run_signature(stolen) == run_signature(serial)
+            assert stolen.kernel_executions == serial.kernel_executions
+
+    def test_static_engine_still_matches_serial(self, tmp_path):
+        serial = run_sweep(REDUCED)
+        static = run_sweep_parallel(
+            REDUCED, workers=16, checkpoint_dir=tmp_path,
+            work_stealing=False,
+        )
+        assert run_signature(static) == run_signature(serial)
+        assert static.kernel_executions == serial.kernel_executions
+
+
 class TestSelectIndices:
     @pytest.fixture(scope="class")
     def results(self):

@@ -1,6 +1,10 @@
-"""Trace-store performance smoke: warm sweeps must execute zero kernels.
+"""Performance smoke: trace-store warm sweeps and vectorized timing.
 
-Runs one small-but-real sweep three times against a fresh trace store:
+Two gated measurements, both written as JSON at the repository root so
+the performance trajectory is tracked across PRs:
+
+**Trace store** (``BENCH_tracestore.json``).  One small-but-real sweep
+three times against a fresh store:
 
 1. **cold** — empty store; every semantic kernel executes and is saved;
 2. **warm** — identical sweep; every semantic trace must come from the
@@ -10,13 +14,21 @@ Runs one small-but-real sweep three times against a fresh trace store:
    variants of the new device re-time from the stored traces, so this
    too must execute zero kernels.
 
-The measured numbers are written to ``BENCH_tracestore.json`` at the
-repository root (or ``--json PATH``) so the cold/warm trajectory is
-tracked across PRs.  Exit code 0 means every guarantee held.
+**Vectorized matrix timing** (``BENCH_matrix.json``).  The warm
+sweep-block workload (PR x soc-LiveJournal1 at tiny scale, all models
+and devices) timed under the per-spec scalar loop and under the
+vectorized ``Launcher.run_matrix`` path; the vectorized path must be
+bit-identical and beat the scalar loop by at least
+``--min-matrix-speedup``.  A work-stealing worker-scaling curve
+(``--scaling-workers``) is recorded alongside, unmated — CI runners have
+too few cores for a meaningful gate.
+
+Exit code 0 means every guarantee held.
 
 Usage::
 
-    python tools/perf_smoke.py [--json PATH] [--min-speedup X] [--keep]
+    python tools/perf_smoke.py [--json PATH] [--matrix-json PATH]
+        [--min-speedup X] [--min-matrix-speedup X] [--keep]
 """
 
 import argparse
@@ -31,20 +43,147 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 DEFAULT_JSON = REPO_ROOT / "BENCH_tracestore.json"
+DEFAULT_MATRIX_JSON = REPO_ROOT / "BENCH_matrix.json"
 
 #: Warm must beat cold by at least this factor (the store's entire point
 #: is skipping kernel execution, the sweep's dominant cost).
 DEFAULT_MIN_SPEEDUP = 3.0
+
+#: The vectorized matrix path must beat the per-spec scalar loop by at
+#: least this factor on the warm sweep-block workload.
+DEFAULT_MIN_MATRIX_SPEEDUP = 3.0
+
+#: Interleaved min-of-rounds for the matrix timing comparison.
+MATRIX_ROUNDS = 7
+
+#: The previous PR's recorded batched timing of this exact workload
+#: (BENCH_sweep.json before the vectorized matrix path) — reported for
+#: trajectory context, not gated (it is machine-specific).
+RECORDED_BATCHED_SECONDS = 0.026511
+
+
+def matrix_smoke(args) -> tuple:
+    """Time per-spec vs vectorized-matrix on the warm block workload."""
+    from repro.bench import SweepConfig, run_sweep_parallel
+    from repro.graph import load_dataset
+    from repro.runtime import Launcher
+    from repro.styles import Algorithm, enumerate_specs
+
+    config = SweepConfig(scale="tiny", algorithms=(Algorithm.PR,))
+    graph = load_dataset("soc-LiveJournal1", "tiny")
+    # Store off: the workload is warm in-memory re-timing, and the smoke's
+    # temporary store directory is already gone by the time we run.
+    launcher = Launcher(trace_store=False)
+    work = [
+        (enumerate_specs(Algorithm.PR, model), config.devices_for(model))
+        for model in config.models
+    ]
+
+    def per_spec():
+        return [
+            launcher.run(spec, graph, device)
+            for specs, devices in work
+            for spec in specs
+            for device in devices
+        ]
+
+    def vectorized():
+        runs = []
+        for specs, devices in work:
+            per_device = launcher.run_matrix(specs, graph, devices)
+            for i in range(len(specs)):
+                runs.extend(
+                    batch[i] for batch in per_device if batch[i] is not None
+                )
+        return runs
+
+    print("perf smoke: vectorized matrix vs per-spec timing ...", flush=True)
+    scalar_runs = per_spec()  # also warms every cache both paths share
+    matrix_runs = vectorized()
+    bit_identical = matrix_runs == scalar_runs
+
+    scalar_s = matrix_s = float("inf")
+    for _ in range(MATRIX_ROUNDS):  # interleaved: drift hits both alike
+        start = time.perf_counter()
+        per_spec()
+        scalar_s = min(scalar_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        vectorized()
+        matrix_s = min(matrix_s, time.perf_counter() - start)
+    speedup = scalar_s / matrix_s
+    print(f"  per-spec {scalar_s:.4f}s, matrix {matrix_s:.4f}s, "
+          f"speedup {speedup:.2f}x", flush=True)
+
+    print("perf smoke: work-stealing worker-scaling curve ...", flush=True)
+    scaling_config = SweepConfig(
+        scale="tiny",
+        algorithms=(Algorithm.BFS, Algorithm.PR),
+        graphs=("USA-road-d.NY", "soc-LiveJournal1"),
+        trace_cache=False,
+    )
+    curve = []
+    for workers in args.scaling_workers:
+        start = time.perf_counter()
+        results = run_sweep_parallel(scaling_config, workers=workers)
+        seconds = time.perf_counter() - start
+        curve.append({"workers": workers, "seconds": round(seconds, 3)})
+        print(f"  workers={workers}: {seconds:.2f}s "
+              f"({len(results.runs)} runs)", flush=True)
+
+    failures = []
+    if not bit_identical:
+        failures.append("matrix runs are not bit-identical to per-spec runs")
+    if speedup < args.min_matrix_speedup:
+        failures.append(
+            f"vectorized matrix speedup {speedup:.2f}x is below the "
+            f"{args.min_matrix_speedup:g}x floor"
+        )
+
+    payload = {
+        "benchmark": "warm sweep-block PR x soc-LiveJournal1 (tiny), "
+                     "all models/devices: per-spec vs vectorized matrix",
+        "runs_per_block": len(matrix_runs),
+        "rounds": MATRIX_ROUNDS,
+        "per_spec_seconds": round(scalar_s, 6),
+        "matrix_seconds": round(matrix_s, 6),
+        "matrix_speedup": round(speedup, 3),
+        "recorded_batched_seconds": RECORDED_BATCHED_SECONDS,
+        "speedup_vs_recorded_batched": round(
+            RECORDED_BATCHED_SECONDS / matrix_s, 3
+        ),
+        "bit_identical": bit_identical,
+        "worker_scaling": {
+            "config": "BFS+PR x 2 graphs (tiny), trace cache off, "
+                      "work stealing on",
+            "cpu_count": os.cpu_count(),
+            "curve": curve,
+        },
+    }
+    args.matrix_json.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.matrix_json}", flush=True)
+    return failures, speedup
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--json", type=Path, default=DEFAULT_JSON,
                         help=f"output JSON path (default: {DEFAULT_JSON})")
+    parser.add_argument("--matrix-json", type=Path,
+                        default=DEFAULT_MATRIX_JSON,
+                        help="matrix benchmark output JSON path "
+                             f"(default: {DEFAULT_MATRIX_JSON})")
     parser.add_argument("--min-speedup", type=float,
                         default=DEFAULT_MIN_SPEEDUP,
                         help="required cold/warm wall-clock ratio "
                              f"(default: {DEFAULT_MIN_SPEEDUP})")
+    parser.add_argument("--min-matrix-speedup", type=float,
+                        default=DEFAULT_MIN_MATRIX_SPEEDUP,
+                        help="required per-spec/vectorized-matrix ratio "
+                             f"(default: {DEFAULT_MIN_MATRIX_SPEEDUP})")
+    parser.add_argument("--scaling-workers", type=int, nargs="+",
+                        default=[1, 2, 4, 8, 16], metavar="N",
+                        help="worker counts of the recorded (ungated) "
+                             "work-stealing scaling curve")
     parser.add_argument("--keep", action="store_true",
                         help="keep the temporary trace store for inspection")
     args = parser.parse_args(argv)
@@ -151,11 +290,15 @@ def main(argv=None) -> int:
     else:
         print(f"trace store kept at {trace_dir}")
 
+    matrix_failures, matrix_speedup = matrix_smoke(args)
+    failures.extend(matrix_failures)
+
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
     print(f"perf smoke OK: warm sweep ran 0 kernels, {speedup:.2f}x faster, "
+          f"vectorized matrix {matrix_speedup:.2f}x over per-spec, "
           "bit-identical results")
     return 0
 
