@@ -9,21 +9,30 @@ pipeline checks end to end:
    in particular that the read-write (racy) styles stay benign in the
    Section 2.5 sense.
 
-This subpackage provides both audits on one shared findings model:
+This subpackage provides three audits on one shared findings model:
 
 * :mod:`repro.analysis.conformance` — a static style-conformance linter
   over the emitted CUDA / OpenMP / C++ sources plus a manifest
   cross-check against the style enumeration;
+* :mod:`repro.analysis.ir` + :mod:`repro.analysis.races` +
+  :mod:`repro.analysis.infer` — a structural parse of every emitted
+  source into a loop-structured :class:`~repro.analysis.ir.SourceIR`,
+  with a static race detector and a style-inference engine that
+  re-derives all 13 axes from the IR and cross-checks them against both
+  the manifest and the construct linter (``repro analyze --ir``);
 * :mod:`repro.analysis.sanitizer` — a dynamic trace sanitizer that
   validates :class:`~repro.machine.trace.ExecutionTrace` /
   :class:`~repro.machine.trace.IterationProfile` invariants after a run
   (optionally on every launch via ``$REPRO_SANITIZE``).
 
-Both are wired into the CLI as ``python -m repro analyze``.
+All are wired into the CLI as ``python -m repro analyze``.
 """
 
 from .findings import Finding, Report, Severity, rule_catalog
 from .conformance import lint_source, lint_suite, spec_from_label
+from .infer import analyze_source_ir, infer_axes
+from .ir import SourceIR, parse_source
+from .races import detect_races
 from .sanitizer import SanitizerError, assert_sane, sanitize_result, sanitize_trace
 
 __all__ = [
@@ -34,6 +43,11 @@ __all__ = [
     "lint_source",
     "lint_suite",
     "spec_from_label",
+    "SourceIR",
+    "parse_source",
+    "detect_races",
+    "infer_axes",
+    "analyze_source_ir",
     "SanitizerError",
     "assert_sane",
     "sanitize_result",

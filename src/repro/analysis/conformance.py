@@ -21,8 +21,10 @@ Rule ids live in :data:`repro.analysis.findings.RULES`.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 from pathlib import Path
-from typing import Dict, List, Set, Tuple, Union
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from ..codegen.common import file_name
 from ..styles.axes import (
@@ -463,7 +465,35 @@ def _expected_file_name(spec: StyleSpec, bits: int) -> str:
     return name
 
 
-def lint_suite(root: Union[str, Path], *, strict: bool = False) -> Report:
+def _analyze_entry(payload: Tuple[str, str, str, bool]) -> List[Finding]:
+    """Worker body: lint (and optionally IR-analyze) one suite source.
+
+    Top-level so it pickles into a worker pool; findings are frozen
+    dataclasses and travel back whole.  The file is read and parsed
+    exactly once — :func:`repro.analysis.ir.parse_source` memoizes on the
+    text, so the conformance pass, the race detector and the inference
+    engine share one parse.
+    """
+    label, path_str, rel, ir = payload
+    spec = spec_from_label(label)
+    text = Path(path_str).read_text()
+    findings = lint_source(spec, text, locus=rel)
+    if ir:
+        from .infer import analyze_source_ir
+
+        findings = findings + analyze_source_ir(
+            spec, text, locus=rel, conf_findings=findings
+        )
+    return findings
+
+
+def lint_suite(
+    root: Union[str, Path],
+    *,
+    strict: bool = False,
+    ir: bool = False,
+    jobs: Optional[int] = None,
+) -> Report:
     """Lint a generated suite directory (manifest + every listed source).
 
     The manifest cross-check treats a per-(model, algorithm, bits) group
@@ -471,6 +501,11 @@ def lint_suite(root: Union[str, Path], *, strict: bool = False) -> Report:
     ``generate_suite(--limit)`` output lints clean.  A group at (or past)
     full size, or any group under ``strict=True``, must match the
     enumeration exactly.
+
+    ``ir=True`` additionally runs the IR pipeline per file (structural
+    parse, race detection, style inference + three-way differential).
+    ``jobs`` fans the per-file work over a process pool (default: the
+    machine's core count; 1 = in-process serial).
     """
     root = Path(root)
     report = Report(title=f"conformance {root}")
@@ -595,8 +630,22 @@ def lint_suite(root: Union[str, Path], *, strict: bool = False) -> Report:
                 )
             )
 
-    # Lint every listed source file.
-    for spec, _bits, path, rel in entries:
-        report.extend(lint_source(spec, path.read_text(), locus=rel))
-        report.checked += 1
+    # Lint every listed source file (optionally with the IR pipeline),
+    # fanned over a worker pool when the suite is large enough to pay.
+    payloads = [
+        (spec.label(), str(path), rel, ir) for spec, _bits, path, rel in entries
+    ]
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    jobs = max(1, min(jobs, len(payloads) or 1))
+    if jobs > 1 and len(payloads) >= 32:
+        with multiprocessing.get_context("spawn").Pool(jobs) as pool:
+            chunk = max(1, len(payloads) // (jobs * 4))
+            for findings in pool.imap(_analyze_entry, payloads, chunksize=chunk):
+                report.extend(findings)
+                report.checked += 1
+    else:
+        for payload in payloads:
+            report.extend(_analyze_entry(payload))
+            report.checked += 1
     return report

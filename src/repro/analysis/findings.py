@@ -25,11 +25,14 @@ class Severity(enum.Enum):
 
     ``ERROR`` findings mean the artifact (source file, manifest or trace)
     contradicts its declared style and would corrupt downstream results;
-    ``WARNING`` findings are suspicious but not methodology-breaking.
+    ``WARNING`` findings are suspicious but not methodology-breaking;
+    ``NOTE`` findings are expected-by-design observations (e.g. the
+    benign same-value races Section 2.5 permits) kept visible for audit.
     """
 
     ERROR = "error"
     WARNING = "warning"
+    NOTE = "note"
 
 
 #: rule id -> (default severity, one-line description).  The catalog is
@@ -173,6 +176,101 @@ RULES: Dict[str, Tuple[Severity, str]] = {
         "adjacency lists are not sorted (the merge-based triangle "
         "kernels require sorted neighbors)",
     ),
+    # ---- IR-level static race rules (races.py) -----------------------
+    "RACE-PLAIN": (
+        Severity.ERROR,
+        "a plain (non-atomic) write under a parallel loop can collide "
+        "with another access to the same array through a non-injective "
+        "index map, and the written values are not provably identical",
+    ),
+    "RACE-WL-ALIAS": (
+        Severity.ERROR,
+        "a worklist push buffer is written through an index that is not "
+        "an atomically-claimed slot, so concurrent pushes alias",
+    ),
+    "RACE-REDUCTION": (
+        Severity.ERROR,
+        "a shared accumulator is updated with an unguarded read-modify-"
+        "write (no atomic, critical, mutex or reduction clause)",
+    ),
+    "RACE-BENIGN": (
+        Severity.NOTE,
+        "a same-value write-write race the study's Section 2.5 "
+        "resolution permits: a monotone conditional improvement store or "
+        "a constant-store scatter (benign by construction)",
+    ),
+    # ---- IR style-inference differential rules (infer.py) ------------
+    "INFER-ITERATION": (
+        Severity.ERROR,
+        "IR-inferred iteration axis (vertex/edge) disagrees with the "
+        "declared style",
+    ),
+    "INFER-DRIVER": (
+        Severity.ERROR,
+        "IR-inferred driver axis (topology/data) disagrees with the "
+        "declared style",
+    ),
+    "INFER-DUP": (
+        Severity.ERROR,
+        "IR-inferred duplicate-handling axis (dup/nodup) disagrees with "
+        "the declared style",
+    ),
+    "INFER-FLOW": (
+        Severity.ERROR,
+        "IR-inferred flow axis (push/pull) disagrees with the declared "
+        "style",
+    ),
+    "INFER-UPDATE": (
+        Severity.ERROR,
+        "IR-inferred update axis (rw/rmw) disagrees with the declared "
+        "style",
+    ),
+    "INFER-DETERMINISM": (
+        Severity.ERROR,
+        "IR-inferred determinism axis (det/nondet) disagrees with the "
+        "declared style",
+    ),
+    "INFER-PERSISTENCE": (
+        Severity.ERROR,
+        "IR-inferred persistence axis (persistent/nonpersistent) "
+        "disagrees with the declared style",
+    ),
+    "INFER-GRANULARITY": (
+        Severity.ERROR,
+        "IR-inferred granularity axis (thread/warp/block) disagrees "
+        "with the declared style",
+    ),
+    "INFER-ATOMIC-FLAVOR": (
+        Severity.ERROR,
+        "IR-inferred atomic-flavor axis (atomic/cudaatomic) disagrees "
+        "with the declared style",
+    ),
+    "INFER-GPU-REDUCTION": (
+        Severity.ERROR,
+        "IR-inferred GPU reduction axis (global/block/warp-tree add) "
+        "disagrees with the declared style",
+    ),
+    "INFER-CPU-REDUCTION": (
+        Severity.ERROR,
+        "IR-inferred CPU reduction axis (atomic/critical/clause) "
+        "disagrees with the declared style",
+    ),
+    "INFER-OMP-SCHEDULE": (
+        Severity.ERROR,
+        "IR-inferred OpenMP schedule axis (default/dynamic) disagrees "
+        "with the declared style",
+    ),
+    "INFER-CPP-SCHEDULE": (
+        Severity.ERROR,
+        "IR-inferred C++ thread schedule axis (blocked/cyclic) disagrees "
+        "with the declared style",
+    ),
+    "INFER-DIVERGENCE": (
+        Severity.NOTE,
+        "the three-way differential split: the construct-presence linter "
+        "and the IR inference engine reached different verdicts for the "
+        "same axis (one of the two analyses was fooled)",
+    ),
     # ---- dynamic trace-sanitizer rules (sanitizer.py) ----------------
     "SAN-NEG": (
         Severity.ERROR,
@@ -279,6 +377,10 @@ class Report:
         return [f for f in self.findings if f.severity is Severity.WARNING]
 
     @property
+    def notes(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.NOTE]
+
+    @property
     def ok(self) -> bool:
         """True when no error-severity findings were raised."""
         return not self.errors
@@ -298,10 +400,13 @@ class Report:
             per_rule = ", ".join(
                 f"{rule} x{n}" for rule, n in sorted(self.by_rule().items())
             )
-            lines.append(
+            summary = (
                 f"{len(self.errors)} error(s), {len(self.warnings)} "
-                f"warning(s) ({per_rule})"
+                f"warning(s)"
             )
+            if self.notes:
+                summary += f", {len(self.notes)} note(s)"
+            lines.append(f"{summary} ({per_rule})")
         else:
             lines.append("no findings")
         return "\n".join(lines)
@@ -313,6 +418,7 @@ class Report:
             "ok": self.ok,
             "errors": len(self.errors),
             "warnings": len(self.warnings),
+            "notes": len(self.notes),
             "findings": [
                 {
                     "rule": f.rule,

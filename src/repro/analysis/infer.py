@@ -1,0 +1,362 @@
+"""IR-based style inference and the three-way differential (tentpole b).
+
+:func:`infer_axes` re-derives a source's 13-axis style from its
+:class:`~repro.analysis.ir.SourceIR` alone — no manifest, no construct
+substrings.  Each axis is read off structural evidence: where writes
+land (flow), through which index maps (iteration/driver), under which
+guards (update), against which buffers (determinism), and how the
+parallel loop is shaped (persistence/granularity/schedules).  Axes the
+(algorithm, model) enumeration pins to a single option are taken as
+pinned; axes it does not carry at all stay ``None``.
+
+:func:`analyze_source_ir` then runs the differential: the inferred axes
+against the manifest's declared spec (one ``INFER-<AXIS>`` error per
+disagreement), and the IR verdict against the construct-presence
+linter's verdict for the same axis (an ``INFER-DIVERGENCE`` note when
+exactly one of the two analyses flags — the signature of an analysis
+being fooled, e.g. by a stale ``#define DETERMINISTIC`` macro).  RACE-*
+findings from :mod:`repro.analysis.races` ride along, making this the
+single entry point behind ``repro analyze --ir``.
+"""
+
+from __future__ import annotations
+
+import re
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+from ..styles.axes import (
+    AXIS_FIELDS,
+    Algorithm,
+    AtomicFlavor,
+    CppSchedule,
+    CpuReduction,
+    Determinism,
+    Driver,
+    Dup,
+    Flow,
+    GpuReduction,
+    Granularity,
+    Iteration,
+    Model,
+    OmpSchedule,
+    Persistence,
+    Update,
+)
+from ..styles.combos import enumerate_specs
+from ..styles.spec import StyleSpec
+from .findings import Finding
+from .ir import AccessKind, IndexClass, SourceIR, parse_source
+from .races import detect_races
+
+__all__ = ["infer_axes", "analyze_source_ir", "AXIS_RULES"]
+
+#: axis field -> its INFER-* differential rule id.
+AXIS_RULES: Dict[str, str] = {
+    "iteration": "INFER-ITERATION",
+    "driver": "INFER-DRIVER",
+    "dup": "INFER-DUP",
+    "flow": "INFER-FLOW",
+    "update": "INFER-UPDATE",
+    "determinism": "INFER-DETERMINISM",
+    "persistence": "INFER-PERSISTENCE",
+    "granularity": "INFER-GRANULARITY",
+    "atomic_flavor": "INFER-ATOMIC-FLAVOR",
+    "gpu_reduction": "INFER-GPU-REDUCTION",
+    "cpu_reduction": "INFER-CPU-REDUCTION",
+    "omp_schedule": "INFER-OMP-SCHEDULE",
+    "cpp_schedule": "INFER-CPP-SCHEDULE",
+}
+
+#: axis field -> the construct linter's rule for the same axis (for the
+#: three-way differential).  iteration and flow have no CONF rule — the
+#: IR pass is their first static check.
+_CONF_RULES: Dict[str, str] = {
+    "driver": "CONF-WORKLIST",
+    "dup": "CONF-STAMP",
+    "update": "CONF-UPDATE",
+    "determinism": "CONF-DETERMINISM",
+    "persistence": "CONF-PERSISTENCE",
+    "granularity": "CONF-GRANULARITY",
+    "atomic_flavor": "CONF-CUDA-ATOMIC",
+    "gpu_reduction": "CONF-GPU-REDUCTION",
+    "cpu_reduction": "CONF-CPU-REDUCTION",
+    "omp_schedule": "CONF-OMP-SCHEDULE",
+    "cpp_schedule": "CONF-CPP-SCHEDULE",
+}
+
+#: arrays that are bookkeeping, not the algorithm's value plane.
+_NON_VALUE = frozenset(
+    {
+        "wl", "wl_next", "wl_next_size", "stat", "changed", "d_changed",
+        "blocked", "again", "nbr_idx", "nbr_list", "e_weight", "src_list",
+        "dst_list", "deg",
+    }
+)
+
+
+@lru_cache(maxsize=None)
+def _axis_options(
+    algorithm: Algorithm, model: Model
+) -> Dict[str, Tuple[object, ...]]:
+    """axis field -> the distinct values the enumeration produces."""
+    options: Dict[str, set] = {field: set() for field in AXIS_FIELDS}
+    for spec in enumerate_specs(algorithm, model):
+        for field in AXIS_FIELDS:
+            options[field].add(getattr(spec, field))
+    return {field: tuple(values) for field, values in options.items()}
+
+
+def _resolve_expr(env: Dict[str, str], expr: str, depth: int = 0) -> str:
+    e = expr.strip()
+    if depth > 6:
+        return e
+    if e in env and env[e] != e:
+        return _resolve_expr(env, env[e], depth + 1)
+    return e
+
+
+# ----------------------------------------------------------------------
+# Per-axis evidence readers
+# ----------------------------------------------------------------------
+def _infer_driver(ir: SourceIR) -> Driver:
+    for region in ir.regions:
+        for a in region.accesses:
+            if a.array == "wl" and a.kind is AccessKind.READ:
+                return Driver.DATA
+    return Driver.TOPOLOGY
+
+
+def _infer_iteration(ir: SourceIR) -> Iteration:
+    for region in ir.regions:
+        for a in region.accesses:
+            if a.array in ("src_list", "dst_list"):
+                return Iteration.EDGE
+    return Iteration.VERTEX
+
+
+def _value_writes(ir: SourceIR):
+    # CAPTUREs on value arrays count: "if (atomic_min(val[u], new_val))"
+    # consumes the old value but is still an RMW of the value plane.
+    for region in ir.regions:
+        for a in region.accesses:
+            if a.kind is AccessKind.READ:
+                continue
+            if a.array in _NON_VALUE:
+                continue
+            yield region, a
+
+
+def _infer_flow(ir: SourceIR) -> Flow:
+    for region, a in _value_writes(ir):
+        if a.index_class is IndexClass.NEIGHBOR:
+            return Flow.PUSH
+        if a.index_class is IndexClass.ENDPOINT:
+            base = _resolve_expr(region.env, a.index)
+            if "dst_list" in base:
+                return Flow.PUSH
+    return Flow.PULL
+
+
+def _infer_update(ir: SourceIR) -> Update:
+    for _region, a in _value_writes(ir):
+        if a.index_class is IndexClass.SCALAR:
+            continue  # reduction accumulators are not the update axis
+        if a.kind in (AccessKind.ATOMIC_RMW, AccessKind.CAPTURE):
+            return Update.READ_MODIFY_WRITE
+    return Update.READ_WRITE
+
+
+def _infer_dup(ir: SourceIR) -> Dup:
+    for region in ir.regions:
+        for a in region.accesses:
+            if a.array == "stat" and a.kind is not AccessKind.READ:
+                return Dup.NODUP
+    return Dup.DUP
+
+
+def _infer_determinism(ir: SourceIR) -> Determinism:
+    for region in ir.regions:
+        for a in region.accesses:
+            if a.array.endswith("_out"):
+                return Determinism.DETERMINISTIC
+    return Determinism.NON_DETERMINISTIC
+
+
+_GRID_STRIDE_RE = re.compile(r"for\s*\(\s*;\s*item\s*<")
+
+
+def _infer_persistence(ir: SourceIR) -> Persistence:
+    for region in ir.regions:
+        for lp in region.loops:
+            if _GRID_STRIDE_RE.match(lp.header):
+                return Persistence.PERSISTENT
+    return Persistence.NON_PERSISTENT
+
+
+def _infer_granularity(ir: SourceIR) -> Granularity:
+    defs = [r.env.get("item", "") for r in ir.regions]
+    if any("/ WS" in d for d in defs):
+        return Granularity.WARP
+    if any(d.strip() == "blockIdx.x" for d in defs):
+        return Granularity.BLOCK
+    return Granularity.THREAD
+
+
+def _infer_atomic_flavor(ir: SourceIR) -> AtomicFlavor:
+    return (
+        AtomicFlavor.CUDA_ATOMIC
+        if ir.has_include("cuda/atomic")
+        else AtomicFlavor.ATOMIC
+    )
+
+
+def _infer_gpu_reduction(ir: SourceIR) -> GpuReduction:
+    body = ir.region_bodies()
+    if "warp_reduce(" in body:
+        return GpuReduction.REDUCTION_ADD
+    if "atomicAdd_block" in body:
+        return GpuReduction.BLOCK_ADD
+    return GpuReduction.GLOBAL_ADD
+
+
+def _infer_cpu_reduction(ir: SourceIR, model: Model) -> CpuReduction:
+    if model is Model.OPENMP:
+        if any("reduction(+:" in r.pragma for r in ir.regions):
+            return CpuReduction.CLAUSE
+        for region in ir.regions:
+            for a in region.accesses:
+                if (
+                    a.guard.value == "critical"
+                    and "contribution" in a.rhs
+                ):
+                    return CpuReduction.CRITICAL
+        return CpuReduction.ATOMIC
+    body = ir.region_bodies()
+    if "local_acc" in body:
+        return CpuReduction.CLAUSE
+    if "lock_guard" in body:
+        return CpuReduction.CRITICAL
+    return CpuReduction.ATOMIC
+
+
+def _infer_omp_schedule(ir: SourceIR) -> OmpSchedule:
+    if any("schedule(dynamic)" in r.pragma for r in ir.regions):
+        return OmpSchedule.DYNAMIC
+    return OmpSchedule.DEFAULT
+
+
+def _infer_cpp_schedule(ir: SourceIR) -> CppSchedule:
+    if "beg_it" in ir.region_bodies():
+        return CppSchedule.BLOCKED
+    return CppSchedule.CYCLIC
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+def infer_axes(
+    algorithm: Algorithm, model: Model, ir: SourceIR
+) -> Dict[str, Optional[object]]:
+    """Re-derive all 13 axes from the IR (None = axis not carried).
+
+    Only the algorithm and model are taken as given (they name the file's
+    template family); every carried axis with more than one legal option
+    is decided purely from structural evidence.
+    """
+    options = _axis_options(algorithm, model)
+    readers = {
+        "iteration": lambda: _infer_iteration(ir),
+        "driver": lambda: _infer_driver(ir),
+        "dup": lambda: _infer_dup(ir),
+        "flow": lambda: _infer_flow(ir),
+        "update": lambda: _infer_update(ir),
+        "determinism": lambda: _infer_determinism(ir),
+        "persistence": lambda: _infer_persistence(ir),
+        "granularity": lambda: _infer_granularity(ir),
+        "atomic_flavor": lambda: _infer_atomic_flavor(ir),
+        "gpu_reduction": lambda: _infer_gpu_reduction(ir),
+        "cpu_reduction": lambda: _infer_cpu_reduction(ir, model),
+        "omp_schedule": lambda: _infer_omp_schedule(ir),
+        "cpp_schedule": lambda: _infer_cpp_schedule(ir),
+    }
+    inferred: Dict[str, Optional[object]] = {}
+    for field in AXIS_FIELDS:
+        opts = [o for o in options.get(field, ()) if o is not None]
+        if not opts:
+            inferred[field] = None  # the enumeration never carries it
+        elif len(opts) == 1:
+            inferred[field] = opts[0]  # pinned: a single legal option
+        else:
+            inferred[field] = readers[field]()
+    return inferred
+
+
+def analyze_source_ir(
+    spec: StyleSpec,
+    text: str,
+    *,
+    locus: str = "",
+    conf_findings: Optional[List[Finding]] = None,
+) -> List[Finding]:
+    """All IR-level findings (RACE-* + INFER-*) for one emitted source.
+
+    ``conf_findings`` are the construct linter's findings for the same
+    file; when omitted they are computed here (they feed the three-way
+    differential, they are *not* re-reported).
+    """
+    from .conformance import lint_source  # local: avoid an import cycle
+
+    ir = parse_source(text)
+    findings = detect_races(ir, spec, locus=locus)
+
+    inferred = infer_axes(spec.algorithm, spec.model, ir)
+    label = spec.label()
+    mismatched: Dict[str, bool] = {}
+    for field in AXIS_FIELDS:
+        declared = getattr(spec, field)
+        got = inferred.get(field)
+        if declared is None or got is None:
+            continue
+        mismatched[field] = got != declared
+        if got != declared:
+            findings.append(
+                Finding.of(
+                    AXIS_RULES[field],
+                    spec=label,
+                    locus=locus,
+                    message=(
+                        f"IR infers {field}={got.value!r} but the manifest "
+                        f"declares {declared.value!r}"
+                    ),
+                )
+            )
+
+    if conf_findings is None:
+        conf_findings = lint_source(spec, text, locus=locus)
+    conf_rules = {f.rule for f in conf_findings}
+    for field, ir_flag in mismatched.items():
+        conf_rule = _CONF_RULES.get(field)
+        if conf_rule is None:
+            continue
+        lint_flag = conf_rule in conf_rules
+        if lint_flag != ir_flag:
+            who, silent = (
+                ("construct linter", "IR inference")
+                if lint_flag
+                else ("IR inference", "construct linter")
+            )
+            findings.append(
+                Finding.of(
+                    "INFER-DIVERGENCE",
+                    spec=label,
+                    locus=locus,
+                    message=(
+                        f"axis {field!r}: the {who} flags this file "
+                        f"({conf_rule if lint_flag else AXIS_RULES[field]}) "
+                        f"but the {silent} does not — one analysis was "
+                        "fooled; inspect the construct"
+                    ),
+                )
+            )
+    return findings

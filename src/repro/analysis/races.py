@@ -1,0 +1,185 @@
+"""IR-level static race detector (tentpole analysis a).
+
+For every parallel region, consider each shared array (or shared scalar)
+that receives at least one plain — non-atomic, unguarded — write.  If any
+pair of accesses to it can land on the same cell from two different work
+items (at least one access non-injective), that pair is a data race
+candidate.  The paper's Section 2.5 deliberately allows two benign forms:
+
+* **monotone conditional improvement stores** — ``if (new_val < old) cell
+  = new_val`` under the ``rw`` update axis: colliding writers store values
+  that the fixed-point iteration reconciles on a later pass, and the trace
+  sanitizer's SAN-RACE-BENIGN rule checks convergence dynamically;
+* **constant-store scatters** — every colliding writer stores the same
+  compile-time constant (MIS status stamping, ``changed = 1`` flags), so
+  the outcome is order-independent.
+
+Those become :data:`RACE-BENIGN` notes (one per region/array).  Everything
+else is an error, graded by shape:
+
+* ``RACE-WL-ALIAS`` — a worklist push buffer written through an index
+  that is not an atomically-claimed slot;
+* ``RACE-REDUCTION`` — an unguarded ``+=``-style read-modify-write of a
+  shared accumulator;
+* ``RACE-PLAIN`` — any other colliding plain write.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from ..styles.spec import StyleSpec
+from .findings import Finding
+from .ir import AccessKind, ArrayAccess, Guard, IndexClass, ParallelRegion, SourceIR
+
+__all__ = ["detect_races"]
+
+#: shared flag scalars whose constant stores are order-independent.
+_CONST_RE = re.compile(r"^[({\s]*-?\d+(\.\d+)?[f)}\s]*$")
+
+
+def _is_constant_store(acc: ArrayAccess) -> bool:
+    return bool(acc.rhs) and bool(_CONST_RE.match(acc.rhs))
+
+
+def _is_monotone_guarded(acc: ArrayAccess) -> bool:
+    """A conditional improvement store: ``if (new_val < old) cell = new``."""
+    cond = acc.condition
+    return bool(cond) and "new_val" in cond and ("<" in cond or ">" in cond)
+
+
+def _is_accumulation(acc: ArrayAccess) -> bool:
+    """An unguarded ``x += e`` / ``x++`` read-modify-write on a shared cell."""
+    body = acc.rhs
+    return bool(
+        body
+        and acc.guard is Guard.NONE
+        and not _CONST_RE.match(body)
+        and re.search(rf"\b{re.escape(acc.array)}\b", body)
+    )
+
+
+def _region_has_capture(region: ParallelRegion) -> bool:
+    return any(a.kind is AccessKind.CAPTURE for a in region.accesses)
+
+
+def _classify_array(
+    region: ParallelRegion, array: str, spec: Optional[StyleSpec], locus: str
+) -> List[Finding]:
+    accesses = region.accesses_to(array)
+    plain_writes = [
+        a
+        for a in accesses
+        if a.kind is AccessKind.WRITE and a.guard is Guard.NONE
+    ]
+    if not plain_writes:
+        return []
+
+    # Skip shared convergence flags entirely: every writer stores the same
+    # constant into the same scalar, by design (documented Section 2.5).
+    if all(
+        a.index_class is IndexClass.SCALAR and _is_constant_store(a)
+        for a in plain_writes
+    ) and array in ("changed", "d_changed", "again"):
+        return []
+
+    # A race needs a non-injective collision: either a non-injective write,
+    # or an injective write paired with a non-injective access elsewhere.
+    colliding = [a for a in plain_writes if not a.injective]
+    if not colliding:
+        others = [a for a in accesses if a.kind is not AccessKind.READ]
+        if not any(not a.injective for a in others if a not in plain_writes):
+            return []
+        colliding = plain_writes
+
+    label = spec.label() if spec is not None else ""
+    where = f"{locus}:{colliding[0].line}" if locus else f"line {colliding[0].line}"
+
+    # Worklist aliasing: a push buffer written off-slot.
+    wl_like = array.startswith("wl") or array.endswith("_next")
+    if wl_like and (_region_has_capture(region) or array.startswith("wl")):
+        bad = [
+            a
+            for a in colliding
+            if a.index_class not in (IndexClass.SLOT, IndexClass.SCALAR)
+        ]
+        if bad:
+            return [
+                Finding.of(
+                    "RACE-WL-ALIAS",
+                    spec=label,
+                    locus=f"{locus}:{bad[0].line}" if locus else f"line {bad[0].line}",
+                    message=(
+                        f"region {region.name!r} pushes to {array}["
+                        f"{bad[0].index}] whose index is "
+                        f"{bad[0].index_class.value}, not an atomically-"
+                        "claimed slot: concurrent pushes overwrite each other"
+                    ),
+                )
+            ]
+        return []
+
+    # Unguarded accumulation on a shared scalar.
+    accum = [a for a in colliding if _is_accumulation(a)]
+    if accum:
+        return [
+            Finding.of(
+                "RACE-REDUCTION",
+                spec=label,
+                locus=f"{locus}:{accum[0].line}" if locus else f"line {accum[0].line}",
+                message=(
+                    f"region {region.name!r} updates shared accumulator "
+                    f"{array!r} with an unguarded read-modify-write "
+                    f"({accum[0].rhs!r}): concurrent increments are lost"
+                ),
+            )
+        ]
+
+    # Benign forms Section 2.5 permits.
+    if all(
+        _is_constant_store(a) or _is_monotone_guarded(a) for a in colliding
+    ):
+        shape = (
+            "constant-store scatter"
+            if all(_is_constant_store(a) for a in colliding)
+            else "monotone conditional improvement store"
+        )
+        return [
+            Finding.of(
+                "RACE-BENIGN",
+                spec=label,
+                locus=where,
+                message=(
+                    f"region {region.name!r} has a same-value write-write "
+                    f"race on {array!r} ({shape}; index class "
+                    f"{colliding[0].index_class.value}) — benign per "
+                    "Section 2.5, verified dynamically by SAN-RACE-BENIGN"
+                ),
+            )
+        ]
+
+    return [
+        Finding.of(
+            "RACE-PLAIN",
+            spec=label,
+            locus=where,
+            message=(
+                f"region {region.name!r} plainly writes {array}["
+                f"{colliding[0].index}] (index class "
+                f"{colliding[0].index_class.value}) while other work items "
+                "can access the same cell: undefined outcome"
+            ),
+        )
+    ]
+
+
+def detect_races(
+    ir: SourceIR, spec: Optional[StyleSpec] = None, *, locus: str = ""
+) -> List[Finding]:
+    """All RACE-* findings for one parsed source."""
+    findings: List[Finding] = []
+    for region in ir.regions:
+        for array in region.arrays():
+            findings.extend(_classify_array(region, array, spec, locus))
+    return findings

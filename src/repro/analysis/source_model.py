@@ -5,12 +5,15 @@ set of constructs (the paper's Listings 1-13), so substring presence plus
 a little block structure around ``#pragma omp critical`` is exact for
 this suite.  :class:`SourceModel` packages those queries so the rules in
 :mod:`repro.analysis.conformance` read as construct checks, not string
-soup.
+soup.  (The full structural parse lives in :mod:`repro.analysis.ir`;
+this model stays cheap and line-oriented.)
 """
 
 from __future__ import annotations
 
 from typing import List
+
+from .ir import match_brace_block, strip_comments
 
 __all__ = ["SourceModel"]
 
@@ -43,15 +46,38 @@ class SourceModel:
     def critical_blocks(self) -> List[str]:
         """The guarded text of each ``#pragma omp critical`` section.
 
-        The generators emit critical sections as the pragma line followed
-        by a braced block (or, for reductions, a single statement); the
-        next three lines always cover the guarded code, which is all the
-        rules need to classify what the section protects.
+        Brace-matched: a pragma followed by a ``{ ... }`` block yields the
+        whole block regardless of its length; a pragma followed by a bare
+        statement yields text up to the first ``;``.  Comments and string
+        literals are blanked before matching so braces inside them cannot
+        skew the count.
         """
+        stripped = strip_comments(self.text)
         blocks = []
-        for i, ln in enumerate(self.lines):
-            if "#pragma omp critical" in ln:
-                blocks.append("\n".join(self.lines[i + 1 : i + 4]))
+        pos = 0
+        while True:
+            at = stripped.find("#pragma omp critical", pos)
+            if at < 0:
+                break
+            eol = stripped.find("\n", at)
+            if eol < 0:
+                break
+            # First non-whitespace character after the pragma line decides
+            # the section form: a braced block or a single statement.
+            i = eol
+            while i < len(stripped) and stripped[i] in " \t\r\n":
+                i += 1
+            if i >= len(stripped):
+                break
+            if stripped[i] == "{":
+                end = match_brace_block(stripped, i)
+                blocks.append(self.text[i:end])
+                pos = end
+            else:
+                end = stripped.find(";", i)
+                end = end + 1 if end >= 0 else len(stripped)
+                blocks.append(self.text[i:end])
+                pos = end
         return blocks
 
     def atomic_pragma_targets(self) -> List[str]:

@@ -163,6 +163,17 @@ def build_parser() -> argparse.ArgumentParser:
              "suites generated with --limit",
     )
     ana.add_argument(
+        "--ir", action="store_true",
+        help="with --suite: also run the IR pipeline per source "
+             "(structural parse, static race detection, 13-axis style "
+             "inference + three-way differential)",
+    )
+    ana.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="with --suite: worker processes for per-file analysis "
+             "(default: all cores; 1 = serial)",
+    )
+    ana.add_argument(
         "--trace", action="store_true",
         help="execute one variant and sanitize its execution trace",
     )
@@ -562,12 +573,17 @@ def _cmd_analyze(args) -> int:
     if not args.suite and not args.trace:
         print("error: pass --suite DIR and/or --trace", file=sys.stderr)
         return 2
+    if args.ir and not args.suite:
+        print("error: --ir needs --suite DIR", file=sys.stderr)
+        return 2
 
     report: Optional[Report] = None
     if args.suite:
         from ..analysis import lint_suite
 
-        report = lint_suite(args.suite, strict=args.strict)
+        report = lint_suite(
+            args.suite, strict=args.strict, ir=args.ir, jobs=args.jobs
+        )
     if args.trace:
         if not (args.algorithm and args.model and args.graph):
             print(

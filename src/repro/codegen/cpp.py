@@ -373,8 +373,11 @@ def _emit_mis(w: CodeWriter, spec: StyleSpec) -> None:
     det = spec.determinism is Determinism.DETERMINISTIC
     data = spec.driver is Driver.DATA
     push = spec.flow is Flow.PUSH
+    edge = spec.iteration is Iteration.EDGE
     read = "status_in" if det else "status_ptr"
     write = "status_out" if det else "status_ptr"
+    mine = "g.dst_list[e]" if push else "g.src_list[e]"
+    other = "g.src_list[e]" if push else "g.dst_list[e]"
     w.open("static void mis(const Graph& g, std::vector<signed char>& status)")
     w.raw(
         f"""
@@ -383,24 +386,57 @@ signed char* {read} = status.data();
 signed char* {write if det else '_unused'} = {'status2.data()' if det else 'nullptr'};
 """
     )
+    if edge:
+        w.line("std::vector<signed char> blocked(g.nodes, 0);")
     if data:
-        w.raw(
-            """
+        if edge:
+            w.raw(
+                """
+std::vector<int> wl(g.edges);
+for (int e = 0; e < g.edges; e++) wl[e] = e;
+"""
+            )
+        else:
+            w.raw(
+                """
 std::vector<int> wl(g.nodes);
 for (int v = 0; v < g.nodes; v++) wl[v] = v;
 """
-        )
+            )
     w.open("for (;;)")
     if det:
         w.line(f"std::copy({read}, {read} + g.nodes, {write});")
     w.line("std::atomic<int> changed{0};")
-    count = "(int)wl.size()" if data else "g.nodes"
-    w.open("parallel_step([&](int tid)")
-    _emit_schedule_loop(w, spec, count)
-    w.line("const int v = " + ("wl[item];" if data else "item;"))
-    w.open(f"if ({read}[v] == 0)")
-    w.raw(
-        f"""
+    if edge:
+        # Phase 1 over edges (mirrors the CUDA edge kernel): each edge
+        # excludes or blocks its "mine" endpoint; a serial joiner pass
+        # then admits every unblocked undecided vertex.
+        w.line("std::fill(blocked.begin(), blocked.end(), 0);")
+        count = "(int)wl.size()" if data else "g.edges"
+        w.open("parallel_step([&](int tid)")
+        _emit_schedule_loop(w, spec, count)
+        w.line("const int e = " + ("wl[item];" if data else "item;"))
+        w.lines(f"const int mine = {mine};", f"const int other = {other};")
+        w.open(f"if ({read}[mine] == 0)")
+        w.line(f"if ({read}[other] == 1) "
+               f"{{ {write}[mine] = 2; changed.store(1); }}")
+        w.line(f"else if ({read}[other] == 0 && "
+               "hash_pri(other) > hash_pri(mine)) blocked[mine] = 1;")
+        w.close()  # undecided guard
+        w.close()  # schedule loop
+        w.close(");")  # lambda
+        w.open("for (int v = 0; v < g.nodes; v++)")
+        w.line(f"if ({write}[v] == 0 && !blocked[v]) "
+               f"{{ {write}[v] = 1; changed.store(1); }}")
+        w.close()
+    else:
+        count = "(int)wl.size()" if data else "g.nodes"
+        w.open("parallel_step([&](int tid)")
+        _emit_schedule_loop(w, spec, count)
+        w.line("const int v = " + ("wl[item];" if data else "item;"))
+        w.open(f"if ({read}[v] == 0)")
+        w.raw(
+            f"""
 bool in_set = true;
 for (int i = g.nbr_idx[v]; i < g.nbr_idx[v + 1]; i++) {{
   const int u = g.nbr_list[i];
@@ -408,28 +444,38 @@ for (int i = g.nbr_idx[v]; i < g.nbr_idx[v + 1]; i++) {{
   if ({read}[u] == 0 && hash_pri(u) > hash_pri(v)) {{ in_set = false; break; }}
 }}
 """
-    )
-    w.open("if (in_set)")
-    w.lines(f"{write}[v] = 1;", "changed.store(1);")
-    if push:
-        w.open("for (int i = g.nbr_idx[v]; i < g.nbr_idx[v + 1]; i++)")
-        w.line(f"if ({read}[g.nbr_list[i]] == 0) {write}[g.nbr_list[i]] = 2;")
+        )
+        w.open("if (in_set)")
+        w.lines(f"{write}[v] = 1;", "changed.store(1);")
+        if push:
+            w.open("for (int i = g.nbr_idx[v]; i < g.nbr_idx[v + 1]; i++)")
+            w.line(f"if ({read}[g.nbr_list[i]] == 0) {write}[g.nbr_list[i]] = 2;")
+            w.close()
         w.close()
-    w.close()
-    w.close()  # undecided guard
-    w.close()  # schedule loop
-    w.close(");")  # lambda
+        w.close()  # undecided guard
+        w.close()  # schedule loop
+        w.close(");")  # lambda
     if det:
         w.line(f"std::swap({read}, {write});")
     if data:
-        w.raw(
-            f"""
+        if edge:
+            w.raw(
+                f"""
+std::vector<int> next;
+for (int e : wl) if ({read}[{mine}] == 0) next.push_back(e);
+wl.swap(next);
+if (wl.empty()) break;
+"""
+            )
+        else:
+            w.raw(
+                f"""
 std::vector<int> next;
 for (int v : wl) if ({read}[v] == 0) next.push_back(v);
 wl.swap(next);
 if (wl.empty()) break;
 """
-        )
+            )
     else:
         w.line("if (!changed.load()) break;")
     w.close()  # round loop

@@ -274,31 +274,65 @@ def _emit_mis(w: CodeWriter, spec: StyleSpec) -> None:
     det = spec.determinism is Determinism.DETERMINISTIC
     data = spec.driver is Driver.DATA
     push = spec.flow is Flow.PUSH
-    read = "status_in" if det else "status"
-    write = "status_out" if det else "status"
+    edge = spec.iteration is Iteration.EDGE
+    read = "status_in" if det else "status_ptr"
+    write = "status_out" if det else "status_ptr"
+    mine = "g.dst_list[e]" if push else "g.src_list[e]"
+    other = "g.src_list[e]" if push else "g.dst_list[e]"
     w.open("static void mis(const Graph& g, std::vector<signed char>& status)")
     w.line("std::vector<signed char> status2(g.nodes, 0);")
     w.line(f"signed char* {read} = status.data();")
-    w.line(f"signed char* {write} = "
-           + ("status2.data();" if det else "status.data();"))
+    if det:
+        w.line(f"signed char* {write} = status2.data();")
+    if edge:
+        w.line("std::vector<signed char> blocked(g.nodes, 0);")
     if data:
-        w.raw(
-            """
+        if edge:
+            w.raw(
+                """
+std::vector<int> wl(g.edges);
+for (int e = 0; e < g.edges; e++) wl[e] = e;
+"""
+            )
+        else:
+            w.raw(
+                """
 std::vector<int> wl(g.nodes);
 for (int v = 0; v < g.nodes; v++) wl[v] = v;
 """
-        )
+            )
     w.open("for (;;)")
     if det:
         w.line(f"std::copy({read}, {read} + g.nodes, {write});")
     w.line("int changed = 0;")
-    count = "(int)wl.size()" if data else "g.nodes"
-    w.line(_pragma(spec))
-    w.open(f"for (int item = 0; item < {count}; item++)")
-    w.line("const int v = " + ("wl[item];" if data else "item;"))
-    w.open(f"if ({read}[v] == 0)")
-    w.raw(
-        f"""
+    if edge:
+        # Phase 1 over edges (mirrors the CUDA edge kernel): each edge
+        # excludes or blocks its "mine" endpoint; a serial joiner pass
+        # then admits every unblocked undecided vertex.
+        w.line("std::fill(blocked.begin(), blocked.end(), 0);")
+        count = "(int)wl.size()" if data else "g.edges"
+        w.line(_pragma(spec))
+        w.open(f"for (int item = 0; item < {count}; item++)")
+        w.line("const int e = " + ("wl[item];" if data else "item;"))
+        w.lines(f"const int mine = {mine};", f"const int other = {other};")
+        w.open(f"if ({read}[mine] == 0)")
+        w.line(f"if ({read}[other] == 1) {{ {write}[mine] = 2; changed = 1; }}")
+        w.line(f"else if ({read}[other] == 0 && "
+               "hash_pri(other) > hash_pri(mine)) blocked[mine] = 1;")
+        w.close()
+        w.close()  # parallel for
+        w.open("for (int v = 0; v < g.nodes; v++)")
+        w.line(f"if ({write}[v] == 0 && !blocked[v]) "
+               f"{{ {write}[v] = 1; changed = 1; }}")
+        w.close()
+    else:
+        count = "(int)wl.size()" if data else "g.nodes"
+        w.line(_pragma(spec))
+        w.open(f"for (int item = 0; item < {count}; item++)")
+        w.line("const int v = " + ("wl[item];" if data else "item;"))
+        w.open(f"if ({read}[v] == 0)")
+        w.raw(
+            f"""
 bool in_set = true;
 for (int i = g.nbr_idx[v]; i < g.nbr_idx[v + 1]; i++) {{
   const int u = g.nbr_list[i];
@@ -306,27 +340,37 @@ for (int i = g.nbr_idx[v]; i < g.nbr_idx[v + 1]; i++) {{
   if ({read}[u] == 0 && hash_pri(u) > hash_pri(v)) {{ in_set = false; break; }}
 }}
 """
-    )
-    w.open("if (in_set)")
-    w.lines(f"{write}[v] = 1;", "changed = 1;")
-    if push:
-        w.open("for (int i = g.nbr_idx[v]; i < g.nbr_idx[v + 1]; i++)")
-        w.line(f"if ({read}[g.nbr_list[i]] == 0) {write}[g.nbr_list[i]] = 2;")
+        )
+        w.open("if (in_set)")
+        w.lines(f"{write}[v] = 1;", "changed = 1;")
+        if push:
+            w.open("for (int i = g.nbr_idx[v]; i < g.nbr_idx[v + 1]; i++)")
+            w.line(f"if ({read}[g.nbr_list[i]] == 0) {write}[g.nbr_list[i]] = 2;")
+            w.close()
         w.close()
-    w.close()
-    w.close()
-    w.close()  # parallel for
+        w.close()
+        w.close()  # parallel for
     if det:
         w.line(f"std::swap({read}, {write});")
     if data:
-        w.raw(
-            f"""
+        if edge:
+            w.raw(
+                f"""
+std::vector<int> next;
+for (int e : wl) if ({read}[{mine}] == 0) next.push_back(e);
+wl.swap(next);
+if (wl.empty()) break;
+"""
+            )
+        else:
+            w.raw(
+                f"""
 std::vector<int> next;
 for (int v : wl) if ({read}[v] == 0) next.push_back(v);
 wl.swap(next);
 if (wl.empty()) break;
 """
-        )
+            )
     else:
         w.line("if (!changed) break;")
     w.close()

@@ -74,6 +74,48 @@ class TestSuiteAnalysis:
         assert rules == {"CONF-OMP-SCHEDULE"}
 
 
+class TestIrAnalysis:
+    def test_ir_requires_suite(self, capsys):
+        code, _ = run_cli(capsys, "analyze", "--ir")
+        assert code == 2
+
+    def test_clean_suite_with_ir_exits_zero(self, sampled_suite, capsys):
+        code, out = run_cli(
+            capsys, "analyze", "--suite", str(sampled_suite), "--ir"
+        )
+        assert code == 0
+        assert "error" not in out.splitlines()[-1] or "0 error(s)" in out
+
+    def test_ir_race_finding_exits_one(self, sampled_suite, tmp_path, capsys):
+        import shutil
+
+        root = tmp_path / "suite"
+        shutil.copytree(sampled_suite, root)
+        # Drop one of the two atomics guarding the PageRank scatter: the
+        # construct-level probes still match (the err accumulation keeps
+        # its pragma), only the IR race pass sees the unguarded store.
+        victim = next(root.glob("openmp/pr/*-atomic_red-default.cpp"))
+        text = victim.read_text()
+        anchor = "#pragma omp atomic\n        rank_out[g.nbr_list[i]] += c;"
+        assert text.count(anchor) == 1
+        victim.write_text(text.replace(anchor, "rank_out[g.nbr_list[i]] += c;"))
+
+        code, out = run_cli(capsys, "analyze", "--suite", str(root))
+        assert code == 0, "construct linter alone must miss the race"
+
+        out_json = tmp_path / "report.json"
+        code, _ = run_cli(
+            capsys, "analyze", "--suite", str(root), "--ir",
+            "--json", str(out_json),
+        )
+        assert code == 1
+        payload = json.loads(out_json.read_text())
+        error_rules = {
+            f["rule"] for f in payload["findings"] if f["severity"] == "error"
+        }
+        assert error_rules == {"RACE-REDUCTION"}
+
+
 class TestTraceAnalysis:
     def test_trace_run_exits_zero(self, capsys):
         code, out = run_cli(
