@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from ..runtime.errors import CheckpointCorruptError, FailedRun
 from ..runtime.launcher import RunResult
+from ..runtime.locking import store_lock
 from . import faults
 
 __all__ = ["BlockOutcome", "CheckpointStore"]
@@ -101,9 +102,13 @@ class CheckpointStore:
         blob = hashlib.sha256(body).hexdigest().encode("ascii") + b"\n" + body
         path = self.entry_path(index)
         self.directory.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
-        tmp.write_bytes(blob)
-        os.replace(tmp, path)
+        # Advisory lock: two sweeps resumed against the same checkpoint
+        # directory must not interleave their tmp/rename cycles with each
+        # other's clear()/quarantine sweeps.
+        with store_lock(self.directory):
+            tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+            tmp.write_bytes(blob)
+            os.replace(tmp, path)
         faults.maybe_corrupt_checkpoint(path, key[0], key[1])
         return path
 
@@ -168,10 +173,11 @@ class CheckpointStore:
 
     def _quarantine(self, path: Path, reason: Exception) -> None:
         quarantine = self.directory / "quarantine"
-        quarantine.mkdir(parents=True, exist_ok=True)
         dest = quarantine / path.name
         try:
-            os.replace(path, dest)
+            with store_lock(self.directory):
+                quarantine.mkdir(parents=True, exist_ok=True)
+                os.replace(path, dest)
         except OSError:
             return
         print(

@@ -22,7 +22,15 @@ Each rule is an object with:
     ``"verify"`` — make one variant's verification fail inside an
     otherwise healthy block;
     ``"corrupt-checkpoint"`` — truncate the block's checkpoint entry
-    right after it is written.
+    right after it is written;
+    ``"kill-executor"`` — ``os._exit`` the *serving plane's* sweep
+    executor worker mid-job (worker-only, like ``kill``); exercises the
+    service's retry, circuit-breaker, and degraded-mode paths;
+    ``"hang-request"`` — sleep inside the executor worker far past any
+    request deadline, so the service's deadline enforcement has something
+    real to kill;
+    ``"reject-enqueue"`` — make the service's job-queue admission raise,
+    exercising the explicit backpressure (429/503) path.
 
 ``algorithm`` / ``graph``
     Which (algorithm, graph) blocks the rule matches; either may be
@@ -61,6 +69,8 @@ __all__ = [
     "inject_attached_fault",
     "apply_verify_faults",
     "maybe_corrupt_checkpoint",
+    "inject_executor_fault",
+    "inject_enqueue_fault",
 ]
 
 #: JSON fault plan; unset/empty means no injection.
@@ -100,7 +110,8 @@ class FaultRule:
 
 
 _ACTIONS = (
-    "raise", "hang", "kill", "kill-attached", "verify", "corrupt-checkpoint"
+    "raise", "hang", "kill", "kill-attached", "verify", "corrupt-checkpoint",
+    "kill-executor", "hang-request", "reject-enqueue",
 )
 
 
@@ -166,6 +177,43 @@ def inject_attached_fault(algorithm: str, graph: str, attempt: int) -> None:
             continue
         if rule.matches(algorithm, graph, attempt):
             os._exit(98)
+
+
+def inject_executor_fault(algorithm: str, graph: str, attempt: int) -> None:
+    """Fire any service-executor fault scheduled for this (job, attempt).
+
+    Called by the serving plane's sweep executor at the start of each
+    algorithm's block.  ``hang-request`` sleeps past any realistic request
+    deadline (the supervising service kills the worker and classifies the
+    attempt as a timeout); ``kill-executor`` exits the worker process
+    abruptly, and carries the same worker-only guard as ``kill`` so it can
+    never take down the server itself.
+    """
+    for rule in active_rules():
+        if rule.action not in ("kill-executor", "hang-request"):
+            continue
+        if not rule.matches(algorithm, graph, attempt):
+            continue
+        if rule.action == "hang-request":
+            time.sleep(HANG_SECONDS)
+        elif os.environ.get(WORKER_ENV):
+            os._exit(97)
+
+
+def inject_enqueue_fault(algorithm: str, graph: str, attempt: int = 0) -> None:
+    """Raise :class:`FaultInjected` if a ``reject-enqueue`` rule matches.
+
+    Fired in the *server* process at job-queue admission time; the service
+    maps the injected rejection onto its normal queue-full backpressure
+    response, which is exactly the claim the chaos suite checks.
+    """
+    for rule in active_rules():
+        if rule.action != "reject-enqueue":
+            continue
+        if rule.matches(algorithm, graph, attempt):
+            raise FaultInjected(
+                f"injected enqueue rejection for {algorithm} x {graph}"
+            )
 
 
 def apply_verify_faults(launcher, block, attempt: int) -> None:

@@ -59,8 +59,11 @@ from __future__ import annotations
 import multiprocessing
 import multiprocessing.connection
 import os
+import signal
 import sys
+import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -396,6 +399,41 @@ def resolve_work_stealing(work_stealing: Optional[bool]) -> bool:
         return work_stealing
     env = os.environ.get(WORK_STEALING_ENV, "").strip().lower()
     return env not in ("0", "false", "no", "off")
+
+
+@contextmanager
+def _sigterm_as_interrupt():
+    """Translate SIGTERM into :class:`KeyboardInterrupt` for one sweep.
+
+    A containerized shutdown (``docker stop``, a Kubernetes pod delete, a
+    systemd unit stop) delivers SIGTERM, whose default disposition kills
+    the supervisor instantly — leaking worker processes and skipping the
+    checkpoint-preserving teardown that Ctrl-C (SIGINT) already gets.
+    Re-raising it as :class:`KeyboardInterrupt` routes both signals
+    through the identical cleanup path: workers reaped, the shared-memory
+    plane unlinked, finished-block checkpoints kept for ``--resume``.
+
+    Installed only in the main thread of the main interpreter (``signal``
+    refuses anywhere else — e.g. a sweep run from a serving-plane worker
+    thread, which relies on process-level supervision instead) and always
+    restored on exit.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _handler(signum, frame):
+        raise KeyboardInterrupt("SIGTERM")
+
+    try:
+        previous = signal.signal(signal.SIGTERM, _handler)
+    except (ValueError, OSError):  # non-main interpreter, exotic platform
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
 
 
 def stderr_progress(done: int, total: int, block: SweepBlock) -> None:
@@ -988,27 +1026,28 @@ def run_sweep_parallel(
 
     todo = [i for i in range(total) if i not in outcomes]
     try:
-        if todo:
-            if workers == 1 or len(todo) == 1:
-                _run_blocks_inprocess(blocks, todo, record)
-            elif stealing:
-                pool = _StealingPool(
-                    workers=workers,
-                    unit_timeout=block_timeout,
-                    max_retries=max_retries,
-                    retry_backoff=retry_backoff,
-                    on_unit_done=record,
-                )
-                pool.run([_Supervised(i, blocks[i]) for i in todo])
-            else:
-                supervisor = _Supervisor(
-                    workers=workers,
-                    block_timeout=block_timeout,
-                    max_retries=max_retries,
-                    retry_backoff=retry_backoff,
-                    on_block_done=record,
-                )
-                supervisor.run([_Supervised(i, blocks[i]) for i in todo])
+        with _sigterm_as_interrupt():
+            if todo:
+                if workers == 1 or len(todo) == 1:
+                    _run_blocks_inprocess(blocks, todo, record)
+                elif stealing:
+                    pool = _StealingPool(
+                        workers=workers,
+                        unit_timeout=block_timeout,
+                        max_retries=max_retries,
+                        retry_backoff=retry_backoff,
+                        on_unit_done=record,
+                    )
+                    pool.run([_Supervised(i, blocks[i]) for i in todo])
+                else:
+                    supervisor = _Supervisor(
+                        workers=workers,
+                        block_timeout=block_timeout,
+                        max_retries=max_retries,
+                        retry_backoff=retry_backoff,
+                        on_block_done=record,
+                    )
+                    supervisor.run([_Supervised(i, blocks[i]) for i in todo])
     finally:
         if plane is not None:
             plane.close()

@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import Callable, Optional, Union
 
 from ..graph.datasets import DATASETS, EXTRA_DATASETS
+from ..runtime.locking import store_lock
 from .harness import StudyResults, SweepConfig
 
 __all__ = [
@@ -225,7 +226,11 @@ def cached_sweep(
     if any(f.stage == "block" for f in results.failures):
         return results
     path.parent.mkdir(parents=True, exist_ok=True)
-    save_results(results, path, scale=config.scale)
+    # Advisory cache-directory lock: concurrent sweeps (or servers) on one
+    # machine may duplicate work, but their tmp/rename cycles and
+    # quarantine moves must never interleave.
+    with store_lock(path.parent):
+        save_results(results, path, scale=config.scale)
     return results
 
 
@@ -234,8 +239,9 @@ def _quarantine_cache_entry(path: Path, reason: Exception) -> None:
     quarantine = path.parent / "quarantine"
     dest = quarantine / path.name
     try:
-        quarantine.mkdir(parents=True, exist_ok=True)
-        os.replace(path, dest)
+        with store_lock(path.parent):
+            quarantine.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest)
     except OSError:
         return  # cannot move it; the rebuild below overwrites it anyway
     print(

@@ -55,6 +55,7 @@ import numpy as np
 from ..graph.csr import CSRGraph
 from ..kernels.base import KernelResult
 from ..machine.trace import ExecutionTrace, IterationProfile
+from ..runtime.locking import store_lock
 from ..styles.spec import SemanticKey
 
 __all__ = [
@@ -293,9 +294,14 @@ class TraceStore:
         checksum = hashlib.sha256(body).hexdigest().encode("ascii")
         path = self.entry_path(graph, semantic, source)
         self.directory.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
-        tmp.write_bytes(_MAGIC + b" " + checksum + b"\n" + body)
-        os.replace(tmp, path)
+        # The advisory store lock orders this write against a concurrent
+        # GC in another process (which could otherwise unlink the tmp file
+        # or the just-renamed entry mid-cycle); single-process atomicity
+        # comes from the tmp + rename, not the lock.
+        with store_lock(self.directory):
+            tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+            tmp.write_bytes(_MAGIC + b" " + checksum + b"\n" + body)
+            os.replace(tmp, path)
         self.stores += 1
         return path
 
@@ -368,8 +374,9 @@ class TraceStore:
         quarantine = self.directory / "quarantine"
         dest = quarantine / path.name
         try:
-            quarantine.mkdir(parents=True, exist_ok=True)
-            os.replace(path, dest)
+            with store_lock(self.directory):
+                quarantine.mkdir(parents=True, exist_ok=True)
+                os.replace(path, dest)
         except OSError:
             return
         print(
@@ -414,11 +421,18 @@ class TraceStore:
         """Drop stale entries (kernel code changed) and the quarantine.
 
         ``everything=True`` clears the whole store.  Returns
-        ``(entries_removed, bytes_reclaimed)``.
+        ``(entries_removed, bytes_reclaimed)``.  Holds the store's
+        advisory lock throughout, so two servers (or a server and a
+        ``repro cache gc``) on one machine cannot double-run GC or unlink
+        an entry out from under a concurrent writer's tmp/rename cycle.
         """
+        current = kernel_code_fingerprint()
+        with store_lock(self.directory):
+            return self._gc_locked(everything, current)
+
+    def _gc_locked(self, everything: bool, current: str) -> Tuple[int, int]:
         removed = 0
         reclaimed = 0
-        current = kernel_code_fingerprint()
         for path in self._entries():
             drop = everything
             if not drop:

@@ -9,6 +9,7 @@ Subcommands:
 * ``table``     — regenerate one of the paper's tables (1-6).
 * ``figure``    — regenerate one of the paper's figures (1-16).
 * ``analyze``   — style-conformance linter / trace sanitizer.
+* ``serve``     — always-on style-advisor HTTP service.
 * ``cache``     — inspect / garbage-collect the persistent trace store.
 """
 
@@ -191,6 +192,44 @@ def build_parser() -> argparse.ArgumentParser:
     ana.add_argument(
         "--rules", action="store_true",
         help="print the rule catalog and exit",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the always-on style-advisor HTTP service (docs/serving.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8321,
+        help="listen port (0 = pick a free port, printed on boot)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=16, metavar="N",
+        help="admission-queue bound; excess requests get HTTP 429",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="concurrent sweep worker processes",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=60.0, metavar="SECONDS",
+        help="per-request wall-clock deadline",
+    )
+    serve.add_argument(
+        "--breaker-threshold", type=int, default=3, metavar="N",
+        help="consecutive executor failures that trip the circuit breaker",
+    )
+    serve.add_argument(
+        "--breaker-reset", type=float, default=30.0, metavar="SECONDS",
+        help="cool-down before the open breaker admits a probe request",
+    )
+    serve.add_argument(
+        "--no-verify", action="store_true",
+        help="skip kernel-vs-reference verification in sweeps",
+    )
+    serve.add_argument(
+        "--no-trace-cache", action="store_true",
+        help="bypass the persistent semantic-trace store",
     )
 
     cache = sub.add_parser(
@@ -686,6 +725,27 @@ def _cmd_fuzz(args) -> int:
     return exit_code
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from ..serve.app import ServeConfig, serve_main
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        scale=args.scale,
+        max_inflight=args.max_inflight,
+        max_workers=args.workers,
+        deadline_seconds=args.deadline,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_seconds=args.breaker_reset,
+        verify=not args.no_verify,
+        trace_cache=not args.no_trace_cache,
+    )
+    asyncio.run(serve_main(config))
+    return 0
+
+
 def _cmd_cache(args) -> int:
     import os
 
@@ -724,6 +784,7 @@ _COMMANDS = {
     "advise": _cmd_advise,
     "analyze": _cmd_analyze,
     "fuzz": _cmd_fuzz,
+    "serve": _cmd_serve,
     "cache": _cmd_cache,
 }
 

@@ -1,0 +1,38 @@
+"""Always-on style-advisor service (``repro serve``).
+
+The serving plane of the reproduction: clients POST a graph and get the
+paper's style recommendations plus measured best-style timings, behind
+admission control, per-tenant quotas, a circuit breaker, and graceful
+degradation to the static Section 5.16 guidelines.  See
+``docs/serving.md`` for the API and the robustness model.
+"""
+
+from .app import ServeConfig, StyleAdvisorService, serve_main
+from .breaker import BreakerState, CircuitBreaker
+from .errors import (
+    ERROR_CLASS_CODES,
+    ERROR_CODES,
+    ServiceError,
+    code_for_error_class,
+    error_payload,
+)
+from .jobs import ExecutorPool, JobFailed, SweepJob
+from .quotas import TenantQuota, TenantQuotas
+
+__all__ = [
+    "ServeConfig",
+    "StyleAdvisorService",
+    "serve_main",
+    "BreakerState",
+    "CircuitBreaker",
+    "ERROR_CODES",
+    "ERROR_CLASS_CODES",
+    "ServiceError",
+    "code_for_error_class",
+    "error_payload",
+    "ExecutorPool",
+    "JobFailed",
+    "SweepJob",
+    "TenantQuota",
+    "TenantQuotas",
+]

@@ -1,0 +1,686 @@
+"""The style-advisor service: an always-on serving plane for the study.
+
+``repro serve`` boots an asyncio HTTP server where a client POSTs a
+graph — by dataset name or as an edge-list upload — and gets back the
+paper's style recommendations for it plus measured best-style timings
+from a real (simulated) sweep.  The request path is built to *degrade*,
+never to drop:
+
+1. **Validate & fingerprint.**  Uploads go through the ingestion gate
+   (:class:`~repro.graph.validate.GraphValidator`); the content address
+   (:meth:`CSRGraph.fingerprint`) keys everything downstream.
+2. **Serve warm.**  A fingerprint the service has answered before comes
+   from the in-memory result cache; with a warm persistent trace store
+   even a fresh worker re-times styles with zero kernel executions.
+3. **Admit or refuse.**  A bounded admission queue (HTTP 429), per-tenant
+   quotas (429), and an explicit drain state (503) put backpressure in
+   the status code, not in latency.
+4. **Execute supervised.**  Cold requests run on a worker-process pool
+   with per-request deadlines and retry-with-backoff; identical
+   concurrent requests coalesce onto one sweep.
+5. **Degrade gracefully.**  A circuit breaker trips on consecutive
+   worker-environment failures; while it is open (or when retries are
+   exhausted) the service answers instantly from the static Section 5.16
+   guidelines (:func:`~repro.bench.advisor.advise`), tagged
+   ``"degraded": true`` — a worse answer, never an outage.
+
+Every failure the service can produce maps to a stable error code
+(:mod:`repro.serve.errors`); SIGTERM/SIGINT drain in-flight requests
+before the process exits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import signal
+import sys
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..bench.advisor import advise
+from ..graph.builder import from_edge_arrays
+from ..graph.csr import CSRGraph
+from ..graph.datasets import DATASETS, EXTRA_DATASETS
+from ..graph.validate import GraphValidationError, GraphValidator
+from ..machine.devices import CPUS, GPUS
+from ..runtime.budget import estimate_bytes
+from ..runtime.errors import ErrorClass
+from ..styles.axes import Algorithm, Model
+from .breaker import CircuitBreaker
+from .errors import ServiceError, code_for_error_class, error_payload
+from .httpd import (
+    HttpRequest,
+    end_ndjson_stream,
+    read_request,
+    send_json,
+    send_ndjson_event,
+    start_ndjson_stream,
+)
+from .jobs import ExecutorPool, JobFailed, SweepJob
+from .quotas import TenantQuota, TenantQuotas
+
+__all__ = ["ServeConfig", "StyleAdvisorService", "serve_main"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of one service instance (all bounded by default)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8321  #: 0 = pick a free port (printed on boot)
+    #: Scale at which named dataset graphs are built.  ``tiny`` keeps a
+    #: cold sweep interactive; operators with patience can serve
+    #: ``default`` scale.
+    scale: str = "tiny"
+    #: Algorithms swept when the request does not name any.
+    default_algorithms: Tuple[Algorithm, ...] = (Algorithm.BFS,)
+    #: Max requests admitted but not yet answered (the admission queue).
+    max_inflight: int = 16
+    #: Concurrent sweep worker processes.
+    max_workers: int = 2
+    #: Per-request wall-clock deadline (seconds); requests may lower it
+    #: via ``deadline_ms``, never raise it.
+    deadline_seconds: float = 60.0
+    max_attempts: int = 3
+    max_body_bytes: int = 8 * 1024 * 1024
+    #: Uploaded graphs larger than this (estimated working set) are
+    #: refused with ``budget-exceeded`` before any worker is spawned.
+    max_graph_bytes: int = 256 * 1024 * 1024
+    breaker_threshold: int = 3
+    breaker_reset_seconds: float = 30.0
+    tenant_quota: TenantQuota = TenantQuota(max_inflight=8)
+    result_cache_entries: int = 128
+    verify: bool = True
+    trace_cache: bool = True
+    drain_grace_seconds: float = 20.0
+
+
+class StyleAdvisorService:
+    """The serving plane: owns the listener, the executor pool, and every
+    robustness mechanism between them."""
+
+    def __init__(self, config: ServeConfig = ServeConfig()):
+        self.config = config
+        self.pool = ExecutorPool(
+            max_workers=config.max_workers, max_attempts=config.max_attempts
+        )
+        self.breaker = CircuitBreaker(
+            failure_threshold=config.breaker_threshold,
+            reset_seconds=config.breaker_reset_seconds,
+        )
+        self.quotas = TenantQuotas(default=config.tenant_quota)
+        self.validator = GraphValidator()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._draining = False
+        self._drain_event: Optional[asyncio.Event] = None
+        self._inflight = 0
+        self._connections: set = set()
+        self._request_ids = itertools.count(1)
+        #: fingerprint-keyed graphs already built/validated this process.
+        self._graph_cache: Dict[str, CSRGraph] = {}
+        #: LRU of finished answers, keyed by the full request identity.
+        self._results: "Dict[tuple, dict]" = {}
+        #: In-flight sweeps by the same identity (request coalescing).
+        self._pending: Dict[tuple, asyncio.Task] = {}
+        self.stats = {
+            "requests": 0,
+            "answers": 0,
+            "cache_hits": 0,
+            "coalesced": 0,
+            "degraded": 0,
+            "errors": 0,
+            "rejected": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        self._drain_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        host, port = self._server.sockets[0].getsockname()[:2]
+        print(f"serving on http://{host}:{port}", file=sys.stderr, flush=True)
+        return host, port
+
+    async def run_until_drained(self) -> None:
+        """Serve until :meth:`request_drain` (e.g. from a signal), then
+        drain: stop accepting, wait for in-flight requests, close."""
+        assert self._server is not None and self._drain_event is not None
+        async with self._server:
+            await self._drain_event.wait()
+            self._draining = True
+            self._server.close()
+            await self._server.wait_closed()
+            deadline = time.monotonic() + self.config.drain_grace_seconds
+            while self._inflight > 0 and time.monotonic() < deadline:
+                await asyncio.sleep(0.05)
+        for writer in list(self._connections):
+            writer.close()
+        print("drained, exiting", file=sys.stderr, flush=True)
+
+    def request_drain(self) -> None:
+        """Begin graceful shutdown (idempotent; signal-handler safe)."""
+        self._draining = True
+        if self._drain_event is not None:
+            self._drain_event.set()
+
+    def install_signal_handlers(self, loop: asyncio.AbstractEventLoop) -> None:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.request_drain)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                signal.signal(signum, lambda *_: self.request_drain())
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        request_id = f"req-{next(self._request_ids):06d}"
+        self._inflight += 1
+        try:
+            await self._serve_one(reader, writer, request_id)
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # peer went away; nothing to answer
+        except Exception as exc:  # noqa: BLE001 - last-resort error body
+            self.stats["errors"] += 1
+            try:
+                error = ServiceError("internal", f"{type(exc).__name__}: {exc}")
+                await send_json(
+                    writer, error.status, error_payload(error, request_id)
+                )
+            except Exception:
+                pass
+        finally:
+            self._inflight -= 1
+            self._connections.discard(writer)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _serve_one(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        request_id: str,
+    ) -> None:
+        self.stats["requests"] += 1
+        try:
+            request = await read_request(
+                reader, max_body=self.config.max_body_bytes
+            )
+        except ServiceError as error:
+            self.stats["errors"] += 1
+            await send_json(
+                writer, error.status, error_payload(error, request_id)
+            )
+            return
+        if request is None:
+            return  # bare TCP probe
+
+        try:
+            await self._route(request, writer, request_id)
+        except ServiceError as error:
+            if error.status == 429:
+                self.stats["rejected"] += 1
+            else:
+                self.stats["errors"] += 1
+            headers = (
+                {"Retry-After": str(int(max(error.retry_after, 1)))}
+                if error.retry_after is not None
+                else None
+            )
+            await send_json(
+                writer,
+                error.status,
+                error_payload(error, request_id),
+                extra_headers=headers,
+            )
+
+    async def _route(
+        self, request: HttpRequest, writer, request_id: str
+    ) -> None:
+        path, method = request.path, request.method
+        if path == "/healthz":
+            if method != "GET":
+                raise ServiceError("method-not-allowed", "use GET /healthz")
+            await send_json(writer, 200, {"status": "ok"})
+        elif path == "/readyz":
+            if method != "GET":
+                raise ServiceError("method-not-allowed", "use GET /readyz")
+            if self._draining:
+                raise ServiceError("shutting-down", "server is draining")
+            await send_json(
+                writer, 200,
+                {"status": "ready", "breaker": self.breaker.state.value},
+            )
+        elif path == "/statz":
+            if method != "GET":
+                raise ServiceError("method-not-allowed", "use GET /statz")
+            await send_json(writer, 200, self.statz())
+        elif path == "/v1/advise":
+            if method != "POST":
+                raise ServiceError(
+                    "method-not-allowed", "use POST /v1/advise"
+                )
+            await self._advise(request, writer, request_id)
+        else:
+            raise ServiceError("not-found", f"no such endpoint {path!r}")
+
+    def statz(self) -> dict:
+        return {
+            "stats": dict(self.stats),
+            "inflight": self._inflight,
+            "breaker": self.breaker.snapshot(),
+            "quotas": self.quotas.snapshot(),
+            "executor": {
+                "jobs_run": self.pool.jobs_run,
+                "attempts_failed": self.pool.attempts_failed,
+            },
+            "result_cache_entries": len(self._results),
+            "draining": self._draining,
+        }
+
+    # ------------------------------------------------------------------
+    # The advise path
+    # ------------------------------------------------------------------
+    async def _advise(
+        self, request: HttpRequest, writer, request_id: str
+    ) -> None:
+        started = time.monotonic()
+        if self._draining:
+            raise ServiceError(
+                "shutting-down", "server is draining", retry_after=1.0
+            )
+        body = request.json()
+        graph = self._resolve_graph(body)
+        algorithms, models, gpus, cpus = self._resolve_axes(body)
+        deadline_ms = body.get("deadline_ms")
+        deadline_s = self.config.deadline_seconds
+        if deadline_ms is not None:
+            try:
+                deadline_s = min(deadline_s, float(deadline_ms) / 1000.0)
+            except (TypeError, ValueError):
+                raise ServiceError("bad-request", "deadline_ms must be a number")
+        stream = bool(body.get("stream", False))
+        tenant = request.header("x-repro-tenant", "anonymous")
+
+        # Admission: global queue bound, then the tenant's quota, then the
+        # deterministic enqueue fault hook (chaos testing).
+        if self._inflight > self.config.max_inflight:
+            raise ServiceError(
+                "queue-full",
+                f"{self._inflight} requests in flight "
+                f"(limit {self.config.max_inflight})",
+                retry_after=1.0,
+            )
+        nbytes = estimate_bytes(graph)
+        if nbytes > self.config.max_graph_bytes:
+            raise ServiceError(
+                "budget-exceeded",
+                f"estimated working set {nbytes / 1e6:.1f} MB exceeds the "
+                f"service limit {self.config.max_graph_bytes / 1e6:.1f} MB",
+            )
+        reservation = self.quotas.admit(tenant, nbytes)
+        try:
+            from ..bench import faults
+
+            try:
+                faults.inject_enqueue_fault(
+                    algorithms[0].value if algorithms else "", graph.name
+                )
+            except faults.FaultInjected as exc:
+                raise ServiceError(
+                    "queue-full", f"{exc}", retry_after=1.0
+                ) from None
+
+            if stream:
+                await start_ndjson_stream(writer)
+                await send_ndjson_event(
+                    writer,
+                    {"event": "queued", "request_id": request_id,
+                     "fingerprint": graph.fingerprint()},
+                )
+
+            payload = await self._answer(
+                graph, algorithms, models, gpus, cpus,
+                deadline_s=deadline_s,
+                request_id=request_id,
+                progress=writer if stream else None,
+            )
+        finally:
+            reservation.release()
+
+        payload["request_id"] = request_id
+        payload["elapsed_ms"] = round((time.monotonic() - started) * 1000, 3)
+        self.stats["answers"] += 1
+        if payload.get("degraded"):
+            self.stats["degraded"] += 1
+        if stream:
+            await send_ndjson_event(
+                writer, {"event": "result", **payload}
+            )
+            await end_ndjson_stream(writer)
+        else:
+            await send_json(writer, 200, payload)
+
+    # -- graph & axes resolution ---------------------------------------
+    def _resolve_graph(self, body: dict) -> CSRGraph:
+        name = body.get("graph")
+        edges = body.get("edges")
+        if (name is None) == (edges is None):
+            raise ServiceError(
+                "bad-request",
+                "provide exactly one of 'graph' (a dataset name) or "
+                "'edges' (an edge-list upload)",
+            )
+        if name is not None:
+            if not isinstance(name, str):
+                raise ServiceError("bad-request", "'graph' must be a string")
+            registry = {**DATASETS, **EXTRA_DATASETS}
+            spec = registry.get(name)
+            if spec is None or self.config.scale not in spec.builders:
+                raise ServiceError(
+                    "unknown-graph",
+                    f"unknown graph {name!r}; known: {sorted(registry)}",
+                )
+            cached = self._graph_cache.get(f"name:{name}")
+            if cached is None:
+                cached = spec.build(self.config.scale)
+                self._graph_cache[f"name:{name}"] = cached
+            return cached
+        return self._build_upload(body, edges)
+
+    def _build_upload(self, body: dict, edges) -> CSRGraph:
+        if not isinstance(edges, list):
+            raise ServiceError(
+                "bad-request", "'edges' must be a list of [u, v] pairs"
+            )
+        try:
+            arr = np.asarray(edges, dtype=np.int64)
+        except (ValueError, OverflowError):
+            raise ServiceError(
+                "invalid-graph", "'edges' is not a rectangular integer list"
+            )
+        if arr.size == 0:
+            arr = arr.reshape(0, 2)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise ServiceError(
+                "invalid-graph", "'edges' must be [u, v] pairs"
+            )
+        n_vertices = body.get("n_vertices")
+        if n_vertices is None:
+            n_vertices = int(arr.max()) + 1 if arr.size else 0
+        if not isinstance(n_vertices, int) or n_vertices < 0:
+            raise ServiceError(
+                "bad-request", "'n_vertices' must be a non-negative integer"
+            )
+        if arr.size and (arr.min() < 0 or arr.max() >= n_vertices):
+            raise ServiceError(
+                "invalid-graph",
+                f"edge endpoints must lie in [0, {n_vertices - 1}]",
+            )
+        weights = body.get("weights")
+        w = None
+        if weights is not None:
+            if not isinstance(weights, list) or len(weights) != arr.shape[0]:
+                raise ServiceError(
+                    "invalid-graph",
+                    "'weights' must be a list with one entry per edge",
+                )
+            w = np.asarray(weights, dtype=np.int64)
+        try:
+            graph = from_edge_arrays(
+                arr[:, 0], arr[:, 1], n_vertices,
+                weights=w, symmetrize=True, dedup=True, drop_self_loops=True,
+                name="upload",
+            )
+            self.validator.check(graph)
+        except GraphValidationError as exc:
+            raise ServiceError("invalid-graph", str(exc)) from None
+        except ValueError as exc:
+            raise ServiceError("invalid-graph", str(exc)) from None
+        fp = graph.fingerprint()
+        cached = self._graph_cache.get(fp)
+        if cached is not None:
+            return cached
+        graph = CSRGraph(
+            graph.row_ptr, graph.col_idx, graph.weights,
+            name=f"upload-{fp[:8]}",
+        )
+        self._graph_cache[fp] = graph
+        return graph
+
+    def _resolve_axes(self, body: dict):
+        def enum_list(key, enum_type, default):
+            raw = body.get(key)
+            if raw is None:
+                raw = body.get(key[:-1])  # singular alias: "algorithm"
+                if raw is not None:
+                    raw = [raw]
+            if raw is None:
+                return default
+            if not isinstance(raw, list) or not raw:
+                raise ServiceError(
+                    "bad-request", f"'{key}' must be a non-empty list"
+                )
+            out = []
+            for value in raw:
+                try:
+                    out.append(enum_type(value))
+                except ValueError:
+                    known = sorted(e.value for e in enum_type)
+                    raise ServiceError(
+                        "bad-request",
+                        f"unknown {key[:-1]} {value!r}; known: {known}",
+                    )
+            return tuple(out)
+
+        algorithms = enum_list(
+            "algorithms", Algorithm, self.config.default_algorithms
+        )
+        models = enum_list("models", Model, tuple(Model))
+        gpus = tuple(body.get("gpus", tuple(GPUS)))
+        cpus = tuple(body.get("cpus", tuple(CPUS)))
+        for name in gpus:
+            if name not in GPUS:
+                raise ServiceError(
+                    "bad-request", f"unknown GPU {name!r}; known: {sorted(GPUS)}"
+                )
+        for name in cpus:
+            if name not in CPUS:
+                raise ServiceError(
+                    "bad-request", f"unknown CPU {name!r}; known: {sorted(CPUS)}"
+                )
+        return algorithms, models, gpus, cpus
+
+    # -- answering ------------------------------------------------------
+    def _result_key(self, graph, algorithms, models, gpus, cpus) -> tuple:
+        return (
+            graph.fingerprint(),
+            tuple(a.value for a in algorithms),
+            tuple(m.value for m in models),
+            gpus,
+            cpus,
+            self.config.verify,
+        )
+
+    async def _answer(
+        self,
+        graph: CSRGraph,
+        algorithms,
+        models,
+        gpus,
+        cpus,
+        *,
+        deadline_s: float,
+        request_id: str,
+        progress=None,
+    ) -> dict:
+        key = self._result_key(graph, algorithms, models, gpus, cpus)
+        cached = self._results.get(key)
+        if cached is not None:
+            # LRU touch.
+            self._results.pop(key)
+            self._results[key] = cached
+            self.stats["cache_hits"] += 1
+            return {
+                **cached, "source": "cache", "kernel_executions": 0,
+                "degraded": False,
+            }
+
+        if not self.breaker.allow():
+            return self._degraded_payload(
+                graph, "circuit breaker is open", code="breaker-open"
+            )
+
+        pending = self._pending.get(key)
+        if pending is not None:
+            self.stats["coalesced"] += 1
+            payload = dict(await asyncio.shield(pending))
+            # A degraded answer keeps its static-guideline provenance —
+            # followers must see the same contract as the leader.
+            if not payload.get("degraded"):
+                payload["source"] = "coalesced"
+            return payload
+
+        task = asyncio.ensure_future(
+            self._sweep_and_package(
+                graph, algorithms, models, gpus, cpus,
+                deadline_s=deadline_s, progress=progress,
+            )
+        )
+        self._pending[key] = task
+        try:
+            payload = await asyncio.shield(task)
+        finally:
+            self._pending.pop(key, None)
+        if not payload.get("degraded") and "error" not in payload:
+            self._results[key] = {
+                k: v for k, v in payload.items()
+                if k not in ("source", "kernel_executions")
+            }
+            while len(self._results) > self.config.result_cache_entries:
+                self._results.pop(next(iter(self._results)))
+        return payload
+
+    async def _sweep_and_package(
+        self, graph, algorithms, models, gpus, cpus, *, deadline_s, progress
+    ) -> dict:
+        job = SweepJob(
+            graph=graph,
+            algorithms=algorithms,
+            models=models,
+            gpu_names=gpus,
+            cpu_names=cpus,
+            verify=self.config.verify,
+            trace_cache=self.config.trace_cache,
+        )
+        deadline = time.monotonic() + deadline_s
+
+        def on_attempt(attempt: int) -> None:
+            if progress is not None:
+                asyncio.ensure_future(
+                    send_ndjson_event(
+                        progress, {"event": "attempt", "attempt": attempt}
+                    )
+                )
+
+        try:
+            summary = await self.pool.run_job(
+                job, deadline=deadline, on_attempt=on_attempt
+            )
+        except JobFailed as failure:
+            if failure.environment:
+                # One breaker strike per failed attempt: a single request
+                # that burned through every retry is as loud a signal as
+                # several requests failing once each.
+                for _ in range(max(failure.attempts, 1)):
+                    self.breaker.record_failure()
+                return self._degraded_payload(
+                    graph,
+                    f"sweep executor unavailable: {failure.message}",
+                    code=None,
+                    error_class=failure.error_class,
+                )
+            raise ServiceError.from_error_class(
+                failure.error_class, failure.message
+            )
+        self.breaker.record_success()
+        if not summary["measured"] and summary["failures"]:
+            # Nothing ran at all: surface the first deterministic failure.
+            first = summary["failures"][0]
+            raise ServiceError.from_error_class(
+                ErrorClass(first["error_class"]), first["message"]
+            )
+        return {
+            "graph": self._graph_info(graph),
+            "advisor": self._advisor_info(graph),
+            "measured": summary["measured"],
+            "failures": summary["failures"],
+            "n_runs": summary["n_runs"],
+            "kernel_executions": summary["kernel_executions"],
+            "degraded": False,
+            "source": "sweep",
+        }
+
+    def _degraded_payload(
+        self, graph, reason: str, *, code, error_class=None
+    ) -> dict:
+        if code is None and error_class is not None:
+            code = code_for_error_class(error_class)
+        return {
+            "graph": self._graph_info(graph),
+            "advisor": self._advisor_info(graph),
+            "measured": [],
+            "failures": [],
+            "n_runs": 0,
+            "kernel_executions": 0,
+            "degraded": True,
+            "degraded_reason": reason,
+            "degraded_code": code,
+            "source": "static-guideline",
+        }
+
+    @staticmethod
+    def _graph_info(graph: CSRGraph) -> dict:
+        return {
+            "name": graph.name,
+            "fingerprint": graph.fingerprint(),
+            "n_vertices": graph.n_vertices,
+            "n_edges": graph.n_edges,
+            "weighted": graph.is_weighted,
+        }
+
+    @staticmethod
+    def _advisor_info(graph: CSRGraph) -> list:
+        report = advise(graph)
+        return [
+            {
+                "axis": r.axis,
+                "choice": r.choice,
+                "rationale": r.rationale,
+                "section": r.section,
+                "model": None if r.model is None else r.model.value,
+            }
+            for r in report.recommendations
+        ]
+
+
+async def serve_main(config: ServeConfig = ServeConfig()) -> None:
+    """Boot the service and run until drained (the CLI entry point)."""
+    service = StyleAdvisorService(config)
+    loop = asyncio.get_running_loop()
+    service.install_signal_handlers(loop)
+    await service.start()
+    await service.run_until_drained()

@@ -1,0 +1,127 @@
+"""Circuit breaker around the sweep executor.
+
+When the worker environment is unhealthy — processes dying, blocks
+timing out — every cold request pays the full retry-and-fail cost before
+falling back, and the dying workers themselves load the machine.  The
+breaker converts that into fast, cheap degradation:
+
+* **CLOSED** (healthy): requests run normally; consecutive
+  *environment-class* failures (crash / timeout / interrupted — see
+  :data:`~repro.serve.errors.ENVIRONMENT_CLASSES`) are counted, and
+  reaching the threshold trips the breaker.  Any success resets the
+  count: deterministic kernel failures are the request's problem, not
+  the environment's, and do not trip it.
+* **OPEN**: the executor is skipped entirely; requests get the static
+  guideline answer immediately (tagged ``"degraded": true``) until the
+  cool-down elapses.
+* **HALF_OPEN**: after the cool-down, exactly one probe request is let
+  through.  Success closes the breaker; failure reopens it for another
+  cool-down.
+
+The clock is injected so tests can drive state transitions without
+sleeping.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from typing import Callable
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with a single half-open probe."""
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        reset_seconds: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_seconds = reset_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        #: Lifetime counters for /statz.
+        self.trips = 0
+
+    @property
+    def state(self) -> BreakerState:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def allow(self) -> bool:
+        """May a request use the executor right now?
+
+        In HALF_OPEN only the first caller gets ``True`` (the probe);
+        everyone else stays degraded until the probe reports back.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state is BreakerState.CLOSED:
+                return True
+            if self._state is BreakerState.HALF_OPEN and not self._probe_inflight:
+                self._probe_inflight = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_inflight = False
+            self._state = BreakerState.CLOSED
+
+    def record_failure(self) -> None:
+        """Record one environment-class failure (one per failed attempt)."""
+        with self._lock:
+            if self._state is BreakerState.HALF_OPEN:
+                # The probe failed: straight back to OPEN, fresh cool-down.
+                self._trip()
+                return
+            self._consecutive_failures += 1
+            if (
+                self._state is BreakerState.CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._trip()
+
+    def _trip(self) -> None:
+        self._state = BreakerState.OPEN
+        self._opened_at = self._clock()
+        self._probe_inflight = False
+        self._consecutive_failures = 0
+        self.trips += 1
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state is BreakerState.OPEN
+            and self._clock() - self._opened_at >= self.reset_seconds
+        ):
+            self._state = BreakerState.HALF_OPEN
+            self._probe_inflight = False
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "state": self._state.value,
+                "consecutive_failures": self._consecutive_failures,
+                "trips": self.trips,
+            }

@@ -1,0 +1,207 @@
+"""Minimal asyncio HTTP/1.1 plumbing for the advisor service.
+
+The serving plane is deliberately stdlib-only, so this module implements
+just enough of HTTP/1.1 for the service's needs: parse one request per
+connection (``Connection: close`` semantics — load balancers in front of
+the service own keep-alive), emit JSON responses, and stream NDJSON
+progress events over chunked transfer encoding.  Malformed input becomes
+a typed :class:`~repro.serve.errors.ServiceError` (``bad-request`` /
+``payload-too-large``), never a dropped connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import urllib.parse
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from .errors import ServiceError
+
+__all__ = [
+    "HttpRequest",
+    "read_request",
+    "send_json",
+    "start_ndjson_stream",
+    "send_ndjson_event",
+    "end_ndjson_stream",
+]
+
+#: Upper bound on the request head (request line + headers) — generous
+#: for real clients, small enough that a garbage stream cannot balloon.
+MAX_HEAD_BYTES = 64 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, split path, lower-cased headers, body."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> dict:
+        """The body as a JSON object (``bad-request`` on anything else)."""
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body)
+        except ValueError as exc:
+            raise ServiceError("bad-request", f"body is not valid JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise ServiceError("bad-request", "body must be a JSON object")
+        return payload
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+
+async def read_request(
+    reader: asyncio.StreamReader, *, max_body: int
+) -> Optional[HttpRequest]:
+    """Parse one HTTP/1.1 request from the stream.
+
+    Returns ``None`` when the peer closed the connection before sending
+    anything (a health-checker's TCP probe, not an error).  Raises
+    :class:`ServiceError` on malformed or oversized input.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ServiceError("bad-request", "truncated request head")
+    except asyncio.LimitOverrunError:
+        raise ServiceError("bad-request", "request head exceeds limit")
+    if len(head) > MAX_HEAD_BYTES:
+        raise ServiceError("bad-request", "request head exceeds limit")
+
+    lines = head.decode("latin-1").split("\r\n")
+    method, target = _parse_request_line(lines[0])
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ServiceError("bad-request", f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    path, query = _split_target(target)
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise ServiceError("bad-request", "non-numeric Content-Length")
+        if length < 0:
+            raise ServiceError("bad-request", "negative Content-Length")
+        if length > max_body:
+            raise ServiceError(
+                "payload-too-large",
+                f"body of {length} bytes exceeds the {max_body}-byte limit",
+            )
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise ServiceError("bad-request", "body shorter than Content-Length")
+    elif headers.get("transfer-encoding", "").lower() == "chunked":
+        raise ServiceError(
+            "bad-request", "chunked request bodies are not supported"
+        )
+    return HttpRequest(
+        method=method, path=path, query=query, headers=headers, body=body
+    )
+
+
+def _parse_request_line(line: str) -> Tuple[str, str]:
+    parts = line.split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ServiceError("bad-request", f"malformed request line {line!r}")
+    return parts[0].upper(), parts[1]
+
+
+def _split_target(target: str) -> Tuple[str, Dict[str, str]]:
+    parsed = urllib.parse.urlsplit(target)
+    query = {
+        key: values[-1]
+        for key, values in urllib.parse.parse_qs(parsed.query).items()
+    }
+    return parsed.path or "/", query
+
+
+# ----------------------------------------------------------------------
+# Responses
+# ----------------------------------------------------------------------
+def _head(
+    status: int, *, content_type: str, extra: Optional[Dict[str, str]] = None
+) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        "Connection: close",
+    ]
+    for name, value in (extra or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n").encode("latin-1")
+
+
+async def send_json(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: dict,
+    *,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> None:
+    """Send one complete JSON response and flush it."""
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+    head = _head(
+        status, content_type="application/json", extra=extra_headers
+    )
+    writer.write(head + f"Content-Length: {len(body)}\r\n\r\n".encode() + body)
+    await writer.drain()
+
+
+async def start_ndjson_stream(
+    writer: asyncio.StreamWriter, status: int = 200
+) -> None:
+    """Open a chunked NDJSON response (one JSON event per line)."""
+    head = _head(
+        status,
+        content_type="application/x-ndjson",
+        extra={"Transfer-Encoding": "chunked"},
+    )
+    writer.write(head + b"\r\n")
+    await writer.drain()
+
+
+async def send_ndjson_event(writer: asyncio.StreamWriter, event: dict) -> None:
+    """Send one event line as an HTTP chunk (flushed immediately, so
+    clients see progress as it happens)."""
+    line = (json.dumps(event, sort_keys=True) + "\n").encode()
+    writer.write(f"{len(line):x}\r\n".encode() + line + b"\r\n")
+    await writer.drain()
+
+
+async def end_ndjson_stream(writer: asyncio.StreamWriter) -> None:
+    writer.write(b"0\r\n\r\n")
+    await writer.drain()

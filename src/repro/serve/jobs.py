@@ -1,0 +1,335 @@
+"""Supervised sweep jobs for the advisor service.
+
+A cold request needs a real sweep: run the requested algorithms over the
+client's graph on every requested model x device and time every style
+variant.  Kernels execute arbitrary simulated programs, so the service
+never runs them in its own process — each job attempt gets a dedicated
+worker process (fork + pipe, the same supervision idiom as
+:mod:`repro.bench.parallel`) that can crash, hang, or be killed without
+taking the event loop with it.
+
+The executor retries environment-class failures (crash / timeout) with
+exponential backoff while the request's deadline allows, and reports the
+final outcome as either a compact result payload or a typed
+:class:`JobFailed` carrying the :class:`~repro.runtime.errors.ErrorClass`
+— the service layer decides whether that means a degraded answer or an
+error body.
+
+Fault injection: workers honour the ``kill-executor`` and
+``hang-request`` actions of ``$REPRO_FAULTS`` (see
+:mod:`repro.bench.faults`), which is how the chaos suite and the CI smoke
+test manufacture dying executors deterministically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from ..graph.csr import CSRGraph
+from ..runtime.errors import ErrorClass, classify_error
+from ..runtime.launcher import Launcher
+from ..styles.axes import Algorithm, Model
+from ..styles.combos import enumerate_specs
+from .errors import ENVIRONMENT_CLASSES
+
+__all__ = ["SweepJob", "JobFailed", "ExecutorPool", "execute_job_inline"]
+
+#: Poll granularity of the supervision loop (seconds): fine enough that a
+#: deadline overrun is bounded, coarse enough to stay cheap.
+_POLL_SECONDS = 0.05
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One unit of executor work: sweep these styles over this graph."""
+
+    graph: CSRGraph
+    algorithms: Tuple[Algorithm, ...]
+    models: Tuple[Model, ...]
+    gpu_names: Tuple[str, ...]
+    cpu_names: Tuple[str, ...]
+    verify: bool = True
+    trace_cache: bool = True
+
+
+class JobFailed(RuntimeError):
+    """One job attempt (or the whole job) failed, with its taxonomy class."""
+
+    def __init__(self, error_class: ErrorClass, message: str, *, attempts: int = 1):
+        super().__init__(message)
+        self.error_class = error_class
+        self.message = message
+        self.attempts = attempts
+
+    @property
+    def environment(self) -> bool:
+        """Was this the environment's fault (retryable, breaker-relevant)
+        rather than the request's?"""
+        return self.error_class in ENVIRONMENT_CLASSES
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def execute_job_inline(job: SweepJob, *, attempt: int = 1) -> dict:
+    """Run one job in the current process and summarize the outcome.
+
+    This is the worker's body, importable directly so unit tests (and any
+    future in-process execution mode) can exercise the sweep logic
+    without process supervision.
+    """
+    from ..bench import faults
+    from ..bench.harness import sweep_block_runs
+    from ..machine.devices import CPUS, GPUS
+
+    config_devices = {
+        model: (
+            [GPUS[name] for name in job.gpu_names]
+            if model.is_gpu
+            else [CPUS[name] for name in job.cpu_names]
+        )
+        for model in job.models
+    }
+    from ..bench.tracestore import resolve_trace_store
+
+    launcher = Launcher(
+        verify=job.verify,
+        trace_store=resolve_trace_store(enabled=job.trace_cache) or False,
+    )
+    runs = []
+    failures = []
+    for algorithm in job.algorithms:
+        faults.inject_executor_fault(algorithm.value, job.graph.name, attempt)
+        for model in job.models:
+            specs = enumerate_specs(algorithm, model)
+            for run in sweep_block_runs(
+                launcher, specs, job.graph, config_devices[model],
+                failures=failures,
+            ):
+                runs.append(run)
+        launcher.release(job.graph, algorithm)
+    return summarize_runs(runs, failures, launcher.kernel_executions)
+
+
+def summarize_runs(runs, failures, kernel_executions: int) -> dict:
+    """Compact, JSON-ready summary of a sweep: the best style per
+    (algorithm, model, device) cell plus the failure manifest."""
+    best: Dict[Tuple[str, str, str], object] = {}
+    for run in runs:
+        key = (run.spec.algorithm.value, run.spec.model.value, run.device)
+        current = best.get(key)
+        if current is None or run.seconds < current.seconds:
+            best[key] = run
+    measured = [
+        {
+            "algorithm": alg,
+            "model": model,
+            "device": device,
+            "style": run.spec.label(),
+            "seconds": run.seconds,
+            "throughput_ges": run.throughput_ges,
+            "verified": run.verified,
+        }
+        for (alg, model, device), run in sorted(best.items())
+    ]
+    return {
+        "measured": measured,
+        "n_runs": len(runs),
+        "n_failures": len(failures),
+        "failures": [
+            {
+                "algorithm": f.algorithm,
+                "error_class": f.error_class.value,
+                "message": f.message,
+                "digest": f.digest,
+                "stage": f.stage,
+            }
+            for f in failures
+        ],
+        "kernel_executions": kernel_executions,
+    }
+
+
+def _job_worker_main(conn, job: SweepJob, attempt: int) -> None:
+    """Worker entry point: run the job, send one outcome tuple, exit."""
+    import signal
+
+    from ..bench import faults
+
+    # The fork inherits the server's asyncio signal machinery: its
+    # SIGTERM/SIGINT handlers and — critically — the loop's signal wakeup
+    # fd, a socket pair shared with the parent.  Left in place, the
+    # SIGTERM the supervisor sends *this worker* during cleanup would be
+    # written into that shared pipe and read by the parent's event loop
+    # as "the server was signalled" — draining the whole service after
+    # every job.  Restore default dispositions before doing anything.
+    try:
+        signal.set_wakeup_fd(-1)
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        signal.signal(signal.SIGINT, signal.SIG_DFL)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+
+    os.environ[faults.WORKER_ENV] = "1"
+    try:
+        payload = execute_job_inline(job, attempt=attempt)
+        conn.send(("ok", payload))
+    except BaseException as exc:  # noqa: BLE001 - must never escape the worker
+        error_class = classify_error(exc)
+        try:
+            conn.send(("error", error_class.value, f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Supervisor side
+# ----------------------------------------------------------------------
+@dataclass
+class ExecutorPool:
+    """Bounded pool of supervised one-shot job workers.
+
+    ``max_workers`` bounds concurrent worker processes (requests queue on
+    the semaphore); each attempt runs under the caller's remaining
+    deadline and a dead or overdue worker is killed and reaped — the pool
+    never leaks children.
+    """
+
+    max_workers: int = 2
+    max_attempts: int = 3
+    backoff_base_seconds: float = 0.1
+    _slots: asyncio.Semaphore = field(init=False, repr=False)
+    #: Lifetime counters for /statz.
+    jobs_run: int = 0
+    attempts_failed: int = 0
+
+    def __post_init__(self) -> None:
+        self._slots = asyncio.Semaphore(self.max_workers)
+
+    async def run_job(
+        self,
+        job: SweepJob,
+        *,
+        deadline: float,
+        on_attempt: Optional[Callable[[int], None]] = None,
+    ) -> dict:
+        """Run one job to completion under ``deadline`` (absolute
+        ``time.monotonic`` seconds).
+
+        Environment-class attempt failures are retried with exponential
+        backoff while attempts and deadline remain; the terminal failure
+        is raised as :class:`JobFailed` with the *last* attempt's class.
+        """
+        async with self._slots:
+            self.jobs_run += 1
+            last: Optional[JobFailed] = None
+            for attempt in range(1, self.max_attempts + 1):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                if on_attempt is not None:
+                    on_attempt(attempt)
+                try:
+                    return await asyncio.to_thread(
+                        self._supervise_attempt, job, attempt, remaining
+                    )
+                except JobFailed as exc:
+                    self.attempts_failed += 1
+                    last = exc
+                    if not exc.environment:
+                        raise JobFailed(
+                            exc.error_class, exc.message, attempts=attempt
+                        )
+                backoff = self.backoff_base_seconds * (2 ** (attempt - 1))
+                backoff = min(backoff, max(deadline - time.monotonic(), 0))
+                if backoff > 0:
+                    await asyncio.sleep(backoff)
+            if last is not None:
+                raise JobFailed(
+                    last.error_class,
+                    f"{last.message} (retries exhausted)",
+                    attempts=self.max_attempts,
+                )
+            raise JobFailed(
+                ErrorClass.TIMEOUT,
+                "request deadline expired before the job could start",
+            )
+
+    # -- blocking section, always called via asyncio.to_thread ---------
+    def _supervise_attempt(
+        self, job: SweepJob, attempt: int, timeout: float
+    ) -> dict:
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_job_worker_main,
+            args=(child_conn, job, attempt),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        deadline = time.monotonic() + timeout
+        try:
+            while True:
+                if parent_conn.poll(_POLL_SECONDS):
+                    try:
+                        outcome = parent_conn.recv()
+                    except EOFError:
+                        raise JobFailed(
+                            ErrorClass.CRASH,
+                            f"worker for {job.graph.name} closed its pipe "
+                            "without a result",
+                            attempts=attempt,
+                        )
+                    return self._interpret(outcome, attempt)
+                if not proc.is_alive():
+                    # Dead worker may still have flushed its outcome.
+                    if parent_conn.poll(0):
+                        outcome = parent_conn.recv()
+                        return self._interpret(outcome, attempt)
+                    code = proc.exitcode
+                    raise JobFailed(
+                        ErrorClass.CRASH,
+                        f"worker for {job.graph.name} died "
+                        f"(exit code {code}) without reporting a result",
+                        attempts=attempt,
+                    )
+                if time.monotonic() > deadline:
+                    raise JobFailed(
+                        ErrorClass.TIMEOUT,
+                        f"job for {job.graph.name} exceeded its "
+                        f"{timeout:.1f}s deadline and was killed",
+                        attempts=attempt,
+                    )
+        finally:
+            parent_conn.close()
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join(timeout=2.0)
+            else:
+                proc.join(timeout=2.0)
+
+    @staticmethod
+    def _interpret(outcome, attempt: int) -> dict:
+        if not isinstance(outcome, tuple) or not outcome:
+            raise JobFailed(
+                ErrorClass.CRASH, "worker sent a malformed outcome",
+                attempts=attempt,
+            )
+        if outcome[0] == "ok":
+            return outcome[1]
+        _, class_value, message = outcome
+        raise JobFailed(ErrorClass(class_value), message, attempts=attempt)

@@ -1,0 +1,142 @@
+"""Per-tenant admission quotas for the advisor service.
+
+One misbehaving client must not be able to occupy every executor slot or
+pin the machine's memory with huge uploads.  Each tenant (the
+``X-Repro-Tenant`` header; ``anonymous`` when absent) gets a quota of
+concurrent in-flight requests and reserved estimated bytes; admission
+*reserves* against the quota atomically and the reservation is released
+when the request finishes, whatever its outcome.
+
+The byte side reuses the sweep runtime's pre-launch budgeting
+(:class:`~repro.runtime.budget.ResourceBudget` semantics): a request's
+cost is :func:`~repro.runtime.budget.estimate_bytes` of its graph, so the
+same estimate that gates a kernel launch gates service admission.
+
+Thread-safe by a plain lock: the service calls it from the event loop,
+but tests (and any future threaded front end) hammer it from many threads
+— over-admission under concurrency is exactly the bug this class exists
+to prevent.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .errors import ServiceError
+
+__all__ = ["TenantQuota", "QuotaReservation", "TenantQuotas"]
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Limits for one tenant; ``None`` disables a dimension."""
+
+    max_inflight: Optional[int] = 4
+    max_bytes: Optional[int] = None
+
+
+@dataclass
+class _TenantState:
+    inflight: int = 0
+    reserved_bytes: int = 0
+
+
+class QuotaReservation:
+    """One admitted request's hold on its tenant's quota.
+
+    Context-manager style; releasing twice is a no-op, so error paths can
+    release defensively.
+    """
+
+    def __init__(self, quotas: "TenantQuotas", tenant: str, nbytes: int):
+        self._quotas = quotas
+        self.tenant = tenant
+        self.nbytes = nbytes
+        self._released = False
+
+    def release(self) -> None:
+        if self._released:
+            return
+        self._released = True
+        self._quotas._release(self.tenant, self.nbytes)
+
+    def __enter__(self) -> "QuotaReservation":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+class TenantQuotas:
+    """Atomic reserve/release of per-tenant admission quotas."""
+
+    def __init__(self, default: TenantQuota = TenantQuota()):
+        self.default = default
+        self._overrides: Dict[str, TenantQuota] = {}
+        self._state: Dict[str, _TenantState] = {}
+        self._lock = threading.Lock()
+
+    def set_quota(self, tenant: str, quota: TenantQuota) -> None:
+        with self._lock:
+            self._overrides[tenant] = quota
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self._overrides.get(tenant, self.default)
+
+    def admit(self, tenant: str, nbytes: int) -> QuotaReservation:
+        """Reserve one request slot and ``nbytes`` for ``tenant``.
+
+        Raises ``quota-exceeded`` (:class:`ServiceError`, HTTP 429) when
+        either dimension would overflow; the check and the reservation are
+        one atomic step, so N racing admissions can never jointly exceed
+        the quota.
+        """
+        quota = self.quota_for(tenant)
+        with self._lock:
+            state = self._state.setdefault(tenant, _TenantState())
+            if (
+                quota.max_inflight is not None
+                and state.inflight + 1 > quota.max_inflight
+            ):
+                raise ServiceError(
+                    "quota-exceeded",
+                    f"tenant {tenant!r} already has {state.inflight} "
+                    f"in-flight request(s) (limit {quota.max_inflight})",
+                    retry_after=1.0,
+                )
+            if (
+                quota.max_bytes is not None
+                and state.reserved_bytes + nbytes > quota.max_bytes
+            ):
+                raise ServiceError(
+                    "quota-exceeded",
+                    f"tenant {tenant!r} would reserve "
+                    f"{(state.reserved_bytes + nbytes) / 1e6:.1f} MB "
+                    f"(limit {quota.max_bytes / 1e6:.1f} MB)",
+                    retry_after=1.0,
+                )
+            state.inflight += 1
+            state.reserved_bytes += nbytes
+        return QuotaReservation(self, tenant, nbytes)
+
+    def _release(self, tenant: str, nbytes: int) -> None:
+        with self._lock:
+            state = self._state.get(tenant)
+            if state is None:
+                return
+            state.inflight = max(0, state.inflight - 1)
+            state.reserved_bytes = max(0, state.reserved_bytes - nbytes)
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        """Current usage per tenant (for ``/statz``)."""
+        with self._lock:
+            return {
+                tenant: {
+                    "inflight": state.inflight,
+                    "reserved_bytes": state.reserved_bytes,
+                }
+                for tenant, state in self._state.items()
+                if state.inflight or state.reserved_bytes
+            }

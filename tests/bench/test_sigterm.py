@@ -1,0 +1,121 @@
+"""SIGTERM handling in the parallel sweep supervisor.
+
+A containerized shutdown delivers SIGTERM, not SIGINT; the supervisor
+must treat both identically — clean worker teardown, finished-block
+checkpoints kept for ``--resume`` — instead of dying mid-write with
+leaked children.  Exercised end to end in a subprocess, since signal
+dispositions are process-global.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.bench.parallel import _sigterm_as_interrupt
+
+pytestmark = pytest.mark.faults
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+#: Sweeps one healthy graph, checkpoints it, then hangs on the second —
+#: the only way out is the signal under test.  Prints INTERRUPTED plus
+#: the number of checkpoint entries if (and only if) the clean
+#: KeyboardInterrupt teardown ran.
+_SCRIPT = """
+import sys
+from repro.bench.harness import SweepConfig
+from repro.bench.checkpoint import CheckpointStore
+from repro.bench.parallel import run_sweep_parallel
+from repro.styles.axes import Algorithm, Model
+
+config = SweepConfig(
+    scale="tiny",
+    algorithms=(Algorithm.BFS,),
+    models=(Model.OPENMP,),
+    cpu_names=("Threadripper 2950X",),
+    graphs=("2d-2e20.sym", "USA-road-d.NY"),
+    trace_cache=False,
+)
+
+
+def progress(done, total, block):
+    print(f"PROGRESS {done}/{total}", flush=True)
+
+
+try:
+    run_sweep_parallel(config, workers=1, progress=progress)
+except KeyboardInterrupt:
+    store = CheckpointStore.for_config(config)
+    print(f"INTERRUPTED {len(store)}", flush=True)
+    sys.exit(3)
+print("FINISHED", flush=True)
+"""
+
+
+def test_sigterm_takes_the_clean_interrupt_path(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_SWEEP_CACHE"] = str(tmp_path / "cache")
+    env["REPRO_TRACE_CACHE"] = "0"
+    # Hang the second block forever; the first completes and checkpoints.
+    env["REPRO_FAULTS"] = json.dumps(
+        [{"action": "hang", "graph": "USA-road-d.NY"}]
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-c", _SCRIPT],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    try:
+        # Wait for the first block to finish (and be checkpointed).
+        line = proc.stdout.readline()
+        assert line.startswith("PROGRESS 1/"), f"unexpected: {line!r}"
+        proc.send_signal(signal.SIGTERM)
+        out = proc.stdout.read()
+        code = proc.wait(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+    # Default SIGTERM disposition would kill with -SIGTERM and print
+    # nothing; the handler must convert it into the KeyboardInterrupt
+    # teardown instead, with the finished block's checkpoint intact.
+    assert code == 3, f"exit code {code}, output {out!r}"
+    assert "INTERRUPTED 1" in out
+
+
+def test_sigterm_context_manager_restores_previous_handler():
+    previous = signal.getsignal(signal.SIGTERM)
+    with _sigterm_as_interrupt():
+        assert signal.getsignal(signal.SIGTERM) is not previous
+        with pytest.raises(KeyboardInterrupt):
+            os.kill(os.getpid(), signal.SIGTERM)
+            # The raise happens at the next bytecode boundary; give the
+            # interpreter one.
+            time.sleep(1)
+    assert signal.getsignal(signal.SIGTERM) is previous
+
+
+def test_sigterm_helper_is_a_noop_off_the_main_thread():
+    import threading
+
+    seen = {}
+
+    def run():
+        with _sigterm_as_interrupt():
+            seen["handler"] = signal.getsignal(signal.SIGTERM)
+
+    before = signal.getsignal(signal.SIGTERM)
+    t = threading.Thread(target=run)
+    t.start()
+    t.join(10)
+    assert seen["handler"] is before  # unchanged: install refused safely

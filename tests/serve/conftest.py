@@ -1,0 +1,99 @@
+"""Fixtures for the style-advisor service tests.
+
+``service`` boots a real :class:`StyleAdvisorService` on an ephemeral
+port inside a background event-loop thread and tears it down through the
+drain path, so every test exercises the same code a production boot
+would.  Requests go over real sockets via :mod:`http.client`.
+"""
+
+import asyncio
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.serve.app import ServeConfig, StyleAdvisorService
+
+
+class ServiceHandle:
+    """One running service plus a tiny HTTP client against it."""
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        self.service = None
+        self.port = None
+        self._loop = None
+        self._booted = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_until_complete(self._main())
+
+    async def _main(self):
+        self.service = StyleAdvisorService(self.config)
+        _, self.port = await self.service.start()
+        self._booted.set()
+        await self.service.run_until_drained()
+
+    def start(self):
+        self._thread.start()
+        assert self._booted.wait(15), "service failed to boot"
+        return self
+
+    def stop(self):
+        if self._loop is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self.service.request_drain)
+            self._thread.join(20)
+        assert not self._thread.is_alive(), "service failed to drain"
+
+    # ------------------------------------------------------------------
+    def request(self, method, path, body=None, headers=None, timeout=120):
+        conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=timeout)
+        try:
+            conn.request(
+                method,
+                path,
+                body=None if body is None else json.dumps(body),
+                headers=headers or {},
+            )
+            resp = conn.getresponse()
+            raw = resp.read()
+        finally:
+            conn.close()
+        try:
+            payload = json.loads(raw) if raw else None
+        except ValueError:
+            payload = raw
+        return resp.status, payload
+
+    def advise(self, body, **kwargs):
+        return self.request("POST", "/v1/advise", body, **kwargs)
+
+
+@pytest.fixture
+def make_service():
+    """Factory fixture: boot services with custom configs; all drained on
+    teardown."""
+    handles = []
+
+    def boot(**overrides):
+        defaults = dict(
+            port=0, scale="tiny", max_workers=1, deadline_seconds=30.0
+        )
+        defaults.update(overrides)
+        handle = ServiceHandle(ServeConfig(**defaults)).start()
+        handles.append(handle)
+        return handle
+
+    yield boot
+    for handle in handles:
+        handle.stop()
+
+
+@pytest.fixture
+def service(make_service):
+    """One service with test defaults (tiny scale, single worker)."""
+    return make_service()

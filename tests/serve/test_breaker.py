@@ -1,0 +1,116 @@
+"""Circuit-breaker state machine, driven by an injected clock."""
+
+import pytest
+
+from repro.serve.breaker import BreakerState, CircuitBreaker
+
+pytestmark = pytest.mark.serve
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def make(clock, threshold=3, reset=30.0):
+    return CircuitBreaker(
+        failure_threshold=threshold, reset_seconds=reset, clock=clock
+    )
+
+
+def test_stays_closed_below_threshold(clock):
+    breaker = make(clock)
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state is BreakerState.CLOSED
+    assert breaker.allow()
+
+
+def test_trips_at_threshold(clock):
+    breaker = make(clock)
+    for _ in range(3):
+        breaker.record_failure()
+    assert breaker.state is BreakerState.OPEN
+    assert not breaker.allow()
+    assert breaker.trips == 1
+
+
+def test_success_resets_the_consecutive_count(clock):
+    breaker = make(clock)
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state is BreakerState.CLOSED
+
+
+def test_half_open_admits_exactly_one_probe(clock):
+    breaker = make(clock)
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(30.0)
+    assert breaker.state is BreakerState.HALF_OPEN
+    assert breaker.allow()  # the probe
+    assert not breaker.allow()  # everyone else still degraded
+    assert not breaker.allow()
+
+
+def test_probe_success_closes(clock):
+    breaker = make(clock)
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(30.0)
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state is BreakerState.CLOSED
+    assert breaker.allow()
+
+
+def test_probe_failure_reopens_with_fresh_cooldown(clock):
+    breaker = make(clock)
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(30.0)
+    assert breaker.allow()
+    breaker.record_failure()  # probe failed
+    assert breaker.state is BreakerState.OPEN
+    assert breaker.trips == 2
+    clock.advance(29.0)
+    assert not breaker.allow()
+    clock.advance(1.0)
+    assert breaker.allow()
+
+
+def test_open_before_cooldown_rejects(clock):
+    breaker = make(clock, reset=10.0)
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(9.9)
+    assert not breaker.allow()
+    assert breaker.state is BreakerState.OPEN
+
+
+def test_snapshot_shape(clock):
+    breaker = make(clock)
+    breaker.record_failure()
+    snap = breaker.snapshot()
+    assert snap == {
+        "state": "closed", "consecutive_failures": 1, "trips": 0,
+    }
+
+
+def test_threshold_must_be_positive():
+    with pytest.raises(ValueError):
+        CircuitBreaker(failure_threshold=0)

@@ -1,0 +1,171 @@
+"""Chaos suite: the service under injected executor faults.
+
+The contract under test: **no request is ever dropped without a
+well-formed body**.  Whatever ``$REPRO_FAULTS`` does to the executor —
+killing workers mid-sweep, hanging a request past its deadline,
+rejecting enqueues — every in-flight request completes with either a
+valid recommendation, a ``"degraded": true`` fallback answer, or a JSON
+error body with a registered code; and no worker processes survive the
+requests that spawned them.
+"""
+
+import json
+import multiprocessing
+import threading
+import time
+
+import pytest
+
+from repro.bench.faults import FAULTS_ENV
+from repro.serve.errors import ERROR_CODES
+
+pytestmark = [pytest.mark.serve, pytest.mark.faults]
+
+
+def set_faults(monkeypatch, *rules):
+    monkeypatch.setenv(FAULTS_ENV, json.dumps(list(rules)))
+
+
+def assert_well_formed(status, payload):
+    """Every advise outcome is a full answer, a degraded answer, or a
+    registered error body — never anything else."""
+    assert isinstance(payload, dict), f"non-JSON body: {payload!r}"
+    if status == 200:
+        assert "degraded" in payload
+        assert payload["advisor"], "answers must carry recommendations"
+        if payload["degraded"]:
+            assert payload["degraded_reason"]
+            assert payload["source"] == "static-guideline"
+        else:
+            assert payload["measured"]
+    else:
+        error = payload["error"]
+        assert error["code"] in ERROR_CODES
+        assert error["status"] == status
+        assert isinstance(error["retryable"], bool)
+        assert payload["request_id"].startswith("req-")
+
+
+def test_kill_executor_degrades_to_static_guidelines(make_service, monkeypatch):
+    set_faults(monkeypatch, {"action": "kill-executor", "graph": "USA-road-d.NY"})
+    handle = make_service(max_attempts=2)
+    status, payload = handle.advise({"graph": "USA-road-d.NY"})
+    assert_well_formed(status, payload)
+    assert status == 200
+    assert payload["degraded"] is True
+    assert payload["degraded_code"] == "executor-crashed"
+    assert payload["kernel_executions"] == 0
+    # The fallback still gives the client real advice.
+    axes = {r["axis"] for r in payload["advisor"]}
+    assert {"driver", "flow", "determinism"} <= axes
+    # An unaffected graph still gets the full sweep.
+    status, healthy = handle.advise({"graph": "2d-2e20.sym"})
+    assert status == 200 and healthy["degraded"] is False
+
+
+def test_kill_executor_retries_before_degrading(make_service, monkeypatch):
+    # Attempt 1 dies, attempt 2 survives: the retry path recovers.
+    set_faults(
+        monkeypatch,
+        {"action": "kill-executor", "graph": "rmat22.sym", "attempts": [1]},
+    )
+    handle = make_service(max_attempts=3)
+    status, payload = handle.advise({"graph": "rmat22.sym"})
+    assert status == 200
+    assert payload["degraded"] is False
+    assert payload["measured"]
+
+
+def test_hang_request_hits_the_deadline_and_degrades(make_service, monkeypatch):
+    set_faults(monkeypatch, {"action": "hang-request", "graph": "USA-road-d.NY"})
+    handle = make_service(max_attempts=1, deadline_seconds=2.0)
+    started = time.monotonic()
+    status, payload = handle.advise({"graph": "USA-road-d.NY"})
+    elapsed = time.monotonic() - started
+    assert_well_formed(status, payload)
+    assert status == 200
+    assert payload["degraded"] is True
+    assert payload["degraded_code"] == "executor-timeout"
+    # Bounded by the deadline, not by the 3600s hang.
+    assert elapsed < 30
+
+
+def test_reject_enqueue_is_explicit_backpressure(make_service, monkeypatch):
+    set_faults(monkeypatch, {"action": "reject-enqueue"})
+    handle = make_service()
+    status, payload = handle.advise({"graph": "USA-road-d.NY"})
+    assert_well_formed(status, payload)
+    assert status == 429
+    assert payload["error"]["code"] == "queue-full"
+    assert payload["error"]["retryable"] is True
+
+
+def test_breaker_trips_and_serves_degraded_instantly(make_service, monkeypatch):
+    set_faults(monkeypatch, {"action": "kill-executor"})
+    handle = make_service(
+        max_attempts=1, breaker_threshold=2, breaker_reset_seconds=3600
+    )
+    # Two failing sweeps trip the breaker (distinct graphs: no coalescing).
+    handle.advise({"graph": "USA-road-d.NY"})
+    handle.advise({"graph": "2d-2e20.sym"})
+    _, stats = handle.request("GET", "/statz")
+    assert stats["breaker"]["state"] == "open"
+    # Clear the faults: the breaker, not the fault plan, now degrades.
+    monkeypatch.delenv(FAULTS_ENV)
+    jobs_before = stats["executor"]["jobs_run"]
+    started = time.monotonic()
+    status, payload = handle.advise({"graph": "rmat22.sym"})
+    assert status == 200
+    assert payload["degraded"] is True
+    assert payload["degraded_code"] == "breaker-open"
+    assert time.monotonic() - started < 5
+    _, stats = handle.request("GET", "/statz")
+    # The open breaker skipped the executor entirely.
+    assert stats["executor"]["jobs_run"] == jobs_before
+
+
+def test_no_request_dropped_under_concurrent_chaos(make_service, monkeypatch):
+    """A mixed burst under kill-executor chaos: every single request
+    comes back well-formed; none hang, none drop."""
+    set_faults(monkeypatch, {"action": "kill-executor", "graph": "USA-road-d.NY"})
+    handle = make_service(max_attempts=1, max_workers=2)
+    bodies = [
+        {"graph": "USA-road-d.NY"},                       # dies -> degraded
+        {"graph": "2d-2e20.sym"},                         # healthy sweep
+        {"edges": [[0, 1], [1, 2]]},                      # healthy upload
+        {"graph": "no-such-graph"},                       # 404
+        {"edges": [[0, -5]]},                             # 422
+        {"graph": "USA-road-d.NY", "algorithms": ["xx"]}, # 400
+    ] * 2
+    results = [None] * len(bodies)
+    barrier = threading.Barrier(len(bodies))
+
+    def run(i):
+        barrier.wait()
+        results[i] = handle.advise(bodies[i])
+
+    threads = [
+        threading.Thread(target=run, args=(i,)) for i in range(len(bodies))
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert all(r is not None for r in results), "a request was dropped"
+    for (status, payload), body in zip(results, bodies):
+        assert_well_formed(status, payload)
+    statuses = sorted({status for status, _ in results})
+    assert statuses == [200, 400, 404, 422]
+
+
+def test_no_leaked_workers_after_chaos(make_service, monkeypatch):
+    set_faults(monkeypatch, {"action": "kill-executor"})
+    handle = make_service(max_attempts=2)
+    for graph in ("USA-road-d.NY", "2d-2e20.sym"):
+        status, payload = handle.advise({"graph": graph})
+        assert status == 200 and payload["degraded"] is True
+    handle.stop()
+    deadline = time.monotonic() + 10
+    while multiprocessing.active_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert multiprocessing.active_children() == []

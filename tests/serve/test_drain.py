@@ -1,0 +1,161 @@
+"""Graceful shutdown: a real ``repro serve`` process under SIGTERM.
+
+Boots the CLI in a subprocess on an ephemeral port, opens a streaming
+request, and SIGTERMs the server while that request is in flight.  The
+contract: the in-flight request completes with a full response, the
+process drains and exits 0, and new work is refused during the drain.
+"""
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+
+pytestmark = [pytest.mark.serve, pytest.mark.faults]
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+
+@pytest.fixture
+def server_process(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_TRACE_CACHE"] = str(tmp_path / "traces")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "--scale", "tiny",
+            "serve", "--port", "0", "--workers", "1",
+        ],
+        env=env,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        line = proc.stderr.readline()
+        assert "serving on http://" in line, f"unexpected boot line: {line!r}"
+        port = int(line.rsplit(":", 1)[1])
+        yield proc, port
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait(timeout=10)
+
+
+def test_sigterm_drains_inflight_request_then_exits_zero(server_process):
+    proc, port = server_process
+
+    # Open a *streaming* request and wait for the "queued" event, so the
+    # request is provably past admission before the signal lands.
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    conn.request(
+        "POST", "/v1/advise",
+        body=json.dumps(
+            {"graph": "USA-road-d.NY", "algorithms": ["bfs"], "stream": True}
+        ),
+    )
+    resp = conn.getresponse()
+    assert resp.status == 200
+    first = json.loads(resp.readline())
+    assert first["event"] == "queued"
+
+    proc.send_signal(signal.SIGTERM)
+
+    # The in-flight request must still complete with a full result.
+    events = [json.loads(line) for line in resp.read().splitlines() if line]
+    conn.close()
+    assert events, "in-flight request was dropped during drain"
+    result = events[-1]
+    assert result["event"] == "result"
+    assert result["degraded"] is False or result["degraded_reason"]
+    assert result["advisor"]
+
+    assert proc.wait(timeout=30) == 0
+    stderr = proc.stderr.read()
+    assert "drained, exiting" in stderr
+
+
+def test_new_requests_refused_while_draining(server_process):
+    proc, port = server_process
+
+    # Warm the service with one request so drain has nothing in flight.
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    conn.request(
+        "POST", "/v1/advise",
+        body=json.dumps({"graph": "2d-2e20.sym", "algorithms": ["bfs"]}),
+    )
+    assert conn.getresponse().status == 200
+    conn.close()
+
+    proc.send_signal(signal.SIGTERM)
+    # After drain completes the listener is closed: connections fail.
+    assert proc.wait(timeout=30) == 0
+    with pytest.raises(OSError):
+        probe = http.client.HTTPConnection("127.0.0.1", port, timeout=5)
+        probe.request("GET", "/readyz")
+        probe.getresponse()
+
+
+def test_sigint_also_drains(server_process):
+    proc, port = server_process
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    conn.request("GET", "/healthz")
+    assert conn.getresponse().status == 200
+    conn.close()
+    proc.send_signal(signal.SIGINT)
+    assert proc.wait(timeout=30) == 0
+
+
+def hammer_during_drain_worker(port, results, i):
+    try:
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        conn.request(
+            "POST", "/v1/advise",
+            body=json.dumps({"graph": "rmat22.sym", "algorithms": ["bfs"]}),
+        )
+        resp = conn.getresponse()
+        results[i] = (resp.status, json.loads(resp.read()))
+        conn.close()
+    except OSError:
+        # Connection refused after the listener closed: an explicit,
+        # pre-HTTP refusal, not a dropped in-flight request.
+        results[i] = ("refused", None)
+
+
+def test_requests_racing_the_drain_get_clean_outcomes(server_process):
+    """Requests racing SIGTERM either complete, get a 503 shutting-down
+    body, or are refused at connect time — never cut off mid-response."""
+    proc, port = server_process
+    n = 6
+    results = [None] * n
+    threads = [
+        threading.Thread(target=hammer_during_drain_worker, args=(port, results, i))
+        for i in range(n)
+    ]
+    for t in threads[: n // 2]:
+        t.start()
+    time.sleep(0.05)
+    proc.send_signal(signal.SIGTERM)
+    for t in threads[n // 2:]:
+        t.start()
+    for t in threads:
+        t.join(60)
+    assert proc.wait(timeout=30) == 0
+    for outcome in results:
+        assert outcome is not None, "a request hung through the drain"
+        status, payload = outcome
+        if status == "refused":
+            continue
+        assert status in (200, 503)
+        if status == 503:
+            assert payload["error"]["code"] == "shutting-down"
+        else:
+            assert "advisor" in payload

@@ -1,0 +1,118 @@
+"""Schema stability for the service's machine-readable failure taxonomy.
+
+Clients, load balancers and dashboards key off the stable error codes and
+the frozen error-body shape.  This test freezes the full vocabulary —
+every code, its HTTP status, its retryability, and the total
+ErrorClass -> code mapping — so a rename or a dropped code is an
+explicit, reviewed diff instead of a silent contract break (mirroring
+``tests/analysis/test_findings_schema.py``).
+"""
+
+import json
+
+import pytest
+
+from repro.runtime.errors import ErrorClass
+from repro.serve.errors import (
+    ERROR_CLASS_CODES,
+    ERROR_CODES,
+    ServiceError,
+    code_for_error_class,
+    error_payload,
+)
+
+pytestmark = pytest.mark.serve
+
+#: code -> (HTTP status, retryable).  Frozen: extending is fine, renaming
+#: or changing a mapping is a contract change.
+EXPECTED_CODES = {
+    "bad-request": (400, False),
+    "not-found": (404, False),
+    "method-not-allowed": (405, False),
+    "unknown-graph": (404, False),
+    "payload-too-large": (413, False),
+    "invalid-graph": (422, False),
+    "queue-full": (429, True),
+    "quota-exceeded": (429, True),
+    "deadline-exceeded": (504, True),
+    "shutting-down": (503, True),
+    "breaker-open": (503, True),
+    "internal": (500, True),
+    "verification-failed": (500, False),
+    "kernel-error": (500, False),
+    "executor-timeout": (504, True),
+    "executor-crashed": (502, True),
+    "checkpoint-corrupt": (500, True),
+    "interrupted": (503, True),
+    "numerical-divergence": (422, False),
+    "budget-exceeded": (413, False),
+    "degenerate-graph": (422, False),
+}
+
+EXPECTED_CLASS_CODES = {
+    "verification": "verification-failed",
+    "kernel": "kernel-error",
+    "timeout": "executor-timeout",
+    "crash": "executor-crashed",
+    "checkpoint": "checkpoint-corrupt",
+    "interrupted": "interrupted",
+    "divergence": "numerical-divergence",
+    "budget": "budget-exceeded",
+    "degenerate": "degenerate-graph",
+}
+
+
+def test_code_registry_is_frozen():
+    actual = {
+        code: (entry.status, entry.retryable)
+        for code, entry in ERROR_CODES.items()
+    }
+    assert actual == EXPECTED_CODES
+
+
+def test_every_error_class_maps_to_a_registered_code():
+    assert {
+        cls.value: code for cls, code in ERROR_CLASS_CODES.items()
+    } == EXPECTED_CLASS_CODES
+    # Total mapping: no taxonomy member may be left out.
+    assert set(ERROR_CLASS_CODES) == set(ErrorClass)
+    for code in ERROR_CLASS_CODES.values():
+        assert code in ERROR_CODES
+
+
+def test_error_body_shape_is_frozen():
+    error = ServiceError.from_error_class(ErrorClass.CRASH, "worker died")
+    payload = error_payload(error, "req-000001")
+    # The frozen top-level and error-object key sets.
+    assert set(payload) == {"error", "request_id", "degraded"}
+    assert set(payload["error"]) == {
+        "code", "status", "retryable", "message", "error_class",
+    }
+    assert payload == {
+        "error": {
+            "code": "executor-crashed",
+            "status": 502,
+            "retryable": True,
+            "message": "worker died",
+            "error_class": "crash",
+        },
+        "request_id": "req-000001",
+        "degraded": False,
+    }
+    json.dumps(payload)  # always JSON-serializable
+
+
+def test_service_level_errors_carry_null_error_class():
+    payload = error_payload(ServiceError("queue-full", "busy"), "req-000002")
+    assert payload["error"]["error_class"] is None
+    assert payload["error"]["retryable"] is True
+
+
+def test_unknown_code_is_rejected():
+    with pytest.raises(ValueError):
+        ServiceError("no-such-code", "nope")
+
+
+def test_code_for_error_class_is_total():
+    for cls in ErrorClass:
+        assert code_for_error_class(cls) in ERROR_CODES

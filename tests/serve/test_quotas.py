@@ -1,0 +1,162 @@
+"""Per-tenant quotas under concurrent admission.
+
+The property under test: N simultaneous admissions against one tenant's
+budget can never jointly over-admit, whatever the interleaving.  Checked
+through the service quota layer (threads hammering ``admit``) and through
+the underlying :class:`ResourceBudget` estimate it reserves against.
+"""
+
+import threading
+
+import pytest
+
+from repro.graph.builder import from_edge_list
+from repro.runtime.budget import BudgetExceeded, ResourceBudget, estimate_bytes
+from repro.serve.errors import ServiceError
+from repro.serve.quotas import TenantQuota, TenantQuotas
+
+pytestmark = pytest.mark.serve
+
+
+def hammer(n_threads, fn):
+    """Run ``fn(i)`` on n threads through a start barrier; return results."""
+    barrier = threading.Barrier(n_threads)
+    results = [None] * n_threads
+
+    def run(i):
+        barrier.wait()
+        try:
+            results[i] = ("ok", fn(i))
+        except ServiceError as exc:
+            results[i] = ("rejected", exc.code)
+
+    threads = [threading.Thread(target=run, args=(i,)) for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return results
+
+
+def test_concurrent_admission_never_exceeds_inflight_quota():
+    quotas = TenantQuotas(default=TenantQuota(max_inflight=4))
+    results = hammer(32, lambda i: quotas.admit("tenant-a", 0))
+    admitted = [r for kind, r in results if kind == "ok"]
+    rejected = [code for kind, code in results if kind == "rejected"]
+    assert len(admitted) == 4
+    assert rejected == ["quota-exceeded"] * 28
+    snap = quotas.snapshot()
+    assert snap["tenant-a"]["inflight"] == 4
+    for reservation in admitted:
+        reservation.release()
+    assert quotas.snapshot() == {}
+
+
+def test_concurrent_admission_never_exceeds_byte_quota():
+    quotas = TenantQuotas(
+        default=TenantQuota(max_inflight=None, max_bytes=1000)
+    )
+    results = hammer(20, lambda i: quotas.admit("tenant-b", 300))
+    admitted = [r for kind, r in results if kind == "ok"]
+    # 3 * 300 = 900 fits; a fourth would be 1200 > 1000.
+    assert len(admitted) == 3
+    assert quotas.snapshot()["tenant-b"]["reserved_bytes"] == 900
+    for reservation in admitted:
+        reservation.release()
+
+
+def test_release_is_idempotent_and_frees_capacity():
+    quotas = TenantQuotas(default=TenantQuota(max_inflight=1))
+    first = quotas.admit("t", 10)
+    with pytest.raises(ServiceError):
+        quotas.admit("t", 10)
+    first.release()
+    first.release()  # double release must not free capacity twice
+    second = quotas.admit("t", 10)
+    with pytest.raises(ServiceError):
+        quotas.admit("t", 10)
+    second.release()
+
+
+def test_tenants_are_isolated():
+    quotas = TenantQuotas(default=TenantQuota(max_inflight=1))
+    a = quotas.admit("a", 0)
+    b = quotas.admit("b", 0)  # a's quota must not affect b
+    a.release()
+    b.release()
+
+
+def test_per_tenant_override():
+    quotas = TenantQuotas(default=TenantQuota(max_inflight=1))
+    quotas.set_quota("big", TenantQuota(max_inflight=3))
+    holds = [quotas.admit("big", 0) for _ in range(3)]
+    with pytest.raises(ServiceError):
+        quotas.admit("big", 0)
+    for hold in holds:
+        hold.release()
+
+
+def test_reservation_context_manager_releases_on_error():
+    quotas = TenantQuotas(default=TenantQuota(max_inflight=1))
+    with pytest.raises(RuntimeError):
+        with quotas.admit("t", 5):
+            raise RuntimeError("handler blew up")
+    quotas.admit("t", 5).release()  # capacity was returned
+
+
+# ----------------------------------------------------------------------
+# ResourceBudget directly: the byte estimate the quota reserves against
+# ----------------------------------------------------------------------
+def test_budget_estimate_gates_concurrent_reservations_directly():
+    """Simulate N workers reserving against one shared ResourceBudget
+    using the same check-then-reserve pattern the quota layer uses; the
+    lock must make it atomic."""
+    graph = from_edge_list([(0, 1), (1, 2), (2, 3)], name="quota-graph")
+    per_run = estimate_bytes(graph)
+    budget = ResourceBudget(max_bytes=per_run * 3)
+
+    lock = threading.Lock()
+    reserved = [0]
+    admitted = []
+    barrier = threading.Barrier(16)
+
+    def worker(i):
+        barrier.wait()
+        with lock:
+            try:
+                # check_footprint validates a single run; the shared
+                # accounting on top is what admission adds.
+                estimate = budget.check_footprint(graph)
+                if reserved[0] + estimate > budget.max_bytes:
+                    return
+                reserved[0] += estimate
+                admitted.append(i)
+            except BudgetExceeded:
+                return
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(16)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(admitted) == 3
+    assert reserved[0] <= budget.max_bytes
+
+
+def test_budget_refuses_single_oversized_run():
+    graph = from_edge_list([(0, 1), (1, 2)], name="big")
+    budget = ResourceBudget(max_bytes=8)
+    with pytest.raises(BudgetExceeded):
+        budget.check_footprint(graph)
+
+
+def test_service_quota_layer_uses_graph_estimates(make_service):
+    """End to end: a tenant byte quota smaller than one tiny graph's
+    estimated footprint refuses the request with quota-exceeded."""
+    handle = make_service(
+        tenant_quota=TenantQuota(max_inflight=8, max_bytes=16)
+    )
+    status, payload = handle.advise({"graph": "USA-road-d.NY"})
+    assert status == 429
+    assert payload["error"]["code"] == "quota-exceeded"
+    assert payload["error"]["retryable"] is True

@@ -1,0 +1,196 @@
+"""End-to-end behavior of the advisor service over real sockets."""
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.serve.quotas import TenantQuota
+
+pytestmark = pytest.mark.serve
+
+
+def test_healthz_and_readyz(service):
+    assert service.request("GET", "/healthz") == (200, {"status": "ok"})
+    status, payload = service.request("GET", "/readyz")
+    assert status == 200
+    assert payload["status"] == "ready"
+
+
+def test_unknown_endpoint_and_method(service):
+    status, payload = service.request("GET", "/nope")
+    assert status == 404
+    assert payload["error"]["code"] == "not-found"
+    status, payload = service.request("GET", "/v1/advise")
+    assert status == 405
+    assert payload["error"]["code"] == "method-not-allowed"
+
+
+def test_malformed_json_is_bad_request(service):
+    conn = http.client.HTTPConnection("127.0.0.1", service.port, timeout=30)
+    conn.request("POST", "/v1/advise", body=b"{not json")
+    resp = conn.getresponse()
+    payload = json.loads(resp.read())
+    conn.close()
+    assert resp.status == 400
+    assert payload["error"]["code"] == "bad-request"
+    assert payload["request_id"].startswith("req-")
+
+
+def test_named_graph_cold_then_warm(service):
+    status, cold = service.advise(
+        {"graph": "USA-road-d.NY", "algorithms": ["bfs"]}
+    )
+    assert status == 200
+    assert cold["degraded"] is False
+    assert cold["source"] == "sweep"
+    assert cold["n_runs"] > 0
+    assert cold["measured"], "expected best-style timings"
+    assert cold["graph"]["name"] == "USA-road-d.NY"
+    assert any(r["axis"] == "driver" for r in cold["advisor"])
+
+    status, warm = service.advise(
+        {"graph": "USA-road-d.NY", "algorithms": ["bfs"]}
+    )
+    assert status == 200
+    assert warm["source"] == "cache"
+    # The acceptance bar: a warm request re-executes nothing.
+    assert warm["kernel_executions"] == 0
+    assert warm["measured"] == cold["measured"]
+
+
+def test_uploaded_graph_roundtrip(service):
+    edges = [[0, 1], [1, 2], [2, 3], [3, 0], [0, 2]]
+    status, payload = service.advise({"edges": edges, "algorithms": ["cc"]})
+    assert status == 200
+    assert payload["graph"]["name"].startswith("upload-")
+    assert payload["graph"]["n_vertices"] == 4
+    assert payload["degraded"] is False
+    # Same content -> same fingerprint -> warm cache.
+    status, again = service.advise({"edges": edges, "algorithms": ["cc"]})
+    assert again["source"] == "cache"
+    assert again["kernel_executions"] == 0
+    assert again["graph"]["fingerprint"] == payload["graph"]["fingerprint"]
+
+
+def test_invalid_upload_rejected(service):
+    status, payload = service.advise({"edges": [[0, -1]]})
+    assert status == 422
+    assert payload["error"]["code"] == "invalid-graph"
+    status, payload = service.advise({"edges": "nope"})
+    assert status == 400
+    status, payload = service.advise({})
+    assert status == 400
+    status, payload = service.advise(
+        {"graph": "USA-road-d.NY", "edges": [[0, 1]]}
+    )
+    assert status == 400
+
+
+def test_unknown_graph_and_axes(service):
+    status, payload = service.advise({"graph": "no-such-input"})
+    assert status == 404
+    assert payload["error"]["code"] == "unknown-graph"
+    status, payload = service.advise(
+        {"graph": "USA-road-d.NY", "algorithms": ["warp-drive"]}
+    )
+    assert status == 400
+    status, payload = service.advise(
+        {"graph": "USA-road-d.NY", "gpus": ["Voodoo 2"]}
+    )
+    assert status == 400
+
+
+def test_concurrent_identical_requests_coalesce(make_service):
+    handle = make_service()
+    results = [None] * 4
+    barrier = threading.Barrier(4)
+
+    def run(i):
+        barrier.wait()
+        results[i] = handle.advise(
+            {"graph": "2d-2e20.sym", "algorithms": ["bfs"]}
+        )
+
+    threads = [threading.Thread(target=run, args=(i,)) for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert all(status == 200 for status, _ in results)
+    sources = {payload["source"] for _, payload in results}
+    # One leader sweeps; everyone else coalesces onto it (or reads the
+    # cache if they arrived after it finished).
+    assert "sweep" in sources
+    assert sources <= {"sweep", "coalesced", "cache"}
+    fingerprints = {
+        payload["graph"]["fingerprint"] for _, payload in results
+    }
+    assert len(fingerprints) == 1
+    _, stats = handle.request("GET", "/statz")
+    assert stats["executor"]["jobs_run"] == 1
+
+
+def test_tenant_quota_enforced_end_to_end(make_service):
+    handle = make_service(
+        tenant_quota=TenantQuota(max_inflight=1), max_workers=1
+    )
+    n = 6
+    results = [None] * n
+    barrier = threading.Barrier(n)
+
+    def run(i):
+        barrier.wait()
+        # Distinct uploads so requests cannot coalesce.
+        edges = [[0, 1], [1, 2], [2, 3 + i]]
+        results[i] = handle.advise(
+            {"edges": edges, "algorithms": ["bfs"]},
+            headers={"X-Repro-Tenant": "greedy"},
+        )
+
+    threads = [threading.Thread(target=run, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    codes = []
+    for status, payload in results:
+        assert status in (200, 429)
+        if status == 429:
+            assert payload["error"]["code"] == "quota-exceeded"
+            codes.append(payload["error"]["code"])
+    assert codes, "six simultaneous requests against max_inflight=1 " \
+                  "should have produced at least one rejection"
+
+
+def test_statz_reports_counters(service):
+    service.advise({"graph": "USA-road-d.NY", "algorithms": ["bfs"]})
+    service.advise({"graph": "USA-road-d.NY", "algorithms": ["bfs"]})
+    status, stats = service.request("GET", "/statz")
+    assert status == 200
+    assert stats["stats"]["answers"] >= 2
+    assert stats["stats"]["cache_hits"] >= 1
+    assert stats["breaker"]["state"] == "closed"
+    assert stats["draining"] is False
+
+
+def test_streaming_request_emits_progress_then_result(service):
+    conn = http.client.HTTPConnection("127.0.0.1", service.port, timeout=120)
+    conn.request(
+        "POST", "/v1/advise",
+        body=json.dumps(
+            {"graph": "rmat22.sym", "algorithms": ["bfs"], "stream": True}
+        ),
+    )
+    resp = conn.getresponse()
+    assert resp.status == 200
+    assert resp.getheader("Content-Type") == "application/x-ndjson"
+    events = [json.loads(line) for line in resp.read().splitlines() if line]
+    conn.close()
+    kinds = [event["event"] for event in events]
+    assert kinds[0] == "queued"
+    assert kinds[-1] == "result"
+    result = events[-1]
+    assert result["degraded"] is False
+    assert result["measured"]

@@ -1,0 +1,203 @@
+"""Service smoke: boot ``repro serve`` and exercise its resilience paths.
+
+Four gated checks against real server subprocesses, mirroring what an
+operator would see:
+
+1. **cold sweep** — a named tiny graph gets a full recommendation with
+   measured timings and ``kernel_executions > 0``;
+2. **cached hit** — the identical request again must come straight from
+   the result cache: ``source == "cache"`` and ``kernel_executions == 0``;
+3. **fault-injected request** — with ``$REPRO_FAULTS`` killing the sweep
+   executor mid-job, the same request must come back HTTP 200 with
+   ``"degraded": true`` and a static-guideline recommendation instead of
+   an error or a hang;
+4. **graceful drain** — SIGTERM lands while a streaming request is in
+   flight; the request must still complete with a full result, the
+   process must exit 0, and the log must show the drain.
+
+Exit code 0 means every guarantee held.
+
+Usage::
+
+    python tools/serve_smoke.py [--json PATH]
+"""
+
+import argparse
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+DEFAULT_JSON = REPO_ROOT / "SMOKE_serve.json"
+
+GRAPH = "2d-2e20.sym"
+FAULT_GRAPH = "USA-road-d.NY"
+
+
+class Server:
+    """One ``repro serve`` subprocess on an ephemeral port."""
+
+    def __init__(self, tmpdir, faults=None):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        env["REPRO_TRACE_CACHE"] = str(Path(tmpdir) / "traces")
+        env["REPRO_SWEEP_CACHE"] = str(Path(tmpdir) / "sweeps")
+        if faults is not None:
+            env["REPRO_FAULTS"] = json.dumps(faults)
+        else:
+            env.pop("REPRO_FAULTS", None)
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "--scale", "tiny",
+                "serve", "--port", "0", "--workers", "1",
+            ],
+            env=env,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        line = self.proc.stderr.readline()
+        if "serving on http://" not in line:
+            self.proc.kill()
+            raise AssertionError(f"server failed to boot: {line!r}")
+        self.port = int(line.rsplit(":", 1)[1])
+
+    def advise(self, body, timeout=300):
+        conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=timeout)
+        conn.request("POST", "/v1/advise", body=json.dumps(body))
+        resp = conn.getresponse()
+        payload = json.loads(resp.read())
+        conn.close()
+        return resp.status, payload
+
+    def stop(self):
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+        code = self.proc.wait(timeout=60)
+        stderr = self.proc.stderr.read()
+        return code, stderr
+
+
+def check(condition, label):
+    status = "ok" if condition else "FAIL"
+    print(f"  [{status}] {label}")
+    if not condition:
+        raise AssertionError(label)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", type=Path, default=DEFAULT_JSON)
+    args = parser.parse_args(argv)
+    report = {}
+
+    with tempfile.TemporaryDirectory(prefix="serve-smoke-") as tmpdir:
+        print("== healthy server: cold sweep, then cached hit ==")
+        server = Server(tmpdir)
+        try:
+            body = {"graph": GRAPH, "algorithms": ["bfs"]}
+            t0 = time.perf_counter()
+            status, cold = server.advise(body)
+            cold_s = time.perf_counter() - t0
+            check(status == 200, f"cold request returns 200 (got {status})")
+            check(cold["degraded"] is False, "cold answer is not degraded")
+            check(cold["source"] == "sweep", "cold answer came from a sweep")
+            check(cold["kernel_executions"] > 0, "cold sweep executed kernels")
+            check(bool(cold["measured"]), "cold answer carries measured timings")
+            check(bool(cold["advisor"]), "cold answer carries recommendations")
+
+            t0 = time.perf_counter()
+            status, warm = server.advise(body)
+            warm_s = time.perf_counter() - t0
+            check(status == 200, f"warm request returns 200 (got {status})")
+            check(warm["source"] == "cache", "warm answer came from the cache")
+            check(
+                warm["kernel_executions"] == 0,
+                "warm answer executed zero kernels",
+            )
+            check(
+                warm["measured"] == cold["measured"],
+                "warm timings identical to cold",
+            )
+            report["cold_seconds"] = round(cold_s, 4)
+            report["warm_seconds"] = round(warm_s, 4)
+
+            print("== graceful drain: SIGTERM during a streaming request ==")
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", server.port, timeout=300
+            )
+            conn.request(
+                "POST", "/v1/advise",
+                body=json.dumps(
+                    {"graph": FAULT_GRAPH, "algorithms": ["bfs"], "stream": True}
+                ),
+            )
+            resp = conn.getresponse()
+            check(resp.status == 200, "streaming request accepted")
+            first = json.loads(resp.readline())
+            check(first["event"] == "queued", "streaming request past admission")
+            server.proc.send_signal(signal.SIGTERM)
+            events = [
+                json.loads(line) for line in resp.read().splitlines() if line
+            ]
+            conn.close()
+            check(bool(events), "in-flight request not dropped by drain")
+            check(
+                events[-1]["event"] == "result",
+                "in-flight request completed with a result",
+            )
+            code, stderr = server.stop()
+            check(code == 0, f"server exited 0 after drain (got {code})")
+            check("drained, exiting" in stderr, "drain logged cleanly")
+            report["drain_exit_code"] = code
+        finally:
+            if server.proc.poll() is None:
+                server.proc.kill()
+                server.proc.wait(timeout=10)
+
+        print("== faulty executor: request degrades instead of failing ==")
+        server = Server(
+            tmpdir, faults=[{"action": "kill-executor", "graph": FAULT_GRAPH}]
+        )
+        try:
+            t0 = time.perf_counter()
+            status, payload = server.advise(
+                {"graph": FAULT_GRAPH, "algorithms": ["bfs"]}
+            )
+            degraded_s = time.perf_counter() - t0
+            check(status == 200, f"faulted request returns 200 (got {status})")
+            check(payload["degraded"] is True, "faulted answer is degraded")
+            check(
+                payload["degraded_code"] == "executor-crashed",
+                "degradation attributed to the executor crash",
+            )
+            check(
+                payload["source"] == "static-guideline",
+                "degraded answer uses the static guidelines",
+            )
+            check(bool(payload["advisor"]), "degraded answer still advises")
+            code, stderr = server.stop()
+            check(code == 0, f"faulted server drains to exit 0 (got {code})")
+            report["degraded_seconds"] = round(degraded_s, 4)
+        finally:
+            if server.proc.poll() is None:
+                server.proc.kill()
+                server.proc.wait(timeout=10)
+
+    args.json.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"report written to {args.json}")
+    print("serve smoke: all guarantees held")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
