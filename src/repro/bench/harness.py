@@ -26,6 +26,7 @@ from typing import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .predictor import PredictionSummary
     from .tracestore import TraceStore
 
 from ..graph.csr import CSRGraph
@@ -39,9 +40,40 @@ from ..styles.axes import Algorithm, Model
 from ..styles.combos import enumerate_specs
 from ..styles.spec import StyleSpec
 
-__all__ = ["SweepConfig", "StudyResults", "run_sweep", "sweep_block_runs"]
+__all__ = [
+    "PredictSettings",
+    "SweepConfig",
+    "StudyResults",
+    "run_sweep",
+    "sweep_block_runs",
+]
 
 DeviceSpec = Union[GPUSpec, CPUSpec]
+
+
+@dataclass(frozen=True)
+class PredictSettings:
+    """How a predict-then-verify sweep prunes the variant grid.
+
+    Per (model, device) cell, the learned predictor
+    (:mod:`repro.bench.predictor`) ranks every variant by predicted time;
+    only the ``top_k`` plus a seeded random audit sample of the rest are
+    executed, and the remaining cells are back-filled with predictions
+    (``RunResult.predicted = True``).  ``max_groups`` caps the *semantic*
+    executions per (algorithm, graph) block — the quantity that actually
+    costs kernel runs — by dropping the lowest-ranked selections;
+    ``None`` leaves the selection uncapped.
+    """
+
+    top_k: int = 8
+    #: Fraction of the pruned (non-top-k) variants per cell to execute
+    #: anyway as a measured-vs-predicted audit sample.
+    audit_frac: float = 0.02
+    audit_seed: int = 0
+    max_groups: Optional[int] = None
+    #: Model artifact path override (None = ``$REPRO_PREDICTOR``, else
+    #: the default artifact under the sweep cache).
+    model_path: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -66,6 +98,11 @@ class SweepConfig:
     #: there overrides the directory.  Deliberately *not* part of the
     #: sweep cache key — results are bit-identical either way.
     trace_cache: bool = True
+    #: Predict-then-verify pruning (:class:`PredictSettings`); ``None``
+    #: (the default) sweeps exhaustively.  *Is* part of the sweep cache
+    #: key — a pruned sweep's back-filled cells are estimates, not
+    #: measurements.
+    predict: Optional[PredictSettings] = None
 
     def devices_for(self, model: Model) -> List[DeviceSpec]:
         if model.is_gpu:
@@ -105,6 +142,10 @@ class StudyResults:
     #: Not persisted by ``save_results``: it describes one invocation,
     #: not the results.
     kernel_executions: int = 0
+    #: Per-cell pruning report of a predict-then-verify sweep
+    #: (:class:`repro.bench.predictor.PredictionSummary`); ``None`` for
+    #: exhaustive sweeps.  Like ``kernel_executions``, not persisted.
+    prediction: Optional["PredictionSummary"] = None
     _index: Dict[Tuple[StyleSpec, str, str], RunResult] = field(
         default_factory=dict, repr=False
     )
@@ -228,7 +269,17 @@ def run_sweep(
 
     ``graphs`` may be supplied directly (e.g. custom inputs); otherwise the
     five dataset stand-ins are built at ``config.scale``.
+
+    With ``config.predict`` set, the sweep is delegated to the
+    predict-then-verify engine (:func:`repro.bench.predictor.run_sweep_predicted`):
+    only the predicted-fastest variants plus an audit sample execute, the
+    rest are back-filled with predictions.
     """
+    if config.predict is not None:
+        # Imported late: the predictor builds on this module.
+        from .predictor import run_sweep_predicted
+
+        return run_sweep_predicted(config, launcher=launcher, graphs=graphs)
     if graphs is None:
         graphs = load_all(config.scale)
         if config.graphs is not None:

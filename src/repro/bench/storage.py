@@ -165,6 +165,19 @@ def sweep_cache_key(config: SweepConfig) -> str:
         "verify": config.verify,
         "max_footprint_bytes": config.max_footprint_bytes,
     }
+    # Pruned sweeps back-fill cells with predictions — a different result
+    # set than an exhaustive sweep, so the settings join the key.  Absent
+    # (the default) contributes nothing, keeping pre-existing exhaustive
+    # keys unchanged.
+    if config.predict is not None:
+        p = config.predict
+        payload["predict"] = {
+            "top_k": p.top_k,
+            "audit_frac": p.audit_frac,
+            "audit_seed": p.audit_seed,
+            "max_groups": p.max_groups,
+            "model_path": p.model_path,
+        }
     serialized = json.dumps(payload, sort_keys=True).encode()
     return hashlib.sha256(serialized).hexdigest()
 

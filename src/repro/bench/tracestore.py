@@ -140,6 +140,23 @@ def _scalars_of(obj, names: Tuple[str, ...]) -> Dict[str, object]:
     return out
 
 
+#: Per-process memo of graph-property payloads, keyed by graph content
+#: fingerprint: the diameter estimate costs a few BFS sweeps, and one
+#: sweep saves many semantic traces of the same graph.
+_graph_props_memo: Dict[str, Dict[str, object]] = {}
+
+
+def _graph_properties_payload(graph: CSRGraph) -> Dict[str, object]:
+    fp = graph.fingerprint()
+    payload = _graph_props_memo.get(fp)
+    if payload is None:
+        from ..graph.properties import analyze
+
+        payload = analyze(graph).to_dict()
+        _graph_props_memo[fp] = payload
+    return payload
+
+
 # ----------------------------------------------------------------------
 # Store
 # ----------------------------------------------------------------------
@@ -268,6 +285,12 @@ class TraceStore:
             "key": self.key_payload(graph.fingerprint(), semantic, source),
             "graph_name": graph.name,
             "algorithm": semantic.algorithm.value,
+            # Graph properties ride along (additively — not part of the
+            # key) so the training-set miner can turn a stored trace into
+            # feature rows without rebuilding the graph.  Entries from
+            # before this field are still valid traces; the miner skips
+            # them.
+            "graph_properties": _graph_properties_payload(graph),
             "verified": bool(verified),
             "trace": _scalars_of(trace, _TRACE_SCALARS),
             "profiles": [
@@ -392,6 +415,22 @@ class TraceStore:
         if not self.directory.is_dir():
             return []
         return sorted(self.directory.glob("trace-*.npz"))
+
+    def iter_entries(self):
+        """Yield ``(meta, KernelResult)`` for every decodable entry.
+
+        Undecodable entries are silently skipped (``verify``/``gc`` own
+        quarantining); callers filter on the metadata — the training-set
+        miner wants current-kernel-code, verified entries that carry
+        ``graph_properties``.
+        """
+        for path in self._entries():
+            try:
+                meta, archive = self._decode(path.read_bytes())
+                result = self._reassemble(meta, archive)
+            except Exception:
+                continue
+            yield meta, result
 
     def stats(self) -> TraceStoreStats:
         """Scan the store (reads every entry's metadata)."""

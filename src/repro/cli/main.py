@@ -11,6 +11,7 @@ Subcommands:
 * ``analyze``   — style-conformance linter / trace sanitizer.
 * ``serve``     — always-on style-advisor HTTP service.
 * ``cache``     — inspect / garbage-collect the persistent trace store.
+* ``predictor`` — train / inspect the learned style-performance model.
 """
 
 from __future__ import annotations
@@ -65,6 +66,37 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser("sweep", help="run the full sweep, print CSV")
     sweep.add_argument("--algorithm", choices=[a.value for a in Algorithm])
     sweep.add_argument("--model", choices=[m.value for m in Model])
+    sweep.add_argument(
+        "--predict", action="store_true",
+        help="predict-then-verify mode: rank variants with the trained "
+             "style predictor, execute only the top-k plus an audit "
+             "sample per cell, back-fill the rest as predictions "
+             "(runs serially; see docs/reproduce.md §3f)",
+    )
+    sweep.add_argument(
+        "--top-k", type=int, default=8, metavar="K",
+        help="with --predict: measured variants per (algorithm, model, "
+             "graph, device) cell (default: 8)",
+    )
+    sweep.add_argument(
+        "--audit-frac", type=float, default=0.02, metavar="F",
+        help="with --predict: fraction of pruned variants re-measured as "
+             "a seeded audit sample (default: 0.02)",
+    )
+    sweep.add_argument(
+        "--audit-seed", type=int, default=0, metavar="N",
+        help="with --predict: seed for the audit sample (default: 0)",
+    )
+    sweep.add_argument(
+        "--max-groups", type=int, default=None, metavar="N",
+        help="with --predict: hard cap on executed semantic groups per "
+             "(algorithm, graph) block (default: no cap)",
+    )
+    sweep.add_argument(
+        "--predictor", metavar="PATH", default=None,
+        help="with --predict: model artifact to use (default: "
+             "$REPRO_PREDICTOR, else the sweep cache's predictor/)",
+    )
     _add_workers_flag(sweep)
 
     table = sub.add_parser("table", help="regenerate a paper table")
@@ -231,16 +263,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-trace-cache", action="store_true",
         help="bypass the persistent semantic-trace store",
     )
+    serve.add_argument(
+        "--no-predict", action="store_true",
+        help="never answer cold misses from the style predictor; every "
+             "miss runs a real sweep",
+    )
 
     cache = sub.add_parser(
         "cache",
         help="inspect or garbage-collect the persistent trace store",
     )
     cache.add_argument(
-        "action", choices=("stats", "gc", "verify"),
+        "action", choices=("stats", "gc", "verify", "export"),
         help="stats: summarize the store; gc: drop stale entries "
              "(kernel code changed) and the quarantine; verify: fully "
-             "decode every entry, quarantining the corrupt ones",
+             "decode every entry, quarantining the corrupt ones; "
+             "export: mine the store into a predictor training set "
+             "(CSV/JSONL)",
     )
     cache.add_argument(
         "--dir", metavar="PATH", default=None,
@@ -250,6 +289,66 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument(
         "--all", action="store_true",
         help="with gc: clear the whole store, not just stale entries",
+    )
+    cache.add_argument(
+        "--format", choices=("csv", "jsonl"), default="csv",
+        help="with export: output format (default: csv)",
+    )
+    cache.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="with export: write to PATH instead of stdout",
+    )
+    cache.add_argument(
+        "--results", metavar="PATH", action="append", default=None,
+        help="with export: also mine a saved StudyResults file "
+             "(repeatable)",
+    )
+    cache.add_argument(
+        "--no-features", action="store_true",
+        help="with export: omit the feature columns (compact view: "
+             "identity columns plus measured seconds only)",
+    )
+
+    pred = sub.add_parser(
+        "predictor",
+        help="train or inspect the learned style-performance model",
+    )
+    pred_sub = pred.add_subparsers(dest="pred_action", required=True)
+    train = pred_sub.add_parser(
+        "train",
+        help="fit the boosted-stumps model and save the artifact",
+    )
+    train.add_argument(
+        "--results", metavar="PATH", action="append", default=None,
+        help="mine a saved StudyResults file (repeatable)",
+    )
+    train.add_argument(
+        "--from-store", action="store_true",
+        help="mine the persistent trace store "
+             "(free rows: stored traces are re-timed, never re-executed)",
+    )
+    train.add_argument(
+        "--algorithm", choices=[a.value for a in Algorithm],
+        help="without --results/--from-store: restrict the training sweep",
+    )
+    train.add_argument(
+        "--model", choices=[m.value for m in Model],
+        help="without --results/--from-store: restrict the training sweep",
+    )
+    train.add_argument("--rounds", type=int, default=300, metavar="N",
+                       help="boosting rounds (default: 300)")
+    train.add_argument("--seed", type=int, default=0, metavar="N",
+                       help="training seed (default: 0)")
+    train.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="artifact path (default: the sweep cache's "
+             "predictor/model-v1.json)",
+    )
+    info = pred_sub.add_parser("info", help="print artifact metadata")
+    info.add_argument(
+        "--path", metavar="PATH", default=None,
+        help="artifact to inspect (default: $REPRO_PREDICTOR, else the "
+             "default artifact path)",
     )
     return parser
 
@@ -383,7 +482,7 @@ def _report_failures(results) -> None:
 
 
 def _cmd_sweep(args) -> int:
-    from ..bench.harness import SweepConfig
+    from ..bench.harness import PredictSettings, SweepConfig, run_sweep
     from ..bench.parallel import run_sweep_parallel, stderr_progress
 
     config = SweepConfig(
@@ -392,15 +491,38 @@ def _cmd_sweep(args) -> int:
         algorithms=(Algorithm(args.algorithm),) if args.algorithm else tuple(Algorithm),
         trace_cache=not args.no_trace_cache,
     )
-    results = run_sweep_parallel(
-        config, progress=stderr_progress, **_supervision_kwargs(args)
+    if args.predict:
+        from dataclasses import replace
+
+        config = replace(
+            config,
+            predict=PredictSettings(
+                top_k=args.top_k,
+                audit_frac=args.audit_frac,
+                audit_seed=args.audit_seed,
+                max_groups=args.max_groups,
+                model_path=args.predictor,
+            ),
+        )
+        # The pruned sweep executes a handful of kernels per block, so
+        # the multi-process machinery would cost more than it saves.
+        results = run_sweep(config)
+        if results.prediction is not None:
+            print(results.prediction.render(), file=sys.stderr)
+    else:
+        results = run_sweep_parallel(
+            config, progress=stderr_progress, **_supervision_kwargs(args)
+        )
+    print(
+        "model,algorithm,variant,graph,device,seconds,throughput_ges,"
+        "iterations,predicted"
     )
-    print("model,algorithm,variant,graph,device,seconds,throughput_ges,iterations")
     for run in results.runs:
         print(
             f"{run.spec.model.value},{run.spec.algorithm.value},"
             f"{run.spec.label()},{run.graph},{run.device},"
-            f"{run.seconds:.6e},{run.throughput_ges:.6f},{run.iterations}"
+            f"{run.seconds:.6e},{run.throughput_ges:.6f},{run.iterations},"
+            f"{int(run.predicted)}"
         )
     _report_failures(results)
     return 0
@@ -741,6 +863,7 @@ def _cmd_serve(args) -> int:
         breaker_reset_seconds=args.breaker_reset,
         verify=not args.no_verify,
         trace_cache=not args.no_trace_cache,
+        predict=not args.no_predict,
     )
     asyncio.run(serve_main(config))
     return 0
@@ -763,11 +886,109 @@ def _cmd_cache(args) -> int:
         removed, reclaimed = store.gc(everything=args.all)
         print(f"removed {removed} entries ({reclaimed / 1e6:.2f} MB)")
         return 0
+    if args.action == "export":
+        from ..bench.predictor import (
+            export_training_set,
+            mine_results,
+            mine_trace_store,
+        )
+        from ..bench.storage import load_results
+
+        ts = mine_trace_store(store)
+        for path in args.results or ():
+            ts.extend(mine_results(load_results(path)))
+        include = not args.no_features
+        if args.out:
+            with open(args.out, "w", newline="") as fh:
+                n = export_training_set(
+                    ts, fh, fmt=args.format, include_features=include
+                )
+            print(f"wrote {n} rows to {args.out}", file=sys.stderr)
+        else:
+            n = export_training_set(
+                ts, sys.stdout, fmt=args.format, include_features=include
+            )
+        for reason, count in sorted(ts.skipped.items()):
+            print(f"skipped {count} rows: {reason}", file=sys.stderr)
+        return 0
     ok, bad = store.verify_entries()
     print(f"verified {ok} entries, quarantined {len(bad)}")
     for path, reason in bad:
         print(f"  {path}: {reason}")
     return 1 if bad else 0
+
+
+def _cmd_predictor(args) -> int:
+    from ..bench.predictor import (
+        PredictorArtifactError,
+        StylePredictor,
+        TrainingSet,
+        default_predictor_path,
+        mine_results,
+        mine_trace_store,
+    )
+
+    if args.pred_action == "info":
+        import os
+
+        from ..bench.predictor import PREDICTOR_ENV
+
+        path = args.path or os.environ.get(PREDICTOR_ENV) or None
+        if path in (None, "", "0"):
+            path = default_predictor_path()
+        try:
+            predictor = StylePredictor.load(path)
+        except FileNotFoundError:
+            print(f"error: no model artifact at {path}", file=sys.stderr)
+            return 1
+        except PredictorArtifactError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(f"artifact:  {path}")
+        print(f"cells:     {len(predictor.cells)} (algorithm, device) pairs")
+        for key in sorted(predictor.training):
+            print(f"{key + ':':<11}{predictor.training[key]}")
+        return 0
+
+    # predictor train
+    from ..bench.storage import load_results
+
+    ts = TrainingSet.empty()
+    if args.from_store:
+        from ..bench.tracestore import resolve_trace_store
+
+        store = resolve_trace_store(True)
+        if store is None:
+            print("error: trace store is disabled", file=sys.stderr)
+            return 2
+        ts.extend(mine_trace_store(store))
+    for path in args.results or ():
+        ts.extend(mine_results(load_results(path)))
+    if not args.from_store and not args.results:
+        # No sources named: run a (filtered) sweep and mine its runs.
+        from ..bench.harness import SweepConfig, run_sweep
+
+        config = SweepConfig(
+            scale=args.scale,
+            models=(Model(args.model),) if args.model else tuple(Model),
+            algorithms=(
+                (Algorithm(args.algorithm),)
+                if args.algorithm
+                else tuple(Algorithm)
+            ),
+        )
+        print("mining a fresh sweep (no --results / --from-store given)",
+              file=sys.stderr)
+        ts.extend(mine_results(run_sweep(config)))
+    if len(ts) == 0:
+        print("error: training set is empty — nothing to fit", file=sys.stderr)
+        return 1
+    predictor = StylePredictor.train(ts, seed=args.seed, rounds=args.rounds)
+    path = predictor.save(args.out)
+    print(f"trained on {len(ts)} rows "
+          f"(mae {predictor.training['mae_log_seconds']:.3f} log-seconds)")
+    print(f"artifact: {path}")
+    return 0
 
 
 _COMMANDS = {
@@ -786,6 +1007,7 @@ _COMMANDS = {
     "fuzz": _cmd_fuzz,
     "serve": _cmd_serve,
     "cache": _cmd_cache,
+    "predictor": _cmd_predictor,
 }
 
 

@@ -9,8 +9,9 @@ all of them here.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+import math
+from dataclasses import asdict, dataclass, fields
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -51,6 +52,34 @@ class GraphProperties:
             f"{self.pct_deg_ge_32:>6.1%} {self.pct_deg_ge_512:>8.3%} "
             f"{self.diameter:>8,}"
         )
+
+    # -- model-feature views (repro.bench.predictor) -------------------
+    def features(self) -> Dict[str, float]:
+        """The properties as regression features.
+
+        Counts span orders of magnitude across scales, so they enter in
+        log space; the degree percentiles and average degree are already
+        scale-free and enter raw.  Key order is fixed — the predictor's
+        artifact schema is built from it.
+        """
+        return {
+            "g_log_vertices": math.log1p(self.n_vertices),
+            "g_log_edges": math.log1p(self.n_edges),
+            "g_avg_degree": self.avg_degree,
+            "g_log_max_degree": math.log1p(self.max_degree),
+            "g_pct_deg_ge_32": self.pct_deg_ge_32,
+            "g_pct_deg_ge_512": self.pct_deg_ge_512,
+            "g_log_diameter": math.log1p(self.diameter),
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready exact field dict (trace-store metadata)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "GraphProperties":
+        names = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in names})
 
 
 def bfs_levels(graph: CSRGraph, source: int) -> np.ndarray:

@@ -1,0 +1,61 @@
+"""Device specs as model features.
+
+The learned style predictor (:mod:`repro.bench.predictor`) needs every
+device described by the same fixed-width numeric vector.  GPU and CPU
+specs share some cost constants (clock, memory bandwidth, atomic costs)
+and differ in others (launch cost vs. fork/join cost, cache tiers); the
+feature space here is the *union* of both dataclasses' numeric fields,
+with a field that does not exist on a device reading as ``0.0`` and an
+explicit ``dev_is_gpu`` indicator so the model can tell the families
+apart.  Feature order is deterministic (sorted union), which the
+predictor's versioned artifact schema depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from typing import Dict, Tuple, Union
+
+from .specs import CPUSpec, GPUSpec
+
+__all__ = ["DEVICE_FEATURE_NAMES", "device_features"]
+
+DeviceSpec = Union[GPUSpec, CPUSpec]
+
+
+def _numeric_field_names(spec_cls) -> Tuple[str, ...]:
+    return tuple(
+        f.name for f in fields(spec_cls)
+        if f.type in ("int", "float")
+    )
+
+
+#: Union of the numeric spec fields of both device families, plus the
+#: derived parallelism width and the family indicator.  Sorted so the
+#: ordering is a function of the dataclass definitions only.
+DEVICE_FEATURE_NAMES: Tuple[str, ...] = tuple(
+    f"dev_{name}" for name in sorted(
+        set(_numeric_field_names(GPUSpec))
+        | set(_numeric_field_names(CPUSpec))
+    )
+) + ("dev_parallelism", "dev_is_gpu")
+
+
+def device_features(device: DeviceSpec) -> Dict[str, float]:
+    """One device as a ``{feature name: value}`` row.
+
+    Keys are exactly :data:`DEVICE_FEATURE_NAMES` for every device, so
+    rows from different device families align column-for-column.
+    """
+    out: Dict[str, float] = {}
+    for name in DEVICE_FEATURE_NAMES:
+        if name in ("dev_parallelism", "dev_is_gpu"):
+            continue
+        out[name] = float(getattr(device, name[len("dev_"):], 0.0))
+    if isinstance(device, GPUSpec):
+        out["dev_parallelism"] = float(device.resident_threads)
+        out["dev_is_gpu"] = 1.0
+    else:
+        out["dev_parallelism"] = float(device.threads)
+        out["dev_is_gpu"] = 0.0
+    return out

@@ -56,6 +56,13 @@ class RunResult:
     verified: bool
     iterations: int
     launches: int
+    #: ``True`` when ``seconds`` is a model estimate back-filled by a
+    #: predict-then-verify sweep (:mod:`repro.bench.predictor`) rather
+    #: than a simulator measurement.  Predicted rows are never
+    #: ``verified`` and report zero iterations/launches.  The default
+    #: doubles as the unpickling fallback for results saved before the
+    #: field existed (dataclass field defaults live on the class).
+    predicted: bool = False
 
     def __post_init__(self) -> None:
         if self.seconds <= 0:

@@ -12,6 +12,9 @@ never to drop:
 2. **Serve warm.**  A fingerprint the service has answered before comes
    from the in-memory result cache; with a warm persistent trace store
    even a fresh worker re-times styles with zero kernel executions.
+   A cold miss the trained style predictor covers is answered from the
+   model instead (``"source": "predicted"``, zero kernel executions);
+   clients that need measured numbers opt out with ``"predict": false``.
 3. **Admit or refuse.**  A bounded admission queue (HTTP 429), per-tenant
    quotas (429), and an explicit drain state (503) put backpressure in
    the status code, not in latency.
@@ -45,8 +48,9 @@ from ..bench.advisor import advise
 from ..graph.builder import from_edge_arrays
 from ..graph.csr import CSRGraph
 from ..graph.datasets import DATASETS, EXTRA_DATASETS
+from ..graph.properties import analyze as analyze_graph
 from ..graph.validate import GraphValidationError, GraphValidator
-from ..machine.devices import CPUS, GPUS
+from ..machine.devices import CPUS, DEVICES, GPUS
 from ..runtime.budget import estimate_bytes
 from ..runtime.errors import ErrorClass
 from ..styles.axes import Algorithm, Model
@@ -96,6 +100,10 @@ class ServeConfig:
     result_cache_entries: int = 128
     verify: bool = True
     trace_cache: bool = True
+    #: Answer cold misses from the trained style predictor when its
+    #: coverage allows (the ``cache → predicted → sweep →
+    #: static-guideline`` ladder); ``False`` drops the predicted tier.
+    predict: bool = True
     drain_grace_seconds: float = 20.0
 
 
@@ -122,6 +130,11 @@ class StyleAdvisorService:
         self._request_ids = itertools.count(1)
         #: fingerprint-keyed graphs already built/validated this process.
         self._graph_cache: Dict[str, CSRGraph] = {}
+        #: fingerprint-keyed graph feature vectors (predictor inputs).
+        self._gfeat_cache: Dict[str, dict] = {}
+        #: ``None`` until the first cold miss; then ``(predictor, reason)``
+        #: — resolved once so a corrupt artifact is quarantined once.
+        self._predictor_state: Optional[tuple] = None
         #: LRU of finished answers, keyed by the full request identity.
         self._results: "Dict[tuple, dict]" = {}
         #: In-flight sweeps by the same identity (request coalescing).
@@ -130,6 +143,7 @@ class StyleAdvisorService:
             "requests": 0,
             "answers": 0,
             "cache_hits": 0,
+            "predicted": 0,
             "coalesced": 0,
             "degraded": 0,
             "errors": 0,
@@ -313,6 +327,7 @@ class StyleAdvisorService:
             except (TypeError, ValueError):
                 raise ServiceError("bad-request", "deadline_ms must be a number")
         stream = bool(body.get("stream", False))
+        allow_predict = bool(body.get("predict", True))
         tenant = request.header("x-repro-tenant", "anonymous")
 
         # Admission: global queue bound, then the tenant's quota, then the
@@ -357,6 +372,7 @@ class StyleAdvisorService:
                 deadline_s=deadline_s,
                 request_id=request_id,
                 progress=writer if stream else None,
+                allow_predict=allow_predict,
             )
         finally:
             reservation.release()
@@ -526,6 +542,7 @@ class StyleAdvisorService:
         deadline_s: float,
         request_id: str,
         progress=None,
+        allow_predict: bool = True,
     ) -> dict:
         key = self._result_key(graph, algorithms, models, gpus, cpus)
         cached = self._results.get(key)
@@ -538,6 +555,18 @@ class StyleAdvisorService:
                 **cached, "source": "cache", "kernel_executions": 0,
                 "degraded": False,
             }
+
+        # The predicted tier: a cold miss the trained model fully covers
+        # answers instantly with zero kernel executions.  It sits above
+        # the breaker on purpose — a learned estimate beats the static
+        # guidelines even while the executor is unhealthy.
+        if allow_predict:
+            predicted = self._predicted_payload(
+                graph, algorithms, models, gpus, cpus
+            )
+            if predicted is not None:
+                self.stats["predicted"] += 1
+                return predicted
 
         if not self.breaker.allow():
             return self._degraded_payload(
@@ -632,6 +661,81 @@ class StyleAdvisorService:
             "kernel_executions": summary["kernel_executions"],
             "degraded": False,
             "source": "sweep",
+        }
+
+    # -- the predicted tier --------------------------------------------
+    def _get_predictor(self):
+        """The style predictor, resolved lazily and at most once."""
+        if not self.config.predict:
+            return None
+        if self._predictor_state is None:
+            from ..bench.predictor import resolve_predictor
+
+            predictor, reason = resolve_predictor()
+            self._predictor_state = (predictor, reason)
+            if predictor is None:
+                print(
+                    f"predicted tier unavailable: {reason}",
+                    file=sys.stderr, flush=True,
+                )
+        return self._predictor_state[0]
+
+    def _graph_features(self, graph: CSRGraph) -> dict:
+        fp = graph.fingerprint()
+        feat = self._gfeat_cache.get(fp)
+        if feat is None:
+            feat = analyze_graph(graph).features()
+            self._gfeat_cache[fp] = feat
+        return feat
+
+    def _predicted_payload(
+        self, graph, algorithms, models, gpus, cpus
+    ) -> Optional[dict]:
+        """Answer from the model, or ``None`` when a real sweep must run.
+
+        ``None`` whenever any requested (algorithm, device) cell lies
+        outside the model's training coverage — prediction there would be
+        extrapolation, and the service never serves guesses it cannot
+        bound.  Predicted answers are not stored in the result LRU, so a
+        later ``"predict": false`` request still gets measured numbers.
+        """
+        predictor = self._get_predictor()
+        if predictor is None:
+            return None
+        cells = []
+        for algorithm in algorithms:
+            for model in models:
+                for name in gpus if model.is_gpu else cpus:
+                    if not predictor.covers(algorithm, name):
+                        return None
+                    cells.append((algorithm, model, name))
+        if not cells:
+            return None
+        gfeat = self._graph_features(graph)
+        measured = []
+        for algorithm, model, name in cells:
+            spec, seconds = predictor.best_style(
+                algorithm, model, gfeat, DEVICES[name]
+            )
+            measured.append({
+                "algorithm": algorithm.value,
+                "model": model.value,
+                "device": name,
+                "style": spec.label(),
+                "seconds": seconds,
+                "throughput_ges": graph.n_edges / seconds / 1e9,
+                "verified": False,
+                "predicted": True,
+            })
+        return {
+            "graph": self._graph_info(graph),
+            "advisor": self._advisor_info(graph),
+            "measured": measured,
+            "failures": [],
+            "n_runs": len(measured),
+            "kernel_executions": 0,
+            "degraded": False,
+            "source": "predicted",
         }
 
     def _degraded_payload(

@@ -134,6 +134,7 @@ def summarize_runs(runs, failures, kernel_executions: int) -> dict:
             "seconds": run.seconds,
             "throughput_ges": run.throughput_ges,
             "verified": run.verified,
+            "predicted": bool(getattr(run, "predicted", False)),
         }
         for (alg, model, device), run in sorted(best.items())
     ]

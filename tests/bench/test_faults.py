@@ -484,7 +484,7 @@ class TestCliFaultTolerance:
         clean_rows = {
             f"{r.spec.model.value},{r.spec.algorithm.value},{r.spec.label()},"
             f"{r.graph},{r.device},{r.seconds:.6e},{r.throughput_ges:.6f},"
-            f"{r.iterations}"
+            f"{r.iterations},{int(r.predicted)}"
             for r in clean_bfs.runs
         }
         got_rows = set(captured.out.strip().splitlines()[1:])

@@ -10,6 +10,11 @@ so tests never read or write ``~/.cache/repro/traces`` — a warm store
 would otherwise leak state between runs and machines.  Tests of the store
 itself point ``$REPRO_TRACE_CACHE`` at a tmpdir or pass a
 :class:`~repro.bench.tracestore.TraceStore` explicitly.
+
+The style predictor is disabled the same way: a trained artifact lying
+around in ``~/.cache`` must never turn a test's cold sweep into a
+predicted answer.  Predictor tests delete ``$REPRO_PREDICTOR`` (or point
+it at their own artifact) via ``monkeypatch``.
 """
 
 import os
@@ -18,6 +23,7 @@ import signal
 import pytest
 
 os.environ.setdefault("REPRO_TRACE_CACHE", "0")
+os.environ.setdefault("REPRO_PREDICTOR", "0")
 
 #: Hard per-test deadline for ``@pytest.mark.faults`` tests, in seconds —
 #: generous next to their sub-second fault schedules, tiny next to a hang.

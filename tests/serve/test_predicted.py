@@ -1,0 +1,84 @@
+"""The serving plane's predicted tier (``source: "predicted"``).
+
+The answer-source ladder is ``cache → predicted → sweep →
+static-guideline``: a cold miss the trained style predictor covers must
+answer from the model with zero kernel executions, while uncovered cells
+and explicit ``"predict": false`` requests still get a real sweep.
+"""
+
+import pytest
+
+from repro.bench import (
+    StylePredictor,
+    SweepConfig,
+    mine_results,
+    run_sweep,
+)
+from repro.bench.predictor import PREDICTOR_ENV
+from repro.styles import Algorithm
+
+pytestmark = [pytest.mark.serve, pytest.mark.predictor]
+
+
+@pytest.fixture(scope="module")
+def bfs_artifact(tmp_path_factory):
+    """A model trained on tiny BFS rows only (covers BFS on every device)."""
+    results = run_sweep(
+        SweepConfig(
+            scale="tiny",
+            algorithms=(Algorithm.BFS,),
+            graphs=("USA-road-d.NY", "soc-LiveJournal1"),
+        )
+    )
+    predictor = StylePredictor.train(mine_results(results), seed=0, rounds=50)
+    return predictor.save(tmp_path_factory.mktemp("serve-predictor") / "model.json")
+
+
+def test_cold_miss_answers_from_the_predictor(
+    make_service, bfs_artifact, monkeypatch
+):
+    monkeypatch.setenv(PREDICTOR_ENV, str(bfs_artifact))
+    service = make_service()
+    status, payload = service.advise(
+        {"graph": "USA-road-d.NY", "algorithms": ["bfs"]}
+    )
+    assert status == 200
+    assert payload["source"] == "predicted"
+    assert payload["kernel_executions"] == 0
+    assert payload["degraded"] is False
+    assert payload["measured"], "predicted answer carries per-cell timings"
+    assert all(m["predicted"] for m in payload["measured"])
+    assert all(m["verified"] is False for m in payload["measured"])
+    assert service.service.stats["predicted"] == 1
+
+    # The predicted answer is not cached: an opt-out still sweeps.
+    status, optout = service.advise(
+        {"graph": "USA-road-d.NY", "algorithms": ["bfs"], "predict": False}
+    )
+    assert status == 200
+    assert optout["source"] == "sweep"
+    assert all(not m["predicted"] for m in optout["measured"])
+
+
+def test_uncovered_algorithm_falls_through_to_a_sweep(
+    make_service, bfs_artifact, monkeypatch
+):
+    monkeypatch.setenv(PREDICTOR_ENV, str(bfs_artifact))
+    service = make_service()
+    status, payload = service.advise(
+        {"graph": "USA-road-d.NY", "algorithms": ["pr"]}
+    )
+    assert status == 200
+    assert payload["source"] == "sweep"
+
+
+def test_predict_false_config_disables_the_tier(
+    make_service, bfs_artifact, monkeypatch
+):
+    monkeypatch.setenv(PREDICTOR_ENV, str(bfs_artifact))
+    service = make_service(predict=False)
+    status, payload = service.advise(
+        {"graph": "USA-road-d.NY", "algorithms": ["bfs"]}
+    )
+    assert status == 200
+    assert payload["source"] == "sweep"

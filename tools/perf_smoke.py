@@ -1,6 +1,6 @@
-"""Performance smoke: trace-store warm sweeps and vectorized timing.
+"""Performance smoke: trace store, vectorized timing, predictor pruning.
 
-Two gated measurements, both written as JSON at the repository root so
+Three gated measurements, each written as JSON at the repository root so
 the performance trajectory is tracked across PRs:
 
 **Trace store** (``BENCH_tracestore.json``).  One small-but-real sweep
@@ -23,12 +23,20 @@ bit-identical and beat the scalar loop by at least
 (``--scaling-workers``) is recorded alongside, unmated — CI runners have
 too few cores for a meaningful gate.
 
+**Predict-then-verify pruning** (``BENCH_advisor.json``).  The style
+predictor is trained on a tiny-scale SSSP sweep, then the gate workload
+(default-scale SSSP x USA-road-d.NY, CUDA) runs cold both exhaustively
+and pruned; the pruned sweep must execute at least
+``--min-kernel-reduction`` times fewer kernels while reporting the
+identical, *measured* per-cell winners (zero regret).
+
 Exit code 0 means every guarantee held.
 
 Usage::
 
     python tools/perf_smoke.py [--json PATH] [--matrix-json PATH]
-        [--min-speedup X] [--min-matrix-speedup X] [--keep]
+        [--advisor-json PATH] [--min-speedup X] [--min-matrix-speedup X]
+        [--min-kernel-reduction X] [--keep]
 """
 
 import argparse
@@ -44,6 +52,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 DEFAULT_JSON = REPO_ROOT / "BENCH_tracestore.json"
 DEFAULT_MATRIX_JSON = REPO_ROOT / "BENCH_matrix.json"
+DEFAULT_ADVISOR_JSON = REPO_ROOT / "BENCH_advisor.json"
 
 #: Warm must beat cold by at least this factor (the store's entire point
 #: is skipping kernel execution, the sweep's dominant cost).
@@ -55,6 +64,16 @@ DEFAULT_MIN_MATRIX_SPEEDUP = 3.0
 
 #: Interleaved min-of-rounds for the matrix timing comparison.
 MATRIX_ROUNDS = 7
+
+#: A cold predict-then-verify sweep must execute at least this many
+#: times fewer kernels than the exhaustive cold sweep — with the same
+#: per-cell winners (Table-6 answers must not move).
+DEFAULT_MIN_KERNEL_REDUCTION = 5.0
+
+#: Boosting rounds for the smoke's predictor (300 generalizes from the
+#: tiny-scale training sweep to the default-scale gate workload; more
+#: overfits the tiny graphs).
+ADVISOR_ROUNDS = 300
 
 #: The previous PR's recorded batched timing of this exact workload
 #: (BENCH_sweep.json before the vectorized matrix path) — reported for
@@ -122,13 +141,25 @@ def matrix_smoke(args) -> tuple:
         trace_cache=False,
     )
     curve = []
+    cpu_count = os.cpu_count() or 1
+    skipped_oversubscribed = []
     for workers in args.scaling_workers:
+        if cpu_count == 1 and workers > 1:
+            # A one-core runner cannot scale: multi-worker points there
+            # measure process oversubscription, not the scheduler.  Record
+            # that they were skipped instead of publishing misleading
+            # numbers.
+            skipped_oversubscribed.append(workers)
+            continue
         start = time.perf_counter()
         results = run_sweep_parallel(scaling_config, workers=workers)
         seconds = time.perf_counter() - start
         curve.append({"workers": workers, "seconds": round(seconds, 3)})
         print(f"  workers={workers}: {seconds:.2f}s "
               f"({len(results.runs)} runs)", flush=True)
+    if skipped_oversubscribed:
+        print(f"  cpu_count={cpu_count}: skipped oversubscribed worker "
+              f"counts {skipped_oversubscribed}", flush=True)
 
     failures = []
     if not bit_identical:
@@ -155,13 +186,171 @@ def matrix_smoke(args) -> tuple:
         "worker_scaling": {
             "config": "BFS+PR x 2 graphs (tiny), trace cache off, "
                       "work stealing on",
-            "cpu_count": os.cpu_count(),
+            "cpu_count": cpu_count,
+            "skipped_oversubscribed": skipped_oversubscribed,
             "curve": curve,
         },
     }
     args.matrix_json.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.matrix_json}", flush=True)
     return failures, speedup
+
+
+def advisor_smoke(args) -> list:
+    """Gate the predict-then-verify sweep: far fewer kernels, same winners.
+
+    Trains the style predictor on a tiny-scale SSSP sweep, then runs the
+    gate workload (default-scale SSSP x USA-road-d.NY, CUDA on the
+    RTX 3090) twice against fresh trace stores: exhaustively and pruned
+    (``top_k=8, audit_frac=0.02, max_groups=6``).  The pruned sweep must
+    execute at least ``--min-kernel-reduction`` times fewer kernels, and
+    its reported winner must be the exhaustive winner, *measured* (regret
+    zero) — pruning may never change the paper's answers.
+    """
+    import shutil
+    from dataclasses import replace
+
+    from repro.bench import (
+        PredictSettings,
+        StylePredictor,
+        SweepConfig,
+        mine_results,
+        run_sweep,
+    )
+    from repro.styles import Algorithm, Model
+
+    print("perf smoke: predict-then-verify advisor gate ...", flush=True)
+    tmp = tempfile.mkdtemp(prefix="repro-advisor-smoke-")
+    saved_env = os.environ.get("REPRO_TRACE_CACHE")
+    try:
+        os.environ["REPRO_TRACE_CACHE"] = os.path.join(tmp, "train-traces")
+        start = time.perf_counter()
+        train_results = run_sweep(
+            SweepConfig(scale="tiny", algorithms=(Algorithm.SSSP,))
+        )
+        ts = mine_results(train_results)
+        predictor = StylePredictor.train(ts, seed=0, rounds=ADVISOR_ROUNDS)
+        artifact = predictor.save(os.path.join(tmp, "model.json"))
+        train_seconds = time.perf_counter() - start
+        print(f"  trained on {len(ts)} tiny-scale rows in "
+              f"{train_seconds:.2f}s", flush=True)
+
+        gate = SweepConfig(
+            scale="default",
+            algorithms=(Algorithm.SSSP,),
+            models=(Model.CUDA,),
+            graphs=("USA-road-d.NY",),
+            gpu_names=("RTX 3090",),
+        )
+        os.environ["REPRO_TRACE_CACHE"] = os.path.join(tmp, "cold-traces")
+        start = time.perf_counter()
+        exhaustive = run_sweep(gate)
+        exhaustive_seconds = time.perf_counter() - start
+        print(f"  exhaustive cold: {exhaustive.kernel_executions} kernels, "
+              f"{len(exhaustive.runs)} runs, {exhaustive_seconds:.2f}s",
+              flush=True)
+
+        os.environ["REPRO_TRACE_CACHE"] = os.path.join(tmp, "pruned-traces")
+        pruned_cfg = replace(
+            gate,
+            predict=PredictSettings(
+                top_k=8, audit_frac=0.02, max_groups=6,
+                model_path=str(artifact),
+            ),
+        )
+        start = time.perf_counter()
+        pruned = run_sweep(pruned_cfg)
+        pruned_seconds = time.perf_counter() - start
+        n_predicted = sum(run.predicted for run in pruned.runs)
+        print(f"  pruned cold:     {pruned.kernel_executions} kernels, "
+              f"{len(pruned.runs)} runs ({n_predicted} back-filled), "
+              f"{pruned_seconds:.2f}s", flush=True)
+    finally:
+        if saved_env is None:
+            os.environ.pop("REPRO_TRACE_CACHE", None)
+        else:
+            os.environ["REPRO_TRACE_CACHE"] = saved_env
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    def winners(results):
+        best = {}
+        for run in results.runs:
+            key = (run.spec.model.value, run.device)
+            if key not in best or run.seconds < best[key].seconds:
+                best[key] = run
+        return best
+
+    exhaustive_best = winners(exhaustive)
+    pruned_best = winners(pruned)
+    reduction = (
+        exhaustive.kernel_executions / pruned.kernel_executions
+        if pruned.kernel_executions
+        else float("inf")
+    )
+    regressions = []
+    regret = 0.0
+    for key, ex_run in sorted(exhaustive_best.items()):
+        pr_run = pruned_best.get(key)
+        cell = f"{key[0]} on {key[1]}"
+        if pr_run is None:
+            regressions.append(f"{cell}: missing from the pruned sweep")
+            continue
+        if pr_run.predicted:
+            regressions.append(
+                f"{cell}: winner {pr_run.spec.label()} is a back-filled "
+                "prediction, not a measurement"
+            )
+            continue
+        if pr_run.spec.label() != ex_run.spec.label():
+            regressions.append(
+                f"{cell}: winner changed {ex_run.spec.label()} -> "
+                f"{pr_run.spec.label()}"
+            )
+        regret = max(regret, pr_run.seconds / ex_run.seconds - 1.0)
+
+    summary = pruned.prediction
+    audit_err = summary.audit_max_rel_error() if summary else None
+    failures = []
+    if reduction < args.min_kernel_reduction:
+        failures.append(
+            f"pruned sweep ran {pruned.kernel_executions} kernels vs "
+            f"{exhaustive.kernel_executions} exhaustive ({reduction:.2f}x, "
+            f"floor {args.min_kernel_reduction:g}x)"
+        )
+    failures.extend(f"winner regression: {r}" for r in regressions)
+    if regret > 0:
+        failures.append(f"winner regret {regret:.4%} (must be 0)")
+    if len(pruned.runs) != len(exhaustive.runs):
+        failures.append(
+            f"pruned sweep reported {len(pruned.runs)} runs vs "
+            f"{len(exhaustive.runs)} exhaustive (back-fill incomplete)"
+        )
+
+    payload = {
+        "benchmark": "predict-then-verify vs exhaustive cold sweep: "
+                     "SSSP x USA-road-d.NY (default scale), CUDA on "
+                     "RTX 3090; predictor trained on a tiny-scale "
+                     "SSSP sweep",
+        "training_rows": len(ts),
+        "training_rounds": ADVISOR_ROUNDS,
+        "training_seconds": round(train_seconds, 3),
+        "exhaustive_kernel_executions": exhaustive.kernel_executions,
+        "exhaustive_seconds": round(exhaustive_seconds, 3),
+        "pruned_kernel_executions": pruned.kernel_executions,
+        "pruned_seconds": round(pruned_seconds, 3),
+        "kernel_reduction": round(reduction, 3),
+        "runs": len(exhaustive.runs),
+        "predicted_runs": n_predicted,
+        "winner_regressions": regressions,
+        "winner_regret": regret,
+        "audit_max_rel_error": audit_err,
+        "at_risk_cells": len(summary.at_risk_cells) if summary else None,
+    }
+    args.advisor_json.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"  kernel reduction {reduction:.2f}x, winner regret "
+          f"{regret:.4%}, {len(regressions)} regressions", flush=True)
+    print(f"wrote {args.advisor_json}", flush=True)
+    return failures
 
 
 def main(argv=None) -> int:
@@ -172,6 +361,15 @@ def main(argv=None) -> int:
                         default=DEFAULT_MATRIX_JSON,
                         help="matrix benchmark output JSON path "
                              f"(default: {DEFAULT_MATRIX_JSON})")
+    parser.add_argument("--advisor-json", type=Path,
+                        default=DEFAULT_ADVISOR_JSON,
+                        help="advisor benchmark output JSON path "
+                             f"(default: {DEFAULT_ADVISOR_JSON})")
+    parser.add_argument("--min-kernel-reduction", type=float,
+                        default=DEFAULT_MIN_KERNEL_REDUCTION,
+                        help="required exhaustive/pruned kernel-execution "
+                             "ratio of the predict-then-verify gate "
+                             f"(default: {DEFAULT_MIN_KERNEL_REDUCTION})")
     parser.add_argument("--min-speedup", type=float,
                         default=DEFAULT_MIN_SPEEDUP,
                         help="required cold/warm wall-clock ratio "
@@ -292,6 +490,7 @@ def main(argv=None) -> int:
 
     matrix_failures, matrix_speedup = matrix_smoke(args)
     failures.extend(matrix_failures)
+    failures.extend(advisor_smoke(args))
 
     if failures:
         for failure in failures:
@@ -299,7 +498,7 @@ def main(argv=None) -> int:
         return 1
     print(f"perf smoke OK: warm sweep ran 0 kernels, {speedup:.2f}x faster, "
           f"vectorized matrix {matrix_speedup:.2f}x over per-spec, "
-          "bit-identical results")
+          "predict-then-verify gate held, bit-identical results")
     return 0
 
 

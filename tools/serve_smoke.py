@@ -1,6 +1,6 @@
 """Service smoke: boot ``repro serve`` and exercise its resilience paths.
 
-Four gated checks against real server subprocesses, mirroring what an
+Five gated checks against real server subprocesses, mirroring what an
 operator would see:
 
 1. **cold sweep** — a named tiny graph gets a full recommendation with
@@ -13,7 +13,11 @@ operator would see:
    an error or a hang;
 4. **graceful drain** — SIGTERM lands while a streaming request is in
    flight; the request must still complete with a full result, the
-   process must exit 0, and the log must show the drain.
+   process must exit 0, and the log must show the drain;
+5. **predicted tier** — with a pre-trained style-predictor artifact
+   (``$REPRO_PREDICTOR``), a cold miss the model covers answers with
+   ``source == "predicted"`` and ``kernel_executions == 0``, and a
+   ``"predict": false`` request still gets a real sweep.
 
 Exit code 0 means every guarantee held.
 
@@ -45,7 +49,7 @@ FAULT_GRAPH = "USA-road-d.NY"
 class Server:
     """One ``repro serve`` subprocess on an ephemeral port."""
 
-    def __init__(self, tmpdir, faults=None):
+    def __init__(self, tmpdir, faults=None, predictor=None):
         env = dict(os.environ)
         env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
             "PYTHONPATH", ""
@@ -56,6 +60,10 @@ class Server:
             env["REPRO_FAULTS"] = json.dumps(faults)
         else:
             env.pop("REPRO_FAULTS", None)
+        if predictor is not None:
+            env["REPRO_PREDICTOR"] = str(predictor)
+        else:
+            env.pop("REPRO_PREDICTOR", None)
         self.proc = subprocess.Popen(
             [
                 sys.executable, "-m", "repro", "--scale", "tiny",
@@ -188,6 +196,69 @@ def main(argv=None):
             code, stderr = server.stop()
             check(code == 0, f"faulted server drains to exit 0 (got {code})")
             report["degraded_seconds"] = round(degraded_s, 4)
+        finally:
+            if server.proc.poll() is None:
+                server.proc.kill()
+                server.proc.wait(timeout=10)
+
+        print("== predicted tier: cold miss answered from the model ==")
+        # Train the artifact against its own trace store so the servers'
+        # cold/warm contract above stays untouched.
+        saved = os.environ.get("REPRO_TRACE_CACHE")
+        os.environ["REPRO_TRACE_CACHE"] = str(Path(tmpdir) / "train-traces")
+        try:
+            from repro.bench import (
+                StylePredictor,
+                SweepConfig,
+                mine_results,
+                run_sweep,
+            )
+            from repro.styles import Algorithm
+
+            train = run_sweep(
+                SweepConfig(scale="tiny", algorithms=(Algorithm.BFS,))
+            )
+            artifact = StylePredictor.train(
+                mine_results(train), seed=0, rounds=300
+            ).save(Path(tmpdir) / "model.json")
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_TRACE_CACHE", None)
+            else:
+                os.environ["REPRO_TRACE_CACHE"] = saved
+        server = Server(tmpdir, predictor=artifact)
+        try:
+            t0 = time.perf_counter()
+            status, payload = server.advise(
+                {"graph": GRAPH, "algorithms": ["bfs"]}
+            )
+            predicted_s = time.perf_counter() - t0
+            check(status == 200, f"predicted request returns 200 (got {status})")
+            check(
+                payload["source"] == "predicted",
+                "cold miss answered from the predictor",
+            )
+            check(
+                payload["kernel_executions"] == 0,
+                "predicted answer executed zero kernels",
+            )
+            check(payload["degraded"] is False, "predicted answer not degraded")
+            check(bool(payload["measured"]), "predicted answer carries timings")
+            check(
+                all(m["predicted"] for m in payload["measured"]),
+                "every predicted entry is flagged predicted",
+            )
+            status, optout = server.advise(
+                {"graph": GRAPH, "algorithms": ["bfs"], "predict": False}
+            )
+            check(status == 200, f"opt-out request returns 200 (got {status})")
+            check(
+                optout["source"] == "sweep",
+                "'predict': false opt-out runs a real sweep",
+            )
+            code, _ = server.stop()
+            check(code == 0, f"predictor server drains to exit 0 (got {code})")
+            report["predicted_seconds"] = round(predicted_s, 4)
         finally:
             if server.proc.poll() is None:
                 server.proc.kill()
